@@ -1,0 +1,360 @@
+//! Burrows-Wheeler block compressor — our stand-in for the `bzip2` class
+//! (see DESIGN.md §4).
+//!
+//! Per block (256 KiB default): suffix-array BWT (prefix doubling), then
+//! move-to-front, then bzip2-style zero-run-length coding (RUNA/RUNB),
+//! then canonical Huffman. High ratio, low speed — the opposite corner of
+//! the design space from PFOR, which is exactly what Figure 2 contrasts.
+
+use crate::huffcode::{code_lengths, pad_for_decode, Decoder, Encoder, MAX_CODE_LEN};
+use crate::traits::{le, ByteCodec};
+use scc_bitpack::{BitReader, BitWriter};
+
+/// Block size: bounds memory and sorting cost.
+pub const BLOCK_SIZE: usize = 256 * 1024;
+
+/// MTF alphabet: 256 byte values. After RLE-0 the symbol space becomes
+/// RUNA, RUNB, then MTF symbols 1..=255 shifted by one.
+const RUNA: usize = 0;
+const RUNB: usize = 1;
+const SYMS: usize = 257; // RUNA, RUNB, 255 shifted MTF symbols
+
+/// Suffix array by prefix doubling (O(n log^2 n)); `data` values must be
+/// < 2^30 - 1 so ranks fit.
+fn suffix_array(data: &[u16]) -> Vec<u32> {
+    let n = data.len();
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = data.iter().map(|&c| c as u32).collect();
+    let mut tmp = vec![0u32; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] + 1 } else { 0 };
+            ((rank[i] as u64) << 32) | second as u64
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + u32::from(key(prev) != key(cur));
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Forward BWT with a virtual sentinel: returns `(bwt, primary)` where the
+/// sentinel's output position is `primary` (its symbol is *omitted* from
+/// `bwt`, which therefore has the same length as the input).
+fn bwt_forward(block: &[u8]) -> (Vec<u8>, u32) {
+    // Append a unique sentinel smaller than everything (value 0 in a
+    // shifted alphabet: bytes become 1..=256).
+    let mut data: Vec<u16> = Vec::with_capacity(block.len() + 1);
+    data.extend(block.iter().map(|&b| b as u16 + 1));
+    data.push(0);
+    let sa = suffix_array(&data);
+    let mut bwt = Vec::with_capacity(block.len());
+    let mut primary = 0u32;
+    for (i, &s) in sa.iter().enumerate() {
+        if s == 0 {
+            // The row starting at the sentinel... its preceding char is
+            // the last input byte; but the sentinel row itself is sa[0].
+            // Row whose suffix starts at 0 would emit the sentinel: skip
+            // it and record the position.
+            primary = i as u32;
+        } else {
+            bwt.push(block[s as usize - 1]);
+        }
+    }
+    (bwt, primary)
+}
+
+/// Inverse BWT via LF mapping.
+fn bwt_inverse(bwt: &[u8], primary: u32) -> Vec<u8> {
+    let n = bwt.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Conceptually the transformed string has n+1 rows; row `primary` is
+    // the sentinel row. Build LF over the n real symbols, treating the
+    // sentinel as the unique smallest symbol at first position.
+    let mut counts = [0u32; 256];
+    for &b in bwt {
+        counts[b as usize] += 1;
+    }
+    // first[c] = row index (in the full n+1 matrix) of the first row
+    // starting with c; row 0 starts with the sentinel.
+    let mut first = [0u32; 257];
+    first[0] = 1; // after the sentinel row
+    for c in 0..256 {
+        first[c + 1] = first[c] + counts[c];
+    }
+    // next[i] = LF mapping: row index of the row starting with bwt[i].
+    // bwt rows are the full matrix rows except the primary; account for
+    // that offset when walking.
+    let mut occ = [0u32; 256];
+    let mut lf = vec![0u32; n];
+    for (i, &b) in bwt.iter().enumerate() {
+        lf[i] = first[b as usize] + occ[b as usize];
+        occ[b as usize] += 1;
+    }
+    // Walk backwards starting from row 0, the rotation that begins with
+    // the sentinel: its last character (= its L entry) is the last byte of
+    // the output, and LF steps move one position left each time. After n
+    // steps the walk lands on `primary` (the row whose L entry is the
+    // sentinel).
+    let mut out = vec![0u8; n];
+    // Row index -> bwt index: rows except `primary` map in order. Row 0 is
+    // never `primary` (the sentinel-first rotation sorts first).
+    let row_to_idx = |row: u32| if row < primary { row } else { row - 1 };
+    let mut row = 0u32;
+    for slot in (0..n).rev() {
+        let idx = row_to_idx(row) as usize;
+        out[slot] = bwt[idx];
+        row = lf[idx];
+    }
+    debug_assert_eq!(row, primary);
+    out
+}
+
+/// Move-to-front transform.
+fn mtf_forward(data: &[u8]) -> Vec<u8> {
+    let mut order: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let pos = order.iter().position(|&o| o == b).expect("byte in alphabet") as u8;
+            order.copy_within(0..pos as usize, 1);
+            order[0] = b;
+            pos
+        })
+        .collect()
+}
+
+/// Inverse move-to-front.
+fn mtf_inverse(data: &[u8]) -> Vec<u8> {
+    let mut order: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&pos| {
+            let b = order[pos as usize];
+            order.copy_within(0..pos as usize, 1);
+            order[0] = b;
+            b
+        })
+        .collect()
+}
+
+/// bzip2-style RLE-0: zero runs become a binary number in RUNA/RUNB
+/// digits; nonzero MTF symbols shift up by one.
+fn rle0_forward(mtf: &[u8], out: &mut Vec<u16>) {
+    let mut run = 0u64;
+    let flush = |run: &mut u64, out: &mut Vec<u16>| {
+        let mut r = *run;
+        while r > 0 {
+            // Bijective base-2: digits 1 (RUNA) and 2 (RUNB).
+            if r & 1 == 1 {
+                out.push(RUNA as u16);
+                r = (r - 1) / 2;
+            } else {
+                out.push(RUNB as u16);
+                r = (r - 2) / 2;
+            }
+        }
+        *run = 0;
+    };
+    for &m in mtf {
+        if m == 0 {
+            run += 1;
+        } else {
+            flush(&mut run, out);
+            out.push(m as u16 + 1);
+        }
+    }
+    flush(&mut run, out);
+}
+
+/// Inverse of [`rle0_forward`].
+fn rle0_inverse(syms: &[u16], out: &mut Vec<u8>) {
+    let mut i = 0usize;
+    while i < syms.len() {
+        if syms[i] as usize <= RUNB {
+            // Collect the full RUNA/RUNB group.
+            let mut run = 0u64;
+            let mut place = 1u64;
+            while i < syms.len() && syms[i] as usize <= RUNB {
+                run += place * (syms[i] as u64 + 1);
+                place *= 2;
+                i += 1;
+            }
+            out.extend(std::iter::repeat_n(0u8, run as usize));
+        } else {
+            out.push((syms[i] - 1) as u8);
+            i += 1;
+        }
+    }
+}
+
+/// BWT block codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BwtCodec;
+
+impl ByteCodec for BwtCodec {
+    fn name(&self) -> &'static str {
+        "bwt"
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        le::put_u32(out, input.len() as u32);
+        for block in input.chunks(BLOCK_SIZE) {
+            let (bwt, primary) = bwt_forward(block);
+            let mtf = mtf_forward(&bwt);
+            let mut syms: Vec<u16> = Vec::with_capacity(mtf.len());
+            rle0_forward(&mtf, &mut syms);
+            let mut freqs = vec![0u64; SYMS];
+            for &s in &syms {
+                freqs[s as usize] += 1;
+            }
+            let lens = code_lengths(&freqs, MAX_CODE_LEN);
+            // Block header: block len, primary, symbol count, code lengths.
+            le::put_u32(out, block.len() as u32);
+            le::put_u32(out, primary);
+            le::put_u32(out, syms.len() as u32);
+            let mut table = vec![0u8; SYMS.div_ceil(2)];
+            for (i, &l) in lens.iter().enumerate() {
+                table[i / 2] |= (l as u8) << ((i % 2) * 4);
+            }
+            out.extend_from_slice(&table);
+            let enc = Encoder::from_lengths(&lens);
+            let mut w = BitWriter::new();
+            for &s in &syms {
+                enc.put(&mut w, s as usize);
+            }
+            pad_for_decode(&mut w);
+            let words = w.into_words();
+            le::put_u32(out, words.len() as u32);
+            for word in words {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+    }
+
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) {
+        let n = le::get_u32(input, 0) as usize;
+        debug_assert_eq!(n, expected_len);
+        let mut pos = 4usize;
+        let mut produced = 0usize;
+        while produced < n {
+            let block_len = le::get_u32(input, pos) as usize;
+            let primary = le::get_u32(input, pos + 4);
+            let n_syms = le::get_u32(input, pos + 8) as usize;
+            pos += 12;
+            let mut lens = vec![0u32; SYMS];
+            for (i, l) in lens.iter_mut().enumerate() {
+                *l = ((input[pos + i / 2] >> ((i % 2) * 4)) & 0xf) as u32;
+            }
+            pos += SYMS.div_ceil(2);
+            let n_words = le::get_u32(input, pos) as usize;
+            pos += 4;
+            let words: Vec<u64> = input[pos..pos + n_words * 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            pos += n_words * 8;
+            let dec = Decoder::from_lengths(&lens);
+            let mut r = BitReader::new(&words);
+            let mut syms = Vec::with_capacity(n_syms);
+            for _ in 0..n_syms {
+                syms.push(dec.get(&mut r) as u16);
+            }
+            let mut mtf = Vec::with_capacity(block_len);
+            rle0_inverse(&syms, &mut mtf);
+            let bwt = mtf_inverse(&mtf);
+            out.extend_from_slice(&bwt_inverse(&bwt, primary));
+            produced += block_len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let compressed = BwtCodec.compress_vec(data);
+        assert_eq!(BwtCodec.decompress_vec(&compressed, data.len()), data, "len {}", data.len());
+        compressed.len()
+    }
+
+    #[test]
+    fn bwt_transform_known_example() {
+        // "banana": classic example.
+        let (bwt, primary) = bwt_forward(b"banana");
+        assert_eq!(bwt_inverse(&bwt, primary), b"banana");
+    }
+
+    #[test]
+    fn bwt_inverse_is_exact_for_edge_blocks() {
+        for data in [&b""[..], b"a", b"aa", b"ab", b"aba", b"abcabcabc"] {
+            let (bwt, primary) = bwt_forward(data);
+            assert_eq!(bwt_inverse(&bwt, primary), data);
+        }
+    }
+
+    #[test]
+    fn mtf_roundtrip() {
+        let data = b"compressible compressible data".to_vec();
+        assert_eq!(mtf_inverse(&mtf_forward(&data)), data);
+    }
+
+    #[test]
+    fn rle0_roundtrip_various_run_lengths() {
+        for run in [0usize, 1, 2, 3, 4, 7, 255, 1000] {
+            let mut mtf = vec![0u8; run];
+            mtf.push(5);
+            mtf.extend_from_slice(&[0, 0, 9]);
+            let mut syms = Vec::new();
+            rle0_forward(&mtf, &mut syms);
+            let mut back = Vec::new();
+            rle0_inverse(&syms, &mut back);
+            assert_eq!(back, mtf, "run {run}");
+        }
+    }
+
+    #[test]
+    fn text_gets_high_ratio() {
+        let data = b"effective. Effectiveness is the essence of efficiency. ".repeat(400);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 8, "{size} vs {}", data.len());
+    }
+
+    #[test]
+    fn random_data_survives() {
+        let mut x = 99u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(0x5DEECE66D).wrapping_add(11);
+                (x >> 24) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        let data: Vec<u8> = (0..BLOCK_SIZE + 1234).map(|i| (i % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for n in 0..6 {
+            roundtrip(&vec![b'z'; n]);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Classic Frame-Of-Reference compression (Goldstein et al., ICDE '98).
+//!
+//! Stores `min(values)` once and every value as `v - min` in
+//! `ceil(log2(max - min + 1))` bits. Unlike PFOR there are no exceptions:
+//! a single outlier forces the width up for the whole block — exactly the
+//! weakness the paper's patched variant repairs.
+
+use crate::traits::{le, IntCodec};
+use scc_bitpack::{pack_vec, unpack, width_of};
+
+/// Classic FOR codec. Header: min (u32), bit width (u8).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClassicFor;
+
+impl IntCodec for ClassicFor {
+    fn name(&self) -> &'static str {
+        "FOR"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        let min = values.iter().copied().min().unwrap_or(0);
+        let max = values.iter().copied().max().unwrap_or(0);
+        let b = width_of(max - min);
+        le::put_u32(out, min);
+        out.push(b as u8);
+        let offsets: Vec<u32> = values.iter().map(|&v| v - min).collect();
+        for word in pack_vec(&offsets, b) {
+            le::put_u32(out, word);
+        }
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        if n == 0 {
+            return;
+        }
+        let min = le::get_u32(bytes, 0);
+        let b = bytes[4] as u32;
+        let words: Vec<u32> = bytes[5..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let start = out.len();
+        out.resize(start + n, 0);
+        unpack(&words, b, &mut out[start..]);
+        for v in &mut out[start..] {
+            *v = v.wrapping_add(min);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_clustered() {
+        let values: Vec<u32> = (1000..2000).collect();
+        let codec = ClassicFor;
+        let bytes = codec.encode_vec(&values);
+        assert_eq!(codec.decode_vec(&bytes, values.len()), values);
+        // 1000 values spanning 1000 => 10 bits/value plus header.
+        assert!(bytes.len() < 1000 * 10 / 8 + 64);
+    }
+
+    #[test]
+    fn outlier_destroys_ratio() {
+        let mut values: Vec<u32> = (0..1000).map(|i| i % 16).collect();
+        let tight = ClassicFor.encode_vec(&values).len();
+        values[500] = u32::MAX;
+        let wide = ClassicFor.encode_vec(&values).len();
+        // One outlier forces 32-bit codes for everything.
+        assert!(wide > tight * 6, "tight={tight} wide={wide}");
+        assert_eq!(ClassicFor.decode_vec(&ClassicFor.encode_vec(&values), 1000), values);
+    }
+
+    #[test]
+    fn constant_column() {
+        let values = vec![7u32; 500];
+        let bytes = ClassicFor.encode_vec(&values);
+        assert_eq!(ClassicFor.decode_vec(&bytes, 500), values);
+        assert!(bytes.len() < 16);
+    }
+
+    #[test]
+    fn empty() {
+        let bytes = ClassicFor.encode_vec(&[]);
+        assert!(ClassicFor.decode_vec(&bytes, 0).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! LZ77 with hash-chain matching plus canonical Huffman entropy coding —
+//! our stand-in for the `zlib`/DEFLATE class (see DESIGN.md §4).
+//!
+//! Same token model as DEFLATE (literals, 29 length buckets with extra
+//! bits, 30 distance buckets with extra bits, 32 KiB window, matches
+//! 3..=258) but a simpler container: per-call header with both code-length
+//! tables packed at 4 bits per symbol.
+
+use crate::huffcode::{code_lengths, pad_for_decode, Decoder, Encoder, MAX_CODE_LEN};
+use crate::traits::{le, ByteCodec};
+use scc_bitpack::{BitReader, BitWriter};
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const MAX_CHAIN: usize = 32;
+const HASH_BITS: u32 = 15;
+
+/// DEFLATE length buckets: base values and extra bits.
+const LEN_BASE: [u32; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LEN_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// DEFLATE distance buckets.
+const DIST_BASE: [u32; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Literal/length alphabet: 256 literals + end-of-block + 29 lengths.
+const LITLEN_SYMS: usize = 256 + 1 + 29;
+const EOB: usize = 256;
+
+#[inline]
+fn len_bucket(len: usize) -> usize {
+    LEN_BASE.iter().rposition(|&b| b as usize <= len).expect("len >= 3")
+}
+
+#[inline]
+fn dist_bucket(dist: usize) -> usize {
+    DIST_BASE.iter().rposition(|&b| b as usize <= dist).expect("dist >= 1")
+}
+
+#[inline]
+fn hash3(p: &[u8]) -> usize {
+    let v = (p[0] as u32) | ((p[1] as u32) << 8) | ((p[2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// One LZ77 token.
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+fn tokenize(input: &[u8]) -> Vec<Token> {
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+    let mut tokens = Vec::with_capacity(input.len() / 3 + 16);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash3(&input[pos..]);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            while cand != usize::MAX && pos - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = MAX_MATCH.min(input.len() - pos);
+                let mut len = 0usize;
+                while len < limit && input[cand + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand;
+                    if len == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len, dist: best_dist });
+            // Insert hash entries for the skipped positions (cheap greedy).
+            for p in pos + 1..(pos + best_len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+                let h = hash3(&input[p..]);
+                prev[p] = head[h];
+                head[h] = p;
+            }
+            pos += best_len;
+        } else {
+            tokens.push(Token::Literal(input[pos]));
+            pos += 1;
+        }
+    }
+    tokens
+}
+
+/// Deflate-like codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeflateLike;
+
+impl ByteCodec for DeflateLike {
+    fn name(&self) -> &'static str {
+        "deflate-like"
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        le::put_u32(out, input.len() as u32);
+        let tokens = tokenize(input);
+        // Frequencies for both alphabets.
+        let mut lit_freq = [0u64; LITLEN_SYMS];
+        let mut dist_freq = [0u64; 30];
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[257 + len_bucket(len)] += 1;
+                    dist_freq[dist_bucket(dist)] += 1;
+                }
+            }
+        }
+        lit_freq[EOB] += 1;
+        let lit_lens = code_lengths(&lit_freq, MAX_CODE_LEN);
+        let dist_lens = code_lengths(&dist_freq, MAX_CODE_LEN);
+        // Header: both length tables, 4 bits per symbol.
+        let mut table = vec![0u8; (LITLEN_SYMS + 30).div_ceil(2)];
+        for (i, &l) in lit_lens.iter().chain(dist_lens.iter()).enumerate() {
+            table[i / 2] |= (l as u8) << ((i % 2) * 4);
+        }
+        out.extend_from_slice(&table);
+        let lit_enc = Encoder::from_lengths(&lit_lens);
+        let dist_enc = Encoder::from_lengths(&dist_lens);
+        let mut w = BitWriter::new();
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_enc.put(&mut w, b as usize),
+                Token::Match { len, dist } => {
+                    let lb = len_bucket(len);
+                    lit_enc.put(&mut w, 257 + lb);
+                    w.put((len as u64) - LEN_BASE[lb] as u64, LEN_EXTRA[lb]);
+                    let db = dist_bucket(dist);
+                    dist_enc.put(&mut w, db);
+                    w.put((dist as u64) - DIST_BASE[db] as u64, DIST_EXTRA[db]);
+                }
+            }
+        }
+        lit_enc.put(&mut w, EOB);
+        pad_for_decode(&mut w);
+        for word in w.into_words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) {
+        let n = le::get_u32(input, 0) as usize;
+        debug_assert_eq!(n, expected_len);
+        let table_bytes = (LITLEN_SYMS + 30).div_ceil(2);
+        let mut lit_lens = vec![0u32; LITLEN_SYMS];
+        let mut dist_lens = vec![0u32; 30];
+        for i in 0..LITLEN_SYMS + 30 {
+            let l = ((input[4 + i / 2] >> ((i % 2) * 4)) & 0xf) as u32;
+            if i < LITLEN_SYMS {
+                lit_lens[i] = l;
+            } else {
+                dist_lens[i - LITLEN_SYMS] = l;
+            }
+        }
+        let lit_dec = Decoder::from_lengths(&lit_lens);
+        let has_dists = dist_lens.iter().any(|&l| l > 0);
+        let dist_dec = if has_dists { Some(Decoder::from_lengths(&dist_lens)) } else { None };
+        let payload = &input[4 + table_bytes..];
+        let words: Vec<u64> = payload
+            .chunks(8)
+            .map(|c| {
+                let mut buf = [0u8; 8];
+                buf[..c.len()].copy_from_slice(c);
+                u64::from_le_bytes(buf)
+            })
+            .collect();
+        let mut r = BitReader::new(&words);
+        let start = out.len();
+        out.reserve(n);
+        loop {
+            let sym = lit_dec.get(&mut r);
+            if sym == EOB {
+                break;
+            }
+            if sym < 256 {
+                out.push(sym as u8);
+            } else {
+                let lb = sym - 257;
+                let len = LEN_BASE[lb] as usize + r.get(LEN_EXTRA[lb]) as usize;
+                let dd = dist_dec.as_ref().expect("match token implies distance table");
+                let db = dd.get(&mut r);
+                let dist = DIST_BASE[db] as usize + r.get(DIST_EXTRA[db]) as usize;
+                let from = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[from + k];
+                    out.push(byte);
+                }
+            }
+        }
+        debug_assert_eq!(out.len() - start, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let compressed = DeflateLike.compress_vec(data);
+        assert_eq!(DeflateLike.decompress_vec(&compressed, data.len()), data);
+        compressed.len()
+    }
+
+    #[test]
+    fn bucket_tables_cover_ranges() {
+        assert_eq!(len_bucket(3), 0);
+        assert_eq!(len_bucket(258), 28);
+        assert_eq!(len_bucket(10), 7);
+        assert_eq!(len_bucket(11), 8);
+        assert_eq!(len_bucket(12), 8);
+        assert_eq!(dist_bucket(1), 0);
+        assert_eq!(dist_bucket(32_768), 29);
+    }
+
+    #[test]
+    fn text_compresses_better_than_lz_only() {
+        use crate::lzss::Lzss;
+        let data = b"l_shipdate date, l_commitdate date, l_receiptdate date, ".repeat(300);
+        let deflate = roundtrip(&data);
+        let lzss = Lzss.compress_vec(&data).len();
+        assert!(deflate < lzss, "deflate {deflate} vs lzss {lzss}");
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_runs() {
+        let mut data = vec![0u8; 50_000];
+        data[25_000] = 1;
+        let size = roundtrip(&data);
+        assert!(size < 2500);
+    }
+
+    #[test]
+    fn random_binary() {
+        let mut x = 7u64;
+        let data: Vec<u8> = (0..30_000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (x >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn literal_only_stream_has_no_distance_table() {
+        // Short input with no repeats at all.
+        roundtrip(b"abcdefg");
+        roundtrip(b"");
+        roundtrip(b"x");
+    }
+}

@@ -1,0 +1,157 @@
+//! Elias gamma and delta universal codes — parameter-free bit-level codes
+//! for positive integers, classic in inverted-file compression.
+//!
+//! Both code `v >= 1`; this codec stores `v + 1` so zero gaps are legal.
+//! Gamma: unary length then binary mantissa. Delta: gamma-coded length
+//! then mantissa — asymptotically better for large values.
+
+use crate::traits::IntCodec;
+use scc_bitpack::{BitReader, BitWriter};
+
+/// Elias gamma codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EliasGamma;
+
+/// Elias delta codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EliasDelta;
+
+#[inline]
+fn put_gamma(w: &mut BitWriter, v: u64) {
+    debug_assert!(v >= 1);
+    let nbits = 64 - v.leading_zeros();
+    w.put_unary((nbits - 1) as u64);
+    // Mantissa without the leading 1 bit.
+    w.put(v, nbits - 1);
+}
+
+#[inline]
+fn get_gamma(r: &mut BitReader<'_>) -> u64 {
+    let nbits = r.get_unary() as u32 + 1;
+    let mantissa = r.get(nbits - 1);
+    (1u64 << (nbits - 1)) | mantissa
+}
+
+#[inline]
+fn put_delta(w: &mut BitWriter, v: u64) {
+    debug_assert!(v >= 1);
+    let nbits = 64 - v.leading_zeros();
+    put_gamma(w, nbits as u64);
+    w.put(v, nbits - 1);
+}
+
+#[inline]
+fn get_delta(r: &mut BitReader<'_>) -> u64 {
+    let nbits = get_gamma(r) as u32;
+    let mantissa = r.get(nbits - 1);
+    (1u64 << (nbits - 1)) | mantissa
+}
+
+fn finish(w: BitWriter, out: &mut Vec<u8>) {
+    for word in w.into_words() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+}
+
+fn reader_words(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks(8)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(buf)
+        })
+        .collect()
+}
+
+impl IntCodec for EliasGamma {
+    fn name(&self) -> &'static str {
+        "elias-gamma"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            put_gamma(&mut w, v as u64 + 1);
+        }
+        finish(w, out);
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        let words = reader_words(bytes);
+        let mut r = BitReader::new(&words);
+        for _ in 0..n {
+            out.push((get_gamma(&mut r) - 1) as u32);
+        }
+    }
+}
+
+impl IntCodec for EliasDelta {
+    fn name(&self) -> &'static str {
+        "elias-delta"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            put_delta(&mut w, v as u64 + 1);
+        }
+        finish(w, out);
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        let words = reader_words(bytes);
+        let mut r = BitReader::new(&words);
+        for _ in 0..n {
+            out.push((get_delta(&mut r) - 1) as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_roundtrip() {
+        let values = vec![0u32, 1, 2, 3, 7, 8, 100, 1000, u32::MAX - 1, u32::MAX];
+        let bytes = EliasGamma.encode_vec(&values);
+        assert_eq!(EliasGamma.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let values = vec![0u32, 1, 2, 3, 7, 8, 100, 1000, u32::MAX - 1, u32::MAX];
+        let bytes = EliasDelta.encode_vec(&values);
+        assert_eq!(EliasDelta.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn gamma_code_lengths() {
+        // value v stored as v+1: 0 -> "1" (1 bit), 1 -> "010"+ (3 bits).
+        let mut w = BitWriter::new();
+        put_gamma(&mut w, 1);
+        assert_eq!(w.len_bits(), 1);
+        let mut w = BitWriter::new();
+        put_gamma(&mut w, 2);
+        assert_eq!(w.len_bits(), 3);
+        let mut w = BitWriter::new();
+        put_gamma(&mut w, 4);
+        assert_eq!(w.len_bits(), 5);
+    }
+
+    #[test]
+    fn delta_beats_gamma_on_large_values() {
+        let values: Vec<u32> = (0..1000).map(|i| 1_000_000 + i).collect();
+        let g = EliasGamma.encode_vec(&values).len();
+        let d = EliasDelta.encode_vec(&values).len();
+        assert!(d < g, "delta {d} vs gamma {g}");
+    }
+
+    #[test]
+    fn small_gaps_code_compactly() {
+        let values = vec![0u32; 8000];
+        // All-zero gaps: 1 bit each under gamma.
+        assert!(EliasGamma.encode_vec(&values).len() <= 8000 / 8 + 8);
+    }
+}

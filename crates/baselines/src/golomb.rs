@@ -1,0 +1,236 @@
+//! Golomb and Rice coding — the classical storage-optimal codes for
+//! inverted-list gaps under a Bernoulli model (Witten, Moffat & Bell,
+//! *Managing Gigabytes*).
+//!
+//! A gap `g >= 0` is coded as quotient `g / M` in unary plus remainder
+//! `g % M` in truncated binary. With term frequency `p`, the optimal
+//! parameter is `M ≈ 0.69 / p` (i.e. 0.69 × mean gap) — the "local
+//! Bernoulli model" the paper cites as the compression-ratio-optimal but
+//! slow comparison point.
+
+use crate::traits::{le, IntCodec};
+use scc_bitpack::{BitReader, BitWriter};
+
+/// Golomb codec with parameter chosen from the mean of the input
+/// (`M = max(1, ceil(0.69 * mean))`), stored in the header.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Golomb;
+
+/// Rice codec: Golomb restricted to power-of-two `M = 2^k`, so the
+/// remainder is a plain `k`-bit field.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Rice;
+
+fn golomb_m(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        return 1;
+    }
+    let sum: u64 = values.iter().map(|&v| v as u64).sum();
+    let mean = sum as f64 / values.len() as f64;
+    ((0.69 * mean).ceil() as u32).max(1)
+}
+
+fn golomb_b(m: u32) -> u32 {
+    // b = ceil(log2 m), with m >= 2 here.
+    32 - (m - 1).leading_zeros()
+}
+
+fn encode_golomb(values: &[u32], m: u32, w: &mut BitWriter) {
+    // Truncated binary: with b = ceil(log2 m), remainders < 2^b - m use
+    // b-1 bits; the rest use b bits. The split is done high-bits-first so
+    // the decoder can decide after b-1 bits regardless of stream bit
+    // order: long codes carry a (b-1)-bit prefix >= cutoff.
+    if m == 1 {
+        for &v in values {
+            w.put_unary(v as u64);
+        }
+        return;
+    }
+    let b = golomb_b(m);
+    let cutoff = ((1u64 << b) - m as u64) as u32; // b can be 32
+    for &v in values {
+        let q = (v / m) as u64;
+        let r = v % m;
+        w.put_unary(q);
+        if r < cutoff {
+            w.put(r as u64, b - 1);
+        } else {
+            let x = r + cutoff; // in [2*cutoff, 2^b)
+            w.put((x >> 1) as u64, b - 1);
+            w.put((x & 1) as u64, 1);
+        }
+    }
+}
+
+fn decode_golomb(r: &mut BitReader<'_>, m: u32, n: usize, out: &mut Vec<u32>) {
+    if m == 1 {
+        for _ in 0..n {
+            out.push(r.get_unary() as u32);
+        }
+        return;
+    }
+    let b = golomb_b(m);
+    let cutoff = ((1u64 << b) - m as u64) as u32; // b can be 32
+    for _ in 0..n {
+        let q = r.get_unary() as u32;
+        let hi = r.get(b - 1) as u32;
+        let rem = if hi < cutoff {
+            hi
+        } else {
+            ((hi << 1) | r.get(1) as u32) - cutoff
+        };
+        out.push(q * m + rem);
+    }
+}
+
+fn words_to_bytes(words: &[u64], out: &mut Vec<u8>) {
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn bytes_to_words(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks(8)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(buf)
+        })
+        .collect()
+}
+
+impl IntCodec for Golomb {
+    fn name(&self) -> &'static str {
+        "golomb"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        let m = golomb_m(values);
+        le::put_u32(out, m);
+        let mut w = BitWriter::new();
+        encode_golomb(values, m, &mut w);
+        words_to_bytes(&w.into_words(), out);
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        if n == 0 {
+            return;
+        }
+        let m = le::get_u32(bytes, 0);
+        let words = bytes_to_words(&bytes[4..]);
+        let mut r = BitReader::new(&words);
+        decode_golomb(&mut r, m, n, out);
+    }
+}
+
+impl IntCodec for Rice {
+    fn name(&self) -> &'static str {
+        "rice"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        // k = ceil(log2 m), capped at 32 (k = 32 degenerates to plain
+        // 32-bit fields, which is still a valid code).
+        let m = golomb_m(values);
+        let k = if m > 1 << 31 { 32 } else { m.next_power_of_two().trailing_zeros() };
+        out.push(k as u8);
+        let mut w = BitWriter::new();
+        for &v in values {
+            w.put_unary((v as u64) >> k);
+            w.put(v as u64, k);
+        }
+        words_to_bytes(&w.into_words(), out);
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        if n == 0 {
+            return;
+        }
+        let k = bytes[0] as u32;
+        let words = bytes_to_words(&bytes[1..]);
+        let mut r = BitReader::new(&words);
+        for _ in 0..n {
+            let q = r.get_unary();
+            let rem = r.get(k);
+            out.push(((q << k) | rem) as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric_gaps(n: usize, mean: u32) -> Vec<u32> {
+        // Deterministic pseudo-geometric gaps.
+        let mut x = 0x2545F491u64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % (2 * mean as u64)) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn golomb_roundtrip() {
+        let values = geometric_gaps(5000, 20);
+        let bytes = Golomb.encode_vec(&values);
+        assert_eq!(Golomb.decode_vec(&bytes, values.len()), values);
+        // Mean 20 gaps should code in ~6-8 bits, far below 32.
+        assert!(bytes.len() < 5000 * 10 / 8);
+    }
+
+    #[test]
+    fn rice_roundtrip() {
+        let values = geometric_gaps(5000, 100);
+        let bytes = Rice.encode_vec(&values);
+        assert_eq!(Rice.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn truncated_binary_all_remainders() {
+        // Non-power-of-two M exercises both remainder widths.
+        let values: Vec<u32> = (0..200u32).collect();
+        let mut w = BitWriter::new();
+        encode_golomb(&values, 13, &mut w);
+        let words = w.into_words();
+        let mut out = Vec::new();
+        decode_golomb(&mut BitReader::new(&words), 13, values.len(), &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn m_equal_one_is_pure_unary() {
+        let values = vec![0u32, 1, 2, 3, 0, 5];
+        let mut w = BitWriter::new();
+        encode_golomb(&values, 1, &mut w);
+        let words = w.into_words();
+        let mut out = Vec::new();
+        decode_golomb(&mut BitReader::new(&words), 1, values.len(), &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn huge_parameter_at_the_top_of_the_domain() {
+        // m > 2^31 forces b = 32; the cutoff computation must not
+        // overflow (regression test for a shift-left overflow).
+        let values = vec![u32::MAX, u32::MAX - 1, 0, 1 << 31];
+        for codec in [&Golomb as &dyn IntCodec, &Rice] {
+            let bytes = codec.encode_vec(&values);
+            assert_eq!(codec.decode_vec(&bytes, values.len()), values, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn zeros_and_large_values() {
+        let values = vec![0u32, 0, 1_000_000, 0, 123_456_789];
+        for codec in [&Golomb as &dyn IntCodec, &Rice] {
+            let bytes = codec.encode_vec(&values);
+            assert_eq!(codec.decode_vec(&bytes, values.len()), values, "{}", codec.name());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Canonical, length-limited Huffman coding shared by the semi-static
+//! Huffman ("shuff"), deflate-like and BWT block codecs.
+//!
+//! Code lengths come from the package-merge algorithm (optimal under a
+//! length limit); codes are canonical and bit-reversed so they can be
+//! emitted LSB-first through [`scc_bitpack::BitWriter`]. Decoding uses a
+//! single-level lookup table of `2^max_len` entries.
+
+use scc_bitpack::{BitReader, BitWriter};
+
+/// Maximum code length supported by the table-driven decoder.
+pub const MAX_CODE_LEN: u32 = 12;
+
+/// Computes optimal length-limited code lengths for `freqs` (zero
+/// frequencies get length 0 = unused). Uses package-merge.
+///
+/// # Panics
+/// Panics if more than `2^max_len` symbols have nonzero frequency.
+pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
+    let mut lengths = vec![0u32; freqs.len()];
+    let mut items: Vec<(u64, usize)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(s, &f)| (f, s))
+        .collect();
+    match items.len() {
+        0 => return lengths,
+        1 => {
+            lengths[items[0].1] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        items.len() <= 1usize << max_len,
+        "{} symbols cannot fit in {max_len}-bit codes",
+        items.len()
+    );
+    items.sort_unstable();
+    // Package-merge. Packages carry the multiset of symbols they contain.
+    let singletons: Vec<(u64, Vec<usize>)> =
+        items.iter().map(|&(w, s)| (w, vec![s])).collect();
+    let mut prev: Vec<(u64, Vec<usize>)> = Vec::new();
+    for _level in 0..max_len {
+        let mut pairs: Vec<(u64, Vec<usize>)> = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.chunks_exact(2);
+        for chunk in &mut it {
+            let mut syms = chunk[0].1.clone();
+            syms.extend_from_slice(&chunk[1].1);
+            pairs.push((chunk[0].0 + chunk[1].0, syms));
+        }
+        // Merge singletons and pairs, both sorted by weight.
+        let mut cur = Vec::with_capacity(singletons.len() + pairs.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < singletons.len() || j < pairs.len() {
+            let take_single = j >= pairs.len()
+                || (i < singletons.len() && singletons[i].0 <= pairs[j].0);
+            if take_single {
+                cur.push(singletons[i].clone());
+                i += 1;
+            } else {
+                cur.push(std::mem::take(&mut pairs[j]));
+                j += 1;
+            }
+        }
+        prev = cur;
+    }
+    // The 2(n-1) cheapest packages define the code lengths.
+    for pkg in prev.iter().take(2 * (items.len() - 1)) {
+        for &s in &pkg.1 {
+            lengths[s] += 1;
+        }
+    }
+    lengths
+}
+
+/// Reverses the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        code.reverse_bits() >> (32 - len)
+    }
+}
+
+/// Canonical encoder: bit-reversed codes ready for LSB-first emission.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// Bit-reversed canonical code per symbol.
+    codes: Vec<u32>,
+    /// Code length per symbol (0 = unused).
+    pub lens: Vec<u32>,
+}
+
+impl Encoder {
+    /// Builds the canonical code from lengths.
+    pub fn from_lengths(lens: &[u32]) -> Self {
+        let max = lens.iter().copied().max().unwrap_or(0);
+        debug_assert!(max <= MAX_CODE_LEN);
+        // Canonical assignment: symbols sorted by (length, index).
+        let mut next_code = vec![0u32; (max + 2) as usize];
+        let mut bl_count = vec![0u32; (max + 2) as usize];
+        for &l in lens {
+            bl_count[l as usize] += 1;
+        }
+        bl_count[0] = 0;
+        let mut code = 0u32;
+        for l in 1..=max as usize {
+            code = (code + bl_count[l - 1]) << 1;
+            next_code[l] = code;
+        }
+        let mut codes = vec![0u32; lens.len()];
+        for (s, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                codes[s] = reverse_bits(next_code[l as usize], l);
+                next_code[l as usize] += 1;
+            }
+        }
+        Self { codes, lens: lens.to_vec() }
+    }
+
+    /// Emits the code for `sym`.
+    #[inline]
+    pub fn put(&self, w: &mut BitWriter, sym: usize) {
+        debug_assert!(self.lens[sym] > 0, "symbol {sym} has no code");
+        w.put(self.codes[sym] as u64, self.lens[sym]);
+    }
+}
+
+/// Table-driven canonical decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `lut[low_bits] = (symbol << 4) | len`.
+    lut: Vec<u32>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Builds the decode table from lengths.
+    pub fn from_lengths(lens: &[u32]) -> Self {
+        let max = lens.iter().copied().max().unwrap_or(0).max(1);
+        debug_assert!(max <= MAX_CODE_LEN);
+        let enc = Encoder::from_lengths(lens);
+        let mut lut = vec![0u32; 1 << max];
+        for (s, &l) in lens.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let code = enc.codes[s];
+            let step = 1usize << l;
+            let mut e = code as usize;
+            while e < lut.len() {
+                lut[e] = ((s as u32) << 4) | l;
+                e += step;
+            }
+        }
+        Self { lut, max_len: max }
+    }
+
+    /// Decodes one symbol. The stream must be padded with at least
+    /// [`MAX_CODE_LEN`] zero bits past the last code (see
+    /// [`pad_for_decode`]).
+    #[inline]
+    pub fn get(&self, r: &mut BitReader<'_>) -> usize {
+        let pos = r.position();
+        let peek = r.get(self.max_len) as usize;
+        let e = self.lut[peek];
+        let len = e & 0xf;
+        debug_assert!(len > 0, "invalid code in stream");
+        r.seek(pos + len as u64);
+        (e >> 4) as usize
+    }
+}
+
+/// Pads the writer so table-driven decoding can safely over-read.
+pub fn pad_for_decode(w: &mut BitWriter) {
+    w.put(0, MAX_CODE_LEN.max(16));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(freqs: &[u64], stream: &[usize]) {
+        let lens = code_lengths(freqs, MAX_CODE_LEN);
+        let enc = Encoder::from_lengths(&lens);
+        let dec = Decoder::from_lengths(&lens);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.put(&mut w, s);
+        }
+        pad_for_decode(&mut w);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for &s in stream {
+            assert_eq!(dec.get(&mut r), s);
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=100).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| (2.0f64).powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft sum {kraft}");
+        // A complete code should reach exactly 1.
+        assert!((kraft - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_length_limit() {
+        // Exponential frequencies would produce very long codes unlimited.
+        let freqs: Vec<u64> = (0..40).map(|i| 1u64 << i.min(60)).collect();
+        let lens = code_lengths(&freqs, 12);
+        assert!(lens.iter().all(|&l| l <= 12));
+        assert!(lens.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let freqs = vec![1000u64, 1, 1, 1, 1, 1, 1, 1];
+        let lens = code_lengths(&freqs, 12);
+        assert!(lens[0] < lens[7]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let freqs = vec![50u64, 30, 10, 5, 3, 1, 1];
+        let stream: Vec<usize> = (0..1000).map(|i| [0, 0, 0, 1, 1, 2, 3, 4, 5, 6][i % 10]).collect();
+        roundtrip(&freqs, &stream);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        roundtrip(&[42, 0, 0], &[0usize; 100]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[5, 7], &[0, 1, 1, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn skipped_symbols_get_no_code() {
+        let lens = code_lengths(&[10, 0, 20, 0, 5], MAX_CODE_LEN);
+        assert_eq!(lens[1], 0);
+        assert_eq!(lens[3], 0);
+        assert!(lens[0] > 0 && lens[2] > 0 && lens[4] > 0);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        assert!(code_lengths(&[0, 0], MAX_CODE_LEN).iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Semi-static Huffman coding of integers — the "shuff" comparison point
+//! of Table 4.
+//!
+//! Like the canonical-Huffman word coders used for inverted files, values
+//! are bucketed by bit length (33 buckets for `u32`), the bucket symbols
+//! are Huffman-coded from their measured frequencies (semi-static: one
+//! counting pass, one coding pass, table in the header), and the value's
+//! remaining `len-1` mantissa bits follow raw.
+
+use crate::huffcode::{code_lengths, pad_for_decode, Decoder, Encoder, MAX_CODE_LEN};
+use crate::traits::{le, IntCodec};
+use scc_bitpack::{BitReader, BitWriter};
+
+/// Semi-static Huffman codec over bit-length buckets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShuffHuffman;
+
+/// Bucket of `v`: number of significant bits of `v + 1` (1..=33, stored
+/// 0-based). Coding `v + 1` makes the zero value legal.
+#[inline]
+fn bucket(v: u32) -> u32 {
+    64 - (v as u64 + 1).leading_zeros() - 1
+}
+
+impl IntCodec for ShuffHuffman {
+    fn name(&self) -> &'static str {
+        "shuff"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        // Pass 1: bucket frequencies.
+        let mut freqs = [0u64; 33];
+        for &v in values {
+            freqs[bucket(v) as usize] += 1;
+        }
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        // Header: 33 code lengths, 4 bits each (17 bytes), then the stream.
+        let mut packed_lens = [0u8; 17];
+        for (i, &l) in lens.iter().enumerate() {
+            packed_lens[i / 2] |= (l as u8) << ((i % 2) * 4);
+        }
+        out.extend_from_slice(&packed_lens);
+        let enc = Encoder::from_lengths(&lens);
+        let mut w = BitWriter::new();
+        for &v in values {
+            let b = bucket(v);
+            enc.put(&mut w, b as usize);
+            // Mantissa: the low b bits of v+1 (the leading 1 is implied).
+            w.put(v as u64 + 1, b);
+        }
+        pad_for_decode(&mut w);
+        let words = w.into_words();
+        le::put_u32(out, words.len() as u32);
+        for word in words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        if n == 0 {
+            return;
+        }
+        let mut lens = vec![0u32; 33];
+        for (i, l) in lens.iter_mut().enumerate() {
+            *l = ((bytes[i / 2] >> ((i % 2) * 4)) & 0xf) as u32;
+        }
+        let dec = Decoder::from_lengths(&lens);
+        let n_words = le::get_u32(bytes, 17) as usize;
+        let words: Vec<u64> = bytes[21..21 + n_words * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut r = BitReader::new(&words);
+        for _ in 0..n {
+            let b = dec.get(&mut r) as u32;
+            let mantissa = r.get(b);
+            out.push((((1u64 << b) | mantissa) - 1) as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), 0); // v+1 = 1 -> 1 bit -> bucket 0
+        assert_eq!(bucket(1), 1); // 2 -> bucket 1
+        assert_eq!(bucket(2), 1); // 3 -> bucket 1
+        assert_eq!(bucket(3), 2); // 4 -> bucket 2
+        assert_eq!(bucket(u32::MAX), 32);
+    }
+
+    #[test]
+    fn roundtrip_gap_like_data() {
+        let mut x = 0x9E3779B9u64;
+        let values: Vec<u32> = (0..30_000)
+            .map(|_| {
+                x = x.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(1);
+                let r = (x >> 40) as u32;
+                if r.is_multiple_of(64) { r % 100_000 } else { r % 12 }
+            })
+            .collect();
+        let bytes = ShuffHuffman.encode_vec(&values);
+        assert_eq!(ShuffHuffman.decode_vec(&bytes, values.len()), values);
+        // Skewed small gaps: well under 8 bits/value.
+        assert!(bytes.len() < 30_000);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        let values = vec![0u32, u32::MAX, 0, 1, u32::MAX - 1, 2];
+        let bytes = ShuffHuffman.encode_vec(&values);
+        assert_eq!(ShuffHuffman.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn constant_stream_codes_in_about_one_bit() {
+        let values = vec![3u32; 10_000];
+        let bytes = ShuffHuffman.encode_vec(&values);
+        // bucket code 1 bit + 2 mantissa bits = 3 bits/value + header.
+        assert!(bytes.len() <= 10_000 * 3 / 8 + 64, "{} bytes", bytes.len());
+        assert_eq!(ShuffHuffman.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn empty() {
+        let bytes = ShuffHuffman.encode_vec(&[]);
+        assert!(ShuffHuffman.decode_vec(&bytes, 0).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! LZSS with a fast single-probe hash — our stand-in for the `lzop`/LZO
+//! class of byte compressors (see DESIGN.md §4).
+//!
+//! Compared to [`crate::lzrw1`]: a 64 KiB window, 4-byte minimum matches
+//! found through a 16-bit hash of the next four bytes, and match lengths
+//! up to 259, giving a better ratio at similar speed.
+
+use crate::traits::{le, ByteCodec};
+
+const HASH_BITS: u32 = 16;
+const MAX_OFFSET: usize = 65_535;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 259;
+
+#[inline]
+fn hash4(p: &[u8]) -> usize {
+    let v = u32::from_le_bytes(p[..4].try_into().unwrap());
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZSS codec: 8-item control bytes; match items are 3 bytes
+/// (16-bit offset + 8-bit length-4).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lzss;
+
+impl ByteCodec for Lzss {
+    fn name(&self) -> &'static str {
+        "lzss"
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        le::put_u32(out, input.len() as u32);
+        let mut table = vec![usize::MAX; 1 << HASH_BITS];
+        let mut pos = 0usize;
+        let mut items: Vec<u8> = Vec::with_capacity(24);
+        let mut control: u8 = 0;
+        let mut nitems = 0u32;
+        while pos < input.len() {
+            let mut emitted_copy = false;
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash4(&input[pos..]);
+                let cand = table[h];
+                table[h] = pos;
+                if cand != usize::MAX && pos - cand <= MAX_OFFSET {
+                    let limit = MAX_MATCH.min(input.len() - pos);
+                    let mut len = 0usize;
+                    while len < limit && input[cand + len] == input[pos + len] {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH {
+                        let offset = pos - cand;
+                        items.push((offset & 0xff) as u8);
+                        items.push((offset >> 8) as u8);
+                        items.push((len - MIN_MATCH) as u8);
+                        control |= 1 << nitems;
+                        pos += len;
+                        emitted_copy = true;
+                    }
+                }
+            }
+            if !emitted_copy {
+                items.push(input[pos]);
+                pos += 1;
+            }
+            nitems += 1;
+            if nitems == 8 {
+                out.push(control);
+                out.extend_from_slice(&items);
+                items.clear();
+                control = 0;
+                nitems = 0;
+            }
+        }
+        if nitems > 0 {
+            out.push(control);
+            out.extend_from_slice(&items);
+        }
+    }
+
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) {
+        let n = le::get_u32(input, 0) as usize;
+        debug_assert_eq!(n, expected_len);
+        let start = out.len();
+        out.reserve(n);
+        let mut pos = 4usize;
+        while out.len() - start < n {
+            let control = input[pos];
+            pos += 1;
+            for bit in 0..8 {
+                if out.len() - start >= n {
+                    break;
+                }
+                if control & (1 << bit) != 0 {
+                    let offset = input[pos] as usize | ((input[pos + 1] as usize) << 8);
+                    let len = input[pos + 2] as usize + MIN_MATCH;
+                    pos += 3;
+                    let from = out.len() - offset;
+                    for k in 0..len {
+                        let byte = out[from + k];
+                        out.push(byte);
+                    }
+                } else {
+                    out.push(input[pos]);
+                    pos += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let compressed = Lzss.compress_vec(data);
+        assert_eq!(Lzss.decompress_vec(&compressed, data.len()), data);
+        compressed.len()
+    }
+
+    #[test]
+    fn text_roundtrip_and_ratio() {
+        let data = b"select l_orderkey, sum(l_extendedprice) from lineitem ".repeat(200);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 3);
+    }
+
+    #[test]
+    fn beats_lzrw1_on_long_matches() {
+        use crate::lzrw1::Lzrw1;
+        let data = vec![7u8; 100_000];
+        let ours = Lzss.compress_vec(&data).len();
+        let theirs = Lzrw1.compress_vec(&data).len();
+        assert!(ours < theirs, "lzss {ours} vs lzrw1 {theirs}");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_data() {
+        let mut x = 42u64;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn column_like_data() {
+        let mut data = Vec::new();
+        for i in 0u64..10_000 {
+            data.extend_from_slice(&(1_000_000 + i * 3).to_le_bytes());
+        }
+        let size = roundtrip(&data);
+        assert!(size < data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for n in 0..10 {
+            roundtrip(&vec![b'x'; n]);
+        }
+    }
+}

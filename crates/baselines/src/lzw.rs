@@ -1,0 +1,188 @@
+//! LZW (Welch 1984) — the "common Lempel-Ziv compression" the paper
+//! positions LZRW1 against (§2.1: "LZRW1 is a fast version of common LZW
+//! ... typically achieving a reduced compression ratio when compared to
+//! LZW").
+//!
+//! Classic variable-width implementation: codes start at 9 bits and grow
+//! to 16; the table resets when full. Decoding reconstructs the table in
+//! lockstep, including the `cScSc` self-referential case.
+
+use crate::traits::{le, ByteCodec};
+use scc_bitpack::{BitReader, BitWriter};
+use std::collections::HashMap;
+
+const MIN_WIDTH: u32 = 9;
+const MAX_WIDTH: u32 = 16;
+const RESET_AT: usize = 1 << MAX_WIDTH;
+
+/// LZW codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lzw;
+
+fn fresh_encode_table() -> HashMap<Vec<u8>, u32> {
+    (0u32..256).map(|b| (vec![b as u8], b)).collect()
+}
+
+impl ByteCodec for Lzw {
+    fn name(&self) -> &'static str {
+        "lzw"
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        le::put_u32(out, input.len() as u32);
+        let mut w = BitWriter::new();
+        let mut table = fresh_encode_table();
+        let mut width = MIN_WIDTH;
+        let mut seq: Vec<u8> = Vec::new();
+        for &byte in input {
+            seq.push(byte);
+            if !table.contains_key(&seq) {
+                // Emit the code for seq minus the last byte, add seq.
+                let prefix = &seq[..seq.len() - 1];
+                w.put(table[prefix] as u64, width);
+                let next_code = table.len() as u32;
+                table.insert(std::mem::take(&mut seq), next_code);
+                seq.push(byte);
+                // Grow the code width when the next code needs it.
+                if table.len() >= (1usize << width) && width < MAX_WIDTH {
+                    width += 1;
+                }
+                if table.len() >= RESET_AT {
+                    table = fresh_encode_table();
+                    width = MIN_WIDTH;
+                }
+            }
+        }
+        if !seq.is_empty() {
+            w.put(table[&seq] as u64, width);
+        }
+        for word in w.into_words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) {
+        let n = le::get_u32(input, 0) as usize;
+        debug_assert_eq!(n, expected_len);
+        if n == 0 {
+            return;
+        }
+        let words: Vec<u64> = input[4..]
+            .chunks(8)
+            .map(|c| {
+                let mut buf = [0u8; 8];
+                buf[..c.len()].copy_from_slice(c);
+                u64::from_le_bytes(buf)
+            })
+            .collect();
+        let mut r = BitReader::new(&words);
+        let mut table: Vec<Vec<u8>> = (0u16..256).map(|b| vec![b as u8]).collect();
+        let mut width = MIN_WIDTH;
+        let start = out.len();
+        let mut prev: Option<u32> = None;
+        while out.len() - start < n {
+            let code = r.get(width) as u32;
+            let entry: Vec<u8> = if (code as usize) < table.len() {
+                table[code as usize].clone()
+            } else {
+                // The cScSc case: code not yet in the table — it must be
+                // prev + first byte of prev.
+                let p = &table[prev.expect("self-referential code cannot be first") as usize];
+                let mut e = p.clone();
+                e.push(p[0]);
+                e
+            };
+            out.extend_from_slice(&entry);
+            if let Some(p) = prev {
+                let mut new = table[p as usize].clone();
+                new.push(entry[0]);
+                table.push(new);
+                // Mirror the encoder's width growth: it grows when the
+                // table reaches 2^width *before* inserting the next code.
+                if table.len() + 1 >= (1usize << width) && width < MAX_WIDTH {
+                    width += 1;
+                }
+                if table.len() + 1 >= RESET_AT {
+                    table = (0u16..256).map(|b| vec![b as u8]).collect();
+                    width = MIN_WIDTH;
+                    prev = None;
+                    continue;
+                }
+            }
+            prev = Some(code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let compressed = Lzw.compress_vec(data);
+        assert_eq!(Lzw.decompress_vec(&compressed, data.len()), data, "n={}", data.len());
+        compressed.len()
+    }
+
+    #[test]
+    fn classic_tobeornottobe() {
+        let data = b"TOBEORNOTTOBEORTOBEORNOT".repeat(50);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 2);
+    }
+
+    #[test]
+    fn self_referential_cscsc_case() {
+        // 'aaaa...' exercises the code-not-yet-in-table branch.
+        roundtrip(&vec![b'a'; 1000]);
+        roundtrip(b"abababababababab");
+    }
+
+    #[test]
+    fn all_bytes_and_binary() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let mut x = 88172645463325252u64;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_input_crosses_table_reset() {
+        // Enough distinct contexts to fill the 16-bit table and reset.
+        let mut data = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..400_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push((x >> 33) as u8);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn beats_lzrw1_on_ratio_for_text() {
+        use crate::lzrw1::Lzrw1;
+        let data = b"the quick brown fox jumps over the lazy dog and the cat ".repeat(300);
+        let lzw = Lzw.compress_vec(&data).len();
+        let lzrw1 = Lzrw1.compress_vec(&data).len();
+        assert!(lzw < lzrw1, "lzw {lzw} vs lzrw1 {lzrw1}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 0..8 {
+            roundtrip(&vec![b'q'; n]);
+        }
+    }
+}

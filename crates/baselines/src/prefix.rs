@@ -1,0 +1,92 @@
+//! Prefix Suppression (Westmann et al., SIGMOD Rec. '00).
+//!
+//! Eliminates common (zero) prefixes per value: each value stores a 2-bit
+//! byte-length tag (1, 2, 3 or 4 significant bytes) in a tag section plus
+//! only its significant bytes. This is the *variable*-width cousin of FOR
+//! ("PS can be used ... if actual values tend to be significantly smaller
+//! than the largest value of the type domain", §2.1).
+
+use crate::traits::IntCodec;
+
+/// Zero-prefix suppression codec: 2-bit length tags + significant bytes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrefixSuppression;
+
+#[inline]
+fn sig_bytes(v: u32) -> usize {
+    // 1..=4 significant little-endian bytes (0 encodes in 1 byte).
+    (32 - (v | 1).leading_zeros() as usize).div_ceil(8)
+}
+
+impl IntCodec for PrefixSuppression {
+    fn name(&self) -> &'static str {
+        "PS"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        // Tag section first: 2 bits per value, packed 4 per byte.
+        let tag_bytes = values.len().div_ceil(4);
+        let tag_start = out.len();
+        out.resize(tag_start + tag_bytes, 0);
+        let mut data = Vec::with_capacity(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            let nb = sig_bytes(v);
+            out[tag_start + i / 4] |= ((nb - 1) as u8) << ((i % 4) * 2);
+            data.extend_from_slice(&v.to_le_bytes()[..nb]);
+        }
+        out.extend_from_slice(&data);
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        let tag_bytes = n.div_ceil(4);
+        let mut pos = tag_bytes;
+        for i in 0..n {
+            let nb = ((bytes[i / 4] >> ((i % 4) * 2)) & 3) as usize + 1;
+            let mut buf = [0u8; 4];
+            buf[..nb].copy_from_slice(&bytes[pos..pos + nb]);
+            pos += nb;
+            out.push(u32::from_le_bytes(buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_magnitudes() {
+        let values = vec![0u32, 255, 256, 65_535, 65_536, 16_777_215, 16_777_216, u32::MAX];
+        let codec = PrefixSuppression;
+        let bytes = codec.encode_vec(&values);
+        assert_eq!(codec.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn small_values_compress_to_quarter() {
+        let values: Vec<u32> = (0..1000).map(|i| i % 200).collect();
+        let bytes = PrefixSuppression.encode_vec(&values);
+        // 1 byte data + 0.25 byte tag per value.
+        assert!(bytes.len() <= 1000 + 250 + 4);
+        assert_eq!(PrefixSuppression.decode_vec(&bytes, 1000), values);
+    }
+
+    #[test]
+    fn sig_bytes_boundaries() {
+        assert_eq!(sig_bytes(0), 1);
+        assert_eq!(sig_bytes(255), 1);
+        assert_eq!(sig_bytes(256), 2);
+        assert_eq!(sig_bytes(65_535), 2);
+        assert_eq!(sig_bytes(65_536), 3);
+        assert_eq!(sig_bytes(u32::MAX), 4);
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 17] {
+            let values: Vec<u32> = (0..n as u32).map(|i| i * 1000).collect();
+            let bytes = PrefixSuppression.encode_vec(&values);
+            assert_eq!(PrefixSuppression.decode_vec(&bytes, n), values);
+        }
+    }
+}

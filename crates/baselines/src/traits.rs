@@ -1,0 +1,67 @@
+//! Common codec interfaces used by the benchmark harness.
+
+/// A codec over `u32` arrays (column values, inverted-list d-gaps).
+pub trait IntCodec {
+    /// Short name used in reports ("golomb", "carryover-12", ...).
+    fn name(&self) -> &'static str;
+
+    /// Compresses `values`, appending to `out`.
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>);
+
+    /// Decompresses exactly `n` values from `bytes`, appending to `out`.
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>);
+
+    /// Convenience: compress into a fresh buffer.
+    fn encode_vec(&self, values: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(values, &mut out);
+        out
+    }
+
+    /// Convenience: decompress into a fresh buffer.
+    fn decode_vec(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n);
+        self.decode(bytes, n, &mut out);
+        out
+    }
+}
+
+/// A codec over raw byte streams (general-purpose compressors).
+pub trait ByteCodec {
+    /// Short name used in reports ("lzrw1", "deflate-like", ...).
+    fn name(&self) -> &'static str;
+
+    /// Compresses `input`, appending to `out`.
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>);
+
+    /// Decompresses `input` (producing `expected_len` bytes), appending to
+    /// `out`.
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>);
+
+    /// Convenience: compress into a fresh buffer.
+    fn compress_vec(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress(input, &mut out);
+        out
+    }
+
+    /// Convenience: decompress into a fresh buffer.
+    fn decompress_vec(&self, input: &[u8], expected_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(expected_len);
+        self.decompress(input, expected_len, &mut out);
+        out
+    }
+}
+
+/// Helpers for writing/reading little-endian integers in codec headers.
+pub(crate) mod le {
+    /// Appends a `u32` in little-endian order.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` at `off`.
+    pub fn get_u32(bytes: &[u8], off: usize) -> u32 {
+        u32::from_le_bytes(bytes[off..off + 4].try_into().expect("short buffer"))
+    }
+}

@@ -1,0 +1,77 @@
+//! Variable-byte (LEB128) integer coding — the classic byte-aligned code
+//! used by early inverted-file systems.
+
+use crate::traits::IntCodec;
+
+/// LEB128 variable-byte codec: 7 data bits per byte, high bit = continue.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VarInt;
+
+impl IntCodec for VarInt {
+    fn name(&self) -> &'static str {
+        "vbyte"
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
+        for &v in values {
+            let mut v = v;
+            loop {
+                let byte = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    out.push(byte);
+                    break;
+                }
+                out.push(byte | 0x80);
+            }
+        }
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
+        let mut pos = 0usize;
+        for _ in 0..n {
+            let mut v = 0u32;
+            let mut shift = 0u32;
+            loop {
+                let byte = bytes[pos];
+                pos += 1;
+                v |= ((byte & 0x7f) as u32) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            out.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        let values = vec![0u32, 1, 127, 128, 16_383, 16_384, u32::MAX, 42];
+        let codec = VarInt;
+        let bytes = codec.encode_vec(&values);
+        assert_eq!(codec.decode_vec(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let values: Vec<u32> = (0..128).collect();
+        assert_eq!(VarInt.encode_vec(&values).len(), 128);
+    }
+
+    #[test]
+    fn max_value_takes_five_bytes() {
+        assert_eq!(VarInt.encode_vec(&[u32::MAX]).len(), 5);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(VarInt.encode_vec(&[]).is_empty());
+        assert!(VarInt.decode_vec(&[], 0).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Microbenchmarks of the PACK/UNPACK kernels: the paper reports these
+//! cost <10% of total (de)compression time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scc_bitpack::{pack, packed_words, unpack};
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 1 << 20;
+    let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let mut group = c.benchmark_group("bitpack");
+    group.throughput(Throughput::Bytes((n * 4) as u64));
+    group.sample_size(20);
+    for b in [1u32, 4, 8, 13, 24] {
+        let masked: Vec<u32> = values.iter().map(|&v| v & scc_bitpack::mask(b)).collect();
+        let mut packed = vec![0u32; packed_words(n, b)];
+        group.bench_function(format!("pack_b{b}"), |bench| {
+            bench.iter(|| pack(black_box(&masked), b, black_box(&mut packed)));
+        });
+        let mut out = vec![0u32; n];
+        group.bench_function(format!("unpack_b{b}"), |bench| {
+            bench.iter(|| unpack(black_box(&packed), b, black_box(&mut out)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

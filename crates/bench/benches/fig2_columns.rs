@@ -1,0 +1,41 @@
+//! Figure 2 (criterion form): codec decompression throughput on one
+//! representative TPC-H column (L_ORDERKEY).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scc_baselines::{bwt::BwtCodec, deflate_like::DeflateLike, lzrw1::Lzrw1, lzss::Lzss, ByteCodec};
+use scc_bench::data::to_le_bytes_i64;
+use scc_core::{analyze, compress_with_plan, AnalyzeOpts};
+
+fn bench_columns(c: &mut Criterion) {
+    let raw = scc_tpch::generate(0.01, 42);
+    let col = raw.lineitem.orderkey;
+    let bytes = to_le_bytes_i64(&col);
+    let mut group = c.benchmark_group("fig2_l_orderkey");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+    let codecs: Vec<Box<dyn ByteCodec>> =
+        vec![Box::new(Lzrw1), Box::new(Lzss), Box::new(DeflateLike), Box::new(BwtCodec)];
+    for codec in &codecs {
+        let compressed = codec.compress_vec(&bytes);
+        let mut out = Vec::with_capacity(bytes.len());
+        group.bench_function(format!("dec_{}", codec.name()), |b| {
+            b.iter(|| {
+                out.clear();
+                codec.decompress(black_box(&compressed), bytes.len(), &mut out);
+            })
+        });
+    }
+    let plan = analyze(&col, &AnalyzeOpts::default()).best().unwrap().plan.clone();
+    let seg = compress_with_plan(&col, &plan);
+    let mut out: Vec<i64> = Vec::with_capacity(col.len());
+    group.bench_function("dec_pfor", |b| {
+        b.iter(|| {
+            out.clear();
+            seg.decompress_into(black_box(&mut out));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_columns);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 (criterion form): decompression throughput of NAIVE vs PFOR
+//! vs PDICT at representative exception rates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scc_bench::data::with_exception_rate;
+use scc_core::{pdict, pfor, Dictionary, NaiveSegment};
+
+const B: u32 = 8;
+const N: usize = 1 << 20;
+
+fn bench_decompress(c: &mut Criterion) {
+    let dict = Dictionary::new((0..1u64 << B).collect());
+    let mut group = c.benchmark_group("fig4_decompress");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    group.sample_size(20);
+    for pct in [0u32, 10, 50] {
+        let values = with_exception_rate(N, pct as f64 / 100.0, B, 0xBE4C + pct as u64);
+        let naive = NaiveSegment::compress(&values, 0, B);
+        let seg = pfor::compress(&values, 0, B);
+        let pseg = pdict::compress_with(&values, &dict, B, Default::default());
+        let mut out: Vec<u64> = Vec::with_capacity(N);
+        group.bench_function(format!("naive_e{pct}"), |b| {
+            b.iter(|| {
+                out.clear();
+                naive.decompress_into(black_box(&mut out));
+            })
+        });
+        group.bench_function(format!("pfor_e{pct}"), |b| {
+            b.iter(|| {
+                out.clear();
+                seg.decompress_into(black_box(&mut out));
+            })
+        });
+        group.bench_function(format!("pdict_e{pct}"), |b| {
+            b.iter(|| {
+                out.clear();
+                pseg.decompress_into(black_box(&mut out));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompress);
+criterion_main!(benches);

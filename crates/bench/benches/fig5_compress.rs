@@ -1,0 +1,31 @@
+//! Figure 5 (criterion form): compression throughput of the NAIVE, PRED
+//! and DC kernels at representative exception rates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scc_bench::data::with_exception_rate;
+use scc_core::{pfor, CompressKernel};
+
+const B: u32 = 8;
+const N: usize = 1 << 20;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_compress");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    group.sample_size(20);
+    for pct in [0u32, 10, 50] {
+        let values = with_exception_rate(N, pct as f64 / 100.0, B, 0xBE5C + pct as u64);
+        for (label, kernel) in [
+            ("naive", CompressKernel::Naive),
+            ("pred", CompressKernel::Predicated),
+            ("dc", CompressKernel::DoubleCursor),
+        ] {
+            group.bench_function(format!("{label}_e{pct}"), |b| {
+                b.iter(|| pfor::compress_with(black_box(&values), 0, B, kernel))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

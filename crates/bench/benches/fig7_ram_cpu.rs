@@ -1,0 +1,52 @@
+//! Figure 7 (criterion form): page-wise vs vector-wise scan throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scc_engine::Operator;
+use scc_storage::disk::stats_handle;
+use scc_storage::{
+    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
+    TableBuilder,
+};
+use std::sync::Arc;
+
+fn bench_granularity(c: &mut Criterion) {
+    let rows = 2 * 1024 * 1024;
+    let values: Vec<i64> = scc_bench::data::with_exception_rate(rows, 0.05, 8, 7)
+        .into_iter()
+        .map(|v| v as i64)
+        .collect();
+    let table = TableBuilder::new("col")
+        .compression(Compression::Auto)
+        .add_i64("x", values)
+        .build();
+    let mut group = c.benchmark_group("fig7_scan");
+    group.throughput(Throughput::Bytes((rows * 8) as u64));
+    group.sample_size(10);
+    for (label, granularity) in [
+        ("vector_wise", DecompressionGranularity::VectorWise),
+        ("page_wise", DecompressionGranularity::PageWise),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let stats = stats_handle();
+                let opts = ScanOptions {
+                    mode: ScanMode::Compressed,
+                    granularity,
+                    vector_size: 1024,
+                    disk: Disk::middle_end(),
+                    layout: Layout::Dsm,
+                };
+                let mut scan = Scan::new(Arc::clone(&table), &["x"], opts, stats, None);
+                let mut total = 0usize;
+                while let Some(batch) = scan.next() {
+                    total += batch.len();
+                }
+                assert_eq!(total, rows);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 4 (criterion form): inverted-file codec decompression
+//! throughput on one TREC-like collection.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scc_ir::{compress_file, gap_stream, synthesize, CollectionPreset, PostingsCodec};
+
+fn bench_codecs(c: &mut Criterion) {
+    let collection = synthesize(CollectionPreset::TrecFbis, 0xBE44);
+    let gaps = gap_stream(&collection);
+    let mut group = c.benchmark_group("table4_fbis");
+    group.throughput(Throughput::Bytes((gaps.len() * 4) as u64));
+    group.sample_size(10);
+    for codec in [
+        PostingsCodec::PforDelta,
+        PostingsCodec::Carryover12,
+        PostingsCodec::Shuff,
+        PostingsCodec::VByte,
+    ] {
+        let file = compress_file(&gaps, codec);
+        let mut out = Vec::with_capacity(gaps.len());
+        group.bench_function(format!("dec_{}", codec.name()), |b| {
+            b.iter(|| {
+                out.clear();
+                file.decompress_into(&mut out);
+            })
+        });
+        group.bench_function(format!("comp_{}", codec.name()), |b| {
+            b.iter(|| compress_file(&gaps, codec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 4 — decompression bandwidth as a function of the exception
+//! rate: NAIVE (branchy escape codes) vs patched PFOR and PDICT.
+//!
+//! The paper measures branch-miss rates with CPU event counters
+//! unavailable in this container (DESIGN.md §4, substitution 4); the
+//! branch-miss penalty still shows as the NAIVE bandwidth cliff at
+//! intermediate rates, while the patched kernels degrade smoothly.
+//!
+//! Environment: `SCC_N` values per run (default 4 Mi).
+
+use scc_bench::data::with_exception_rate;
+use scc_bench::{env_usize, gb_per_sec, time_median};
+use scc_core::{pdict, pfor, Dictionary, NaiveSegment};
+
+const B: u32 = 8;
+
+fn main() {
+    let n = env_usize("SCC_N", 4 * 1024 * 1024);
+    let out_bytes = n * 8;
+    println!("Figure 4: decompression bandwidth (GB/s of decoded u64 output) vs exception rate");
+    println!("n = {n} values, b = {B} bit codes");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "E", "NAIVE", "PFOR", "PDICT"
+    );
+    // Dictionary holding the codable domain (values 0..2^B), so PDICT has
+    // the same coded/exception split as PFOR.
+    let dict_entries: Vec<u64> = (0..1u64 << B).collect();
+    let dict = Dictionary::new(dict_entries);
+    for pct in [0, 2, 5, 10, 20, 30, 40, 50, 60, 75, 90, 100] {
+        let rate = pct as f64 / 100.0;
+        let values = with_exception_rate(n, rate, B, 0xF14 + pct as u64);
+        // NAIVE escape-code codec.
+        let naive = NaiveSegment::compress(&values, 0, B);
+        let mut out: Vec<u64> = Vec::with_capacity(n);
+        let t_naive = time_median(5, || {
+            out.clear();
+            naive.decompress_into(&mut out);
+        });
+        assert_eq!(out, values);
+        // Patched PFOR.
+        let seg = pfor::compress(&values, 0, B);
+        let t_pfor = time_median(5, || {
+            out.clear();
+            seg.decompress_into(&mut out);
+        });
+        assert_eq!(out, values);
+        // Patched PDICT.
+        let pseg = pdict::compress_with(&values, &dict, B, Default::default());
+        let t_pdict = time_median(5, || {
+            out.clear();
+            pseg.decompress_into(&mut out);
+        });
+        assert_eq!(out, values);
+        println!(
+            "{:>5.2} {:>12.2} {:>12.2} {:>12.2}",
+            rate,
+            gb_per_sec(out_bytes, t_naive),
+            gb_per_sec(out_bytes, t_pfor),
+            gb_per_sec(out_bytes, t_pdict),
+        );
+    }
+    println!("\npaper shape: NAIVE collapses toward E=0.5 (unpredictable branch) and");
+    println!("recovers toward E=1; PFOR/PDICT decline smoothly and dominate NAIVE.");
+}

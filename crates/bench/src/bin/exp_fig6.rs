@@ -1,0 +1,37 @@
+//! Figure 6 — compulsory exceptions: the effective exception rate E' as
+//! a function of the data exception rate E for small code widths,
+//! analytic model vs the rate the real compressor produces.
+
+use scc_bench::data::with_exception_rate;
+use scc_core::pfor;
+use scc_model::effective_exception_rate;
+
+const N: usize = 512 * 1024;
+
+fn main() {
+    println!("Figure 6: effective exception rate E' vs data exception rate E");
+    println!("model = paper's formula; real = exceptions the compressor actually stored");
+    println!(
+        "{:>6} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>7}",
+        "E", "b1 mod", "b1 real", "b2 mod", "b2 real", "b3 mod", "b3 real", "b4 mod", "b4 real", "b8 real"
+    );
+    for pct in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+        let e = pct / 100.0;
+        let mut cols = vec![format!("{e:>6.3}")];
+        for b in [1u32, 2, 3, 4] {
+            let model = effective_exception_rate(e, b);
+            let values = with_exception_rate(N, e, b, 0xF16 + (pct * 10.0) as u64);
+            let seg = pfor::compress(&values, 0, b);
+            let real = seg.exception_count() as f64 / N as f64;
+            cols.push(format!("{model:>7.3} {real:>7.3}"));
+        }
+        // b=8 control: no compulsories possible.
+        let values = with_exception_rate(N, e, 8, 0xF16);
+        let seg = pfor::compress(&values, 0, 8);
+        cols.push(format!("{:>7.3}", seg.exception_count() as f64 / N as f64));
+        println!("{}", cols.join(" | "));
+    }
+    println!("\npaper shape: at b=1, E' shoots toward ~0.47 for E>0.01; at b=2 toward");
+    println!("~0.22; negligible for b>4. (Our per-block list restart makes the real");
+    println!("E' sit at or slightly below the model, which assumes one global list.)");
+}

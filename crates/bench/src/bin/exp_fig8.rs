@@ -1,0 +1,63 @@
+//! Figure 8 — TPC-H query time split into I/O stalls, decompression and
+//! other processing, normalized to the uncompressed run, for the three
+//! paper configurations: low-end DSM, middle-end DSM, middle-end PAX.
+//!
+//! Environment: `SCC_SF` (default 0.05).
+
+use scc_bench::env_f64;
+use scc_storage::{Disk, Layout, ScanMode};
+use scc_tpch::queries::{run_query, PAPER_QUERIES};
+use scc_tpch::{QueryConfig, TpchDb};
+
+struct Split {
+    io_stall: f64,
+    decompress: f64,
+    processing: f64,
+}
+
+fn split(db: &TpchDb, q: u32, disk: Disk, layout: Layout, mode: ScanMode) -> Split {
+    let cfg = QueryConfig { mode, layout, disk, ..Default::default() };
+    let run = run_query(db, &cfg, q);
+    Split {
+        io_stall: run.stats.stall_seconds(run.cpu_seconds),
+        decompress: run.stats.decompress_seconds,
+        processing: run.processing_seconds(),
+    }
+}
+
+fn main() {
+    let sf = env_f64("SCC_SF", 0.05);
+    eprintln!("generating + loading TPC-H at SF {sf}...");
+    let db = TpchDb::generate(sf, 0x7AB2);
+    for (label, disk, layout) in [
+        ("low-end 80MB/s, DSM", Disk::low_end(), Layout::Dsm),
+        ("middle-end 350MB/s, DSM", Disk::middle_end(), Layout::Dsm),
+        ("middle-end 350MB/s, PAX", Disk::middle_end(), Layout::Pax),
+    ] {
+        println!("\n=== Figure 8 panel: {label} ===");
+        println!(
+            "{:>3} | {:>28} | {:>38}",
+            "Q", "uncompressed (stall/proc %)", "compressed (stall/dec/proc %, of unc total)"
+        );
+        for q in PAPER_QUERIES {
+            let unc = split(&db, q, disk, layout, ScanMode::Uncompressed);
+            let cmp = split(&db, q, disk, layout, ScanMode::Compressed);
+            let total_unc = unc.io_stall + unc.decompress + unc.processing;
+            let pct = |x: f64| 100.0 * x / total_unc;
+            println!(
+                "{:>3} | {:>11.0}% stall {:>6.0}% proc | {:>6.0}% stall {:>5.0}% dec {:>5.0}% proc = {:>4.0}%",
+                q,
+                pct(unc.io_stall),
+                pct(unc.processing),
+                pct(cmp.io_stall),
+                pct(cmp.decompress),
+                pct(cmp.processing),
+                pct(cmp.io_stall + cmp.decompress + cmp.processing),
+            );
+        }
+    }
+    println!("\npaper shape: on the low-end disk both bars are I/O-dominated and the");
+    println!("compressed bar shrinks by ~the compression ratio; on the middle-end disk");
+    println!("the compressed bars lose their stalls entirely (CPU bound) and");
+    println!("decompression stays a minor slice; PAX bars keep more stall than DSM.");
+}

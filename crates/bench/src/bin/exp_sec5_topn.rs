@@ -1,0 +1,68 @@
+//! §5 query-bandwidth experiment — the top-N by term frequency query and
+//! the equation 3.1 equilibrium.
+//!
+//! The paper measures Q = 580 MB/s raw d-gap processing; against a
+//! 350 MB/s RAID this puts the break-even decompression bandwidth at
+//! C = Q*target/(Q - target) = 883 MB/s: codecs slower than that (shuff,
+//! carryover-12) make the query *slower*, PFOR-DELTA accelerates it.
+
+use scc_bench::{mb_per_sec, time_median};
+use scc_ir::{synthesize, top_n_by_tf, CollectionPreset, InvertedIndex, PostingsCodec};
+use scc_model::{equilibrium_decompression_bw, result_bandwidth};
+
+fn main() {
+    let c = synthesize(CollectionPreset::TrecFbis, 0x5EC5);
+    println!("Section 5 top-N experiment on {} ({} postings)", c.name, c.n_postings());
+    println!(
+        "{:<13} {:>10} {:>12} {:>12} {:>14}",
+        "codec", "ratio", "query MB/s", "dec MB/s", "scan @350MB/s"
+    );
+    let io_bw = 350.0; // the paper's middle-end RAID, MB/s
+    let mut uncompressed_q = 0.0;
+    for codec in [
+        PostingsCodec::PforDelta,
+        PostingsCodec::Carryover12,
+        PostingsCodec::Shuff,
+        PostingsCodec::VByte,
+    ] {
+        let idx = InvertedIndex::build(&c, codec);
+        // Query the densest term repeatedly: decode + heap top-N.
+        let mut scratch = Vec::new();
+        let postings = c.postings[0].0.len();
+        let t_query = time_median(9, || {
+            let r = top_n_by_tf(&idx, 0, 10, &mut scratch);
+            assert_eq!(r.postings, postings);
+        });
+        // Decode-only bandwidth.
+        let t_dec = time_median(9, || {
+            scratch.clear();
+            idx.decode_list(0, &mut scratch);
+        });
+        let raw = postings * 4;
+        let q_bw = mb_per_sec(raw, t_query);
+        let dec_bw = mb_per_sec(raw, t_dec);
+        if codec == PostingsCodec::PforDelta {
+            uncompressed_q = q_bw; // proxy: decode dominated by gap math
+        }
+        let head_ratio = raw as f64 / idx.lists[0].compressed_bytes() as f64;
+        // Equation 3.1: effective scan bandwidth off a 350 MB/s disk.
+        let r = result_bandwidth(io_bw, head_ratio, q_bw, dec_bw);
+        println!(
+            "{:<13} {:>10.2} {:>12.0} {:>12.0} {:>11.0} MB/s",
+            codec.name(),
+            head_ratio,
+            q_bw,
+            dec_bw,
+            r,
+        );
+    }
+    println!();
+    let c_star = equilibrium_decompression_bw(uncompressed_q, io_bw)
+        .unwrap_or(f64::INFINITY);
+    println!(
+        "equilibrium decompression bandwidth for Q = {uncompressed_q:.0} MB/s vs a \
+         {io_bw:.0} MB/s disk: C* = {c_star:.0} MB/s"
+    );
+    println!("(paper: Q = 580 MB/s gives C* = 883 MB/s; shuff and carryover-12 sit");
+    println!("below their C*, so they slow the query; PFOR-DELTA sits far above.)");
+}

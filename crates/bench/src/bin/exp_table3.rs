@@ -1,0 +1,47 @@
+//! Table 3 — page-wise (I/O-RAM) vs vector-wise (RAM-CPU cache)
+//! decompression on TPC-H queries 3, 4, 6 and 18.
+//!
+//! The paper reports time and L2 misses; hardware miss counters are
+//! unavailable here (DESIGN.md §4, substitution 4), so the second metric
+//! is the RAM traffic (bytes moved through memory) that causes those
+//! misses.
+//!
+//! Environment: `SCC_SF` (default 0.05).
+
+use scc_bench::env_f64;
+use scc_storage::{DecompressionGranularity, Disk, Layout, ScanMode};
+use scc_tpch::queries::run_query;
+use scc_tpch::{QueryConfig, TpchDb};
+
+fn main() {
+    let sf = env_f64("SCC_SF", 0.05);
+    eprintln!("generating + loading TPC-H at SF {sf}...");
+    let db = TpchDb::generate(sf, 0x7AB3);
+    println!("Table 3: I/O-RAM (page-wise) vs RAM-CPU cache (vector-wise) decompression");
+    println!(
+        "{:>3} | {:>12} {:>14} | {:>12} {:>14} | {:>8}",
+        "Q", "page ms", "page RAM MB", "vector ms", "vector RAM MB", "speedup"
+    );
+    for q in [3u32, 4, 6, 18] {
+        let mut row = Vec::new();
+        for granularity in
+            [DecompressionGranularity::PageWise, DecompressionGranularity::VectorWise]
+        {
+            let cfg = QueryConfig {
+                mode: ScanMode::Compressed,
+                layout: Layout::Dsm,
+                granularity,
+                disk: Disk::middle_end(),
+                ..Default::default()
+            };
+            let run = run_query(&db, &cfg, q);
+            row.push((run.cpu_seconds * 1000.0, run.stats.ram_traffic_bytes as f64 / (1024.0 * 1024.0)));
+        }
+        println!(
+            "{:>3} | {:>12.1} {:>14.1} | {:>12.1} {:>14.1} | {:>7.2}x",
+            q, row[0].0, row[0].1, row[1].0, row[1].1, row[0].0 / row[1].0
+        );
+    }
+    println!("\npaper shape (SF-100): vector-wise is 1.1-1.5x faster and has far fewer");
+    println!("L2 misses (e.g. Q4: 14.78M vs 0.10M) — here visible as RAM traffic.");
+}

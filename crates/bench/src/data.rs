@@ -1,0 +1,77 @@
+//! Synthetic data generators for the microbenchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` 64-bit values of which a fraction `rate` are exceptions
+/// relative to `b`-bit PFOR coding from base 0 (the paper's Figure 4/5
+/// microbenchmark data: "64-bit data items into 8 bits codes ... under
+/// various degrees of skew").
+pub fn with_exception_rate(n: usize, rate: f64, b: u32, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let limit = 1u64 << b;
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                // Outlier: far outside the coded window.
+                limit + 1 + rng.gen_range(0..1u64 << 40)
+            } else {
+                rng.gen_range(0..limit)
+            }
+        })
+        .collect()
+}
+
+/// The empirical exception rate of `values` at width `b` (before
+/// compulsory exceptions).
+pub fn data_exception_rate(values: &[u64], b: u32) -> f64 {
+    let limit = 1u64 << b;
+    values.iter().filter(|&&v| v >= limit).count() as f64 / values.len().max(1) as f64
+}
+
+/// Serializes a `u64` column to little-endian bytes (for byte codecs).
+pub fn to_le_bytes_u64(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Serializes an `i64` column to little-endian bytes.
+pub fn to_le_bytes_i64(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Serializes an `i32` column to little-endian bytes.
+pub fn to_le_bytes_i32(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exception_rate_tracks_request() {
+        for rate in [0.0, 0.1, 0.5, 1.0] {
+            let v = with_exception_rate(50_000, rate, 8, 7);
+            let actual = data_exception_rate(&v, 8);
+            assert!((actual - rate).abs() < 0.02, "want {rate} got {actual}");
+        }
+    }
+
+    #[test]
+    fn byte_serialization_lengths() {
+        assert_eq!(to_le_bytes_u64(&[1, 2, 3]).len(), 24);
+        assert_eq!(to_le_bytes_i32(&[1, 2, 3]).len(), 12);
+    }
+}

@@ -1,0 +1,231 @@
+//! LSB-first bit streams.
+//!
+//! Used by the variable-width baseline codecs (Golomb/Rice, Elias gamma and
+//! delta, semi-static Huffman) that, unlike the paper's fixed-width schemes,
+//! cannot use the unrolled group kernels.
+
+/// Append-only LSB-first bit stream writer backed by a `Vec<u64>`.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    /// Bits used in the last word (0 when the stream is word-aligned).
+    used: u32,
+    len_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of bits written so far.
+    #[inline]
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Writes the low `n` bits of `v` (LSB first). `n <= 64`.
+    #[inline]
+    pub fn put(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+        if self.used == 0 {
+            self.words.push(v);
+            self.used = n;
+        } else {
+            let last = self.words.last_mut().expect("used>0 implies a word");
+            *last |= v << self.used;
+            let fit = 64 - self.used;
+            if n >= fit {
+                let spill = n - fit;
+                if spill > 0 || n == fit {
+                    // Word is now full.
+                    if spill > 0 {
+                        self.words.push(v >> fit);
+                    }
+                    self.used = spill;
+                    if spill == 0 {
+                        self.used = 0;
+                    }
+                } else {
+                    self.used += n;
+                }
+            } else {
+                self.used += n;
+            }
+        }
+        if self.used == 64 {
+            self.used = 0;
+        }
+        self.len_bits += n as u64;
+    }
+
+    /// Writes a unary-coded value: `v` one-bits followed by a zero bit.
+    #[inline]
+    pub fn put_unary(&mut self, mut v: u64) {
+        while v >= 63 {
+            self.put(u64::MAX >> 1, 63);
+            v -= 63;
+        }
+        // v one-bits then a terminating zero, total v+1 bits.
+        self.put((1u64 << v) - 1, v as u32 + 1);
+    }
+
+    /// Finishes the stream and returns the backing words.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Size of the stream in bytes, rounded up to whole words.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// LSB-first bit stream reader over `&[u64]`.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    pos_bits: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at bit 0.
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words, pos_bits: 0 }
+    }
+
+    /// Current bit position.
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.pos_bits
+    }
+
+    /// Repositions the reader to an absolute bit offset.
+    #[inline]
+    pub fn seek(&mut self, bit: u64) {
+        self.pos_bits = bit;
+    }
+
+    /// Reads `n <= 64` bits, LSB first.
+    #[inline]
+    pub fn get(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return 0;
+        }
+        let word = (self.pos_bits >> 6) as usize;
+        let off = (self.pos_bits & 63) as u32;
+        self.pos_bits += n as u64;
+        let lo = self.words[word] >> off;
+        let v = if off + n <= 64 {
+            lo
+        } else {
+            lo | (self.words[word + 1] << (64 - off))
+        };
+        if n == 64 {
+            v
+        } else {
+            v & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Reads a unary-coded value (count of one-bits before the next zero).
+    #[inline]
+    pub fn get_unary(&mut self) -> u64 {
+        let mut count = 0u64;
+        loop {
+            let word = (self.pos_bits >> 6) as usize;
+            let off = (self.pos_bits & 63) as u32;
+            let avail = 64 - off;
+            let valid = if avail == 64 { u64::MAX } else { (1u64 << avail) - 1 };
+            // Invert so the terminating zero becomes the first set bit; mask
+            // off the bits that belong to the next word.
+            let chunk = !(self.words[word] >> off) & valid;
+            if chunk != 0 {
+                let tz = chunk.trailing_zeros();
+                count += tz as u64;
+                self.pos_bits += tz as u64 + 1; // skip the terminating zero bit
+                return count;
+            }
+            count += avail as u64;
+            self.pos_bits += avail as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let items: Vec<(u64, u32)> = (1..=64u32).map(|n| ((n as u64).wrapping_mul(0x123456789), n)).collect();
+        for &(v, n) in &items {
+            w.put(v, n);
+        }
+        let total: u64 = items.iter().map(|&(_, n)| n as u64).sum();
+        assert_eq!(w.len_bits(), total);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for &(v, n) in &items {
+            let expect = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            assert_eq!(r.get(n), expect, "width {n}");
+        }
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [0u64, 1, 2, 5, 62, 63, 64, 100, 200, 0, 3];
+        for &v in &values {
+            w.put_unary(v);
+        }
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for &v in &values {
+            assert_eq!(r.get_unary(), v);
+        }
+    }
+
+    #[test]
+    fn seek_and_position() {
+        let mut w = BitWriter::new();
+        w.put(0b1011, 4);
+        w.put(0xff, 8);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        assert_eq!(r.get(4), 0b1011);
+        assert_eq!(r.position(), 4);
+        r.seek(0);
+        assert_eq!(r.get(12), 0b1111_1111_1011);
+    }
+
+    #[test]
+    fn zero_width_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.put(123, 0);
+        assert_eq!(w.len_bits(), 0);
+        w.put(1, 1);
+        w.put(456, 0);
+        assert_eq!(w.len_bits(), 1);
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut w = BitWriter::new();
+        w.put(u64::MAX, 60);
+        w.put(0b101, 3);
+        w.put(0x5555, 16);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        assert_eq!(r.get(60), u64::MAX >> 4);
+        assert_eq!(r.get(3), 0b101);
+        assert_eq!(r.get(16), 0x5555);
+    }
+}

@@ -1,0 +1,103 @@
+//! Delta-encoding kernels for PFOR-DELTA.
+//!
+//! Delta encoding turns a (typically monotone) sequence into its gaps;
+//! decoding is a running (prefix) sum. The decode loop carries a true data
+//! dependency — the paper accepts this because it is a *data* hazard, not a
+//! *control* hazard, and therefore cheap on super-scalar CPUs.
+
+/// Replaces `values` by its wrapping first differences; `values[0]` becomes
+/// `values[0] - base`. Returns nothing; operates in place.
+pub fn delta_encode_in_place(values: &mut [u32], base: u32) {
+    let mut prev = base;
+    for v in values.iter_mut() {
+        let cur = *v;
+        *v = cur.wrapping_sub(prev);
+        prev = cur;
+    }
+}
+
+/// Inverse of [`delta_encode_in_place`]: running wrapping sum starting from
+/// `base`.
+pub fn prefix_sum_in_place(values: &mut [u32], base: u32) {
+    let mut acc = base;
+    for v in values.iter_mut() {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+}
+
+/// Out-of-place delta encode.
+pub fn delta_encode(values: &[u32], base: u32) -> Vec<u32> {
+    let mut out = values.to_vec();
+    delta_encode_in_place(&mut out, base);
+    out
+}
+
+/// Out-of-place prefix sum.
+pub fn prefix_sum(deltas: &[u32], base: u32) -> Vec<u32> {
+    let mut out = deltas.to_vec();
+    prefix_sum_in_place(&mut out, base);
+    out
+}
+
+/// 64-bit variants used for wide columns.
+pub fn delta_encode_in_place_u64(values: &mut [u64], base: u64) {
+    let mut prev = base;
+    for v in values.iter_mut() {
+        let cur = *v;
+        *v = cur.wrapping_sub(prev);
+        prev = cur;
+    }
+}
+
+/// Inverse of [`delta_encode_in_place_u64`].
+pub fn prefix_sum_in_place_u64(values: &mut [u64], base: u64) {
+    let mut acc = base;
+    for v in values.iter_mut() {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_then_sum_is_identity() {
+        let original: Vec<u32> = vec![10, 10, 11, 15, 100, 100, 99, 0, u32::MAX, 5];
+        let mut work = original.clone();
+        delta_encode_in_place(&mut work, 3);
+        prefix_sum_in_place(&mut work, 3);
+        assert_eq!(work, original);
+    }
+
+    #[test]
+    fn monotone_sequence_gives_gaps() {
+        let values = vec![5u32, 7, 12, 12, 20];
+        assert_eq!(delta_encode(&values, 0), vec![5, 2, 5, 0, 8]);
+        assert_eq!(prefix_sum(&[5, 2, 5, 0, 8], 0), values);
+    }
+
+    #[test]
+    fn base_offsets_first_delta() {
+        assert_eq!(delta_encode(&[10, 11], 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn u64_roundtrip_with_wrap() {
+        let original: Vec<u64> = vec![0, u64::MAX, 1, 1 << 63];
+        let mut work = original.clone();
+        delta_encode_in_place_u64(&mut work, 42);
+        prefix_sum_in_place_u64(&mut work, 42);
+        assert_eq!(work, original);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let mut empty: Vec<u32> = vec![];
+        delta_encode_in_place(&mut empty, 9);
+        prefix_sum_in_place(&mut empty, 9);
+        assert!(empty.is_empty());
+    }
+}

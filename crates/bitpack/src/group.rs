@@ -1,0 +1,148 @@
+//! Monomorphized 32-value pack/unpack kernels, one per bit width.
+//!
+//! Each kernel moves exactly 32 values between an aligned array and `B`
+//! packed words. The loop bodies are branch-free after const-propagation of
+//! `B`; the compiler unrolls them completely, which is what lets these
+//! routines account for <10% of total (de)compression cost as reported in
+//! the paper.
+
+use crate::GROUP;
+
+/// Packs 32 values of `B` bits into `out[..B]`. Values must already be
+/// masked to `B` bits by the caller ([`crate::pack`] does this contract-wise:
+/// upper bits are ignored because the accumulator masks them).
+#[allow(clippy::needless_range_loop)] // indexed loops keep the kernels shaped like the paper's
+fn pack_group<const B: usize>(input: &[u32; GROUP], out: &mut [u32]) {
+    debug_assert_eq!(out.len(), B);
+    let msk: u64 = if B >= 32 { u32::MAX as u64 } else { (1u64 << B) - 1 };
+    let mut acc: u64 = 0;
+    let mut bits: usize = 0;
+    let mut w: usize = 0;
+    for i in 0..GROUP {
+        acc |= ((input[i] as u64) & msk) << bits;
+        bits += B;
+        if bits >= 32 {
+            out[w] = acc as u32;
+            w += 1;
+            acc >>= 32;
+            bits -= 32;
+        }
+    }
+    debug_assert_eq!(w, B);
+    debug_assert_eq!(bits, 0);
+}
+
+/// Unpacks 32 values of `B` bits from `input[..B]` into `out`.
+#[allow(clippy::needless_range_loop)]
+fn unpack_group<const B: usize>(input: &[u32], out: &mut [u32; GROUP]) {
+    debug_assert_eq!(input.len(), B);
+    let msk: u64 = if B >= 32 { u32::MAX as u64 } else { (1u64 << B) - 1 };
+    let mut acc: u64 = 0;
+    let mut bits: usize = 0;
+    let mut w: usize = 0;
+    for i in 0..GROUP {
+        if bits < B {
+            acc |= (input[w] as u64) << bits;
+            w += 1;
+            bits += 32;
+        }
+        out[i] = (acc & msk) as u32;
+        acc >>= B;
+        bits -= B;
+    }
+    debug_assert_eq!(w, B);
+}
+
+fn pack_group_0(_input: &[u32; GROUP], _out: &mut [u32]) {}
+fn unpack_group_0(_input: &[u32], out: &mut [u32; GROUP]) {
+    out.fill(0);
+}
+
+macro_rules! kernel_table {
+    ($f:ident, $zero:ident, $ty:ty) => {{
+        [
+            $zero,
+            $f::<1>,
+            $f::<2>,
+            $f::<3>,
+            $f::<4>,
+            $f::<5>,
+            $f::<6>,
+            $f::<7>,
+            $f::<8>,
+            $f::<9>,
+            $f::<10>,
+            $f::<11>,
+            $f::<12>,
+            $f::<13>,
+            $f::<14>,
+            $f::<15>,
+            $f::<16>,
+            $f::<17>,
+            $f::<18>,
+            $f::<19>,
+            $f::<20>,
+            $f::<21>,
+            $f::<22>,
+            $f::<23>,
+            $f::<24>,
+            $f::<25>,
+            $f::<26>,
+            $f::<27>,
+            $f::<28>,
+            $f::<29>,
+            $f::<30>,
+            $f::<31>,
+            $f::<32>,
+        ] as $ty
+    }};
+}
+
+/// A pack kernel: 32 values in, `b` words out.
+type PackFn = fn(&[u32; GROUP], &mut [u32]);
+/// An unpack kernel: `b` words in, 32 values out.
+type UnpackFn = fn(&[u32], &mut [u32; GROUP]);
+
+/// Dispatch table: `PACK[b]` packs one 32-value group at width `b`.
+pub(crate) static PACK: [PackFn; 33] =
+    kernel_table!(pack_group, pack_group_0, [PackFn; 33]);
+
+/// Dispatch table: `UNPACK[b]` unpacks one 32-value group at width `b`.
+pub(crate) static UNPACK: [UnpackFn; 33] =
+    kernel_table!(unpack_group, unpack_group_0, [UnpackFn; 33]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_roundtrip_every_width() {
+        let input: [u32; GROUP] = std::array::from_fn(|i| (i as u32).wrapping_mul(0x9e3779b9));
+        for b in 1..=32usize {
+            let msk = crate::mask(b as u32);
+            let masked: [u32; GROUP] = std::array::from_fn(|i| input[i] & msk);
+            let mut packed = vec![0u32; b];
+            PACK[b](&masked, &mut packed);
+            let mut out = [0u32; GROUP];
+            UNPACK[b](&packed, &mut out);
+            assert_eq!(out, masked, "width {b}");
+        }
+    }
+
+    #[test]
+    fn pack_masks_upper_bits() {
+        let input = [u32::MAX; GROUP];
+        let mut packed = vec![0u32; 3];
+        PACK[3](&input, &mut packed);
+        let mut out = [0u32; GROUP];
+        UNPACK[3](&packed, &mut out);
+        assert_eq!(out, [7u32; GROUP]);
+    }
+
+    #[test]
+    fn width_zero_group() {
+        let mut out = [5u32; GROUP];
+        UNPACK[0](&[], &mut out);
+        assert_eq!(out, [0u32; GROUP]);
+    }
+}

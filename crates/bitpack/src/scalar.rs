@@ -1,0 +1,63 @@
+//! Scalar (non-unrolled) bit packing used for group tails and as a
+//! reference implementation in tests.
+
+use crate::mask;
+
+/// Packs `values.len() < 32` values of `b` bits into `out`, starting at a
+/// fresh word boundary. `out` must hold `ceil(len*b/32)` words.
+pub(crate) fn pack_tail(values: &[u32], b: u32, out: &mut [u32]) {
+    debug_assert!((1..=32).contains(&b));
+    let mut acc: u64 = 0;
+    let mut bits: u32 = 0;
+    let mut w = 0usize;
+    for &v in values {
+        acc |= ((v & mask(b)) as u64) << bits;
+        bits += b;
+        if bits >= 32 {
+            out[w] = acc as u32;
+            w += 1;
+            acc >>= 32;
+            bits -= 32;
+        }
+    }
+    if bits > 0 {
+        out[w] = acc as u32;
+    }
+}
+
+/// Unpacks `out.len() < 32` values of `b` bits from `packed`.
+pub(crate) fn unpack_tail(packed: &[u32], b: u32, out: &mut [u32]) {
+    debug_assert!((1..=32).contains(&b));
+    let mut acc: u64 = 0;
+    let mut bits: u32 = 0;
+    let mut w = 0usize;
+    for o in out.iter_mut() {
+        if bits < b {
+            acc |= (packed[w] as u64) << bits;
+            w += 1;
+            bits += 32;
+        }
+        *o = (acc as u32) & mask(b);
+        acc >>= b;
+        bits -= b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_roundtrip() {
+        for n in 1..32usize {
+            for b in 1..=32u32 {
+                let values: Vec<u32> = (0..n as u32).map(|i| (i * 0x4321) & mask(b)).collect();
+                let mut packed = vec![0u32; (n * b as usize).div_ceil(32)];
+                pack_tail(&values, b, &mut packed);
+                let mut out = vec![0u32; n];
+                unpack_tail(&packed, b, &mut out);
+                assert_eq!(out, values, "n={n} b={b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the bit-packing kernels and bit streams.
+
+use proptest::prelude::*;
+use scc_bitpack::{
+    delta, get_one, mask, pack_vec, packed_words, unpack_vec, width_for, BitReader, BitWriter,
+};
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrip(values in prop::collection::vec(any::<u32>(), 0..600), b in 0u32..=32) {
+        let masked: Vec<u32> = values.iter().map(|&v| v & mask(b)).collect();
+        let packed = pack_vec(&masked, b);
+        prop_assert_eq!(packed.len(), packed_words(values.len(), b));
+        let out = unpack_vec(&packed, b, values.len());
+        prop_assert_eq!(out, masked);
+    }
+
+    #[test]
+    fn get_one_matches_unpack(values in prop::collection::vec(any::<u32>(), 1..300), b in 0u32..=32) {
+        let masked: Vec<u32> = values.iter().map(|&v| v & mask(b)).collect();
+        let packed = pack_vec(&masked, b);
+        for (i, &m) in masked.iter().enumerate() {
+            prop_assert_eq!(get_one(&packed, b, i), m);
+        }
+    }
+
+    #[test]
+    fn pack_ignores_upper_bits(values in prop::collection::vec(any::<u32>(), 1..200), b in 1u32..32) {
+        let packed_raw = pack_vec(&values, b);
+        let masked: Vec<u32> = values.iter().map(|&v| v & mask(b)).collect();
+        let packed_masked = pack_vec(&masked, b);
+        prop_assert_eq!(packed_raw, packed_masked);
+    }
+
+    #[test]
+    fn width_for_is_sufficient_and_tight(values in prop::collection::vec(any::<u32>(), 1..200)) {
+        let b = width_for(&values);
+        for &v in &values {
+            prop_assert!(u64::from(v) < 1u64 << b || b == 32);
+        }
+        if b > 0 {
+            // At least one value needs the full width.
+            prop_assert!(values.iter().any(|&v| v >> (b - 1) != 0));
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip(values in prop::collection::vec(any::<u32>(), 0..500), base in any::<u32>()) {
+        let mut work = values.clone();
+        delta::delta_encode_in_place(&mut work, base);
+        delta::prefix_sum_in_place(&mut work, base);
+        prop_assert_eq!(work, values);
+    }
+
+    #[test]
+    fn bitio_roundtrip(items in prop::collection::vec((any::<u64>(), 0u32..=64), 0..300)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &items {
+            w.put(v, n);
+        }
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for &(v, n) in &items {
+            let expect = if n == 64 { v } else if n == 0 { 0 } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.get(n), expect);
+        }
+    }
+
+    #[test]
+    fn unary_roundtrip(values in prop::collection::vec(0u64..2000, 0..200)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_unary(v);
+        }
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for &v in &values {
+            prop_assert_eq!(r.get_unary(), v);
+        }
+    }
+
+    #[test]
+    fn mixed_unary_and_fixed(pairs in prop::collection::vec((0u64..500, any::<u64>(), 1u32..=64), 0..150)) {
+        let mut w = BitWriter::new();
+        for &(u, v, n) in &pairs {
+            w.put_unary(u);
+            w.put(v, n);
+        }
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for &(u, v, n) in &pairs {
+            prop_assert_eq!(r.get_unary(), u);
+            let expect = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.get(n), expect);
+        }
+    }
+}

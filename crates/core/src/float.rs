@@ -1,0 +1,215 @@
+//! Floating-point compression (§6: "we plan to extend the applicability
+//! of our system by introducing additional compression algorithms
+//! specialized for other data types" — floats are named explicitly).
+//!
+//! Two schemes, both reducing to the integer machinery so the patched
+//! kernels keep doing the work:
+//!
+//! * **PDICT on bit patterns** — scientific and financial columns often
+//!   hold few distinct values (sensor quantization, prices); dictionary
+//!   coding the raw `u64` bit patterns preserves them exactly (including
+//!   NaN payloads and signed zeros).
+//! * **Scaled-decimal PFOR** — when every value is a small decimal times
+//!   a power of ten (the DECIMAL-in-a-FLOAT pattern), values rescale to
+//!   integers losslessly and PFOR applies; the analyzer verifies exact
+//!   reconstruction before choosing it.
+
+use crate::analyze::{analyze, AnalyzeOpts};
+use crate::segment::Segment;
+
+/// How a float column was compressed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloatPlan {
+    /// Integer plan over the raw bit patterns.
+    Bits(crate::Plan<u64>),
+    /// Values are `m * 10^-scale` with integer `m`: PFOR over `m`.
+    Scaled {
+        /// Decimal scale (digits after the point).
+        scale: u32,
+        /// The integer plan over the scaled values.
+        plan: crate::Plan<i64>,
+    },
+}
+
+/// A compressed float column.
+#[derive(Debug, Clone)]
+pub enum FloatSegment {
+    /// Bit-pattern segment.
+    Bits(Segment<u64>),
+    /// Scaled-decimal segment.
+    Scaled {
+        /// Decimal scale.
+        scale: u32,
+        /// The integer segment.
+        seg: Segment<i64>,
+    },
+}
+
+impl FloatSegment {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            FloatSegment::Bits(s) => s.len(),
+            FloatSegment::Scaled { seg, .. } => seg.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialized size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        match self {
+            FloatSegment::Bits(s) => s.compressed_bytes(),
+            FloatSegment::Scaled { seg, .. } => seg.compressed_bytes(),
+        }
+    }
+
+    /// Decompresses to the original floats, bit-exact.
+    pub fn decompress(&self) -> Vec<f64> {
+        match self {
+            FloatSegment::Bits(s) => s.decompress().into_iter().map(f64::from_bits).collect(),
+            FloatSegment::Scaled { scale, seg } => {
+                let div = 10f64.powi(*scale as i32);
+                seg.decompress().into_iter().map(|m| m as f64 / div).collect()
+            }
+        }
+    }
+
+    /// Size and ratio report (vs 8 bytes per value).
+    pub fn ratio(&self) -> f64 {
+        (self.len() * 8) as f64 / self.compressed_bytes() as f64
+    }
+}
+
+/// Tries to rescale every value to an `i64` mantissa at decimal `scale`;
+/// `None` if any value does not reconstruct bit-exactly.
+fn try_scale(values: &[f64], scale: u32) -> Option<Vec<i64>> {
+    let mul = 10f64.powi(scale as i32);
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        if !v.is_finite() {
+            return None;
+        }
+        let m = (v * mul).round();
+        if m.abs() >= 9.0e15 {
+            return None; // beyond exact f64 integer range
+        }
+        let m = m as i64;
+        if (m as f64 / mul).to_bits() != v.to_bits() {
+            return None;
+        }
+        out.push(m);
+    }
+    Some(out)
+}
+
+/// Analyzes and compresses a float column. Returns `None` when neither
+/// scheme beats plain storage.
+pub fn compress_f64_auto(values: &[f64]) -> Option<(FloatSegment, FloatPlan)> {
+    if values.is_empty() {
+        return None;
+    }
+    let opts = AnalyzeOpts::default();
+    // Candidate A: scaled decimal (try small scales first).
+    let mut best: Option<(FloatSegment, FloatPlan, usize)> = None;
+    for scale in 0..=4u32 {
+        if let Some(mantissas) = try_scale(values, scale) {
+            let analysis = analyze(&mantissas, &opts);
+            if analysis.worthwhile() {
+                let plan = analysis.best().expect("worthwhile").plan.clone();
+                let seg = crate::compress_with_plan(&mantissas, &plan);
+                let bytes = seg.compressed_bytes();
+                if best.as_ref().is_none_or(|(_, _, b)| bytes < *b) {
+                    best = Some((
+                        FloatSegment::Scaled { scale, seg },
+                        FloatPlan::Scaled { scale, plan },
+                        bytes,
+                    ));
+                }
+            }
+            break; // smallest exact scale is canonical; larger only inflates
+        }
+    }
+    // Candidate B: bit patterns (catches low-cardinality columns of
+    // "awkward" floats).
+    let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+    let analysis = analyze(&bits, &opts);
+    if analysis.worthwhile() {
+        let plan = analysis.best().expect("worthwhile").plan.clone();
+        let seg = crate::compress_with_plan(&bits, &plan);
+        let bytes = seg.compressed_bytes();
+        if best.as_ref().is_none_or(|(_, _, b)| bytes < *b) {
+            best = Some((FloatSegment::Bits(seg), FloatPlan::Bits(plan), bytes));
+        }
+    }
+    let (seg, plan, bytes) = best?;
+    (bytes < values.len() * 8).then_some((seg, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_compress_as_scaled_decimals() {
+        let values: Vec<f64> = (0..50_000).map(|i| (1000 + i % 500) as f64 / 100.0).collect();
+        let (seg, plan) = compress_f64_auto(&values).expect("compressible");
+        assert!(matches!(plan, FloatPlan::Scaled { scale: 2, .. }), "{plan:?}");
+        let back = seg.decompress();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(seg.ratio() > 4.0, "ratio {}", seg.ratio());
+    }
+
+    #[test]
+    fn low_cardinality_floats_use_bit_dictionary() {
+        let pool = [std::f64::consts::PI, std::f64::consts::E, f64::NAN, -0.0];
+        let values: Vec<f64> = (0..20_000).map(|i| pool[i % 4]).collect();
+        let (seg, plan) = compress_f64_auto(&values).expect("compressible");
+        assert!(matches!(plan, FloatPlan::Bits(_)), "{plan:?}");
+        let back = seg.decompress();
+        // Bit-exact incl. NaN and signed zero.
+        for (a, b) in back.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(seg.ratio() > 10.0);
+    }
+
+    #[test]
+    fn integer_valued_floats_scale_at_zero() {
+        let values: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
+        let (seg, plan) = compress_f64_auto(&values).expect("compressible");
+        assert!(matches!(plan, FloatPlan::Scaled { scale: 0, .. }));
+        assert!(seg.ratio() > 6.0);
+    }
+
+    #[test]
+    fn random_doubles_are_incompressible() {
+        let mut x = 0x853c49e6748fea9bu64;
+        let values: Vec<f64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f64::from_bits((x >> 12) | 0x3FF0_0000_0000_0000)
+            })
+            .collect();
+        assert!(compress_f64_auto(&values).is_none());
+    }
+
+    #[test]
+    fn empty_column() {
+        assert!(compress_f64_auto(&[]).is_none());
+    }
+
+    #[test]
+    fn scaled_rejects_inexact_values() {
+        assert!(try_scale(&[0.1 + 0.2], 1).is_none()); // 0.30000000000000004
+        assert!(try_scale(&[f64::INFINITY], 0).is_none());
+        assert!(try_scale(&[1.25], 1).is_none());
+        assert!(try_scale(&[1.25], 2).is_some());
+    }
+}

@@ -1,0 +1,131 @@
+//! The NAIVE escape-code codec used as the comparison point in Figure 4.
+//!
+//! Instead of patching, a reserved code (`MAXCODE = 2^b - 1`) marks an
+//! exception in-band, and decompression tests every code with an
+//! `if-then-else`. At intermediate exception rates the branch is
+//! unpredictable and the pipeline flushes dominate — this codec exists
+//! precisely to demonstrate that cliff against the patched schemes.
+
+use crate::value::Value;
+use scc_bitpack::{mask, pack_vec, packed_words, unpack};
+
+/// A segment compressed with the escape-code scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveSegment<V: Value> {
+    n: usize,
+    b: u32,
+    base: V,
+    codes: Vec<u32>,
+    /// Exceptions in positional order.
+    exceptions: Vec<V>,
+}
+
+impl<V: Value> NaiveSegment<V> {
+    /// Compresses `values` at width `b` from `base`. The code `2^b - 1` is
+    /// reserved as the escape marker, so one fewer code value is available
+    /// than in PFOR.
+    pub fn compress(values: &[V], base: V, b: u32) -> Self {
+        assert!((1..=32).contains(&b), "escape coding needs 1 <= b <= 32");
+        let maxcode = mask(b) as u64;
+        let mut codes = vec![0u32; values.len()];
+        let mut exceptions = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let off = v.wrapping_offset(base);
+            if off < maxcode {
+                codes[i] = off as u32;
+            } else {
+                codes[i] = maxcode as u32;
+                exceptions.push(v);
+            }
+        }
+        let codes = pack_vec(&codes, b);
+        Self { n: values.len(), b, base, codes, exceptions }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of escape-coded exceptions.
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Serialized size in bytes (same accounting as [`crate::Segment`],
+    /// minus entry points, which this scheme cannot support).
+    pub fn compressed_bytes(&self) -> usize {
+        crate::wire::HEADER_BYTES + self.codes.len() * 4 + self.exceptions.len() * V::byte_width()
+    }
+
+    /// Decompresses with the branchy per-value exception test.
+    pub fn decompress_into(&self, out: &mut Vec<V>) {
+        let start = out.len();
+        out.resize(start + self.n, V::default());
+        let out = &mut out[start..];
+        let mut code = vec![0u32; self.n];
+        unpack(&self.codes[..packed_words(self.n, self.b)], self.b, &mut code);
+        let maxcode = mask(self.b);
+        let mut j = 0usize;
+        for (o, &c) in out.iter_mut().zip(code.iter()) {
+            if c < maxcode {
+                *o = V::apply_offset(self.base, c);
+            } else {
+                *o = self.exceptions[j];
+                j += 1;
+            }
+        }
+    }
+
+    /// Decompresses into a fresh vector.
+    pub fn decompress(&self) -> Vec<V> {
+        let mut out = Vec::with_capacity(self.n);
+        self.decompress_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_exceptions() {
+        let values: Vec<u64> = (0..4000u64)
+            .map(|i| if i % 3 == 0 { i * 1000 } else { i % 200 })
+            .collect();
+        let seg = NaiveSegment::compress(&values, 0, 8);
+        assert_eq!(seg.decompress(), values);
+        assert!(seg.exception_count() > 1000);
+    }
+
+    #[test]
+    fn maxcode_value_is_an_exception() {
+        // Offset 2^b - 1 collides with the escape marker and must be
+        // stored as an exception (unlike PFOR, where it is codable).
+        let values = vec![255u32, 0, 254];
+        let seg = NaiveSegment::compress(&values, 0, 8);
+        assert_eq!(seg.exception_count(), 1);
+        assert_eq!(seg.decompress(), values);
+    }
+
+    #[test]
+    fn no_exceptions_fast_path() {
+        let values: Vec<u32> = (0..512).map(|i| i % 100).collect();
+        let seg = NaiveSegment::compress(&values, 0, 7);
+        assert_eq!(seg.exception_count(), 0);
+        assert_eq!(seg.decompress(), values);
+    }
+
+    #[test]
+    fn empty() {
+        let seg = NaiveSegment::<u32>::compress(&[], 0, 4);
+        assert!(seg.is_empty());
+        assert!(seg.decompress().is_empty());
+    }
+}

@@ -1,0 +1,460 @@
+//! The compressed segment: the paper's Figure 3 layout.
+//!
+//! A segment holds up to 2^25 values of one column, split in four sections:
+//! a fixed header (scheme, width, base), the *entry point* section (one
+//! [`EntryPoint`] per 128 values, enabling fine-grained access), the *code
+//! section* (bit-packed `b`-bit codes, one per value) and the *exception
+//! section* (values stored in uncompressed form). PFOR-DELTA segments carry
+//! one extra running-sum restart value per block; PDICT segments carry the
+//! dictionary.
+//!
+//! Decompression is block-wise: callers pull 128-value blocks (or any run
+//! of blocks) into a caller-provided buffer, which is what makes RAM→CPU
+//! cache decompression possible — the working set of a decode call is one
+//! block of codes plus the output vector, both cache-resident.
+
+use crate::patch::{walk_patch_list, EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
+use crate::value::Value;
+use scc_bitpack::{get_one, packed_words, unpack};
+
+/// Which of the three patched schemes a segment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Patched frame-of-reference: codes are offsets from `base`.
+    Pfor,
+    /// PFOR over the first differences; decode ends with a running sum.
+    PforDelta,
+    /// Patched dictionary: codes index the segment's dictionary.
+    Pdict,
+}
+
+impl SchemeKind {
+    /// Stable numeric tag used by the wire format.
+    pub fn tag(self) -> u8 {
+        match self {
+            SchemeKind::Pfor => 1,
+            SchemeKind::PforDelta => 2,
+            SchemeKind::Pdict => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(SchemeKind::Pfor),
+            2 => Some(SchemeKind::PforDelta),
+            3 => Some(SchemeKind::Pdict),
+            _ => None,
+        }
+    }
+}
+
+/// A compressed column segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment<V: Value> {
+    pub(crate) scheme: SchemeKind,
+    pub(crate) n: usize,
+    pub(crate) b: u32,
+    /// Code-domain base: the FOR base for PFOR, the delta base for
+    /// PFOR-DELTA, unused for PDICT.
+    pub(crate) base: V,
+    pub(crate) entries: Vec<EntryPoint>,
+    /// PFOR-DELTA only: value of the element preceding each block (the
+    /// running-sum restart). `delta_bases[0]` is the segment seed.
+    pub(crate) delta_bases: Vec<V>,
+    /// Bit-packed codes, [`scc_bitpack`] group layout.
+    pub(crate) codes: Vec<u32>,
+    /// Exception values in positional order.
+    pub(crate) exceptions: Vec<V>,
+    /// PDICT only: the dictionary (codes index into it).
+    pub(crate) dict: Vec<V>,
+}
+
+/// Size and composition report for a segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentStats {
+    /// Values in the segment.
+    pub n: usize,
+    /// Code width in bits.
+    pub b: u32,
+    /// Total exceptions (including compulsory ones).
+    pub exceptions: usize,
+    /// Serialized size in bytes (header + all sections).
+    pub compressed_bytes: usize,
+    /// Size of the values as a plain array.
+    pub uncompressed_bytes: usize,
+    /// `uncompressed_bytes / compressed_bytes`.
+    pub ratio: f64,
+    /// Average compressed bits per value.
+    pub bits_per_value: f64,
+}
+
+impl<V: Value> Segment<V> {
+    /// Number of values in the segment.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the segment holds no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The compression scheme in use.
+    #[inline]
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// Code width in bits.
+    #[inline]
+    pub fn bit_width(&self) -> u32 {
+        self.b
+    }
+
+    /// Total number of exception values (data-driven plus compulsory).
+    #[inline]
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// The PDICT dictionary (empty for other schemes).
+    #[inline]
+    pub fn dictionary(&self) -> &[V] {
+        &self.dict
+    }
+
+    /// Number of 128-value blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.n.div_ceil(BLOCK)
+    }
+
+    /// Length of block `blk` (always 128 except possibly the last).
+    #[inline]
+    pub fn block_len(&self, blk: usize) -> usize {
+        debug_assert!(blk < self.n_blocks());
+        if (blk + 1) * BLOCK <= self.n {
+            BLOCK
+        } else {
+            self.n - blk * BLOCK
+        }
+    }
+
+    /// `(patch_start, first_exception_index, exception_count)` for a block.
+    #[inline]
+    pub(crate) fn block_exceptions(&self, blk: usize) -> (u32, usize, usize) {
+        let e = self.entries[blk];
+        let start = e.exception_start() as usize;
+        let end = if blk + 1 < self.entries.len() {
+            self.entries[blk + 1].exception_start() as usize
+        } else {
+            self.exceptions.len()
+        };
+        (e.patch_start(), start, end - start)
+    }
+
+    /// Word offset of block `blk` in the code section.
+    #[inline]
+    fn block_word_offset(&self, blk: usize) -> usize {
+        // Full blocks are 128 values = 4 bit-pack groups = 4*b words.
+        blk * 4 * self.b as usize
+    }
+
+    /// Unpacks the codes of one block into `scratch[..len]`; returns `len`.
+    #[inline]
+    pub(crate) fn unpack_block(&self, blk: usize, scratch: &mut [u32; BLOCK]) -> usize {
+        let len = self.block_len(blk);
+        let off = self.block_word_offset(blk);
+        let words = packed_words(len, self.b);
+        unpack(&self.codes[off..off + words], self.b, &mut scratch[..len]);
+        len
+    }
+
+    /// Decompresses block `blk` into `out[..len]`; returns `len`.
+    ///
+    /// This is the two-loop patched decode of §3.1: LOOP1 decodes every
+    /// code unconditionally (no branches), LOOP2 walks the linked exception
+    /// list and patches the wrong values.
+    pub fn decode_block(&self, blk: usize, out: &mut [V]) -> usize {
+        let mut code = [0u32; BLOCK];
+        let len = self.unpack_block(blk, &mut code);
+        debug_assert!(out.len() >= len);
+        let out = &mut out[..len];
+        let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
+        match self.scheme {
+            SchemeKind::Pfor => {
+                // LOOP1: decode regardless.
+                for (o, &c) in out.iter_mut().zip(code[..len].iter()) {
+                    *o = V::apply_offset(self.base, c);
+                }
+                // LOOP2: patch it up.
+                walk_patch_list(
+                    patch_start,
+                    exc_count,
+                    |p| code[p],
+                    |pos, k| out[pos] = self.exceptions[exc_start + k],
+                );
+            }
+            SchemeKind::Pdict => {
+                // LOOP1: branch-free lookup; exception slots hold gap codes
+                // that may exceed the dictionary, so clamp (compiles to a
+                // conditional move, not a branch).
+                let last = self.dict.len() - 1;
+                for (o, &c) in out.iter_mut().zip(code[..len].iter()) {
+                    *o = self.dict[(c as usize).min(last)];
+                }
+                walk_patch_list(
+                    patch_start,
+                    exc_count,
+                    |p| code[p],
+                    |pos, k| out[pos] = self.exceptions[exc_start + k],
+                );
+            }
+            SchemeKind::PforDelta => {
+                // Patch before the running sum (footnote 3 of the paper):
+                // LOOP1 decodes deltas, LOOP2 patches exception deltas,
+                // LOOP3 turns deltas into values.
+                for (o, &c) in out.iter_mut().zip(code[..len].iter()) {
+                    *o = V::apply_offset(self.base, c);
+                }
+                walk_patch_list(
+                    patch_start,
+                    exc_count,
+                    |p| code[p],
+                    |pos, k| out[pos] = self.exceptions[exc_start + k],
+                );
+                let mut acc = self.delta_bases[blk];
+                for o in out.iter_mut() {
+                    acc = acc.wrapping_add_v(*o);
+                    *o = acc;
+                }
+            }
+        }
+        len
+    }
+
+    /// Decompresses the whole segment, appending to `out`.
+    pub fn decompress_into(&self, out: &mut Vec<V>) {
+        out.reserve(self.n);
+        let mut buf = [V::default(); BLOCK];
+        for blk in 0..self.n_blocks() {
+            let len = self.decode_block(blk, &mut buf);
+            out.extend_from_slice(&buf[..len]);
+        }
+    }
+
+    /// Decompresses the whole segment into a fresh vector.
+    pub fn decompress(&self) -> Vec<V> {
+        let mut out = Vec::with_capacity(self.n);
+        self.decompress_into(&mut out);
+        out
+    }
+
+    /// Decompresses values `[start, start + out.len())` into `out`.
+    /// `start` must be block-aligned (multiple of 128); the length may end
+    /// mid-block. This is the vector-wise granularity used by the scan.
+    pub fn decode_range(&self, start: usize, out: &mut [V]) {
+        assert!(start.is_multiple_of(BLOCK), "range start must be block-aligned");
+        assert!(start + out.len() <= self.n, "range out of bounds");
+        let mut buf = [V::default(); BLOCK];
+        let mut written = 0;
+        let mut blk = start / BLOCK;
+        while written < out.len() {
+            let len = self.decode_block(blk, &mut buf);
+            let take = len.min(out.len() - written);
+            out[written..written + take].copy_from_slice(&buf[..take]);
+            written += take;
+            blk += 1;
+        }
+    }
+
+    /// Fine-grained random access: the value at position `x`, without
+    /// decompressing the rest of the block (except for PFOR-DELTA, which
+    /// must reconstruct the running sum of its block — §3.1 "Fine-Grained
+    /// Access").
+    pub fn get(&self, x: usize) -> V {
+        assert!(x < self.n, "index {x} out of bounds for segment of {}", self.n);
+        let blk = x / BLOCK;
+        if self.scheme == SchemeKind::PforDelta {
+            let mut buf = [V::default(); BLOCK];
+            self.decode_block(blk, &mut buf);
+            return buf[x % BLOCK];
+        }
+        let local = (x % BLOCK) as u32;
+        let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
+        let word_base = self.block_word_offset(blk);
+        let code_at =
+            |p: u32| get_one(&self.codes[word_base..], self.b, p as usize);
+        // Walk the linked list until we reach or pass x.
+        let mut i = patch_start;
+        let mut k = 0usize;
+        while k < exc_count && i < local {
+            i += code_at(i) + 1;
+            k += 1;
+        }
+        if k < exc_count && i == local {
+            self.exceptions[exc_start + k]
+        } else {
+            let c = code_at(local);
+            match self.scheme {
+                SchemeKind::Pfor => V::apply_offset(self.base, c),
+                SchemeKind::Pdict => self.dict[(c as usize).min(self.dict.len() - 1)],
+                SchemeKind::PforDelta => unreachable!("handled above"),
+            }
+        }
+    }
+
+    /// A streaming iterator over the decompressed values: decodes one
+    /// 128-value block at a time into an internal buffer, so iterating a
+    /// 32 MB segment never materializes more than one block — the same
+    /// cache-residency property the vectorized scan relies on.
+    pub fn iter(&self) -> SegmentIter<'_, V> {
+        SegmentIter { seg: self, buf: [V::default(); BLOCK], blk: 0, pos: 0, len: 0 }
+    }
+
+    /// Serialized size in bytes of each section, `(header, entry_points,
+    /// codes, exceptions, extra)` where `extra` covers delta bases or the
+    /// dictionary.
+    pub fn section_bytes(&self) -> (usize, usize, usize, usize, usize) {
+        let w = V::byte_width();
+        (
+            crate::wire::HEADER_BYTES,
+            self.entries.len() * 4,
+            self.codes.len() * 4,
+            self.exceptions.len() * w,
+            self.delta_bases.len() * w + self.dict.len() * w,
+        )
+    }
+
+    /// Total serialized size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        let (h, e, c, x, d) = self.section_bytes();
+        h + e + c + x + d
+    }
+
+    /// Size and composition report.
+    pub fn stats(&self) -> SegmentStats {
+        let compressed = self.compressed_bytes();
+        let uncompressed = self.n * V::byte_width();
+        SegmentStats {
+            n: self.n,
+            b: self.b,
+            exceptions: self.exceptions.len(),
+            compressed_bytes: compressed,
+            uncompressed_bytes: uncompressed,
+            ratio: uncompressed as f64 / compressed as f64,
+            bits_per_value: compressed as f64 * 8.0 / self.n.max(1) as f64,
+        }
+    }
+}
+
+/// Streaming block-buffered iterator over a segment's values.
+pub struct SegmentIter<'a, V: Value> {
+    seg: &'a Segment<V>,
+    buf: [V; BLOCK],
+    blk: usize,
+    pos: usize,
+    len: usize,
+}
+
+impl<V: Value> Iterator for SegmentIter<'_, V> {
+    type Item = V;
+
+    fn next(&mut self) -> Option<V> {
+        if self.pos >= self.len {
+            if self.blk >= self.seg.n_blocks() {
+                return None;
+            }
+            self.len = self.seg.decode_block(self.blk, &mut self.buf);
+            self.blk += 1;
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let done = (self.blk.saturating_sub(1)) * BLOCK + self.pos;
+        let remaining = self.seg.n.saturating_sub(done.min(self.seg.n));
+        (remaining, Some(remaining))
+    }
+}
+
+impl<V: Value> ExactSizeIterator for SegmentIter<'_, V> {}
+
+impl<'a, V: Value> IntoIterator for &'a Segment<V> {
+    type Item = V;
+    type IntoIter = SegmentIter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Internal builder shared by the three encoders: takes the unpacked codes
+/// and the sorted *data-driven* miss positions, inserts compulsory
+/// exceptions, writes the per-block linked lists and entry points, packs
+/// the codes and assembles the [`Segment`].
+pub(crate) struct SegmentAssembly<'a, V: Value> {
+    pub scheme: SchemeKind,
+    pub b: u32,
+    pub base: V,
+    /// Unpacked codes, one per value; exception slots are overwritten with
+    /// gap codes here.
+    pub codes: &'a mut [u32],
+    /// Sorted global positions of data-driven exceptions.
+    pub miss: &'a [u32],
+    /// PFOR-DELTA running-sum restarts (empty otherwise).
+    pub delta_bases: Vec<V>,
+    /// PDICT dictionary (empty otherwise).
+    pub dict: Vec<V>,
+}
+
+impl<'a, V: Value> SegmentAssembly<'a, V> {
+    /// Finalizes the segment. `exception_value(pos)` supplies the value to
+    /// store in the exception section for a (possibly compulsory) exception
+    /// at global position `pos`.
+    pub fn finish(self, mut exception_value: impl FnMut(usize) -> V) -> Segment<V> {
+        let n = self.codes.len();
+        assert!(n <= MAX_SEGMENT_VALUES, "segment too large: {n} values");
+        let n_blocks = n.div_ceil(BLOCK);
+        let mut entries = Vec::with_capacity(n_blocks);
+        let mut exceptions = Vec::with_capacity(self.miss.len());
+        let mut block_miss: Vec<u32> = Vec::with_capacity(BLOCK);
+        let mut planned: Vec<u32> = Vec::with_capacity(BLOCK);
+        let mut mi = 0usize;
+        for blk in 0..n_blocks {
+            let lo = blk * BLOCK;
+            let hi = (lo + BLOCK).min(n);
+            block_miss.clear();
+            while mi < self.miss.len() && (self.miss[mi] as usize) < hi {
+                block_miss.push(self.miss[mi] - lo as u32);
+                mi += 1;
+            }
+            crate::patch::plan_block_exceptions(&block_miss, self.b, &mut planned);
+            let patch_start = planned.first().copied().unwrap_or(0);
+            entries.push(EntryPoint::new(patch_start, exceptions.len() as u32));
+            for &p in &planned {
+                exceptions.push(exception_value(lo + p as usize));
+            }
+            crate::patch::write_gap_codes(&mut self.codes[lo..hi], &planned);
+        }
+        debug_assert_eq!(mi, self.miss.len());
+        let codes = scc_bitpack::pack_vec(self.codes, self.b);
+        Segment {
+            scheme: self.scheme,
+            n,
+            b: self.b,
+            base: self.base,
+            entries,
+            delta_bases: self.delta_bases,
+            codes,
+            exceptions,
+            dict: self.dict,
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The value-type abstraction over which the patched compression schemes
+//! are generic.
+//!
+//! The paper implements its kernels for "all applicable datatypes"; we do
+//! the same with a sealed-style trait implemented for `u32`, `u64`, `i32`
+//! and `i64`. All frame-of-reference arithmetic is *wrapping*, which makes
+//! the code↔value mapping bijective within a `2^b` window regardless of
+//! where the base sits in the domain (including negative bases and
+//! wrap-around windows).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A fixed-width integer type that can be compressed by PFOR, PFOR-DELTA
+/// and PDICT.
+pub trait Value:
+    Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'static
+{
+    /// Width of the type in bits (32 or 64).
+    const BITS: u32;
+    /// Human-readable type name used in headers and reports.
+    const NAME: &'static str;
+
+    /// `self - base` modulo the type width, widened to `u64`.
+    ///
+    /// A value is codable at width `b` iff this offset is `< 2^b`.
+    fn wrapping_offset(self, base: Self) -> u64;
+
+    /// Inverse of [`wrapping_offset`](Self::wrapping_offset):
+    /// `base + offset` modulo the type width.
+    fn apply_offset(base: Self, offset: u32) -> Self;
+
+    /// Wrapping difference, used for delta encoding.
+    fn wrapping_sub_v(self, other: Self) -> Self;
+
+    /// Wrapping sum, used for the running sum in PFOR-DELTA decode.
+    fn wrapping_add_v(self, other: Self) -> Self;
+
+    /// Serializes in little-endian order.
+    fn write_le(self, out: &mut Vec<u8>);
+
+    /// Deserializes from exactly [`byte_width`](Self::byte_width) bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+
+    /// Lossy conversion used by data generators and tests.
+    fn from_u64_lossy(v: u64) -> Self;
+
+    /// Lossy conversion used by histograms and reports.
+    fn to_u64_lossy(self) -> u64;
+
+    /// Width of the type in bytes.
+    #[inline]
+    fn byte_width() -> usize {
+        (Self::BITS / 8) as usize
+    }
+}
+
+macro_rules! impl_value {
+    ($ty:ty, $uns:ty, $bits:expr, $name:expr) => {
+        impl Value for $ty {
+            const BITS: u32 = $bits;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn wrapping_offset(self, base: Self) -> u64 {
+                (self as $uns).wrapping_sub(base as $uns) as u64
+            }
+
+            #[inline(always)]
+            fn apply_offset(base: Self, offset: u32) -> Self {
+                (base as $uns).wrapping_add(offset as $uns) as $ty
+            }
+
+            #[inline(always)]
+            fn wrapping_sub_v(self, other: Self) -> Self {
+                self.wrapping_sub(other)
+            }
+
+            #[inline(always)]
+            fn wrapping_add_v(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$ty>::from_le_bytes(bytes[..Self::byte_width()].try_into().unwrap())
+            }
+
+            #[inline]
+            fn from_u64_lossy(v: u64) -> Self {
+                v as $ty
+            }
+
+            #[inline]
+            fn to_u64_lossy(self) -> u64 {
+                self as $uns as u64
+            }
+        }
+    };
+}
+
+impl_value!(u32, u32, 32, "u32");
+impl_value!(i32, u32, 32, "i32");
+impl_value!(u64, u64, 64, "u64");
+impl_value!(i64, u64, 64, "i64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_roundtrip_u32() {
+        for (v, base) in [(10u32, 3u32), (3, 10), (0, u32::MAX), (u32::MAX, 0)] {
+            let off = v.wrapping_offset(base);
+            assert_eq!(u32::apply_offset(base, off as u32), v);
+        }
+    }
+
+    #[test]
+    fn offset_roundtrip_signed() {
+        for (v, base) in [(-5i32, -100i32), (100, -100), (i32::MIN, i32::MAX)] {
+            let off = v.wrapping_offset(base);
+            assert_eq!(i32::apply_offset(base, off as u32), v);
+        }
+        // Small windows around a negative base produce small offsets.
+        assert_eq!((-98i32).wrapping_offset(-100), 2);
+        assert_eq!((-98i64).wrapping_offset(-100), 2);
+    }
+
+    #[test]
+    fn offset_window_u64() {
+        let base = u64::MAX - 10;
+        let v = base + 7;
+        assert_eq!(v.wrapping_offset(base), 7);
+        assert_eq!(u64::apply_offset(base, 7), v);
+        // Wrap across the top of the domain.
+        let v2 = 5u64;
+        let off = v2.wrapping_offset(base);
+        assert_eq!(u64::apply_offset(base, off as u32), v2);
+    }
+
+    #[test]
+    fn le_roundtrip() {
+        fn check<V: Value>(v: V) {
+            let mut buf = Vec::new();
+            v.write_le(&mut buf);
+            assert_eq!(buf.len(), V::byte_width());
+            assert_eq!(V::read_le(&buf), v);
+        }
+        check(0x1234_5678u32);
+        check(-42i32);
+        check(0x1234_5678_9abc_def0u64);
+        check(i64::MIN);
+    }
+}

@@ -1,0 +1,303 @@
+//! Byte serialization of compressed segments — the on-disk form of
+//! Figure 3.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! +--------------------+  fixed 32-byte header
+//! | magic ver scheme   |
+//! | vtype b n n_exc    |
+//! | n_dict codes_words |
+//! | base               |
+//! +--------------------+
+//! | entry points       |  one u32 per 128 values
+//! +--------------------+
+//! | delta bases        |  PFOR-DELTA only: one value per block
+//! +--------------------+
+//! | dictionary         |  PDICT only
+//! +--------------------+
+//! | code section       |  forward-growing bit-packed codes
+//! +--------------------+
+//! | exception section  |  BACKWARD-growing raw values (paper layout:
+//! |                    |  exceptions[-1], exceptions[-2], ...)
+//! +--------------------+
+//! ```
+
+use crate::patch::EntryPoint;
+use crate::segment::{Segment, SchemeKind};
+use crate::value::Value;
+use std::fmt;
+
+/// Fixed header size in bytes.
+pub const HEADER_BYTES: usize = 32;
+
+const MAGIC: [u8; 4] = *b"SCCS";
+const VERSION: u8 = 1;
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer does not start with the segment magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown scheme tag.
+    BadScheme(u8),
+    /// Segment was written for a different value type.
+    TypeMismatch {
+        /// The value type requested by the caller.
+        expected: &'static str,
+        /// The type tag found in the header.
+        found: u8,
+    },
+    /// Buffer shorter than the header claims.
+    Truncated {
+        /// Bytes the header implies.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// A header field is structurally impossible (width > 32, value count
+    /// over the segment cap, wrong code-section size, non-monotone entry
+    /// points, ...).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad segment magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported segment version {v}"),
+            WireError::BadScheme(t) => write!(f, "unknown scheme tag {t}"),
+            WireError::TypeMismatch { expected, found } => {
+                write!(f, "segment value type {found} does not match {expected}")
+            }
+            WireError::Truncated { need, have } => {
+                write!(f, "segment truncated: need {need} bytes, have {have}")
+            }
+            WireError::Corrupt(what) => write!(f, "corrupt segment: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn vtype_tag<V: Value>() -> u8 {
+    match V::NAME {
+        "u32" => 1,
+        "i32" => 2,
+        "u64" => 3,
+        "i64" => 4,
+        _ => unreachable!("unknown value type"),
+    }
+}
+
+impl<V: Value> Segment<V> {
+    /// Serializes the segment into the Figure 3 byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let w = V::byte_width();
+        let mut out = Vec::with_capacity(self.compressed_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.scheme.tag());
+        out.push(vtype_tag::<V>());
+        out.push(self.b as u8);
+        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        out.extend_from_slice(&(self.exceptions.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dict.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.codes.len() as u32).to_le_bytes());
+        let mut base8 = [0u8; 8];
+        let mut tmp = Vec::with_capacity(8);
+        self.base.write_le(&mut tmp);
+        base8[..w].copy_from_slice(&tmp);
+        out.extend_from_slice(&base8);
+        debug_assert_eq!(out.len(), HEADER_BYTES);
+        for e in &self.entries {
+            out.extend_from_slice(&e.0.to_le_bytes());
+        }
+        for &v in &self.delta_bases {
+            v.write_le(&mut out);
+        }
+        for &v in &self.dict {
+            v.write_le(&mut out);
+        }
+        for &word in &self.codes {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        // Exception section grows backwards: last-written exception first.
+        for &v in self.exceptions.iter().rev() {
+            v.write_le(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes a segment written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// All *structural* header fields are validated (width, counts,
+    /// section sizes, entry-point monotonicity), so corrupt headers yield
+    /// [`WireError`] rather than misbehaviour. Corruption *inside* the
+    /// code or exception payload cannot always be detected cheaply; it
+    /// produces wrong values or a clean bounds-check panic on decode,
+    /// never undefined behaviour.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let w = V::byte_width();
+        if bytes.len() < HEADER_BYTES {
+            return Err(WireError::Truncated { need: HEADER_BYTES, have: bytes.len() });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(WireError::BadVersion(bytes[4]));
+        }
+        let scheme = SchemeKind::from_tag(bytes[5]).ok_or(WireError::BadScheme(bytes[5]))?;
+        if bytes[6] != vtype_tag::<V>() {
+            return Err(WireError::TypeMismatch { expected: V::NAME, found: bytes[6] });
+        }
+        let b = bytes[7] as u32;
+        if b > 32 {
+            return Err(WireError::Corrupt("bit width exceeds 32"));
+        }
+        let rd32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let n = rd32(8) as usize;
+        if n > crate::patch::MAX_SEGMENT_VALUES {
+            return Err(WireError::Corrupt("value count exceeds the segment cap"));
+        }
+        let n_exc = rd32(12) as usize;
+        if n_exc > n {
+            return Err(WireError::Corrupt("more exceptions than values"));
+        }
+        let n_dict = rd32(16) as usize;
+        if n_dict > 1 << 25 {
+            return Err(WireError::Corrupt("dictionary larger than the code space"));
+        }
+        let codes_words = rd32(20) as usize;
+        if codes_words != scc_bitpack::packed_words(n, b) {
+            return Err(WireError::Corrupt("code section size does not match n and b"));
+        }
+        let base = V::read_le(&bytes[24..24 + w]);
+        let n_blocks = n.div_ceil(crate::patch::BLOCK);
+        let n_delta_bases = if scheme == SchemeKind::PforDelta { n_blocks } else { 0 };
+        let need = HEADER_BYTES
+            + n_blocks * 4
+            + n_delta_bases * w
+            + n_dict * w
+            + codes_words * 4
+            + n_exc * w;
+        if bytes.len() < need {
+            return Err(WireError::Truncated { need, have: bytes.len() });
+        }
+        let mut off = HEADER_BYTES;
+        let mut entries = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            entries.push(EntryPoint(rd32(off)));
+            off += 4;
+        }
+        // Entry points must partition the exception section monotonically,
+        // with at most 128 exceptions per block.
+        for pair in entries.windows(2) {
+            let (a, b) = (pair[0].exception_start(), pair[1].exception_start());
+            if a > b {
+                return Err(WireError::Corrupt("entry points not monotone"));
+            }
+            if b - a > crate::patch::BLOCK as u32 {
+                return Err(WireError::Corrupt("block claims more exceptions than values"));
+            }
+        }
+        if let Some(last) = entries.last() {
+            let tail = n_exc as i64 - last.exception_start() as i64;
+            if !(0..=crate::patch::BLOCK as i64).contains(&tail) {
+                return Err(WireError::Corrupt("entry point past the exception section"));
+            }
+        }
+        // Scheme-specific invariants: PDICT's branch-free decode loop
+        // consults the dictionary for every position, so a non-empty
+        // segment needs a non-empty dictionary.
+        if scheme == SchemeKind::Pdict && n_dict == 0 && n > 0 {
+            return Err(WireError::Corrupt("PDICT segment without a dictionary"));
+        }
+        let mut delta_bases = Vec::with_capacity(n_delta_bases);
+        for _ in 0..n_delta_bases {
+            delta_bases.push(V::read_le(&bytes[off..]));
+            off += w;
+        }
+        let mut dict = Vec::with_capacity(n_dict);
+        for _ in 0..n_dict {
+            dict.push(V::read_le(&bytes[off..]));
+            off += w;
+        }
+        let mut codes = Vec::with_capacity(codes_words);
+        for _ in 0..codes_words {
+            codes.push(rd32(off));
+            off += 4;
+        }
+        let mut exceptions = vec![V::default(); n_exc];
+        for i in (0..n_exc).rev() {
+            exceptions[i] = V::read_le(&bytes[off..]);
+            off += w;
+        }
+        Ok(Segment { scheme, n, b, base, entries, delta_bases, codes, exceptions, dict })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdict::Dictionary;
+
+    #[test]
+    fn pfor_bytes_roundtrip() {
+        let values: Vec<u32> = (0..1000).map(|i| if i % 40 == 0 { i * 12345 } else { i % 50 }).collect();
+        let seg = crate::pfor::compress(&values, 0, 6);
+        let bytes = seg.to_bytes();
+        assert_eq!(bytes.len(), seg.compressed_bytes());
+        let back = Segment::<u32>::from_bytes(&bytes).unwrap();
+        assert_eq!(back, seg);
+        assert_eq!(back.decompress(), values);
+    }
+
+    #[test]
+    fn pfordelta_bytes_roundtrip() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * 3 + (i % 7)).collect();
+        let seg = crate::pfordelta::compress(&values, 0, 0, 4);
+        let back = Segment::<u64>::from_bytes(&seg.to_bytes()).unwrap();
+        assert_eq!(back.decompress(), values);
+    }
+
+    #[test]
+    fn pdict_bytes_roundtrip() {
+        let values: Vec<i32> = (0..600).map(|i| [(-7i32), 0, 9][i as usize % 3]).collect();
+        let dict = Dictionary::new(vec![-7i32, 0, 9]);
+        let seg = crate::pdict::compress(&values, &dict);
+        let back = Segment::<i32>::from_bytes(&seg.to_bytes()).unwrap();
+        assert_eq!(back.decompress(), values);
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let seg = crate::pfor::compress(&[1u32, 2, 3], 0, 2);
+        let bytes = seg.to_bytes();
+        let err = Segment::<u64>::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let seg = crate::pfor::compress(&(0..200u32).collect::<Vec<_>>(), 0, 8);
+        let bytes = seg.to_bytes();
+        for cut in [0, 10, HEADER_BYTES, bytes.len() - 1] {
+            assert!(
+                Segment::<u32>::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let seg = crate::pfor::compress(&[1u32, 2], 0, 2);
+        let mut bytes = seg.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Segment::<u32>::from_bytes(&bytes).unwrap_err(), WireError::BadMagic);
+    }
+}

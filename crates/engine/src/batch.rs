@@ -1,0 +1,242 @@
+//! Column vectors and batches: the unit of data flow between operators.
+
+/// The type of one column vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 32-bit signed integers (dates as days, small numerics).
+    I32,
+    /// 64-bit signed integers (keys, decimals as scaled integers).
+    I64,
+    /// 32-bit unsigned integers (dictionary codes).
+    U32,
+    /// 64-bit floats (derived arithmetic, averages).
+    F64,
+}
+
+/// A typed column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Vector {
+    /// 32-bit signed values.
+    I32(Vec<i32>),
+    /// 64-bit signed values.
+    I64(Vec<i64>),
+    /// Dictionary codes.
+    U32(Vec<u32>),
+    /// Floats.
+    F64(Vec<f64>),
+    /// Boolean masks produced by comparison primitives.
+    Mask(Vec<bool>),
+}
+
+impl Vector {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Vector::I32(v) => v.len(),
+            Vector::I64(v) => v.len(),
+            Vector::U32(v) => v.len(),
+            Vector::F64(v) => v.len(),
+            Vector::Mask(v) => v.len(),
+        }
+    }
+
+    /// True when the vector holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The vector's column type.
+    ///
+    /// # Panics
+    /// Panics on [`Vector::Mask`], which is not a storable column type.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Vector::I32(_) => ColType::I32,
+            Vector::I64(_) => ColType::I64,
+            Vector::U32(_) => ColType::U32,
+            Vector::F64(_) => ColType::F64,
+            Vector::Mask(_) => panic!("masks are not a column type"),
+        }
+    }
+
+    /// The underlying `i64` data (panics on other types).
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            Vector::I64(v) => v,
+            other => panic!("expected I64 vector, got {:?}", other.type_name()),
+        }
+    }
+
+    /// The underlying `i32` data (panics on other types).
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            Vector::I32(v) => v,
+            other => panic!("expected I32 vector, got {:?}", other.type_name()),
+        }
+    }
+
+    /// The underlying `u32` data (panics on other types).
+    pub fn as_u32(&self) -> &[u32] {
+        match self {
+            Vector::U32(v) => v,
+            other => panic!("expected U32 vector, got {:?}", other.type_name()),
+        }
+    }
+
+    /// The underlying `f64` data (panics on other types).
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Vector::F64(v) => v,
+            other => panic!("expected F64 vector, got {:?}", other.type_name()),
+        }
+    }
+
+    /// The underlying mask (panics on other types).
+    pub fn as_mask(&self) -> &[bool] {
+        match self {
+            Vector::Mask(v) => v,
+            other => panic!("expected Mask vector, got {:?}", other.type_name()),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Vector::I32(_) => "I32",
+            Vector::I64(_) => "I64",
+            Vector::U32(_) => "U32",
+            Vector::F64(_) => "F64",
+            Vector::Mask(_) => "Mask",
+        }
+    }
+
+    /// Value at `i` widened to `i64` for key handling (F64 uses raw bits).
+    #[inline]
+    pub fn key_at(&self, i: usize) -> u64 {
+        match self {
+            Vector::I32(v) => v[i] as u32 as u64,
+            Vector::I64(v) => v[i] as u64,
+            Vector::U32(v) => v[i] as u64,
+            Vector::F64(v) => v[i].to_bits(),
+            Vector::Mask(v) => v[i] as u64,
+        }
+    }
+
+    /// Gathers the elements at `indices` into a new vector of the same
+    /// type (the compaction primitive behind selections and joins).
+    pub fn gather(&self, indices: &[usize]) -> Vector {
+        match self {
+            Vector::I32(v) => Vector::I32(indices.iter().map(|&i| v[i]).collect()),
+            Vector::I64(v) => Vector::I64(indices.iter().map(|&i| v[i]).collect()),
+            Vector::U32(v) => Vector::U32(indices.iter().map(|&i| v[i]).collect()),
+            Vector::F64(v) => Vector::F64(indices.iter().map(|&i| v[i]).collect()),
+            Vector::Mask(v) => Vector::Mask(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Appends `other` (same type) onto `self`.
+    pub fn append(&mut self, other: &Vector) {
+        match (self, other) {
+            (Vector::I32(a), Vector::I32(b)) => a.extend_from_slice(b),
+            (Vector::I64(a), Vector::I64(b)) => a.extend_from_slice(b),
+            (Vector::U32(a), Vector::U32(b)) => a.extend_from_slice(b),
+            (Vector::F64(a), Vector::F64(b)) => a.extend_from_slice(b),
+            (Vector::Mask(a), Vector::Mask(b)) => a.extend_from_slice(b),
+            (a, b) => panic!("append type mismatch: {} vs {}", a.type_name(), b.type_name()),
+        }
+    }
+
+    /// An empty vector of the given type.
+    pub fn empty(ty: ColType) -> Vector {
+        match ty {
+            ColType::I32 => Vector::I32(Vec::new()),
+            ColType::I64 => Vector::I64(Vec::new()),
+            ColType::U32 => Vector::U32(Vec::new()),
+            ColType::F64 => Vector::F64(Vec::new()),
+        }
+    }
+}
+
+/// A batch of rows: equal-length column vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The column vectors; all the same length.
+    pub columns: Vec<Vector>,
+}
+
+impl Batch {
+    /// Builds a batch, checking column lengths agree.
+    pub fn new(columns: Vec<Vector>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            debug_assert!(columns.iter().all(|c| c.len() == n), "ragged batch");
+        }
+        Self { columns }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vector::len)
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column `i`.
+    pub fn col(&self, i: usize) -> &Vector {
+        &self.columns[i]
+    }
+
+    /// Gathers rows at `indices` across all columns.
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        Batch::new(self.columns.iter().map(|c| c.gather(indices)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_compacts_rows() {
+        let b = Batch::new(vec![
+            Vector::I64(vec![10, 20, 30, 40]),
+            Vector::F64(vec![1.0, 2.0, 3.0, 4.0]),
+        ]);
+        let g = b.gather(&[0, 3]);
+        assert_eq!(g.col(0).as_i64(), &[10, 40]);
+        assert_eq!(g.col(1).as_f64(), &[1.0, 4.0]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn key_at_is_type_stable() {
+        let v = Vector::I32(vec![-1]);
+        let w = Vector::I64(vec![-1]);
+        // Same logical value, widened consistently within a type.
+        assert_eq!(v.key_at(0), u32::MAX as u64);
+        assert_eq!(w.key_at(0), u64::MAX);
+    }
+
+    #[test]
+    fn append_same_type() {
+        let mut a = Vector::U32(vec![1, 2]);
+        a.append(&Vector::U32(vec![3]));
+        assert_eq!(a.as_u32(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn append_type_mismatch_panics() {
+        let mut a = Vector::U32(vec![1]);
+        a.append(&Vector::I64(vec![2]));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::new(vec![]);
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+    }
+}

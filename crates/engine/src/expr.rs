@@ -1,0 +1,401 @@
+//! Vectorized expression evaluation.
+//!
+//! Expressions compile to trees evaluated one vector at a time; every
+//! arithmetic/comparison node is a tight loop over the operand vectors
+//! (the engine's "primitives"). Type promotion is minimal and explicit:
+//! integer ops stay integer, `to_f64` promotes, comparisons yield masks.
+
+use crate::batch::{Batch, Vector};
+use std::collections::HashSet;
+
+/// A vectorized expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Input column by position.
+    Col(usize),
+    /// Literal i32.
+    LitI32(i32),
+    /// Literal i64.
+    LitI64(i64),
+    /// Literal u32.
+    LitU32(u32),
+    /// Literal f64.
+    LitF64(f64),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Promote to f64.
+    ToF64(Box<Expr>),
+    /// Comparison: equal.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Comparison: not equal.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Comparison: less than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Comparison: less or equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Comparison: greater than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Comparison: greater or equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical and of two masks.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or of two masks.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not of a mask.
+    Not(Box<Expr>),
+    /// Membership of a (widened) value in a set — how string predicates
+    /// arrive after dictionary translation.
+    InSet(Box<Expr>, HashSet<u64>),
+    /// Branch-free conditional: `mask ? then : else` per row (the
+    /// predicated select primitive; both branches are evaluated).
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bucket an i32 input by sorted boundaries: result is the number of
+    /// boundaries `<=` the value (e.g. year extraction from day numbers
+    /// with year-start boundaries).
+    BucketI32(Box<Expr>, Vec<i32>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// i64 literal.
+    pub fn lit_i64(v: i64) -> Expr {
+        Expr::LitI64(v)
+    }
+
+    /// i32 literal.
+    pub fn lit_i32(v: i32) -> Expr {
+        Expr::LitI32(v)
+    }
+
+    /// u32 literal.
+    pub fn lit_u32(v: u32) -> Expr {
+        Expr::LitU32(v)
+    }
+
+    /// f64 literal.
+    pub fn lit_f64(v: f64) -> Expr {
+        Expr::LitF64(v)
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // vectorized-expression DSL, not std ops
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)] // vectorized-expression DSL, not std ops
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)] // vectorized-expression DSL, not std ops
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Promote to f64.
+    pub fn to_f64(self) -> Expr {
+        Expr::ToF64(Box::new(self))
+    }
+
+    /// `self == rhs` mask.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self != rhs` mask.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Ne(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs` mask.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs` mask.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Le(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs` mask.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Gt(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs` mask.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Ge(Box::new(self), Box::new(rhs))
+    }
+
+    /// Mask conjunction.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Mask disjunction.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Mask negation.
+    #[allow(clippy::should_implement_trait)] // vectorized-expression DSL, not std ops
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Set membership over widened values.
+    pub fn in_set(self, set: HashSet<u64>) -> Expr {
+        Expr::InSet(Box::new(self), set)
+    }
+
+    /// Per-row conditional (`self` must evaluate to a mask).
+    pub fn cond(self, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Cond(Box::new(self), Box::new(then), Box::new(otherwise))
+    }
+
+    /// Bucket by sorted i32 boundaries.
+    pub fn bucket_i32(self, boundaries: Vec<i32>) -> Expr {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        Expr::BucketI32(Box::new(self), boundaries)
+    }
+
+    /// Evaluates against a batch, producing one vector of `batch.len()`
+    /// values.
+    pub fn eval(&self, batch: &Batch) -> Vector {
+        let n = batch.len();
+        match self {
+            Expr::Col(i) => batch.col(*i).clone(),
+            Expr::LitI32(v) => Vector::I32(vec![*v; n]),
+            Expr::LitI64(v) => Vector::I64(vec![*v; n]),
+            Expr::LitU32(v) => Vector::U32(vec![*v; n]),
+            Expr::LitF64(v) => Vector::F64(vec![*v; n]),
+            Expr::Add(a, b) => arith(&a.eval(batch), &b.eval(batch), ArithOp::Add),
+            Expr::Sub(a, b) => arith(&a.eval(batch), &b.eval(batch), ArithOp::Sub),
+            Expr::Mul(a, b) => arith(&a.eval(batch), &b.eval(batch), ArithOp::Mul),
+            Expr::ToF64(a) => to_f64(&a.eval(batch)),
+            Expr::Eq(a, b) => compare(&a.eval(batch), &b.eval(batch), CmpOp::Eq),
+            Expr::Ne(a, b) => compare(&a.eval(batch), &b.eval(batch), CmpOp::Ne),
+            Expr::Lt(a, b) => compare(&a.eval(batch), &b.eval(batch), CmpOp::Lt),
+            Expr::Le(a, b) => compare(&a.eval(batch), &b.eval(batch), CmpOp::Le),
+            Expr::Gt(a, b) => compare(&a.eval(batch), &b.eval(batch), CmpOp::Gt),
+            Expr::Ge(a, b) => compare(&a.eval(batch), &b.eval(batch), CmpOp::Ge),
+            Expr::And(a, b) => {
+                let (av, bv) = (a.eval(batch), b.eval(batch));
+                let (am, bm) = (av.as_mask(), bv.as_mask());
+                Vector::Mask(am.iter().zip(bm).map(|(&x, &y)| x & y).collect())
+            }
+            Expr::Or(a, b) => {
+                let (av, bv) = (a.eval(batch), b.eval(batch));
+                let (am, bm) = (av.as_mask(), bv.as_mask());
+                Vector::Mask(am.iter().zip(bm).map(|(&x, &y)| x | y).collect())
+            }
+            Expr::Not(a) => {
+                let av = a.eval(batch);
+                Vector::Mask(av.as_mask().iter().map(|&x| !x).collect())
+            }
+            Expr::InSet(a, set) => {
+                let av = a.eval(batch);
+                Vector::Mask((0..n).map(|i| set.contains(&av.key_at(i))).collect())
+            }
+            Expr::Cond(m, t, e) => {
+                let mv = m.eval(batch);
+                let mask = mv.as_mask();
+                let tv = t.eval(batch);
+                let ev = e.eval(batch);
+                cond_select(mask, &tv, &ev)
+            }
+            Expr::BucketI32(a, bounds) => {
+                let av = a.eval(batch);
+                let x = av.as_i32();
+                Vector::I32(
+                    x.iter()
+                        .map(|v| bounds.partition_point(|b| b <= v) as i32)
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+fn cond_select(mask: &[bool], t: &Vector, e: &Vector) -> Vector {
+    match (t, e) {
+        (Vector::I32(a), Vector::I32(b)) => Vector::I32(
+            mask.iter().zip(a.iter().zip(b)).map(|(&m, (&x, &y))| if m { x } else { y }).collect(),
+        ),
+        (Vector::I64(a), Vector::I64(b)) => Vector::I64(
+            mask.iter().zip(a.iter().zip(b)).map(|(&m, (&x, &y))| if m { x } else { y }).collect(),
+        ),
+        (Vector::U32(a), Vector::U32(b)) => Vector::U32(
+            mask.iter().zip(a.iter().zip(b)).map(|(&m, (&x, &y))| if m { x } else { y }).collect(),
+        ),
+        (Vector::F64(a), Vector::F64(b)) => Vector::F64(
+            mask.iter().zip(a.iter().zip(b)).map(|(&m, (&x, &y))| if m { x } else { y }).collect(),
+        ),
+        _ => panic!("cond branch type mismatch"),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+#[derive(Clone, Copy)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+macro_rules! arith_loop {
+    ($a:expr, $b:expr, $op:expr, $ctor:path) => {{
+        debug_assert_eq!($a.len(), $b.len());
+        $ctor(match $op {
+            ArithOp::Add => $a.iter().zip($b).map(|(&x, &y)| x + y).collect(),
+            ArithOp::Sub => $a.iter().zip($b).map(|(&x, &y)| x - y).collect(),
+            ArithOp::Mul => $a.iter().zip($b).map(|(&x, &y)| x * y).collect(),
+        })
+    }};
+}
+
+fn arith(a: &Vector, b: &Vector, op: ArithOp) -> Vector {
+    match (a, b) {
+        (Vector::I32(x), Vector::I32(y)) => arith_loop!(x, y, op, Vector::I32),
+        (Vector::I64(x), Vector::I64(y)) => arith_loop!(x, y, op, Vector::I64),
+        (Vector::F64(x), Vector::F64(y)) => arith_loop!(x, y, op, Vector::F64),
+        _ => panic!("arith type mismatch"),
+    }
+}
+
+fn to_f64(a: &Vector) -> Vector {
+    match a {
+        Vector::I32(x) => Vector::F64(x.iter().map(|&v| v as f64).collect()),
+        Vector::I64(x) => Vector::F64(x.iter().map(|&v| v as f64).collect()),
+        Vector::U32(x) => Vector::F64(x.iter().map(|&v| v as f64).collect()),
+        Vector::F64(x) => Vector::F64(x.clone()),
+        Vector::Mask(_) => panic!("cannot promote mask to f64"),
+    }
+}
+
+macro_rules! cmp_loop {
+    ($a:expr, $b:expr, $op:expr) => {{
+        debug_assert_eq!($a.len(), $b.len());
+        Vector::Mask(match $op {
+            CmpOp::Eq => $a.iter().zip($b).map(|(x, y)| x == y).collect(),
+            CmpOp::Ne => $a.iter().zip($b).map(|(x, y)| x != y).collect(),
+            CmpOp::Lt => $a.iter().zip($b).map(|(x, y)| x < y).collect(),
+            CmpOp::Le => $a.iter().zip($b).map(|(x, y)| x <= y).collect(),
+            CmpOp::Gt => $a.iter().zip($b).map(|(x, y)| x > y).collect(),
+            CmpOp::Ge => $a.iter().zip($b).map(|(x, y)| x >= y).collect(),
+        })
+    }};
+}
+
+fn compare(a: &Vector, b: &Vector, op: CmpOp) -> Vector {
+    match (a, b) {
+        (Vector::I32(x), Vector::I32(y)) => cmp_loop!(x, y, op),
+        (Vector::I64(x), Vector::I64(y)) => cmp_loop!(x, y, op),
+        (Vector::U32(x), Vector::U32(y)) => cmp_loop!(x, y, op),
+        (Vector::F64(x), Vector::F64(y)) => cmp_loop!(x, y, op),
+        _ => panic!("compare type mismatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Vector::I64(vec![1, 2, 3, 4, 5]),
+            Vector::F64(vec![0.1, 0.2, 0.3, 0.4, 0.5]),
+            Vector::U32(vec![7, 8, 7, 9, 7]),
+        ])
+    }
+
+    #[test]
+    fn arithmetic_and_promotion() {
+        let e = Expr::col(0).to_f64().mul(Expr::col(1));
+        let v = e.eval(&batch());
+        let f = v.as_f64();
+        assert!((f[4] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons_yield_masks() {
+        let e = Expr::col(0).ge(Expr::lit_i64(3));
+        assert_eq!(e.eval(&batch()).as_mask(), &[false, false, true, true, true]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = Expr::col(0)
+            .ge(Expr::lit_i64(2))
+            .and(Expr::col(0).le(Expr::lit_i64(4)))
+            .or(Expr::col(0).eq(Expr::lit_i64(1)));
+        assert_eq!(e.eval(&batch()).as_mask(), &[true, true, true, true, false]);
+        let n = Expr::col(0).eq(Expr::lit_i64(1)).not();
+        assert_eq!(n.eval(&batch()).as_mask(), &[false, true, true, true, true]);
+    }
+
+    #[test]
+    fn in_set_membership() {
+        let set: HashSet<u64> = [7u64, 9].into_iter().collect();
+        let e = Expr::col(2).in_set(set);
+        assert_eq!(e.eval(&batch()).as_mask(), &[true, false, true, true, true]);
+    }
+
+    #[test]
+    fn literals_broadcast() {
+        let e = Expr::lit_f64(2.0).mul(Expr::col(1));
+        let v = e.eval(&batch());
+        assert_eq!(v.len(), 5);
+        assert!((v.as_f64()[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn mixed_type_arith_panics() {
+        Expr::col(0).add(Expr::col(1)).eval(&batch());
+    }
+
+    #[test]
+    fn cond_selects_per_row() {
+        let e = Expr::col(0)
+            .ge(Expr::lit_i64(3))
+            .cond(Expr::col(0), Expr::lit_i64(0));
+        assert_eq!(e.eval(&batch()).as_i64(), &[0, 0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cond_f64_branches() {
+        let e = Expr::col(2)
+            .eq(Expr::lit_u32(7))
+            .cond(Expr::col(1), Expr::lit_f64(0.0));
+        let v = e.eval(&batch());
+        assert_eq!(v.as_f64(), &[0.1, 0.0, 0.3, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn bucket_counts_boundaries() {
+        let b = Batch::new(vec![Vector::I32(vec![-5, 0, 10, 365, 366, 1000])]);
+        let e = Expr::col(0).bucket_i32(vec![0, 366]);
+        assert_eq!(e.eval(&b).as_i32(), &[0, 1, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Hash aggregation with grouping.
+
+use crate::batch::{Batch, ColType, Vector};
+use crate::expr::Expr;
+use crate::ops::Operator;
+use std::collections::HashMap;
+
+/// An aggregate over an expression.
+#[derive(Debug, Clone)]
+pub enum AggExpr {
+    /// Sum (integer or float, from the expression's type).
+    Sum(Expr),
+    /// Row count.
+    Count,
+    /// Mean as f64 (input promoted).
+    Avg(Expr),
+    /// Minimum.
+    Min(Expr),
+    /// Maximum.
+    Max(Expr),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Acc {
+    SumI64(i64),
+    SumF64(f64),
+    Count(i64),
+    Avg(f64, i64),
+    MinI64(i64),
+    MinF64(f64),
+    MaxI64(i64),
+    MaxF64(f64),
+}
+
+impl Acc {
+    fn update(&mut self, v: &Vector, row: usize) {
+        match self {
+            Acc::SumI64(s) => *s += value_i64(v, row),
+            Acc::SumF64(s) => *s += value_f64(v, row),
+            Acc::Count(c) => *c += 1,
+            Acc::Avg(s, c) => {
+                *s += value_f64(v, row);
+                *c += 1;
+            }
+            Acc::MinI64(m) => *m = (*m).min(value_i64(v, row)),
+            Acc::MinF64(m) => *m = m.min(value_f64(v, row)),
+            Acc::MaxI64(m) => *m = (*m).max(value_i64(v, row)),
+            Acc::MaxF64(m) => *m = m.max(value_f64(v, row)),
+        }
+    }
+}
+
+#[inline]
+fn value_i64(v: &Vector, row: usize) -> i64 {
+    match v {
+        Vector::I32(x) => x[row] as i64,
+        Vector::I64(x) => x[row],
+        Vector::U32(x) => x[row] as i64,
+        _ => panic!("integer aggregate over non-integer input"),
+    }
+}
+
+#[inline]
+fn value_f64(v: &Vector, row: usize) -> f64 {
+    match v {
+        Vector::I32(x) => x[row] as f64,
+        Vector::I64(x) => x[row] as f64,
+        Vector::U32(x) => x[row] as f64,
+        Vector::F64(x) => x[row],
+        Vector::Mask(_) => panic!("aggregate over mask"),
+    }
+}
+
+fn fresh_acc(agg: &AggExpr, input: &Vector) -> Acc {
+    let is_float = matches!(input, Vector::F64(_));
+    match agg {
+        AggExpr::Sum(_) if is_float => Acc::SumF64(0.0),
+        AggExpr::Sum(_) => Acc::SumI64(0),
+        AggExpr::Count => Acc::Count(0),
+        AggExpr::Avg(_) => Acc::Avg(0.0, 0),
+        AggExpr::Min(_) if is_float => Acc::MinF64(f64::INFINITY),
+        AggExpr::Min(_) => Acc::MinI64(i64::MAX),
+        AggExpr::Max(_) if is_float => Acc::MaxF64(f64::NEG_INFINITY),
+        AggExpr::Max(_) => Acc::MaxI64(i64::MIN),
+    }
+}
+
+/// Blocking hash group-by. Consumes the whole input on the first `next()`
+/// call and emits one batch: the key columns (original types preserved)
+/// followed by one column per aggregate.
+pub struct HashAggregate {
+    input: Box<dyn Operator>,
+    keys: Vec<Expr>,
+    aggs: Vec<AggExpr>,
+    done: bool,
+}
+
+impl HashAggregate {
+    /// Builds a group-by over `input`. With no keys, produces exactly one
+    /// global group (even on empty input there is one output row, matching
+    /// SQL aggregate semantics only for COUNT; sums of empty input report
+    /// their identity).
+    pub fn new(input: impl Operator + 'static, keys: Vec<Expr>, aggs: Vec<AggExpr>) -> Self {
+        Self { input: Box::new(input), keys, aggs, done: false }
+    }
+}
+
+impl Operator for HashAggregate {
+    fn next(&mut self) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let mut groups: HashMap<Box<[u64]>, usize> = HashMap::new();
+        let mut key_vals: Vec<Box<[u64]>> = Vec::new();
+        let mut accs: Vec<Vec<Acc>> = Vec::new();
+        let mut key_types: Vec<ColType> = Vec::new();
+        let mut key_buf: Vec<u64> = vec![0; self.keys.len()];
+        while let Some(batch) = self.input.next() {
+            let key_vecs: Vec<Vector> = self.keys.iter().map(|k| k.eval(&batch)).collect();
+            let agg_vecs: Vec<Vector> = self
+                .aggs
+                .iter()
+                .map(|a| match a {
+                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                        e.eval(&batch)
+                    }
+                    AggExpr::Count => Vector::I64(vec![0; batch.len()]),
+                })
+                .collect();
+            if key_types.is_empty() {
+                key_types = key_vecs.iter().map(Vector::col_type).collect();
+            }
+            for row in 0..batch.len() {
+                for (slot, kv) in key_buf.iter_mut().zip(key_vecs.iter()) {
+                    *slot = kv.key_at(row);
+                }
+                let gid = match groups.get(key_buf.as_slice()) {
+                    Some(&g) => g,
+                    None => {
+                        let g = key_vals.len();
+                        let key: Box<[u64]> = key_buf.clone().into_boxed_slice();
+                        groups.insert(key.clone(), g);
+                        key_vals.push(key);
+                        accs.push(
+                            self.aggs
+                                .iter()
+                                .zip(agg_vecs.iter())
+                                .map(|(a, v)| fresh_acc(a, v))
+                                .collect(),
+                        );
+                        g
+                    }
+                };
+                for (acc, v) in accs[gid].iter_mut().zip(agg_vecs.iter()) {
+                    acc.update(v, row);
+                }
+            }
+        }
+        if !self.keys.is_empty() && key_vals.is_empty() {
+            // Keyed group-by over an empty input: no groups, no rows.
+            return None;
+        }
+        if self.keys.is_empty() && key_vals.is_empty() {
+            // Global aggregate over empty input: one identity row.
+            key_vals.push(Box::new([]));
+            accs.push(
+                self.aggs
+                    .iter()
+                    .map(|a| match a {
+                        AggExpr::Count => Acc::Count(0),
+                        AggExpr::Sum(_) => Acc::SumI64(0),
+                        AggExpr::Avg(_) => Acc::Avg(0.0, 0),
+                        AggExpr::Min(_) => Acc::MinI64(i64::MAX),
+                        AggExpr::Max(_) => Acc::MaxI64(i64::MIN),
+                    })
+                    .collect(),
+            );
+        }
+        let n = key_vals.len();
+        let mut columns: Vec<Vector> = Vec::with_capacity(self.keys.len() + self.aggs.len());
+        for (k, ty) in key_types.iter().enumerate() {
+            columns.push(rebuild_key_column(&key_vals, k, *ty));
+        }
+        for a in 0..self.aggs.len() {
+            columns.push(rebuild_agg_column(&accs, a, n));
+        }
+        Some(Batch::new(columns))
+    }
+}
+
+fn rebuild_key_column(key_vals: &[Box<[u64]>], k: usize, ty: ColType) -> Vector {
+    match ty {
+        ColType::I32 => Vector::I32(key_vals.iter().map(|kv| kv[k] as u32 as i32).collect()),
+        ColType::I64 => Vector::I64(key_vals.iter().map(|kv| kv[k] as i64).collect()),
+        ColType::U32 => Vector::U32(key_vals.iter().map(|kv| kv[k] as u32).collect()),
+        ColType::F64 => Vector::F64(key_vals.iter().map(|kv| f64::from_bits(kv[k])).collect()),
+    }
+}
+
+fn rebuild_agg_column(accs: &[Vec<Acc>], a: usize, n: usize) -> Vector {
+    debug_assert_eq!(accs.len(), n);
+    match accs[0][a] {
+        Acc::SumI64(_) => Vector::I64(accs.iter().map(|g| match g[a] {
+            Acc::SumI64(s) => s,
+            _ => unreachable!(),
+        }).collect()),
+        Acc::SumF64(_) => Vector::F64(accs.iter().map(|g| match g[a] {
+            Acc::SumF64(s) => s,
+            _ => unreachable!(),
+        }).collect()),
+        Acc::Count(_) => Vector::I64(accs.iter().map(|g| match g[a] {
+            Acc::Count(c) => c,
+            _ => unreachable!(),
+        }).collect()),
+        Acc::Avg(..) => Vector::F64(accs.iter().map(|g| match g[a] {
+            Acc::Avg(s, c) => if c == 0 { f64::NAN } else { s / c as f64 },
+            _ => unreachable!(),
+        }).collect()),
+        Acc::MinI64(_) => Vector::I64(accs.iter().map(|g| match g[a] {
+            Acc::MinI64(m) => m,
+            _ => unreachable!(),
+        }).collect()),
+        Acc::MinF64(_) => Vector::F64(accs.iter().map(|g| match g[a] {
+            Acc::MinF64(m) => m,
+            _ => unreachable!(),
+        }).collect()),
+        Acc::MaxI64(_) => Vector::I64(accs.iter().map(|g| match g[a] {
+            Acc::MaxI64(m) => m,
+            _ => unreachable!(),
+        }).collect()),
+        Acc::MaxF64(_) => Vector::F64(accs.iter().map(|g| match g[a] {
+            Acc::MaxF64(m) => m,
+            _ => unreachable!(),
+        }).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::source::MemSource;
+
+    #[test]
+    fn group_by_with_sums_and_counts() {
+        // keys 0,1,0,1,...; values 0..10
+        let keys: Vec<i64> = (0..10).map(|i| i % 2).collect();
+        let vals: Vec<i64> = (0..10).collect();
+        let src = MemSource::from_i64(vec![keys, vals], 3);
+        let mut agg = HashAggregate::new(
+            Box::new(src),
+            vec![Expr::col(0)],
+            vec![AggExpr::Sum(Expr::col(1)), AggExpr::Count, AggExpr::Avg(Expr::col(1))],
+        );
+        let out = agg.next().unwrap();
+        assert!(agg.next().is_none());
+        assert_eq!(out.len(), 2);
+        // Groups in first-seen order: key 0 then key 1.
+        assert_eq!(out.col(0).as_i64(), &[0, 1]);
+        assert_eq!(out.col(1).as_i64(), &[20, 25]); // 0+2+4+6+8, 1+3+5+7+9
+        assert_eq!(out.col(2).as_i64(), &[5, 5]);
+        assert_eq!(out.col(3).as_f64(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let a: Vec<i64> = vec![1, 1, 2, 2, 1];
+        let b: Vec<i64> = vec![10, 20, 10, 10, 10];
+        let src = MemSource::from_i64(vec![a, b], 2);
+        let mut agg = HashAggregate::new(
+            Box::new(src),
+            vec![Expr::col(0), Expr::col(1)],
+            vec![AggExpr::Count],
+        );
+        let out = agg.next().unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.col(2).as_i64(), &[2, 1, 2]); // (1,10), (1,20), (2,10)
+    }
+
+    #[test]
+    fn min_max_float() {
+        let src = MemSource::new(
+            vec![Vector::F64(vec![3.5, -1.0, 2.0])],
+            8,
+        );
+        let mut agg = HashAggregate::new(
+            Box::new(src),
+            vec![],
+            vec![AggExpr::Min(Expr::col(0)), AggExpr::Max(Expr::col(0))],
+        );
+        let out = agg.next().unwrap();
+        assert_eq!(out.col(0).as_f64(), &[-1.0]);
+        assert_eq!(out.col(1).as_f64(), &[3.5]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let src = MemSource::from_i64(vec![vec![]], 8);
+        let mut agg = HashAggregate::new(Box::new(src), vec![], vec![AggExpr::Count]);
+        let out = agg.next().unwrap();
+        assert_eq!(out.col(0).as_i64(), &[0]);
+    }
+
+    #[test]
+    fn float_sum_typed_by_input() {
+        let src = MemSource::new(vec![Vector::F64(vec![0.5, 0.25])], 8);
+        let mut agg = HashAggregate::new(Box::new(src), vec![], vec![AggExpr::Sum(Expr::col(0))]);
+        let out = agg.next().unwrap();
+        assert_eq!(out.col(0).as_f64(), &[0.75]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Volcano-style vector-at-a-time operators.
+
+use crate::batch::Batch;
+
+pub mod aggregate;
+pub mod join;
+pub mod merge_join;
+pub mod project;
+pub mod select;
+pub mod sort;
+pub mod source;
+
+/// A vectorized Volcano operator: `next()` yields a [`Batch`] of tuples
+/// (typically [`crate::VECTOR_SIZE`] rows) or `None` at end of stream.
+pub trait Operator {
+    /// Pulls the next vector of tuples.
+    fn next(&mut self) -> Option<Batch>;
+}
+
+impl<T: Operator + ?Sized> Operator for Box<T> {
+    fn next(&mut self) -> Option<Batch> {
+        (**self).next()
+    }
+}
+
+/// Drains an operator into a single materialized batch (test/report
+/// helper, not a pipeline stage).
+pub fn collect(op: &mut dyn Operator) -> Batch {
+    let mut out: Option<Batch> = None;
+    while let Some(batch) = op.next() {
+        match &mut out {
+            None => out = Some(batch),
+            Some(acc) => {
+                for (a, b) in acc.columns.iter_mut().zip(batch.columns.iter()) {
+                    a.append(b);
+                }
+            }
+        }
+    }
+    out.unwrap_or_else(|| Batch::new(vec![]))
+}

@@ -1,0 +1,91 @@
+//! Selection: filters rows by a mask-valued expression and compacts the
+//! survivors into dense output vectors.
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::ops::Operator;
+
+/// Filter operator. Empty result vectors are skipped, so downstream
+/// operators always see non-empty batches.
+pub struct Select {
+    input: Box<dyn Operator>,
+    predicate: Expr,
+}
+
+impl Select {
+    /// Builds a filter over `input`.
+    pub fn new(input: impl Operator + 'static, predicate: Expr) -> Self {
+        Self { input: Box::new(input), predicate }
+    }
+}
+
+impl Operator for Select {
+    fn next(&mut self) -> Option<Batch> {
+        loop {
+            let batch = self.input.next()?;
+            let mask_v = self.predicate.eval(&batch);
+            let mask = mask_v.as_mask();
+            // Predicated compaction (§2.2 / Ross PODS'02): always store
+            // the index, advance the cursor by the boolean — no
+            // data-dependent branch for the CPU to mispredict.
+            let mut indices = vec![0usize; batch.len()];
+            let mut j = 0usize;
+            for (i, &m) in mask.iter().enumerate() {
+                indices[j] = i;
+                j += m as usize;
+            }
+            indices.truncate(j);
+            if indices.is_empty() {
+                continue;
+            }
+            if indices.len() == batch.len() {
+                return Some(batch);
+            }
+            return Some(batch.gather(&indices));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Vector;
+    use crate::ops::{collect, source::MemSource};
+
+    #[test]
+    fn filters_and_compacts() {
+        let src = MemSource::from_i64(vec![(0..100).collect()], 7);
+        let mut sel = Select::new(Box::new(src), Expr::col(0).lt(Expr::lit_i64(10)));
+        let out = collect(&mut sel);
+        assert_eq!(out.col(0).as_i64(), &(0..10).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn all_pass_short_circuits() {
+        let src = MemSource::from_i64(vec![(0..50).collect()], 50);
+        let mut sel = Select::new(Box::new(src), Expr::col(0).ge(Expr::lit_i64(0)));
+        assert_eq!(sel.next().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn none_pass_yields_none() {
+        let src = MemSource::from_i64(vec![(0..50).collect()], 8);
+        let mut sel = Select::new(Box::new(src), Expr::col(0).lt(Expr::lit_i64(0)));
+        assert!(sel.next().is_none());
+    }
+
+    #[test]
+    fn multi_column_rows_stay_aligned() {
+        let src = MemSource::new(
+            vec![
+                Vector::I64((0..20).collect()),
+                Vector::F64((0..20).map(|i| i as f64 * 0.5).collect()),
+            ],
+            6,
+        );
+        let mut sel = Select::new(Box::new(src), Expr::col(0).ge(Expr::lit_i64(15)));
+        let out = collect(&mut sel);
+        assert_eq!(out.col(0).as_i64(), &[15, 16, 17, 18, 19]);
+        assert_eq!(out.col(1).as_f64(), &[7.5, 8.0, 8.5, 9.0, 9.5]);
+    }
+}

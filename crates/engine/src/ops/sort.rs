@@ -1,0 +1,150 @@
+//! Sorting and top-N.
+
+use crate::batch::{Batch, Vector};
+use crate::ops::{collect, Operator};
+use std::cmp::Ordering;
+
+/// One sort key: column index and direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Column to order by.
+    pub col: usize,
+    /// Descending when true.
+    pub desc: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(col: usize) -> Self {
+        Self { col, desc: false }
+    }
+
+    /// Descending key.
+    pub fn desc(col: usize) -> Self {
+        Self { col, desc: true }
+    }
+}
+
+fn cmp_at(v: &Vector, a: usize, b: usize) -> Ordering {
+    match v {
+        Vector::I32(x) => x[a].cmp(&x[b]),
+        Vector::I64(x) => x[a].cmp(&x[b]),
+        Vector::U32(x) => x[a].cmp(&x[b]),
+        Vector::F64(x) => x[a].partial_cmp(&x[b]).unwrap_or(Ordering::Equal),
+        Vector::Mask(x) => x[a].cmp(&x[b]),
+    }
+}
+
+fn sorted_indices(data: &Batch, keys: &[SortKey]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| {
+        for k in keys {
+            let ord = cmp_at(data.col(k.col), a, b);
+            let ord = if k.desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    idx
+}
+
+/// Full materializing sort.
+pub struct OrderBy {
+    input: Option<Box<dyn Operator>>,
+    keys: Vec<SortKey>,
+    out: Option<Batch>,
+}
+
+impl OrderBy {
+    /// Builds a sort over `input`.
+    pub fn new(input: impl Operator + 'static, keys: Vec<SortKey>) -> Self {
+        Self { input: Some(Box::new(input)), keys, out: None }
+    }
+}
+
+impl Operator for OrderBy {
+    fn next(&mut self) -> Option<Batch> {
+        if let Some(mut input) = self.input.take() {
+            let data = collect(input.as_mut());
+            if data.is_empty() {
+                return None;
+            }
+            let idx = sorted_indices(&data, &self.keys);
+            self.out = Some(data.gather(&idx));
+        }
+        self.out.take().filter(|b| !b.is_empty())
+    }
+}
+
+/// Sort + limit: the top `n` rows under the sort order.
+pub struct TopN {
+    inner: OrderBy,
+    n: usize,
+}
+
+impl TopN {
+    /// Builds a top-N over `input`.
+    pub fn new(input: impl Operator + 'static, keys: Vec<SortKey>, n: usize) -> Self {
+        Self { inner: OrderBy::new(input, keys), n }
+    }
+}
+
+impl Operator for TopN {
+    fn next(&mut self) -> Option<Batch> {
+        let batch = self.inner.next()?;
+        if batch.len() <= self.n {
+            return Some(batch);
+        }
+        let idx: Vec<usize> = (0..self.n).collect();
+        Some(batch.gather(&idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::source::MemSource;
+
+    #[test]
+    fn multi_key_sort() {
+        let a = vec![2i64, 1, 2, 1];
+        let b = vec![5i64, 9, 3, 7];
+        let src = MemSource::from_i64(vec![a, b], 2);
+        let mut sort = OrderBy::new(Box::new(src), vec![SortKey::asc(0), SortKey::desc(1)]);
+        let out = sort.next().unwrap();
+        assert_eq!(out.col(0).as_i64(), &[1, 1, 2, 2]);
+        assert_eq!(out.col(1).as_i64(), &[9, 7, 5, 3]);
+        assert!(sort.next().is_none());
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let src = MemSource::from_i64(vec![(0..100).collect()], 7);
+        let mut top = TopN::new(Box::new(src), vec![SortKey::desc(0)], 3);
+        let out = top.next().unwrap();
+        assert_eq!(out.col(0).as_i64(), &[99, 98, 97]);
+    }
+
+    #[test]
+    fn top_n_smaller_input_passes_through() {
+        let src = MemSource::from_i64(vec![vec![3, 1, 2]], 8);
+        let mut top = TopN::new(Box::new(src), vec![SortKey::asc(0)], 10);
+        assert_eq!(top.next().unwrap().col(0).as_i64(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let src = MemSource::from_i64(vec![vec![]], 8);
+        let mut sort = OrderBy::new(Box::new(src), vec![SortKey::asc(0)]);
+        assert!(sort.next().is_none());
+    }
+
+    #[test]
+    fn float_keys_sort() {
+        let src = MemSource::new(vec![Vector::F64(vec![2.5, -1.0, 0.0])], 8);
+        let mut sort = OrderBy::new(Box::new(src), vec![SortKey::asc(0)]);
+        assert_eq!(sort.next().unwrap().col(0).as_f64(), &[-1.0, 0.0, 2.5]);
+    }
+}

@@ -1,0 +1,68 @@
+//! In-memory table source: slices materialized columns into vectors.
+
+use crate::batch::{Batch, Vector};
+use crate::ops::Operator;
+
+/// A source over fully materialized columns, yielding `vector_size`-row
+/// batches. The compressed scan in `scc-storage` implements the same
+/// [`Operator`] interface against disk segments.
+pub struct MemSource {
+    columns: Vec<Vector>,
+    vector_size: usize,
+    pos: usize,
+    len: usize,
+}
+
+impl MemSource {
+    /// Builds a source from column vectors (all equal length).
+    pub fn new(columns: Vec<Vector>, vector_size: usize) -> Self {
+        let len = columns.first().map_or(0, Vector::len);
+        assert!(columns.iter().all(|c| c.len() == len), "ragged columns");
+        assert!(vector_size > 0);
+        Self { columns, vector_size, pos: 0, len }
+    }
+
+    /// Convenience constructor from i64 columns.
+    pub fn from_i64(columns: Vec<Vec<i64>>, vector_size: usize) -> Self {
+        Self::new(columns.into_iter().map(Vector::I64).collect(), vector_size)
+    }
+}
+
+impl Operator for MemSource {
+    fn next(&mut self) -> Option<Batch> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let take = self.vector_size.min(self.len - self.pos);
+        let indices: Vec<usize> = (self.pos..self.pos + take).collect();
+        self.pos += take;
+        Some(Batch::new(self.columns.iter().map(|c| c.gather(&indices)).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect;
+
+    #[test]
+    fn slices_into_vectors() {
+        let mut src = MemSource::from_i64(vec![(0..2500).collect()], 1024);
+        let sizes: Vec<usize> = std::iter::from_fn(|| src.next().map(|b| b.len())).collect();
+        assert_eq!(sizes, vec![1024, 1024, 452]);
+    }
+
+    #[test]
+    fn collect_reassembles() {
+        let data: Vec<i64> = (0..5000).collect();
+        let mut src = MemSource::from_i64(vec![data.clone()], 700);
+        let all = collect(&mut src);
+        assert_eq!(all.col(0).as_i64(), &data[..]);
+    }
+
+    #[test]
+    fn empty_source() {
+        let mut src = MemSource::from_i64(vec![vec![]], 16);
+        assert!(src.next().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests: engine operators agree with naive Rust reference
+//! implementations.
+
+use proptest::prelude::*;
+use scc_engine::ops::collect;
+use scc_engine::{
+    AggExpr, Expr, HashAggregate, HashJoin, JoinKind, MemSource, OrderBy, Project, Select,
+    SortKey, TopN, Vector,
+};
+use std::collections::HashMap;
+
+fn src(cols: Vec<Vec<i64>>, vs: usize) -> MemSource {
+    MemSource::from_i64(cols, vs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn select_matches_filter(values in prop::collection::vec(-100i64..100, 0..500), threshold in -100i64..100, vs in 1usize..64) {
+        let mut sel = Select::new(src(vec![values.clone()], vs), Expr::col(0).ge(Expr::lit_i64(threshold)));
+        let out = collect(&mut sel);
+        let expect: Vec<i64> = values.iter().copied().filter(|&v| v >= threshold).collect();
+        let got = if out.columns.is_empty() { vec![] } else { out.col(0).as_i64().to_vec() };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn project_matches_map(values in prop::collection::vec(-1000i64..1000, 0..400), vs in 1usize..64) {
+        let mut proj = Project::new(
+            src(vec![values.clone()], vs),
+            vec![Expr::col(0).mul(Expr::lit_i64(3)).add(Expr::lit_i64(1))],
+        );
+        let out = collect(&mut proj);
+        let expect: Vec<i64> = values.iter().map(|v| v * 3 + 1).collect();
+        let got = if out.columns.is_empty() { vec![] } else { out.col(0).as_i64().to_vec() };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn aggregate_matches_hashmap(keys in prop::collection::vec(0i64..8, 1..500), vs in 1usize..64) {
+        let values: Vec<i64> = keys.iter().enumerate().map(|(i, _)| i as i64).collect();
+        let mut agg = HashAggregate::new(
+            src(vec![keys.clone(), values.clone()], vs),
+            vec![Expr::col(0)],
+            vec![AggExpr::Sum(Expr::col(1)), AggExpr::Count, AggExpr::Min(Expr::col(1)), AggExpr::Max(Expr::col(1))],
+        );
+        let out = collect(&mut agg);
+        let mut expect: HashMap<i64, (i64, i64, i64, i64)> = HashMap::new();
+        for (k, v) in keys.iter().zip(&values) {
+            let e = expect.entry(*k).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += v;
+            e.1 += 1;
+            e.2 = e.2.min(*v);
+            e.3 = e.3.max(*v);
+        }
+        prop_assert_eq!(out.len(), expect.len());
+        for row in 0..out.len() {
+            let k = out.col(0).as_i64()[row];
+            let e = expect[&k];
+            prop_assert_eq!(out.col(1).as_i64()[row], e.0);
+            prop_assert_eq!(out.col(2).as_i64()[row], e.1);
+            prop_assert_eq!(out.col(3).as_i64()[row], e.2);
+            prop_assert_eq!(out.col(4).as_i64()[row], e.3);
+        }
+    }
+
+    #[test]
+    fn inner_join_matches_nested_loops(
+        probe in prop::collection::vec(0i64..12, 0..150),
+        build in prop::collection::vec(0i64..12, 0..150),
+        vs in 1usize..32,
+    ) {
+        let probe_pay: Vec<i64> = (0..probe.len() as i64).collect();
+        let build_pay: Vec<i64> = (0..build.len() as i64).map(|i| i + 1000).collect();
+        let mut join = HashJoin::new(
+            src(vec![probe.clone(), probe_pay.clone()], vs),
+            src(vec![build.clone(), build_pay.clone()], vs),
+            vec![0],
+            vec![0],
+            JoinKind::Inner,
+        );
+        let out = collect(&mut join);
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for (pk, pp) in probe.iter().zip(&probe_pay) {
+            for (bk, bp) in build.iter().zip(&build_pay) {
+                if pk == bk {
+                    expect.push((*pp, *bp));
+                }
+            }
+        }
+        let mut got: Vec<(i64, i64)> = if out.columns.is_empty() {
+            vec![]
+        } else {
+            out.col(1).as_i64().iter().zip(out.col(3).as_i64()).map(|(&a, &b)| (a, b)).collect()
+        };
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_probe(
+        probe in prop::collection::vec(0i64..10, 0..200),
+        build in prop::collection::vec(0i64..10, 0..50),
+        vs in 1usize..32,
+    ) {
+        let semi = collect(&mut HashJoin::new(
+            src(vec![probe.clone()], vs),
+            src(vec![build.clone()], vs),
+            vec![0], vec![0], JoinKind::LeftSemi,
+        ));
+        let anti = collect(&mut HashJoin::new(
+            src(vec![probe.clone()], vs),
+            src(vec![build.clone()], vs),
+            vec![0], vec![0], JoinKind::LeftAnti,
+        ));
+        let semi_n = if semi.columns.is_empty() { 0 } else { semi.len() };
+        let anti_n = if anti.columns.is_empty() { 0 } else { anti.len() };
+        prop_assert_eq!(semi_n + anti_n, probe.len());
+        if !semi.columns.is_empty() {
+            for &v in semi.col(0).as_i64() {
+                prop_assert!(build.contains(&v));
+            }
+        }
+        if !anti.columns.is_empty() {
+            for &v in anti.col(0).as_i64() {
+                prop_assert!(!build.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_stablely_ordered(values in prop::collection::vec(-50i64..50, 0..300), vs in 1usize..32) {
+        let mut sort = OrderBy::new(src(vec![values.clone()], vs), vec![SortKey::asc(0)]);
+        let out = collect(&mut sort);
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        let got = if out.columns.is_empty() { vec![] } else { out.col(0).as_i64().to_vec() };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn topn_is_sorted_prefix(values in prop::collection::vec(any::<i64>(), 0..300), n in 0usize..20, vs in 1usize..32) {
+        let mut top = TopN::new(src(vec![values.clone()], vs), vec![SortKey::desc(0)], n);
+        let out = collect(&mut top);
+        let mut expect = values.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(n);
+        let got = if out.columns.is_empty() { vec![] } else { out.col(0).as_i64().to_vec() };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cond_expr_equals_branchy_map(values in prop::collection::vec(-100i64..100, 1..300)) {
+        let batch = scc_engine::Batch::new(vec![Vector::I64(values.clone())]);
+        let e = Expr::col(0).ge(Expr::lit_i64(0)).cond(Expr::col(0), Expr::col(0).mul(Expr::lit_i64(-1)));
+        let out = e.eval(&batch);
+        let expect: Vec<i64> = values.iter().map(|&v| v.abs()).collect();
+        prop_assert_eq!(out.as_i64(), &expect[..]);
+    }
+
+    #[test]
+    fn results_invariant_under_vector_size(values in prop::collection::vec(0i64..100, 1..400)) {
+        let run = |vs: usize| {
+            let sel = Select::new(src(vec![values.clone()], vs), Expr::col(0).lt(Expr::lit_i64(50)));
+            let mut agg = HashAggregate::new(sel, vec![], vec![AggExpr::Sum(Expr::col(0)), AggExpr::Count]);
+            collect(&mut agg)
+        };
+        let a = run(1);
+        let b = run(7);
+        let c = run(1024);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_join_agrees_with_hash_join(
+        mut lk in prop::collection::vec(0i64..40, 0..200),
+        mut rk in prop::collection::vec(0i64..40, 0..200),
+        lvs in 1usize..16,
+        rvs in 1usize..16,
+    ) {
+        lk.sort_unstable();
+        rk.sort_unstable();
+        let lp: Vec<i64> = (0..lk.len() as i64).collect();
+        let rp: Vec<i64> = (0..rk.len() as i64).map(|i| i + 10_000).collect();
+        let mut merge = scc_engine::MergeJoin::new(
+            src(vec![lk.clone(), lp.clone()], lvs),
+            src(vec![rk.clone(), rp.clone()], rvs),
+            0,
+            0,
+        );
+        let mut hash = HashJoin::new(
+            src(vec![lk, lp], lvs),
+            src(vec![rk, rp], rvs),
+            vec![0],
+            vec![0],
+            JoinKind::Inner,
+        );
+        let rows = |out: scc_engine::Batch| -> Vec<(i64, i64)> {
+            if out.columns.is_empty() {
+                vec![]
+            } else {
+                out.col(1).as_i64().iter().zip(out.col(3).as_i64()).map(|(&a, &b)| (a, b)).collect()
+            }
+        };
+        let mut m = rows(collect(&mut merge));
+        let mut h = rows(collect(&mut hash));
+        m.sort_unstable();
+        h.sort_unstable();
+        prop_assert_eq!(m, h);
+    }
+}

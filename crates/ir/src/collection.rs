@@ -1,0 +1,180 @@
+//! Synthetic document collections with Zipfian term statistics.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated collection: for each term, the sorted document ids it
+/// occurs in and the in-document term frequencies.
+#[derive(Debug)]
+pub struct Collection {
+    /// Preset name (report label).
+    pub name: &'static str,
+    /// Number of documents.
+    pub n_docs: u32,
+    /// Per-term postings: `(doc_ids sorted ascending, term frequencies)`.
+    pub postings: Vec<(Vec<u32>, Vec<u32>)>,
+}
+
+impl Collection {
+    /// Total number of postings.
+    pub fn n_postings(&self) -> usize {
+        self.postings.iter().map(|(d, _)| d.len()).sum()
+    }
+
+    /// Raw storage size: one u32 per posting (the uncompressed d-gap
+    /// representation Table 4's ratios are relative to).
+    pub fn raw_bytes(&self) -> usize {
+        self.n_postings() * 4
+    }
+
+    /// Mean d-gap over all lists (diagnostic).
+    pub fn mean_gap(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for (docs, _) in &self.postings {
+            let mut prev = 0u32;
+            for &d in docs {
+                sum += (d - prev) as u64;
+                prev = d;
+            }
+            n += docs.len() as u64;
+        }
+        sum as f64 / n.max(1) as f64
+    }
+}
+
+/// Calibration presets modeled on the paper's five corpora. The
+/// `density_scale` knob shifts the document-frequency distribution: denser
+/// lists mean smaller gaps and higher d-gap compressibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionPreset {
+    /// INEX: XML element-level index — sparse lists, poor gap
+    /// compressibility (paper: PFOR-DELTA ratio 1.75).
+    Inex,
+    /// TREC FBIS (paper ratio 3.47).
+    TrecFbis,
+    /// TREC FR94 (paper ratio 3.12).
+    TrecFr94,
+    /// TREC FT (paper ratio 3.13).
+    TrecFt,
+    /// TREC LA Times (paper ratio 2.99).
+    TrecLatimes,
+}
+
+impl CollectionPreset {
+    /// All presets in Table 4 order.
+    pub fn all() -> [CollectionPreset; 5] {
+        [
+            CollectionPreset::Inex,
+            CollectionPreset::TrecFbis,
+            CollectionPreset::TrecFr94,
+            CollectionPreset::TrecFt,
+            CollectionPreset::TrecLatimes,
+        ]
+    }
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectionPreset::Inex => "INEX",
+            CollectionPreset::TrecFbis => "TREC fbis",
+            CollectionPreset::TrecFr94 => "TREC fr94",
+            CollectionPreset::TrecFt => "TREC ft",
+            CollectionPreset::TrecLatimes => "TREC latimes",
+        }
+    }
+
+    /// `(n_docs, n_terms, zipf_s, density_scale)` calibration. Chosen so
+    /// PFOR-DELTA d-gap ratios land near the paper's per-corpus values.
+    fn params(self) -> (u32, usize, f64, f64) {
+        match self {
+            // Element-level granularity: very many "documents", sparse
+            // lists, wide gaps.
+            CollectionPreset::Inex => (400_000, 9_000, 1.05, 0.15),
+            // Document-level TREC corpora: denser lists.
+            CollectionPreset::TrecFbis => (130_000, 6_000, 1.25, 3.2),
+            CollectionPreset::TrecFr94 => (55_000, 6_000, 1.28, 3.4),
+            CollectionPreset::TrecFt => (210_000, 6_000, 1.20, 2.4),
+            CollectionPreset::TrecLatimes => (130_000, 6_000, 1.18, 2.1),
+        }
+    }
+}
+
+/// Synthesizes a collection for a preset. Deterministic per seed.
+pub fn synthesize(preset: CollectionPreset, seed: u64) -> Collection {
+    let (n_docs, n_terms, s, density) = preset.params();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5CC1);
+    // Zipfian document frequencies: df(rank) ∝ rank^-s, scaled so the top
+    // term hits `density * n_docs / 8` documents (capped at n_docs).
+    let top_df = ((n_docs as f64) * density / 8.0).min(n_docs as f64 * 0.8);
+    let mut postings = Vec::with_capacity(n_terms);
+    for rank in 1..=n_terms {
+        let df = (top_df / (rank as f64).powf(s)).round().max(1.0) as u32;
+        let df = df.min(n_docs);
+        // df documents with exponential gaps of mean n_docs/df: sample the
+        // gaps directly, then scale the running positions back into the
+        // document-id range (keeps the list sorted by construction).
+        let mean_gap = (n_docs as f64 / df as f64).max(1.0);
+        let mut positions = Vec::with_capacity(df as usize);
+        let mut cur = 0u64;
+        for _ in 0..df {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let g = (-u.ln() * mean_gap).ceil().max(1.0) as u64;
+            cur += g;
+            positions.push(cur);
+        }
+        let max = *positions.last().expect("df >= 1");
+        let mut scaled: Vec<u32> = positions
+            .iter()
+            .map(|&p| ((p - 1).saturating_mul(n_docs as u64 - 1) / max) as u32)
+            .collect();
+        scaled.dedup();
+        let tfs: Vec<u32> = scaled.iter().map(|_| 1 + rng.gen_range(0..5) as u32).collect();
+        postings.push((scaled, tfs));
+    }
+    Collection { name: preset.name(), n_docs, postings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postings_are_sorted_unique_in_range() {
+        let c = synthesize(CollectionPreset::TrecFbis, 1);
+        assert!(!c.postings.is_empty());
+        for (docs, tfs) in &c.postings {
+            assert_eq!(docs.len(), tfs.len());
+            assert!(docs.windows(2).all(|w| w[0] < w[1]));
+            assert!(docs.iter().all(|&d| d < c.n_docs));
+            assert!(tfs.iter().all(|&t| t >= 1));
+        }
+    }
+
+    #[test]
+    fn zipf_head_is_dense() {
+        let c = synthesize(CollectionPreset::TrecFbis, 2);
+        let head = c.postings[0].0.len();
+        let tail = c.postings[c.postings.len() - 1].0.len();
+        assert!(head > 50 * tail.max(1), "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn inex_has_wider_gaps_than_trec() {
+        let inex = synthesize(CollectionPreset::Inex, 3);
+        let fbis = synthesize(CollectionPreset::TrecFbis, 3);
+        assert!(
+            inex.mean_gap() > 2.0 * fbis.mean_gap(),
+            "inex {} fbis {}",
+            inex.mean_gap(),
+            fbis.mean_gap()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthesize(CollectionPreset::TrecFt, 9);
+        let b = synthesize(CollectionPreset::TrecFt, 9);
+        assert_eq!(a.postings[0].0, b.postings[0].0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Inverted-file substrate for the paper's §5 information-retrieval
+//! evaluation.
+//!
+//! The TREC and INEX corpora are licensed, so collections are *synthetic*
+//! (DESIGN.md §4, substitution 3): Zipfian term-frequency models
+//! calibrated per corpus so the d-gap statistics (and therefore the
+//! PFOR-DELTA compression ratios) land near the paper's Table 4 values.
+//! What Table 4 actually tests — the *relative* ratio and speed of
+//! PFOR-DELTA vs carryover-12 vs semi-static Huffman — is preserved.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod file;
+pub mod index;
+pub mod topn;
+
+pub use collection::{synthesize, Collection, CollectionPreset};
+pub use file::{compress_file, gap_stream, CompressedFile};
+pub use index::{InvertedIndex, PostingsCodec};
+pub use topn::{top_n_by_tf, TopNResult};

@@ -1,0 +1,88 @@
+//! The §5 retrieval query: the top-N documents in which a term occurs
+//! most frequently (postings decode + merge with frequencies + ordered
+//! aggregation + heap top-N).
+
+use crate::index::InvertedIndex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a top-N query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopNResult {
+    /// `(term frequency, doc id)` pairs, best first.
+    pub docs: Vec<(u32, u32)>,
+    /// Number of postings processed.
+    pub postings: usize,
+}
+
+/// Runs the top-N-by-term-frequency query for one term.
+pub fn top_n_by_tf(index: &InvertedIndex, term: usize, n: usize, scratch: &mut Vec<u32>) -> TopNResult {
+    scratch.clear();
+    index.decode_list(term, scratch);
+    let tfs = &index.tfs[term];
+    debug_assert_eq!(scratch.len(), tfs.len());
+    // Min-heap of size n over (tf, docid).
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(n + 1);
+    for (&doc, &tf) in scratch.iter().zip(tfs) {
+        if heap.len() < n {
+            heap.push(Reverse((tf, doc)));
+        } else if let Some(&Reverse(min)) = heap.peek() {
+            if (tf, doc) > min {
+                heap.pop();
+                heap.push(Reverse((tf, doc)));
+            }
+        }
+    }
+    let mut docs: Vec<(u32, u32)> = heap.into_iter().map(|Reverse(p)| p).collect();
+    docs.sort_unstable_by(|a, b| b.cmp(a));
+    TopNResult { docs, postings: scratch.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::{synthesize, CollectionPreset};
+    use crate::index::{InvertedIndex, PostingsCodec};
+
+    #[test]
+    fn top_n_matches_naive_sort() {
+        let c = synthesize(CollectionPreset::TrecFbis, 11);
+        let idx = InvertedIndex::build(&c, PostingsCodec::PforDelta);
+        let term = 0; // densest list
+        let mut scratch = Vec::new();
+        let result = top_n_by_tf(&idx, term, 10, &mut scratch);
+        let (docs, tfs) = &c.postings[term];
+        let mut naive: Vec<(u32, u32)> = tfs.iter().zip(docs).map(|(&t, &d)| (t, d)).collect();
+        naive.sort_unstable_by(|a, b| b.cmp(a));
+        naive.truncate(10);
+        assert_eq!(result.docs, naive);
+        assert_eq!(result.postings, docs.len());
+    }
+
+    #[test]
+    fn identical_across_codecs() {
+        let c = synthesize(CollectionPreset::TrecFt, 12);
+        let mut scratch = Vec::new();
+        let reference = top_n_by_tf(
+            &InvertedIndex::build(&c, PostingsCodec::PforDelta),
+            1,
+            20,
+            &mut scratch,
+        );
+        for codec in [PostingsCodec::Carryover12, PostingsCodec::Shuff, PostingsCodec::Golomb] {
+            let idx = InvertedIndex::build(&c, codec);
+            let r = top_n_by_tf(&idx, 1, 20, &mut scratch);
+            assert_eq!(r, reference, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn n_larger_than_list() {
+        let c = synthesize(CollectionPreset::Inex, 13);
+        let idx = InvertedIndex::build(&c, PostingsCodec::PforDelta);
+        let last = c.postings.len() - 1;
+        let mut scratch = Vec::new();
+        let r = top_n_by_tf(&idx, last, 1_000_000, &mut scratch);
+        assert_eq!(r.docs.len(), c.postings[last].0.len());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the inverted-file substrate.
+
+use proptest::prelude::*;
+use scc_ir::file::{compress_file, CHUNK};
+use scc_ir::index::{CompressedList, InvertedIndex};
+use scc_ir::{top_n_by_tf, PostingsCodec};
+
+/// Strategy: a sorted, deduplicated docid list.
+fn docid_list(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..500_000, 1..max_len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_list_codec_roundtrips(docs in docid_list(400)) {
+        for codec in [
+            PostingsCodec::PforDelta,
+            PostingsCodec::Carryover12,
+            PostingsCodec::Shuff,
+            PostingsCodec::Golomb,
+            PostingsCodec::VByte,
+        ] {
+            let list = InvertedIndex::compress_list(&docs, codec);
+            // Decode through a one-term index.
+            let idx = InvertedIndex {
+                codec,
+                lists: vec![list],
+                tfs: vec![vec![1; docs.len()]],
+                n_postings: docs.len(),
+            };
+            let mut out = Vec::new();
+            idx.decode_list(0, &mut out);
+            prop_assert_eq!(out, docs.clone(), "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn file_compression_roundtrips_across_chunk_boundaries(
+        gaps in prop::collection::vec(prop_oneof![5 => 0u32..64, 1 => 0u32..1_000_000], 1..1000),
+        pad_to_chunk in any::<bool>(),
+    ) {
+        // Optionally pad so the stream crosses a chunk boundary exactly.
+        let mut gaps = gaps;
+        if pad_to_chunk {
+            gaps.resize(CHUNK + 17, 3);
+        }
+        for codec in [PostingsCodec::PforDelta, PostingsCodec::Carryover12, PostingsCodec::Shuff] {
+            let file = compress_file(&gaps, codec);
+            let mut out = Vec::new();
+            file.decompress_into(&mut out);
+            prop_assert_eq!(&out, &gaps, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn topn_heap_matches_sort(docs in docid_list(300), n in 1usize..50) {
+        let tfs: Vec<u32> = docs.iter().map(|&d| 1 + (d % 13)).collect();
+        let idx = InvertedIndex {
+            codec: PostingsCodec::PforDelta,
+            lists: vec![InvertedIndex::compress_list(&docs, PostingsCodec::PforDelta)],
+            tfs: vec![tfs.clone()],
+            n_postings: docs.len(),
+        };
+        let mut scratch = Vec::new();
+        let result = top_n_by_tf(&idx, 0, n, &mut scratch);
+        let mut naive: Vec<(u32, u32)> = tfs.iter().zip(&docs).map(|(&t, &d)| (t, d)).collect();
+        naive.sort_unstable_by(|a, b| b.cmp(a));
+        naive.truncate(n);
+        prop_assert_eq!(result.docs, naive);
+    }
+
+    #[test]
+    fn pfordelta_list_size_is_sane(docs in docid_list(500)) {
+        let list = InvertedIndex::compress_list(&docs, PostingsCodec::PforDelta);
+        let bytes = match &list {
+            CompressedList::Segment(s) => s.compressed_bytes(),
+            CompressedList::Bytes(b, _) => b.len(),
+        };
+        // Never more than raw + fixed header overhead.
+        prop_assert!(bytes <= docs.len() * 4 + 96, "{} docs -> {bytes} bytes", docs.len());
+    }
+}

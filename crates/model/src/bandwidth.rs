@@ -1,0 +1,147 @@
+//! Equation 3.1: the result-bandwidth model.
+//!
+//! With I/O bandwidth `B`, compression ratio `r`, query (processing)
+//! bandwidth `Q` and decompression bandwidth `C` (all in bytes/s of
+//! *uncompressed* data except `B`), the result tuple bandwidth is
+//!
+//! ```text
+//! R = B*r                 if B*r/C + B*r/Q <= 1   (I/O bound)
+//! R = Q*C / (Q + C)       otherwise               (CPU bound)
+//! ```
+//!
+//! The paper uses this to derive its design target of C = 2-6 GB/s: with
+//! modern RAID at B > 0.3 GB/s and r = 4, keeping decompression below 50%
+//! of CPU time needs C = 2 GB/s.
+
+/// Whether a modeled scan is I/O or CPU bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Disk delivery limits throughput; CPU has idle cycles.
+    IoBound,
+    /// Decompression + query processing saturate the CPU.
+    CpuBound,
+}
+
+/// Inputs of equation 3.1. Bandwidths in GB/s (any consistent unit works).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanModel {
+    /// I/O bandwidth `B` (compressed bytes per second off the disk).
+    pub io_bw: f64,
+    /// Compression ratio `r` (uncompressed / compressed).
+    pub ratio: f64,
+    /// Query bandwidth `Q`: uncompressed bytes/s the query pipeline can
+    /// consume when fed infinitely fast.
+    pub query_bw: f64,
+    /// Decompression bandwidth `C` in uncompressed bytes/s.
+    pub decompression_bw: f64,
+}
+
+impl ScanModel {
+    /// The regime the scan runs in.
+    pub fn regime(&self) -> Regime {
+        let br = self.io_bw * self.ratio;
+        if br / self.decompression_bw + br / self.query_bw <= 1.0 {
+            Regime::IoBound
+        } else {
+            Regime::CpuBound
+        }
+    }
+
+    /// Result bandwidth `R` in uncompressed bytes/s.
+    pub fn result_bandwidth(&self) -> f64 {
+        match self.regime() {
+            Regime::IoBound => self.io_bw * self.ratio,
+            Regime::CpuBound => {
+                (self.query_bw * self.decompression_bw)
+                    / (self.query_bw + self.decompression_bw)
+            }
+        }
+    }
+
+    /// Fraction of CPU time spent decompressing (only meaningful when CPU
+    /// bound; when I/O bound it is the *utilization* spent decompressing).
+    pub fn decompression_cpu_fraction(&self) -> f64 {
+        match self.regime() {
+            Regime::IoBound => self.io_bw * self.ratio / self.decompression_bw,
+            Regime::CpuBound => self.query_bw / (self.query_bw + self.decompression_bw),
+        }
+    }
+}
+
+/// Convenience wrapper over [`ScanModel::result_bandwidth`].
+pub fn result_bandwidth(io_bw: f64, ratio: f64, query_bw: f64, decompression_bw: f64) -> f64 {
+    ScanModel { io_bw, ratio, query_bw, decompression_bw }.result_bandwidth()
+}
+
+/// The decompression bandwidth `C` at which decompression exactly balances
+/// query processing against an I/O budget: solves `Q*C/(Q+C) = target`,
+/// the §5 computation that yields C = 883 MB/s for Q = 580, target = 350.
+///
+/// Returns `None` when `target >= query_bw` (no finite `C` suffices).
+pub fn equilibrium_decompression_bw(query_bw: f64, target: f64) -> Option<f64> {
+    if target >= query_bw {
+        return None;
+    }
+    Some(query_bw * target / (query_bw - target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_disk_is_io_bound() {
+        // B=0.08 GB/s (4-disk RAID), r=4, Q=2, C=3.
+        let m = ScanModel { io_bw: 0.08, ratio: 4.0, query_bw: 2.0, decompression_bw: 3.0 };
+        assert_eq!(m.regime(), Regime::IoBound);
+        assert!((m.result_bandwidth() - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_disk_becomes_cpu_bound() {
+        // B=0.35 GB/s (12-disk RAID), r=4 => Br=1.4 > harmonic limit.
+        let m = ScanModel { io_bw: 0.35, ratio: 4.0, query_bw: 2.0, decompression_bw: 3.0 };
+        assert_eq!(m.regime(), Regime::CpuBound);
+        let expect = 2.0 * 3.0 / 5.0;
+        assert!((m.result_bandwidth() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_ratio_raises_io_bound_result() {
+        let base = result_bandwidth(0.08, 1.0, 2.0, f64::INFINITY);
+        let x4 = result_bandwidth(0.08, 4.0, 2.0, f64::INFINITY);
+        assert!((x4 / base - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_section5_equilibrium() {
+        // Q = 580 MB/s query, 350 MB/s RAID: C = 580*350/230 ≈ 883 MB/s.
+        let c = equilibrium_decompression_bw(580.0, 350.0).unwrap();
+        assert!((c - 882.6).abs() < 1.0, "got {c}");
+    }
+
+    #[test]
+    fn equilibrium_impossible_when_target_exceeds_query() {
+        assert!(equilibrium_decompression_bw(300.0, 350.0).is_none());
+    }
+
+    #[test]
+    fn design_target_rules_of_thumb() {
+        // Paper: B=0.3, r=4 needs C=1.2 GB/s just to keep up.
+        let m = ScanModel { io_bw: 0.3, ratio: 4.0, query_bw: f64::INFINITY, decompression_bw: 1.2 };
+        assert!((m.decompression_cpu_fraction() - 1.0).abs() < 1e-12);
+        // C=2.4 GB/s halves that.
+        let m2 = ScanModel { decompression_bw: 2.4, ..m };
+        assert!((m2.decompression_cpu_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_condition_is_continuous() {
+        // At the regime boundary both formulas agree.
+        let q = 2.0;
+        let c = 3.0;
+        let br = q * c / (q + c);
+        let m = ScanModel { io_bw: br / 4.0, ratio: 4.0, query_bw: q, decompression_bw: c };
+        assert!((m.result_bandwidth() - br).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! The Table 1 component-cost breakdown: the hardware context that
+//! motivates compression. These are the paper's published figures for the
+//! official TPC-H 100 GB results (4-CPU systems); nothing here is measured
+//! — the table exists so the `exp_table1` harness can reprint and derive
+//! from it.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemCost {
+    /// CPU description.
+    pub cpus: &'static str,
+    /// Fraction of hardware price attributed to CPUs.
+    pub cpu_frac: f64,
+    /// RAM size description.
+    pub ram: &'static str,
+    /// Fraction of hardware price attributed to RAM.
+    pub ram_frac: f64,
+    /// Disk configuration description.
+    pub disks: &'static str,
+    /// Number of disks.
+    pub n_disks: u32,
+    /// Total disk capacity in GB.
+    pub disk_gb: u32,
+    /// Fraction of hardware price attributed to disks.
+    pub disk_frac: f64,
+}
+
+/// The paper's Table 1 rows.
+pub const TABLE1: [SystemCost; 4] = [
+    SystemCost {
+        cpus: "4x Power5 1650MHz",
+        cpu_frac: 0.09,
+        ram: "32GB",
+        ram_frac: 0.13,
+        disks: "42x36GB",
+        n_disks: 42,
+        disk_gb: 1600,
+        disk_frac: 0.78,
+    },
+    SystemCost {
+        cpus: "4x Itanium2 1500MHz",
+        cpu_frac: 0.24,
+        ram: "32GB",
+        ram_frac: 0.15,
+        disks: "112x18GB",
+        n_disks: 112,
+        disk_gb: 1900,
+        disk_frac: 0.61,
+    },
+    SystemCost {
+        cpus: "4x Xeon MP 2800MHz",
+        cpu_frac: 0.25,
+        ram: "4GB",
+        ram_frac: 0.03,
+        disks: "74x18GB",
+        n_disks: 74,
+        disk_gb: 1200,
+        disk_frac: 0.72,
+    },
+    SystemCost {
+        cpus: "4x Xeon MP 2000MHz",
+        cpu_frac: 0.30,
+        ram: "8GB",
+        ram_frac: 0.07,
+        disks: "85x18GB",
+        n_disks: 85,
+        disk_gb: 1600,
+        disk_frac: 0.63,
+    },
+];
+
+/// Ratio of provisioned disk capacity to the 100 GB benchmark database —
+/// the "orders of magnitude more disks than required" observation of §1.
+pub fn overprovisioning_factor(row: &SystemCost) -> f64 {
+    row.disk_gb as f64 / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_about_one() {
+        for row in &TABLE1 {
+            let total = row.cpu_frac + row.ram_frac + row.disk_frac;
+            assert!((total - 1.0).abs() < 0.01, "{}: {total}", row.cpus);
+        }
+    }
+
+    #[test]
+    fn disks_dominate_cost() {
+        for row in &TABLE1 {
+            assert!(row.disk_frac >= 0.61, "{}", row.cpus);
+        }
+    }
+
+    #[test]
+    fn storage_is_heavily_overprovisioned() {
+        for row in &TABLE1 {
+            assert!(overprovisioning_factor(row) >= 12.0, "{}", row.cpus);
+        }
+    }
+}

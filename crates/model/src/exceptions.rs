@@ -1,0 +1,89 @@
+//! The Figure 6 compulsory-exception model.
+//!
+//! With `b`-bit codes the exception linked list can bridge at most `2^b`
+//! positions, so sparse exceptions need codable values sacrificed as
+//! stepping stones. Entry points restart the list every 128 values, which
+//! removes the need to bridge the leading gap of each block. The paper
+//! models the effective rate as
+//!
+//! ```text
+//! E' = max(E, (128E - 1) / (128E) * 2^-b)
+//! ```
+
+/// Values per entry-point block.
+pub const BLOCK: f64 = 128.0;
+
+/// Effective exception rate `E'` for data-driven rate `e` at width `b`.
+/// Returns `e` unchanged for `e == 0` (no list to connect) and clamps to
+/// `[e, 1]`.
+pub fn effective_exception_rate(e: f64, b: u32) -> f64 {
+    if e <= 0.0 {
+        return 0.0;
+    }
+    let k = BLOCK * e;
+    let compulsory = ((k - 1.0).max(0.0) / k) * (2.0f64).powi(-(b as i32));
+    e.max(compulsory).min(1.0)
+}
+
+/// Compressed bits per value for PFOR at width `b`, exception rate `e`,
+/// uncompressed width `w` bits: `b + E'(e,b) * w` plus entry points.
+pub fn pfor_bits_per_value(e: f64, b: u32, w: u32) -> f64 {
+    b as f64 + effective_exception_rate(e, b) * w as f64 + 32.0 / BLOCK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_exceptions_stay_zero() {
+        for b in 0..=8 {
+            assert_eq!(effective_exception_rate(0.0, b), 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_figure6_anchor_points() {
+        // "with bit-width b=1 for miss rates E > 0.01, the effective
+        // exception rate E' quickly increases to a rather useless 0.47".
+        let e = effective_exception_rate(0.05, 1);
+        assert!(e > 0.4 && e <= 0.5, "b=1: {e}");
+        // "With b=2, it goes to an already more usable E' = 0.22".
+        let e2 = effective_exception_rate(0.05, 2);
+        assert!(e2 > 0.2 && e2 <= 0.25, "b=2: {e2}");
+        // "for all bit-widths b > 4, the effect ... is negligible".
+        let e5 = effective_exception_rate(0.05, 5);
+        assert!((e5 - 0.05).abs() < 0.01, "b=5: {e5}");
+    }
+
+    #[test]
+    fn large_e_unaffected() {
+        // When data exceptions are already dense the list stays connected.
+        for b in 1..=8 {
+            assert_eq!(effective_exception_rate(0.5, b), 0.5);
+        }
+    }
+
+    #[test]
+    fn monotone_in_b() {
+        for b in 1..8 {
+            assert!(
+                effective_exception_rate(0.02, b) >= effective_exception_rate(0.02, b + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn bits_per_value_has_interior_minimum() {
+        // For a skewed distribution the best width is neither 0 nor max.
+        let e_of_b = |b: u32| 0.3 / (1.0 + b as f64 * b as f64); // toy decay
+        let costs: Vec<f64> = (0..=20).map(|b| pfor_bits_per_value(e_of_b(b), b, 32)).collect();
+        let min_idx = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(min_idx > 0 && min_idx < 20, "min at {min_idx}");
+    }
+}

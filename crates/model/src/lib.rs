@@ -1,0 +1,17 @@
+//! Analytical models from the paper.
+//!
+//! * [`bandwidth`] — equation 3.1: result bandwidth of a scan as a function
+//!   of I/O bandwidth, compression ratio, query bandwidth and
+//!   decompression bandwidth, including the I/O-bound/CPU-bound regimes.
+//! * [`exceptions`] — the Figure 6 model of how compulsory exceptions
+//!   inflate the effective exception rate at small bit widths.
+//! * [`cost`] — the Table 1 hardware component cost breakdown.
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod cost;
+pub mod exceptions;
+
+pub use bandwidth::{equilibrium_decompression_bw, result_bandwidth, Regime, ScanModel};
+pub use exceptions::effective_exception_rate;

@@ -1,0 +1,107 @@
+//! The simulated disk and per-scan accounting.
+//!
+//! The container this reproduction runs in has no RAID to measure, so
+//! I/O is modeled analytically: a read of `n` bytes costs
+//! `n / bandwidth` seconds (sequential scans; seek costs are negligible
+//! at multi-megabyte chunk sizes, which is why ColumnBM sizes chunks
+//! that way). Scans overlap I/O with computation through DMA-style
+//! prefetching (Figure 1), so reported *stall* time is
+//! `max(0, io_seconds - cpu_seconds)`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A bandwidth-modeled disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disk {
+    /// Sequential bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Disk {
+    /// The paper's low-end config: 4-disk RAID, ~80 MB/s.
+    pub fn low_end() -> Self {
+        Self { bandwidth: 80.0 * 1024.0 * 1024.0 }
+    }
+
+    /// The paper's middle-end config: 12-disk RAID, ~350 MB/s.
+    pub fn middle_end() -> Self {
+        Self { bandwidth: 350.0 * 1024.0 * 1024.0 }
+    }
+
+    /// Seconds to deliver `bytes` sequentially.
+    pub fn read_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+}
+
+/// Counters accumulated by a scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanStats {
+    /// Bytes charged against the disk (buffer-pool misses only).
+    pub io_bytes: u64,
+    /// Modeled I/O seconds for those bytes.
+    pub io_seconds: f64,
+    /// Measured wall seconds spent inside decompression kernels.
+    pub decompress_seconds: f64,
+    /// Bytes of decompressed data handed to the query engine.
+    pub output_bytes: u64,
+    /// RAM traffic in bytes: compressed reads plus, in page-wise mode,
+    /// the full decompressed page written back and re-read (the Figure 7
+    /// effect).
+    pub ram_traffic_bytes: u64,
+    /// Buffer-pool hits/misses.
+    pub pool_hits: u64,
+    /// Buffer-pool misses.
+    pub pool_misses: u64,
+}
+
+impl ScanStats {
+    /// I/O stall seconds given measured CPU seconds, under prefetching.
+    pub fn stall_seconds(&self, cpu_seconds: f64) -> f64 {
+        (self.io_seconds - cpu_seconds).max(0.0)
+    }
+
+    /// Effective decompression bandwidth in bytes/s of output.
+    pub fn decompression_bandwidth(&self) -> f64 {
+        if self.decompress_seconds == 0.0 {
+            f64::INFINITY
+        } else {
+            self.output_bytes as f64 / self.decompress_seconds
+        }
+    }
+}
+
+/// Shared mutable handle to a scan's stats (single-threaded pipelines).
+pub type StatsHandle = Rc<RefCell<ScanStats>>;
+
+/// Creates a fresh stats handle.
+pub fn stats_handle() -> StatsHandle {
+    Rc::new(RefCell::new(ScanStats::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_time_scales_with_bandwidth() {
+        let slow = Disk::low_end();
+        let fast = Disk::middle_end();
+        let bytes = 800 * 1024 * 1024;
+        assert!(slow.read_seconds(bytes) > 4.0 * fast.read_seconds(bytes));
+    }
+
+    #[test]
+    fn stall_is_clamped_at_zero() {
+        let stats = ScanStats { io_seconds: 1.0, ..Default::default() };
+        assert_eq!(stats.stall_seconds(2.0), 0.0);
+        assert_eq!(stats.stall_seconds(0.25), 0.75);
+    }
+
+    #[test]
+    fn decompression_bandwidth_handles_zero_time() {
+        let stats = ScanStats::default();
+        assert!(stats.decompression_bandwidth().is_infinite());
+    }
+}

@@ -1,0 +1,43 @@
+//! ColumnBM-style storage manager (§1.1, §3.1 "Disk Storage").
+//!
+//! Tables are stored column-wise in *segments* of a fixed row count
+//! (64 Ki rows by default), each independently compressed by the
+//! `scc-core` analyzer. Two disk layouts are modeled:
+//!
+//! * **DSM** — each column in its own sequence of chunks; a scan reads
+//!   only the referenced columns;
+//! * **PAX** — each chunk holds one segment per column; a scan reads
+//!   whole chunks, so untouched columns still cost I/O.
+//!
+//! The disk itself is *simulated*: reads are charged against a
+//! configurable bandwidth and the scan reports I/O seconds alongside
+//! measured decompression and processing time (see DESIGN.md §4,
+//! substitution 1). The buffer pool caches **compressed** chunks — the
+//! paper's RAM-CPU design — so a cache of the same byte size holds `r`
+//! times more data than an uncompressed-caching design.
+//!
+//! The [`Scan`] operator implements `scc_engine::Operator` and decodes
+//! *vector-wise*: 1024 values per column at a time, straight from the
+//! compressed segment into a cache-resident vector. The *page-wise* mode
+//! (decompress a whole segment into RAM first, then read vectors from it)
+//! exists to reproduce the paper's Figure 7 / Table 3 comparison.
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod delta;
+pub mod disk;
+pub mod pool;
+pub mod scan;
+pub mod table;
+
+pub use column::{Column, ColumnStore, Compression, NumColumn, StoredSegment, StrColumn};
+pub use delta::{materialize, Cell, MergingScan, TableDeltas};
+pub use disk::{Disk, ScanStats};
+pub use pool::BufferPool;
+pub use scan::{DecompressionGranularity, Scan, ScanMode, ScanOptions};
+pub use table::{Layout, Table, TableBuilder};
+
+/// Rows per storage segment (and per PAX chunk). A multiple of both the
+/// 128-value compression block and the 1024-tuple vector.
+pub const SEGMENT_ROWS: usize = 64 * 1024;

@@ -1,0 +1,257 @@
+//! Tables: named columns under a DSM or PAX layout.
+
+use crate::column::{Column, ColumnStore, Compression, NumColumn, StrColumn};
+use crate::SEGMENT_ROWS;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+static NEXT_TABLE_ID: AtomicU32 = AtomicU32::new(1);
+
+/// On-disk layout of a table's chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Column-wise: a chunk holds one column's segment; scans read only
+    /// the referenced columns.
+    Dsm,
+    /// PAX: a chunk holds one segment of *every* column; scans read whole
+    /// chunks.
+    Pax,
+}
+
+/// A stored table.
+#[derive(Debug)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    pub(crate) id: u32,
+    pub(crate) n_rows: usize,
+    pub(crate) seg_rows: usize,
+    pub(crate) columns: Vec<(String, Column)>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Rows per segment.
+    pub fn seg_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Number of segments (PAX chunks).
+    pub fn n_segments(&self) -> usize {
+        self.n_rows.div_ceil(self.seg_rows)
+    }
+
+    /// Index of a column by name.
+    pub fn col_index(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no column {name} in table {}", self.name))
+    }
+
+    /// Column by name.
+    pub fn col(&self, name: &str) -> &Column {
+        &self.columns[self.col_index(name)].1
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[(String, Column)] {
+        &self.columns
+    }
+
+    /// String column by name (panics when not a string column).
+    pub fn str_col(&self, name: &str) -> &StrColumn {
+        match self.col(name) {
+            Column::Str(c) => c,
+            _ => panic!("column {name} is not a string column"),
+        }
+    }
+
+    /// Total plain (uncompressed) bytes.
+    pub fn plain_bytes(&self) -> u64 {
+        self.columns.iter().map(|(_, c)| c.plain_bytes()).sum()
+    }
+
+    /// Total compressed bytes.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.columns.iter().map(|(_, c)| c.compressed_bytes()).sum()
+    }
+
+    /// Whole-table compression ratio.
+    pub fn ratio(&self) -> f64 {
+        self.plain_bytes() as f64 / self.compressed_bytes() as f64
+    }
+
+    /// Fine-grained point lookup of a numeric cell from the compressed
+    /// representation, widened to i64 (string columns return the code).
+    /// This is the OLTP-style access path that fine-grained segment
+    /// decompression enables (§3.1, §4's PAX discussion).
+    pub fn get_cell(&self, col: &str, row: usize) -> i64 {
+        assert!(row < self.n_rows, "row {row} out of bounds");
+        match self.col(col) {
+            Column::Num(NumColumn::I32(c)) => c.get_compressed(row) as i64,
+            Column::Num(NumColumn::I64(c)) => c.get_compressed(row),
+            Column::Num(NumColumn::U32(c)) => c.get_compressed(row) as i64,
+            Column::Str(s) => s.codes.get_compressed(row) as i64,
+            Column::Blob(_) => panic!("blob columns have no cells"),
+        }
+    }
+
+    /// Compression ratio over a subset of columns (the per-query ratios
+    /// of Table 2 are over the columns each query touches).
+    pub fn ratio_over(&self, cols: &[&str]) -> f64 {
+        let plain: u64 = cols.iter().map(|c| self.col(c).plain_bytes()).sum();
+        let comp: u64 = cols.iter().map(|c| self.col(c).compressed_bytes()).sum();
+        plain as f64 / comp as f64
+    }
+}
+
+/// Builds a [`Table`] column by column.
+pub struct TableBuilder {
+    name: String,
+    seg_rows: usize,
+    compression: Compression,
+    n_rows: Option<usize>,
+    columns: Vec<(String, Column)>,
+}
+
+impl TableBuilder {
+    /// Starts a builder with default segment size and auto compression.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            seg_rows: SEGMENT_ROWS,
+            compression: Compression::Auto,
+            n_rows: None,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Overrides rows per segment (must be a multiple of 128).
+    pub fn seg_rows(mut self, rows: usize) -> Self {
+        assert!(rows.is_multiple_of(scc_core::BLOCK));
+        self.seg_rows = rows;
+        self.n_rows = None.or(self.n_rows);
+        self
+    }
+
+    /// Overrides the compression policy for subsequently added columns.
+    pub fn compression(mut self, c: Compression) -> Self {
+        self.compression = c;
+        self
+    }
+
+    fn check_rows(&mut self, n: usize, name: &str) {
+        match self.n_rows {
+            None => self.n_rows = Some(n),
+            Some(exp) => assert_eq!(exp, n, "column {name} row count mismatch"),
+        }
+    }
+
+    /// Adds an `i64` column.
+    pub fn add_i64(mut self, name: &str, values: Vec<i64>) -> Self {
+        self.check_rows(values.len(), name);
+        let store = ColumnStore::build(values, self.seg_rows, &self.compression);
+        self.columns.push((name.to_string(), Column::Num(NumColumn::I64(store))));
+        self
+    }
+
+    /// Adds an `i32` column.
+    pub fn add_i32(mut self, name: &str, values: Vec<i32>) -> Self {
+        self.check_rows(values.len(), name);
+        let store = ColumnStore::build(values, self.seg_rows, &self.compression);
+        self.columns.push((name.to_string(), Column::Num(NumColumn::I32(store))));
+        self
+    }
+
+    /// Adds a `u32` column.
+    pub fn add_u32(mut self, name: &str, values: Vec<u32>) -> Self {
+        self.check_rows(values.len(), name);
+        let store = ColumnStore::build(values, self.seg_rows, &self.compression);
+        self.columns.push((name.to_string(), Column::Num(NumColumn::U32(store))));
+        self
+    }
+
+    /// Adds a dictionary-encoded string column.
+    pub fn add_str(mut self, name: &str, values: Vec<String>) -> Self {
+        self.check_rows(values.len(), name);
+        let col = StrColumn::build(&values, self.seg_rows, &self.compression);
+        self.columns.push((name.to_string(), Column::Str(col)));
+        self
+    }
+
+    /// Adds an uncompressible blob column of the given total size (e.g. a
+    /// comment field: it weights PAX chunks but is never scanned).
+    pub fn add_blob(mut self, name: &str, total_bytes: u64) -> Self {
+        self.columns.push((name.to_string(), Column::Blob(total_bytes)));
+        self
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> Arc<Table> {
+        Arc::new(Table {
+            name: self.name,
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            n_rows: self.n_rows.unwrap_or(0),
+            seg_rows: self.seg_rows,
+            columns: self.columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_checks_row_counts() {
+        let t = TableBuilder::new("t")
+            .seg_rows(1024)
+            .add_i64("a", (0..5000).collect())
+            .add_i32("b", (0..5000).map(|i| i % 100).collect())
+            .build();
+        assert_eq!(t.n_rows(), 5000);
+        assert_eq!(t.n_segments(), 5);
+        assert!(t.ratio() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn ragged_columns_rejected() {
+        TableBuilder::new("t")
+            .add_i64("a", vec![1, 2, 3])
+            .add_i64("b", vec![1]);
+    }
+
+    #[test]
+    fn ratio_over_subset() {
+        let t = TableBuilder::new("t")
+            .seg_rows(1024)
+            .add_i64("clustered", (0..10_000).map(|i| 100 + i % 50).collect())
+            .add_i64("random", {
+                let mut x = 3u64;
+                (0..10_000)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x as i64
+                    })
+                    .collect()
+            })
+            .build();
+        assert!(t.ratio_over(&["clustered"]) > 4.0);
+        assert!(t.ratio_over(&["random"]) < 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let t = TableBuilder::new("t").add_i64("a", vec![1]).build();
+        t.col_index("missing");
+    }
+}

@@ -1,0 +1,97 @@
+//! Date arithmetic: days since 1992-01-01 stored as `i32` (the TPC-H
+//! data window is 1992-01-01 .. 1998-12-31).
+
+/// A date as days since 1992-01-01.
+pub type Date = i32;
+
+const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days since 1992-01-01 for a calendar date (1992 <= year <= 1998 for
+/// TPC-H data, but any year >= 1992 works).
+pub fn date(year: i32, month: i32, day: i32) -> Date {
+    assert!((1..=12).contains(&month) && day >= 1);
+    let mut days = 0i32;
+    for y in 1992..year {
+        days += if is_leap(y) { 366 } else { 365 };
+    }
+    for m in 1..month {
+        days += DAYS_IN_MONTH[(m - 1) as usize];
+        if m == 2 && is_leap(year) {
+            days += 1;
+        }
+    }
+    days + day - 1
+}
+
+/// `(year, month, day)` of a [`Date`].
+pub fn ymd(mut d: Date) -> (i32, i32, i32) {
+    let mut year = 1992;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if d < len {
+            break;
+        }
+        d -= len;
+        year += 1;
+    }
+    let mut month = 1;
+    loop {
+        let mut len = DAYS_IN_MONTH[(month - 1) as usize];
+        if month == 2 && is_leap(year) {
+            len += 1;
+        }
+        if d < len {
+            break;
+        }
+        d -= len;
+        month += 1;
+    }
+    (year, month, d + 1)
+}
+
+/// The year of a date (used by Q7's `extract(year)`).
+pub fn year_of(d: Date) -> i32 {
+    ymd(d).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1992, 1, 1), 0);
+    }
+
+    #[test]
+    fn known_offsets() {
+        assert_eq!(date(1992, 2, 1), 31);
+        assert_eq!(date(1993, 1, 1), 366); // 1992 is a leap year
+        assert_eq!(date(1994, 1, 1), 731);
+        assert_eq!(date(1995, 3, 15), date(1995, 1, 1) + 31 + 28 + 14);
+    }
+
+    #[test]
+    fn ymd_roundtrip() {
+        for d in (0..2557).step_by(13) {
+            let (y, m, day) = ymd(d);
+            assert_eq!(date(y, m, day), d, "day {d} -> {y}-{m}-{day}");
+        }
+    }
+
+    #[test]
+    fn leap_year_february() {
+        assert_eq!(date(1992, 3, 1) - date(1992, 2, 28), 2);
+        assert_eq!(date(1993, 3, 1) - date(1993, 2, 28), 1);
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(year_of(date(1995, 7, 4)), 1995);
+        assert_eq!(year_of(date(1998, 12, 31)), 1998);
+    }
+}

@@ -1,0 +1,401 @@
+//! dbgen-style data generation.
+//!
+//! Produces raw column arrays for all eight TPC-H tables at a given scale
+//! factor, following the TPC-H 2.1 distribution rules for everything the
+//! paper's queries touch. Deterministic for a given seed.
+
+use crate::dates::{date, Date};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Orders per unit scale factor (dbgen: 1.5M).
+pub const SCALE_BASE_ORDERS: usize = 1_500_000;
+
+/// Raw (uncompressed, in-memory) generated tables.
+#[derive(Debug, Default)]
+pub struct RawTables {
+    /// Scale factor used.
+    pub sf: f64,
+    /// LINEITEM columns.
+    pub lineitem: Lineitem,
+    /// ORDERS columns.
+    pub orders: Orders,
+    /// CUSTOMER columns.
+    pub customer: Customer,
+    /// SUPPLIER columns.
+    pub supplier: Supplier,
+    /// PART columns.
+    pub part: Part,
+    /// PARTSUPP columns.
+    pub partsupp: PartSupp,
+    /// NATION columns.
+    pub nation: Nation,
+    /// REGION columns.
+    pub region: Region,
+}
+
+/// LINEITEM: one row per order line. Prices/discounts/taxes are scaled
+/// integers (cents / basis points).
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Lineitem {
+    pub orderkey: Vec<i64>,
+    pub partkey: Vec<i64>,
+    pub suppkey: Vec<i64>,
+    pub linenumber: Vec<i32>,
+    pub quantity: Vec<i64>,
+    /// Cents.
+    pub extendedprice: Vec<i64>,
+    /// Percent (0..=10), i.e. discount*100.
+    pub discount: Vec<i64>,
+    /// Percent (0..=8).
+    pub tax: Vec<i64>,
+    pub returnflag: Vec<String>,
+    pub linestatus: Vec<String>,
+    pub shipdate: Vec<Date>,
+    pub commitdate: Vec<Date>,
+    pub receiptdate: Vec<Date>,
+    pub shipinstruct: Vec<String>,
+    pub shipmode: Vec<String>,
+    /// Total bytes of the comment field (blob model).
+    pub comment_bytes: u64,
+}
+
+/// ORDERS columns.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Orders {
+    pub orderkey: Vec<i64>,
+    pub custkey: Vec<i64>,
+    pub orderstatus: Vec<String>,
+    /// Cents.
+    pub totalprice: Vec<i64>,
+    pub orderdate: Vec<Date>,
+    pub orderpriority: Vec<String>,
+    pub shippriority: Vec<i32>,
+    pub comment_bytes: u64,
+}
+
+/// CUSTOMER columns.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Customer {
+    pub custkey: Vec<i64>,
+    pub nationkey: Vec<i64>,
+    /// Cents (may be negative).
+    pub acctbal: Vec<i64>,
+    pub mktsegment: Vec<String>,
+    pub comment_bytes: u64,
+}
+
+/// SUPPLIER columns.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Supplier {
+    pub suppkey: Vec<i64>,
+    pub nationkey: Vec<i64>,
+    pub acctbal: Vec<i64>,
+    pub comment_bytes: u64,
+}
+
+/// PART columns.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Part {
+    pub partkey: Vec<i64>,
+    pub mfgr: Vec<String>,
+    pub brand: Vec<String>,
+    pub ptype: Vec<String>,
+    pub size: Vec<i32>,
+    pub container: Vec<String>,
+    /// Cents.
+    pub retailprice: Vec<i64>,
+    pub comment_bytes: u64,
+}
+
+/// PARTSUPP columns.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct PartSupp {
+    pub partkey: Vec<i64>,
+    pub suppkey: Vec<i64>,
+    pub availqty: Vec<i32>,
+    /// Cents.
+    pub supplycost: Vec<i64>,
+    pub comment_bytes: u64,
+}
+
+/// NATION: the 25 fixed nations.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Nation {
+    pub nationkey: Vec<i64>,
+    pub name: Vec<String>,
+    pub regionkey: Vec<i64>,
+}
+
+/// REGION: the 5 fixed regions.
+#[derive(Debug, Default)]
+#[allow(missing_docs)]
+pub struct Region {
+    pub regionkey: Vec<i64>,
+    pub name: Vec<String>,
+}
+
+/// The 25 TPC-H nations with their region keys.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_SYL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// dbgen retail price rule, in cents.
+fn retail_price(partkey: i64) -> i64 {
+    90_000 + ((partkey / 10) % 20_001) + 100 * (partkey % 1_000)
+}
+
+/// Generates all eight tables at scale factor `sf` (1.0 = 6M lineitems).
+pub fn generate(sf: f64, seed: u64) -> RawTables {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_orders = ((SCALE_BASE_ORDERS as f64) * sf).round() as usize;
+    let n_customers = (150_000.0 * sf).round().max(10.0) as usize;
+    let n_parts = (200_000.0 * sf).round().max(20.0) as usize;
+    let n_suppliers = (10_000.0 * sf).round().max(5.0) as usize;
+
+    let mut t = RawTables { sf, ..Default::default() };
+
+    // REGION and NATION are fixed.
+    for (i, name) in REGIONS.iter().enumerate() {
+        t.region.regionkey.push(i as i64);
+        t.region.name.push(name.to_string());
+    }
+    for (i, (name, region)) in NATIONS.iter().enumerate() {
+        t.nation.nationkey.push(i as i64);
+        t.nation.name.push(name.to_string());
+        t.nation.regionkey.push(*region);
+    }
+
+    // SUPPLIER.
+    for k in 1..=n_suppliers as i64 {
+        t.supplier.suppkey.push(k);
+        t.supplier.nationkey.push(rng.gen_range(0..25));
+        t.supplier.acctbal.push(rng.gen_range(-99_999..=999_999));
+    }
+    t.supplier.comment_bytes = n_suppliers as u64 * 63; // spec avg width
+
+    // CUSTOMER.
+    for k in 1..=n_customers as i64 {
+        t.customer.custkey.push(k);
+        t.customer.nationkey.push(rng.gen_range(0..25));
+        t.customer.acctbal.push(rng.gen_range(-99_999..=999_999));
+        t.customer.mktsegment.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string());
+    }
+    t.customer.comment_bytes = n_customers as u64 * 73;
+
+    // PART.
+    for k in 1..=n_parts as i64 {
+        t.part.partkey.push(k);
+        let m = rng.gen_range(1..=5);
+        t.part.mfgr.push(format!("Manufacturer#{m}"));
+        t.part.brand.push(format!("Brand#{}{}", m, rng.gen_range(1..=5)));
+        t.part.ptype.push(format!(
+            "{} {} {}",
+            TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
+            TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
+            TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())],
+        ));
+        t.part.size.push(rng.gen_range(1..=50));
+        t.part.container.push(format!(
+            "{} {}",
+            CONTAINER_SYL1[rng.gen_range(0..CONTAINER_SYL1.len())],
+            CONTAINER_SYL2[rng.gen_range(0..CONTAINER_SYL2.len())],
+        ));
+        t.part.retailprice.push(retail_price(k));
+    }
+    t.part.comment_bytes = n_parts as u64 * 14;
+
+    // PARTSUPP: 4 suppliers per part.
+    for k in 1..=n_parts as i64 {
+        for s in 0..4i64 {
+            t.partsupp.partkey.push(k);
+            // dbgen supplier spread rule (simplified modulo spread).
+            let suppkey = ((k + s * ((n_suppliers as i64 / 4) + 1)) % n_suppliers as i64) + 1;
+            t.partsupp.suppkey.push(suppkey);
+            t.partsupp.availqty.push(rng.gen_range(1..=9999));
+            t.partsupp.supplycost.push(rng.gen_range(100..=100_000));
+        }
+    }
+    t.partsupp.comment_bytes = (4 * n_parts) as u64 * 124;
+
+    // ORDERS and LINEITEM.
+    let start = date(1992, 1, 1);
+    let end = date(1998, 8, 2); // last orderdate: end),  dbgen: 1998-12-01 - 151 days
+    let current = date(1995, 6, 17); // dbgen's "currentdate" for flags
+    for okey in 1..=n_orders as i64 {
+        let orderdate = rng.gen_range(start..=end - 151);
+        let custkey = rng.gen_range(1..=n_customers as i64);
+        let n_lines = rng.gen_range(1..=7usize);
+        let mut totalprice = 0i64;
+        let mut any_open = false;
+        let mut all_fulfilled = true;
+        for line in 1..=n_lines {
+            let partkey = rng.gen_range(1..=n_parts as i64);
+            let suppkey = rng.gen_range(1..=n_suppliers as i64);
+            let quantity = rng.gen_range(1..=50i64);
+            let extendedprice = quantity * retail_price(partkey) / 100;
+            let discount = rng.gen_range(0..=10i64);
+            let tax = rng.gen_range(0..=8i64);
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let (rf, ls) = if receiptdate <= current {
+                (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+            } else {
+                ("N", "O")
+            };
+            if ls == "O" {
+                any_open = true;
+                all_fulfilled = false;
+            }
+            totalprice += extendedprice * (100 - discount) * (100 + tax) / 10_000;
+            t.lineitem.orderkey.push(okey);
+            t.lineitem.partkey.push(partkey);
+            t.lineitem.suppkey.push(suppkey);
+            t.lineitem.linenumber.push(line as i32);
+            t.lineitem.quantity.push(quantity);
+            t.lineitem.extendedprice.push(extendedprice);
+            t.lineitem.discount.push(discount);
+            t.lineitem.tax.push(tax);
+            t.lineitem.returnflag.push(rf.to_string());
+            t.lineitem.linestatus.push(ls.to_string());
+            t.lineitem.shipdate.push(shipdate);
+            t.lineitem.commitdate.push(commitdate);
+            t.lineitem.receiptdate.push(receiptdate);
+            t.lineitem
+                .shipinstruct
+                .push(INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())].to_string());
+            t.lineitem.shipmode.push(SHIPMODES[rng.gen_range(0..SHIPMODES.len())].to_string());
+        }
+        let status = if all_fulfilled {
+            "F"
+        } else if any_open && n_lines > 1 && rng.gen_bool(0.3) {
+            "P"
+        } else {
+            "O"
+        };
+        t.orders.orderkey.push(okey);
+        t.orders.custkey.push(custkey);
+        t.orders.orderstatus.push(status.to_string());
+        t.orders.totalprice.push(totalprice);
+        t.orders.orderdate.push(orderdate);
+        t.orders.orderpriority.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string());
+        t.orders.shippriority.push(0);
+    }
+    t.lineitem.comment_bytes = t.lineitem.orderkey.len() as u64 * 27;
+    t.orders.comment_bytes = n_orders as u64 * 49;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dates::ymd;
+
+    fn small() -> RawTables {
+        generate(0.002, 42)
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let t = small();
+        assert_eq!(t.orders.orderkey.len(), 3000);
+        assert_eq!(t.customer.custkey.len(), 300);
+        assert_eq!(t.part.partkey.len(), 400);
+        assert_eq!(t.partsupp.partkey.len(), 1600);
+        // ~4 lines per order on average.
+        let lines = t.lineitem.orderkey.len();
+        assert!((9000..15_000).contains(&lines), "{lines} lines");
+        assert_eq!(t.nation.name.len(), 25);
+        assert_eq!(t.region.name.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(0.001, 7);
+        let b = generate(0.001, 7);
+        assert_eq!(a.lineitem.extendedprice, b.lineitem.extendedprice);
+        assert_eq!(a.orders.orderdate, b.orders.orderdate);
+    }
+
+    #[test]
+    fn date_invariants_hold() {
+        let t = small();
+        for i in 0..t.lineitem.orderkey.len() {
+            let ship = t.lineitem.shipdate[i];
+            let receipt = t.lineitem.receiptdate[i];
+            assert!(receipt > ship);
+            let (y, _, _) = ymd(ship);
+            assert!((1992..=1998).contains(&y));
+        }
+    }
+
+    #[test]
+    fn status_flags_follow_receiptdate() {
+        let t = small();
+        let current = date(1995, 6, 17);
+        for i in 0..t.lineitem.orderkey.len() {
+            let rf = &t.lineitem.returnflag[i];
+            if t.lineitem.receiptdate[i] <= current {
+                assert!(rf == "R" || rf == "A");
+                assert_eq!(t.lineitem.linestatus[i], "F");
+            } else {
+                assert_eq!(rf, "N");
+                assert_eq!(t.lineitem.linestatus[i], "O");
+            }
+        }
+    }
+
+    #[test]
+    fn lineitem_sorted_by_orderkey() {
+        let t = small();
+        assert!(t.lineitem.orderkey.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn keys_reference_valid_rows() {
+        let t = small();
+        let nc = t.customer.custkey.len() as i64;
+        assert!(t.orders.custkey.iter().all(|&c| c >= 1 && c <= nc));
+        let np = t.part.partkey.len() as i64;
+        assert!(t.lineitem.partkey.iter().all(|&p| p >= 1 && p <= np));
+        let ns = t.supplier.suppkey.len() as i64;
+        assert!(t.partsupp.suppkey.iter().all(|&s| s >= 1 && s <= ns));
+    }
+
+    #[test]
+    fn prices_follow_retail_rule() {
+        let t = small();
+        for i in 0..t.lineitem.orderkey.len().min(100) {
+            let expect =
+                t.lineitem.quantity[i] * retail_price(t.lineitem.partkey[i]) / 100;
+            assert_eq!(t.lineitem.extendedprice[i], expect);
+        }
+    }
+}

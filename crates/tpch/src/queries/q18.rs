@@ -1,0 +1,113 @@
+//! TPC-H Q18: large volume customers — orders whose total quantity
+//! exceeds 300, joined back to orders and customers.
+
+use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::{
+    AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select, SortKey, TopN,
+};
+
+/// Columns scanned.
+pub const COLUMNS: &[(&str, &[&str])] = &[
+    ("lineitem", &["l_orderkey", "l_quantity"]),
+    ("orders", &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"]),
+    ("customer", &["c_custkey"]),
+];
+
+/// The quantity threshold; the spec uses 300 at SF >= 1. At tiny scale
+/// factors the reproduction uses a lower threshold so the result is
+/// non-empty (line counts per order cap total quantity at ~350).
+pub fn threshold(sf: f64) -> i64 {
+    if sf >= 0.05 {
+        300
+    } else {
+        200
+    }
+}
+
+/// Executes Q18. Output: c_custkey, o_orderkey, o_orderdate,
+/// o_totalprice, sum(l_quantity); top 100 by totalprice desc, orderdate.
+pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
+    let thresh = threshold(db.sf);
+    timed(|stats| {
+        // Per-order quantity. 0=l_orderkey 1=l_quantity.
+        let li = cfg.scan(&db.lineitem, &["l_orderkey", "l_quantity"], stats);
+        let per_order = HashAggregate::new(
+            Box::new(li),
+            vec![Expr::col(0)],
+            vec![AggExpr::Sum(Expr::col(1))],
+        );
+        let big = Select::new(Box::new(per_order), Expr::col(1).gt(Expr::lit_i64(thresh)));
+
+        // Orders joined to big orders: 0=o_orderkey 1=o_custkey
+        // 2=o_totalprice 3=o_orderdate then 4=big orderkey 5=sum_qty.
+        let ord = cfg.scan(
+            &db.orders,
+            &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
+            stats,
+        );
+        let ord_big = HashJoin::new(Box::new(ord), Box::new(big), vec![0], vec![0], JoinKind::Inner);
+
+        // Customers: 6=c_custkey after join.
+        let cust = cfg.scan(&db.customer, &["c_custkey"], stats);
+        let all = HashJoin::new(Box::new(ord_big), cust, vec![1], vec![0], JoinKind::Inner);
+        let proj = Project::new(
+            Box::new(all),
+            vec![Expr::col(1), Expr::col(0), Expr::col(3), Expr::col(2), Expr::col(5)],
+        );
+        let mut plan = TopN::new(
+            Box::new(proj),
+            vec![SortKey::desc(3), SortKey::asc(2), SortKey::asc(1)],
+            100,
+        );
+        scc_engine::ops::collect(&mut plan)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::testkit::{assert_config_invariant, small_db};
+    use std::collections::HashMap;
+
+    #[test]
+    fn matches_reference() {
+        let db = small_db();
+        let out = run(db, &QueryConfig::default()).batch;
+
+        let raw = &db.raw;
+        let mut qty: HashMap<i64, i64> = HashMap::new();
+        for i in 0..raw.lineitem.orderkey.len() {
+            *qty.entry(raw.lineitem.orderkey[i]).or_default() += raw.lineitem.quantity[i];
+        }
+        let thresh = threshold(db.sf);
+        let mut rows: Vec<(i64, i64, i32, i64, i64)> = Vec::new();
+        for i in 0..raw.orders.orderkey.len() {
+            let ok = raw.orders.orderkey[i];
+            if qty.get(&ok).copied().unwrap_or(0) > thresh {
+                rows.push((
+                    raw.orders.custkey[i],
+                    ok,
+                    raw.orders.orderdate[i],
+                    raw.orders.totalprice[i],
+                    qty[&ok],
+                ));
+            }
+        }
+        rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.2.cmp(&b.2)).then(a.1.cmp(&b.1)));
+        rows.truncate(100);
+        assert!(!rows.is_empty(), "threshold selects nothing at this SF");
+        assert_eq!(out.len(), rows.len());
+        for (row, expect) in rows.iter().enumerate() {
+            assert_eq!(out.col(0).as_i64()[row], expect.0, "custkey at {row}");
+            assert_eq!(out.col(1).as_i64()[row], expect.1);
+            assert_eq!(out.col(2).as_i32()[row], expect.2);
+            assert_eq!(out.col(3).as_i64()[row], expect.3);
+            assert_eq!(out.col(4).as_i64()[row], expect.4);
+        }
+    }
+
+    #[test]
+    fn invariant_under_storage_configs() {
+        assert_config_invariant(18);
+    }
+}

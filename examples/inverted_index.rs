@@ -1,0 +1,71 @@
+//! Information retrieval with compressed postings: build an inverted
+//! index over a synthetic TREC-like collection, compare codecs, and run
+//! the paper's top-N query.
+//!
+//! ```text
+//! cargo run --release --example inverted_index
+//! ```
+
+use scc::ir::{
+    compress_file, gap_stream, synthesize, top_n_by_tf, CollectionPreset, InvertedIndex,
+    PostingsCodec,
+};
+use scc::model::{equilibrium_decompression_bw, result_bandwidth};
+use std::time::Instant;
+
+fn main() {
+    let collection = synthesize(CollectionPreset::TrecFbis, 7);
+    println!(
+        "collection {}: {} docs, {} postings, mean d-gap {:.1}",
+        collection.name,
+        collection.n_docs,
+        collection.n_postings(),
+        collection.mean_gap()
+    );
+
+    // File-level compression comparison.
+    let gaps = gap_stream(&collection);
+    println!("\n{:<13} {:>7} {:>12}", "codec", "ratio", "bits/gap");
+    for codec in [
+        PostingsCodec::PforDelta,
+        PostingsCodec::Carryover12,
+        PostingsCodec::Shuff,
+        PostingsCodec::Golomb,
+        PostingsCodec::VByte,
+    ] {
+        let file = compress_file(&gaps, codec);
+        println!(
+            "{:<13} {:>7.2} {:>12.2}",
+            codec.name(),
+            file.ratio(),
+            32.0 / file.ratio()
+        );
+    }
+
+    // Top-N query over per-term compressed lists.
+    let index = InvertedIndex::build(&collection, PostingsCodec::PforDelta);
+    let mut scratch = Vec::new();
+    let t0 = Instant::now();
+    let result = top_n_by_tf(&index, 0, 10, &mut scratch);
+    let dt = t0.elapsed().as_secs_f64();
+    println!("\ntop-10 docs for the densest term ({} postings, {:.2} ms):", result.postings, dt * 1000.0);
+    for (tf, doc) in &result.docs {
+        println!("  doc {doc:>8}  tf {tf}");
+    }
+
+    // The §5 equilibrium: when does a codec pay off on a 350 MB/s disk?
+    let q_bw = 580.0; // the paper's measured query bandwidth, MB/s
+    let c_star = equilibrium_decompression_bw(q_bw, 350.0).unwrap();
+    println!("\nwith Q = {q_bw} MB/s and a 350 MB/s disk, break-even C* = {c_star:.0} MB/s;");
+    for (name, ratio, dec_bw) in [
+        ("PFOR-DELTA", 3.47, 3911.0),
+        ("carryover-12", 4.26, 740.0),
+        ("shuff", 5.11, 164.0),
+    ] {
+        let r = result_bandwidth(350.0, ratio, q_bw, dec_bw);
+        println!(
+            "  {name:<13} (paper numbers) -> effective scan {r:.0} MB/s {}",
+            if r > 350.0 { "(accelerates)" } else { "(slows the query)" }
+        );
+    }
+}

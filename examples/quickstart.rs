@@ -1,0 +1,76 @@
+//! Quickstart: compress a column three ways, decompress it, and poke at
+//! fine-grained access.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scc::core::{analyze, compress_auto, pdict, pfor, pfordelta, AnalyzeOpts, Dictionary};
+
+fn main() {
+    // A column shaped like real warehouse data: clustered values with a
+    // few outliers.
+    let values: Vec<u32> = (0..1_000_000)
+        .map(|i| if i % 1000 == 999 { 5_000_000 + i } else { 20_000 + i % 512 })
+        .collect();
+    let raw_bytes = values.len() * 4;
+
+    // --- PFOR: explicit base and width ---
+    let seg = pfor::compress(&values, 20_000, 9);
+    assert_eq!(seg.decompress(), values);
+    let stats = seg.stats();
+    println!(
+        "PFOR        b={} exceptions={} ({:.2}%)  {:.2}x  {:.2} bits/value",
+        stats.b,
+        stats.exceptions,
+        100.0 * stats.exceptions as f64 / stats.n as f64,
+        stats.ratio,
+        stats.bits_per_value
+    );
+
+    // --- Fine-grained access: single values without full decompression ---
+    for idx in [0usize, 999, 123_456, 999_999] {
+        assert_eq!(seg.get(idx), values[idx]);
+    }
+    println!("fine-grained get() agrees at spot-checked positions");
+
+    // --- PFOR-DELTA: for sorted/clustered sequences ---
+    let sorted: Vec<u32> = (0..1_000_000u32).map(|i| i * 3 + (i % 7)).collect();
+    let dseg = pfordelta::compress(&sorted, 0, 0, 3);
+    assert_eq!(dseg.decompress(), sorted);
+    println!("PFOR-DELTA  {:.2}x on a monotone sequence", dseg.stats().ratio);
+
+    // --- PDICT: skewed frequency distributions ---
+    let skewed: Vec<u32> = (0..1_000_000u32)
+        .map(|i| if i % 50 == 0 { 777_000 + i % 1000 } else { [3, 1 << 20, 9][i as usize % 3] })
+        .collect();
+    let dict = Dictionary::new(vec![3, 9, 1 << 20]);
+    let pseg = pdict::compress(&skewed, &dict);
+    assert_eq!(pseg.decompress(), skewed);
+    println!("PDICT       {:.2}x with a 3-entry dictionary", pseg.stats().ratio);
+
+    // --- Automatic scheme selection ---
+    let analysis = analyze(&values, &AnalyzeOpts::default());
+    println!("\nanalyzer ranking for the first column:");
+    for cand in analysis.candidates.iter().take(4) {
+        println!(
+            "  {:10} b={:<2} est {:.2} bits/value",
+            cand.plan.name(),
+            cand.plan.bit_width(),
+            cand.est_bits_per_value
+        );
+    }
+    let (auto_seg, plan) = compress_auto(&values).expect("compressible");
+    println!(
+        "auto-chose {} -> {} bytes (raw {} bytes)",
+        plan.name(),
+        auto_seg.compressed_bytes(),
+        raw_bytes
+    );
+
+    // --- Wire roundtrip ---
+    let bytes = auto_seg.to_bytes();
+    let back = scc::core::Segment::<u32>::from_bytes(&bytes).expect("valid segment");
+    assert_eq!(back.decompress(), values);
+    println!("serialized to {} bytes and back", bytes.len());
+}

@@ -1,0 +1,76 @@
+//! The scheme advisor: run the §3.1 analysis over differently-shaped
+//! columns and see which scheme wins, at which width, and how close the
+//! estimate lands to reality.
+//!
+//! ```text
+//! cargo run --release --example scheme_advisor
+//! ```
+
+use scc::core::{analyze, compress_with_plan, AnalyzeOpts};
+
+fn report(name: &str, values: &[u32]) {
+    let analysis = analyze(values, &AnalyzeOpts::default());
+    println!("\n=== {name} ({} values) ===", values.len());
+    println!(
+        "{:<12} {:>4} {:>12} {:>10} {:>10}",
+        "scheme", "b", "est bits/v", "real b/v", "ratio"
+    );
+    for cand in analysis.candidates.iter().take(3) {
+        let seg = compress_with_plan(values, &cand.plan);
+        assert_eq!(seg.decompress(), values);
+        let stats = seg.stats();
+        println!(
+            "{:<12} {:>4} {:>12.2} {:>10.2} {:>9.2}x",
+            cand.plan.name(),
+            cand.plan.bit_width(),
+            cand.est_bits_per_value,
+            stats.bits_per_value,
+            stats.ratio
+        );
+    }
+    if !analysis.worthwhile() {
+        println!("(advisor: store plain — no scheme beats {} bits/value)", u32::BITS);
+    }
+}
+
+fn main() {
+    // Clustered values: FOR territory.
+    report("clustered (dates)", &(0..500_000).map(|i| 8_000 + (i * 13 % 365)).collect::<Vec<_>>());
+
+    // Clustered with outliers: where *patched* FOR shines.
+    report(
+        "clustered + 1% outliers",
+        &(0..500_000)
+            .map(|i| if i % 100 == 0 { 4_000_000_000 } else { 8_000 + (i * 13 % 365) })
+            .collect::<Vec<_>>(),
+    );
+
+    // Monotone: delta territory.
+    report("monotone (keys)", &(0..500_000u32).map(|i| i * 17).collect::<Vec<_>>());
+
+    // Skewed frequencies over a huge domain: dictionary territory.
+    report(
+        "skewed enum over wide domain",
+        &(0..500_000)
+            .map(|i| match i % 100 {
+                0..=79 => 3_000_000_000u32,
+                80..=98 => 12345,
+                _ => 777_000_000 + i,
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Incompressible noise.
+    let mut x = 0x243F6A88u32;
+    report(
+        "uniform random noise",
+        &(0..500_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x
+            })
+            .collect::<Vec<_>>(),
+    );
+}

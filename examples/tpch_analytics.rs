@@ -1,0 +1,74 @@
+//! TPC-H analytics end to end: generate data, load it into compressed
+//! column stores, and run the paper's queries under different disks and
+//! layouts.
+//!
+//! ```text
+//! cargo run --release --example tpch_analytics [scale_factor]
+//! ```
+
+use scc::storage::{Disk, Layout, ScanMode};
+use scc::tpch::queries::{query_ratio, run_query, PAPER_QUERIES};
+use scc::tpch::{QueryConfig, TpchDb};
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.02);
+    println!("generating TPC-H at SF {sf}...");
+    let db = TpchDb::generate(sf, 1);
+    println!(
+        "lineitem: {} rows, {:.1} MB plain, {:.1} MB compressed ({:.2}x)",
+        db.lineitem.n_rows(),
+        db.lineitem.plain_bytes() as f64 / 1e6,
+        db.lineitem.compressed_bytes() as f64 / 1e6,
+        db.lineitem.ratio()
+    );
+
+    // Q6 in detail: revenue forecast.
+    let cfg = QueryConfig { disk: Disk::low_end(), ..Default::default() };
+    let run = run_query(&db, &cfg, 6);
+    println!(
+        "\nQ6 revenue = {:.2} (compressed scan: {:.1} ms total, {:.1} ms CPU, {:.2} MB I/O)",
+        run.batch.col(0).as_f64()[0] / 100.0,
+        run.total_seconds() * 1000.0,
+        run.cpu_seconds * 1000.0,
+        run.stats.io_bytes as f64 / 1e6
+    );
+
+    // The whole paper query set, compressed vs uncompressed on the
+    // low-end disk.
+    println!("\n{:>3} {:>7} {:>12} {:>12} {:>9}", "Q", "ratio", "unc ms", "cmp ms", "speedup");
+    for q in PAPER_QUERIES {
+        let unc = run_query(
+            &db,
+            &QueryConfig { mode: ScanMode::Uncompressed, disk: Disk::low_end(), ..Default::default() },
+            q,
+        );
+        let cmp = run_query(
+            &db,
+            &QueryConfig { mode: ScanMode::Compressed, disk: Disk::low_end(), ..Default::default() },
+            q,
+        );
+        println!(
+            "{:>3} {:>7.2} {:>12.1} {:>12.1} {:>8.2}x",
+            q,
+            query_ratio(&db, q),
+            unc.total_seconds() * 1000.0,
+            cmp.total_seconds() * 1000.0,
+            unc.total_seconds() / cmp.total_seconds()
+        );
+    }
+
+    // Same store, PAX accounting: OLTP-friendlier layout, more I/O.
+    let q1_pax = run_query(
+        &db,
+        &QueryConfig { layout: Layout::Pax, disk: Disk::low_end(), ..Default::default() },
+        1,
+    );
+    println!(
+        "\nQ1 under PAX reads {:.2} MB vs DSM {:.2} MB (whole chunks incl. comments)",
+        q1_pax.stats.io_bytes as f64 / 1e6,
+        run_query(&db, &QueryConfig { disk: Disk::low_end(), ..Default::default() }, 1)
+            .stats
+            .io_bytes as f64
+            / 1e6
+    );
+}

@@ -1,0 +1,280 @@
+//! `scc` — command-line compressor for columns of little-endian integers.
+//!
+//! ```text
+//! scc analyze    <in.bin>  [--type u32|i32|u64|i64]
+//! scc compress   <in.bin>  <out.scc> [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]
+//! scc decompress <in.scc>  <out.bin>
+//! scc inspect    <in.scc>
+//! ```
+//!
+//! File format: `SCCF` magic, a type tag, a segment count, then
+//! length-prefixed `scc_core` wire segments of up to 2^20 values each.
+
+use scc::core::{analyze, compress_with_plan, AnalyzeOpts, Plan, Segment, Value};
+use std::fs;
+use std::process::ExitCode;
+
+const FILE_MAGIC: &[u8; 4] = b"SCCF";
+const SEG_VALUES: usize = 1 << 20;
+
+fn type_tag(name: &str) -> Option<u8> {
+    match name {
+        "u32" => Some(1),
+        "i32" => Some(2),
+        "u64" => Some(3),
+        "i64" => Some(4),
+        _ => None,
+    }
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage:\n  scc analyze    <in.bin> [--type T]\n  scc compress   <in.bin> <out.scc> \
+         [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
+         <out.bin>\n  scc inspect    <in.scc>\n  (T = u32|i32|u64|i64, default u32)"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_values<V: Value>(bytes: &[u8]) -> Result<Vec<V>, String> {
+    let w = V::byte_width();
+    if !bytes.len().is_multiple_of(w) {
+        return Err(format!("input length {} is not a multiple of {w}", bytes.len()));
+    }
+    Ok(bytes.chunks_exact(w).map(V::read_le).collect())
+}
+
+fn pick_plan<V: Value>(
+    values: &[V],
+    scheme: &str,
+    bits: Option<u32>,
+) -> Result<Plan<V>, String> {
+    let analysis = analyze(values, &AnalyzeOpts::default());
+    let matches_scheme = |p: &Plan<V>| match scheme {
+        "auto" => true,
+        "pfor" => matches!(p, Plan::Pfor { .. }),
+        "pfordelta" => matches!(p, Plan::PforDelta { .. }),
+        "pdict" => matches!(p, Plan::Pdict { .. }),
+        _ => false,
+    };
+    if !["auto", "pfor", "pfordelta", "pdict"].contains(&scheme) {
+        return Err(format!("unknown scheme {scheme}"));
+    }
+    analysis
+        .candidates
+        .iter()
+        .filter(|c| matches_scheme(&c.plan))
+        .filter(|c| bits.is_none_or(|b| c.plan.bit_width() == b))
+        .map(|c| c.plan.clone())
+        .next()
+        .ok_or_else(|| format!("no {scheme} candidate at the requested width"))
+}
+
+fn cmd_analyze<V: Value>(values: &[V]) {
+    let analysis = analyze(values, &AnalyzeOpts::default());
+    println!(
+        "{} values of {}; plain storage {} bytes",
+        values.len(),
+        V::NAME,
+        values.len() * V::byte_width()
+    );
+    println!("{:<12} {:>4} {:>14} {:>10}", "scheme", "b", "est bits/value", "est ratio");
+    for cand in analysis.candidates.iter().take(6) {
+        println!(
+            "{:<12} {:>4} {:>14.2} {:>9.2}x",
+            cand.plan.name(),
+            cand.plan.bit_width(),
+            cand.est_bits_per_value,
+            V::BITS as f64 / cand.est_bits_per_value
+        );
+    }
+    if !analysis.worthwhile() {
+        println!("(recommendation: store plain)");
+    }
+}
+
+fn cmd_compress<V: Value>(
+    values: &[V],
+    out_path: &str,
+    scheme: &str,
+    bits: Option<u32>,
+) -> Result<(), String> {
+    let plan = pick_plan(values, scheme, bits)?;
+    let mut out = Vec::new();
+    out.extend_from_slice(FILE_MAGIC);
+    out.push(type_tag(V::NAME).expect("known type"));
+    let n_segs = values.len().div_ceil(SEG_VALUES).max(1);
+    out.extend_from_slice(&(n_segs as u32).to_le_bytes());
+    let mut total_comp = 0usize;
+    let chunks: Vec<&[V]> =
+        if values.is_empty() { vec![&[][..]] } else { values.chunks(SEG_VALUES).collect() };
+    for chunk in chunks {
+        let seg = compress_with_plan(chunk, &plan);
+        let bytes = seg.to_bytes();
+        total_comp += bytes.len();
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    fs::write(out_path, &out).map_err(|e| format!("writing {out_path}: {e}"))?;
+    let raw = values.len() * V::byte_width();
+    println!(
+        "{} -> {} bytes ({:.2}x) with {} b={} in {} segment(s)",
+        raw,
+        total_comp,
+        raw as f64 / total_comp.max(1) as f64,
+        plan.name(),
+        plan.bit_width(),
+        values.len().div_ceil(SEG_VALUES).max(1)
+    );
+    Ok(())
+}
+
+fn read_segments<V: Value>(bytes: &[u8]) -> Result<Vec<Segment<V>>, String> {
+    let n_segs = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+    let mut pos = 9usize;
+    let mut segs = Vec::with_capacity(n_segs);
+    for i in 0..n_segs {
+        if pos + 4 > bytes.len() {
+            return Err(format!("truncated at segment {i}"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let seg = Segment::<V>::from_bytes(&bytes[pos..pos + len])
+            .map_err(|e| format!("segment {i}: {e}"))?;
+        pos += len;
+        segs.push(seg);
+    }
+    Ok(segs)
+}
+
+fn cmd_decompress<V: Value>(bytes: &[u8], out_path: &str) -> Result<(), String> {
+    let mut out = Vec::new();
+    for seg in read_segments::<V>(bytes)? {
+        for v in seg.decompress() {
+            v.write_le(&mut out);
+        }
+    }
+    fs::write(out_path, &out).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {} bytes", out.len());
+    Ok(())
+}
+
+fn cmd_inspect<V: Value>(bytes: &[u8]) -> Result<(), String> {
+    let segs = read_segments::<V>(bytes)?;
+    println!("type {}; {} segment(s)", V::NAME, segs.len());
+    for (i, seg) in segs.iter().enumerate() {
+        let s = seg.stats();
+        println!(
+            "  seg {i}: {:?} b={} n={} exceptions={} ({:.2}%) {} bytes ({:.2}x)",
+            seg.scheme(),
+            s.b,
+            s.n,
+            s.exceptions,
+            100.0 * s.exceptions as f64 / s.n.max(1) as f64,
+            s.compressed_bytes,
+            s.ratio
+        );
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let cmd = args[0].as_str();
+    let mut ty = "u32".to_string();
+    let mut scheme = "auto".to_string();
+    let mut bits: Option<u32> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--type" => {
+                ty = args.get(i + 1).ok_or("--type needs a value")?.clone();
+                i += 2;
+            }
+            "--scheme" => {
+                scheme = args.get(i + 1).ok_or("--scheme needs a value")?.clone();
+                i += 2;
+            }
+            "--bits" => {
+                bits = Some(
+                    args.get(i + 1)
+                        .ok_or("--bits needs a value")?
+                        .parse()
+                        .map_err(|_| "--bits must be an integer")?,
+                );
+                i += 2;
+            }
+            other => {
+                positional.push(&args[i]);
+                let _ = other;
+                i += 1;
+            }
+        }
+    }
+    type_tag(&ty).ok_or_else(|| format!("unknown type {ty}"))?;
+    let input = positional.first().ok_or("missing input file")?;
+    let bytes = fs::read(input.as_str()).map_err(|e| format!("reading {input}: {e}"))?;
+
+    // For compressed inputs, the embedded tag overrides --type.
+    let compressed_input = bytes.len() >= 9 && &bytes[..4] == FILE_MAGIC;
+    let eff_ty: String = if compressed_input {
+        match bytes[4] {
+            1 => "u32",
+            2 => "i32",
+            3 => "u64",
+            4 => "i64",
+            t => return Err(format!("unknown embedded type tag {t}")),
+        }
+        .to_string()
+    } else {
+        ty
+    };
+
+    macro_rules! with_type {
+        ($V:ty) => {
+            match cmd {
+                "analyze" => {
+                    cmd_analyze::<$V>(&parse_values::<$V>(&bytes)?);
+                    Ok(())
+                }
+                "compress" => {
+                    let out = positional.get(1).ok_or("missing output file")?;
+                    cmd_compress::<$V>(&parse_values::<$V>(&bytes)?, out, &scheme, bits)
+                }
+                "decompress" => {
+                    if !compressed_input {
+                        return Err("input is not an scc file".into());
+                    }
+                    let out = positional.get(1).ok_or("missing output file")?;
+                    cmd_decompress::<$V>(&bytes, out)
+                }
+                "inspect" => {
+                    if !compressed_input {
+                        return Err("input is not an scc file".into());
+                    }
+                    cmd_inspect::<$V>(&bytes)
+                }
+                other => Err(format!("unknown command {other}")),
+            }
+        };
+    }
+    match eff_ty.as_str() {
+        "u32" => with_type!(u32),
+        "i32" => with_type!(i32),
+        "u64" => with_type!(u64),
+        "i64" => with_type!(i64),
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return die("no command");
+    }
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => die(&e),
+    }
+}

@@ -1,0 +1,52 @@
+//! # scc — Super-Scalar RAM-CPU Cache Compression
+//!
+//! A from-scratch Rust reproduction of *Super-Scalar RAM-CPU Cache
+//! Compression* (Zukowski, Héman, Nes, Boncz; ICDE 2006): the PFOR,
+//! PFOR-DELTA and PDICT patched compression schemes, plus every substrate
+//! the paper's evaluation runs on — an X100-style vectorized query
+//! engine, a ColumnBM-style storage manager with DSM/PAX layouts and a
+//! compressed buffer pool, a TPC-H generator with the paper's eleven
+//! queries, an inverted-file retrieval substrate, and re-implementations
+//! of every baseline codec.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace. See each module's documentation for the details, and
+//! `DESIGN.md` / `EXPERIMENTS.md` at the repository root for the
+//! experiment index.
+//!
+//! ```
+//! use scc::core::{compress_auto, pfor};
+//!
+//! let values: Vec<u32> = (0..100_000).map(|i| 500 + i % 200).collect();
+//! let seg = pfor::compress(&values, 500, 8);
+//! assert_eq!(seg.decompress(), values);
+//!
+//! let (auto_seg, plan) = compress_auto(&values).unwrap();
+//! println!("{} at {:.2} bits/value", plan.name(), auto_seg.stats().bits_per_value);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Bit-packing and bit-stream kernels.
+pub use scc_bitpack as bitpack;
+
+/// The paper's contribution: PFOR, PFOR-DELTA, PDICT.
+pub use scc_core as core;
+
+/// Baseline compressors (FOR, PS, dict, LZ family, Huffman, word-aligned).
+pub use scc_baselines as baselines;
+
+/// X100-style vectorized query engine.
+pub use scc_engine as engine;
+
+/// ColumnBM-style storage manager.
+pub use scc_storage as storage;
+
+/// TPC-H generator and the paper's eleven queries.
+pub use scc_tpch as tpch;
+
+/// Inverted-file substrate.
+pub use scc_ir as ir;
+
+/// Analytical models (equation 3.1, compulsory exceptions, Table 1).
+pub use scc_model as model;

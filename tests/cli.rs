@@ -1,0 +1,111 @@
+//! Integration tests for the `scc` command-line tool.
+
+use std::process::Command;
+
+fn scc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scc"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("scc_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn write_u32s(path: &std::path::Path, values: &[u32]) {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn compress_inspect_decompress_roundtrip() {
+    let input = tmp("in.bin");
+    let compressed = tmp("out.scc");
+    let output = tmp("out.bin");
+    let values: Vec<u32> =
+        (0..100_000).map(|i| if i % 97 == 0 { i * 1000 } else { 700 + i % 300 }).collect();
+    write_u32s(&input, &values);
+
+    let st = scc()
+        .args(["compress", input.to_str().unwrap(), compressed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("x) with"), "{stdout}");
+
+    let st = scc().args(["inspect", compressed.to_str().unwrap()]).output().unwrap();
+    assert!(st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("type u32"), "{stdout}");
+
+    let st = scc()
+        .args(["decompress", compressed.to_str().unwrap(), output.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let round = std::fs::read(&output).unwrap();
+    let orig = std::fs::read(&input).unwrap();
+    assert_eq!(round, orig);
+
+    for p in [input, compressed, output] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn analyze_prints_candidates() {
+    let input = tmp("an.bin");
+    write_u32s(&input, &(0..50_000u32).map(|i| i * 3).collect::<Vec<_>>());
+    let st = scc().args(["analyze", input.to_str().unwrap()]).output().unwrap();
+    assert!(st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("PFOR-DELTA"), "{stdout}");
+    let _ = std::fs::remove_file(input);
+}
+
+#[test]
+fn explicit_scheme_and_width() {
+    let input = tmp("ex.bin");
+    let compressed = tmp("ex.scc");
+    write_u32s(&input, &(0..10_000u32).map(|i| i % 64).collect::<Vec<_>>());
+    let st = scc()
+        .args([
+            "compress",
+            input.to_str().unwrap(),
+            compressed.to_str().unwrap(),
+            "--scheme",
+            "pfor",
+            "--bits",
+            "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    assert!(String::from_utf8_lossy(&st.stdout).contains("PFOR b=6"));
+    for p in [input, compressed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let st = scc().args(["frobnicate", "/nonexistent"]).output().unwrap();
+    assert!(!st.status.success());
+    // Decompressing a non-scc file.
+    let input = tmp("bad.bin");
+    std::fs::write(&input, b"not an scc file").unwrap();
+    let st = scc()
+        .args(["decompress", input.to_str().unwrap(), "/tmp/never"])
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+    // Misaligned input length.
+    let st = scc().args(["analyze", input.to_str().unwrap()]).output().unwrap();
+    assert!(!st.status.success());
+    let _ = std::fs::remove_file(input);
+}

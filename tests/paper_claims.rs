@@ -1,0 +1,150 @@
+//! Structural paper claims verified end to end at laptop scale (no
+//! wall-clock assertions — timing claims live in the bench harness).
+
+use scc::ir::{compress_file, gap_stream, synthesize, CollectionPreset, PostingsCodec};
+use scc::model::{effective_exception_rate, result_bandwidth, Regime, ScanModel};
+use scc::storage::{Disk, Layout, ScanMode};
+use scc::tpch::queries::{query_ratio, run_query, PAPER_QUERIES};
+use scc::tpch::{QueryConfig, TpchDb};
+use std::sync::OnceLock;
+
+fn db() -> &'static TpchDb {
+    static DB: OnceLock<TpchDb> = OnceLock::new();
+    DB.get_or_init(|| TpchDb::generate(0.01, 99))
+}
+
+#[test]
+fn tpch_compression_ratios_are_in_the_paper_band() {
+    // Paper Table 2: per-query DSM ratios between 1.7 and 8.2. Our
+    // generator compresses a little better on key columns; allow 2-11.
+    for q in PAPER_QUERIES {
+        let r = query_ratio(db(), q);
+        assert!((1.5..12.0).contains(&r), "q{q} ratio {r:.2}");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "performance claim; run with --release")]
+fn io_bound_speedup_tracks_compression_ratio() {
+    // "On the Opteron system, the speedup for most of the DSM queries is
+    // in line with the compression ratio" — pure scan queries only (join
+    // queries have CPU-side work that caps the gain). Unoptimized builds
+    // are CPU-bound by construction, so this only holds under --release.
+    for q in [1u32, 6] {
+        let unc = run_query(
+            db(),
+            &QueryConfig { mode: ScanMode::Uncompressed, disk: Disk::low_end(), ..Default::default() },
+            q,
+        );
+        let cmp = run_query(
+            db(),
+            &QueryConfig { mode: ScanMode::Compressed, disk: Disk::low_end(), ..Default::default() },
+            q,
+        );
+        let speedup = unc.total_seconds() / cmp.total_seconds();
+        let ratio = query_ratio(db(), q);
+        assert!(
+            speedup > 0.5 * ratio,
+            "q{q}: speedup {speedup:.2} vs ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn pax_reads_more_than_dsm() {
+    for q in [1u32, 6, 14] {
+        let dsm = run_query(
+            db(),
+            &QueryConfig { layout: Layout::Dsm, ..Default::default() },
+            q,
+        );
+        let pax = run_query(
+            db(),
+            &QueryConfig { layout: Layout::Pax, ..Default::default() },
+            q,
+        );
+        assert!(
+            pax.stats.io_bytes > dsm.stats.io_bytes,
+            "q{q}: pax {} dsm {}",
+            pax.stats.io_bytes,
+            dsm.stats.io_bytes
+        );
+    }
+}
+
+#[test]
+fn equation_31_regimes() {
+    // Slow disk: I/O bound; result = B*r.
+    let slow = ScanModel { io_bw: 0.08, ratio: 4.0, query_bw: 2.0, decompression_bw: 3.0 };
+    assert_eq!(slow.regime(), Regime::IoBound);
+    // Fast disk at same ratio: CPU bound; result = QC/(Q+C).
+    let fast = ScanModel { io_bw: 0.35, ..slow };
+    assert_eq!(fast.regime(), Regime::CpuBound);
+    assert!(fast.result_bandwidth() > slow.result_bandwidth());
+    // Section 5 anchor: the paper's 350 -> 504 MB/s acceleration.
+    let r = result_bandwidth(350.0, 3.47, 580.0, 3911.0);
+    assert!((r - 504.0).abs() < 10.0, "got {r:.0}");
+}
+
+#[test]
+fn compulsory_exception_model_matches_compressor() {
+    use scc::core::pfor;
+    for b in 1..=4u32 {
+        for e_pct in [1.0, 5.0, 10.0] {
+            let e = e_pct / 100.0;
+            let n = 128 * 1024;
+            // Data with exactly that exception rate.
+            let values: Vec<u32> = (0..n as u32)
+                .map(|i| if (i as f64 / n as f64) % 1.0 < e { 1 << 30 } else { i % (1 << b) })
+                .collect();
+            // Scatter exceptions deterministically.
+            let mut v2 = values.clone();
+            for (i, v) in v2.iter_mut().enumerate() {
+                if (i * 7919) % 100_000 < (e * 100_000.0) as usize {
+                    *v = 1 << 30;
+                } else {
+                    *v %= 1 << b;
+                }
+            }
+            let seg = pfor::compress(&v2, 0, b);
+            let real = seg.exception_count() as f64 / n as f64;
+            let model = effective_exception_rate(
+                v2.iter().filter(|&&v| v >= 1 << b).count() as f64 / n as f64,
+                b,
+            );
+            // Within a factor band: the model assumes one global list.
+            assert!(
+                real < model * 1.6 + 0.02,
+                "b={b} e={e}: real {real:.3} model {model:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table4_orderings_hold_on_every_collection() {
+    for preset in CollectionPreset::all() {
+        let c = synthesize(preset, 31337);
+        let gaps = gap_stream(&c);
+        let pf = compress_file(&gaps, PostingsCodec::PforDelta).ratio();
+        let co = compress_file(&gaps, PostingsCodec::Carryover12).ratio();
+        let sh = compress_file(&gaps, PostingsCodec::Shuff).ratio();
+        assert!(pf > 1.0, "{}: PFOR-DELTA {pf:.2}", c.name);
+        assert!(co > pf * 0.9, "{}: carryover {co:.2} vs pfd {pf:.2}", c.name);
+        assert!(sh > pf, "{}: shuff {sh:.2} vs pfd {pf:.2}", c.name);
+    }
+}
+
+#[test]
+fn inex_compresses_worse_than_trec() {
+    // Paper Table 4: INEX's element-level gaps are the least compressible.
+    let inex = {
+        let c = synthesize(CollectionPreset::Inex, 5);
+        compress_file(&gap_stream(&c), PostingsCodec::PforDelta).ratio()
+    };
+    for preset in [CollectionPreset::TrecFbis, CollectionPreset::TrecFt] {
+        let c = synthesize(preset, 5);
+        let r = compress_file(&gap_stream(&c), PostingsCodec::PforDelta).ratio();
+        assert!(r > inex + 0.5, "{}: {r:.2} vs INEX {inex:.2}", c.name);
+    }
+}
