@@ -38,8 +38,7 @@ fn suffix_array(data: &[u16]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + u32::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + u32::from(key(prev) != key(cur));
         }
         std::mem::swap(&mut rank, &mut tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {

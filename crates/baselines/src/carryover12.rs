@@ -38,10 +38,7 @@ impl IntCodec for Carryover12 {
     }
 
     fn encode(&self, values: &[u32], out: &mut Vec<u8>) {
-        assert!(
-            values.iter().all(|&v| v < 1 << 30),
-            "carryover-12 requires values < 2^30"
-        );
+        assert!(values.iter().all(|&v| v < 1 << 30), "carryover-12 requires values < 2^30");
         if values.is_empty() {
             return;
         }
@@ -65,11 +62,8 @@ impl IntCodec for Carryover12 {
             // word, whose index goes in the header): the one coding the
             // most values; ties go to the narrower width. The escape entry
             // (30 bits) is always viable.
-            let reachable: &[usize] = if first {
-                &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
-            } else {
-                &transfer(cur_idx)
-            };
+            let reachable: &[usize] =
+                if first { &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11] } else { &transfer(cur_idx) };
             let mut best: Option<(usize, usize)> = None; // (count, idx)
             for &idx in reachable {
                 let w = WIDTHS[idx];
@@ -133,9 +127,8 @@ impl IntCodec for Carryover12 {
         }
         let mut cur_idx = bytes[0] as usize;
         let words: &[u8] = &bytes[1..];
-        let word_at = |i: usize| {
-            u32::from_le_bytes(words[i * 4..i * 4 + 4].try_into().expect("truncated"))
-        };
+        let word_at =
+            |i: usize| u32::from_le_bytes(words[i * 4..i * 4 + 4].try_into().expect("truncated"));
         let mut widx = 0usize;
         let mut remaining = n;
         // Selector of the upcoming word if it was carried: (value).
@@ -161,11 +154,7 @@ impl IntCodec for Carryover12 {
             }
             let used = count as u32 * w + if first || carried_sel.is_some() { 0 } else { 2 };
             let waste = 32 - used;
-            carried_sel = if waste >= 2 {
-                Some((word >> (32 - waste)) & 3)
-            } else {
-                None
-            };
+            carried_sel = if waste >= 2 { Some((word >> (32 - waste)) & 3) } else { None };
             cur_idx = idx;
             remaining -= count;
             first = false;
@@ -194,7 +183,11 @@ mod tests {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let r = (x >> 33) as u32;
                 // Mostly tiny, occasionally large.
-                if r.is_multiple_of(50) { r % 1_000_000 } else { r % 16 }
+                if r.is_multiple_of(50) {
+                    r % 1_000_000
+                } else {
+                    r % 16
+                }
             })
             .collect();
         let bytes = Carryover12.encode_vec(&values);

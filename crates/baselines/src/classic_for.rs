@@ -35,10 +35,8 @@ impl IntCodec for ClassicFor {
         }
         let min = le::get_u32(bytes, 0);
         let b = bytes[4] as u32;
-        let words: Vec<u32> = bytes[5..]
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let words: Vec<u32> =
+            bytes[5..].chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         let start = out.len();
         out.resize(start + n, 0);
         unpack(&words, b, &mut out[start..]);

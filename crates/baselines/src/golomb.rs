@@ -74,11 +74,7 @@ fn decode_golomb(r: &mut BitReader<'_>, m: u32, n: usize, out: &mut Vec<u32>) {
     for _ in 0..n {
         let q = r.get_unary() as u32;
         let hi = r.get(b - 1) as u32;
-        let rem = if hi < cutoff {
-            hi
-        } else {
-            ((hi << 1) | r.get(1) as u32) - cutoff
-        };
+        let rem = if hi < cutoff { hi } else { ((hi << 1) | r.get(1) as u32) - cutoff };
         out.push(q * m + rem);
     }
 }

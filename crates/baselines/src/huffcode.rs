@@ -18,12 +18,8 @@ pub const MAX_CODE_LEN: u32 = 12;
 /// Panics if more than `2^max_len` symbols have nonzero frequency.
 pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
     let mut lengths = vec![0u32; freqs.len()];
-    let mut items: Vec<(u64, usize)> = freqs
-        .iter()
-        .enumerate()
-        .filter(|&(_, &f)| f > 0)
-        .map(|(s, &f)| (f, s))
-        .collect();
+    let mut items: Vec<(u64, usize)> =
+        freqs.iter().enumerate().filter(|&(_, &f)| f > 0).map(|(s, &f)| (f, s)).collect();
     match items.len() {
         0 => return lengths,
         1 => {
@@ -39,8 +35,7 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
     );
     items.sort_unstable();
     // Package-merge. Packages carry the multiset of symbols they contain.
-    let singletons: Vec<(u64, Vec<usize>)> =
-        items.iter().map(|&(w, s)| (w, vec![s])).collect();
+    let singletons: Vec<(u64, Vec<usize>)> = items.iter().map(|&(w, s)| (w, vec![s])).collect();
     let mut prev: Vec<(u64, Vec<usize>)> = Vec::new();
     for _level in 0..max_len {
         let mut pairs: Vec<(u64, Vec<usize>)> = Vec::with_capacity(prev.len() / 2);
@@ -54,8 +49,8 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
         let mut cur = Vec::with_capacity(singletons.len() + pairs.len());
         let (mut i, mut j) = (0usize, 0usize);
         while i < singletons.len() || j < pairs.len() {
-            let take_single = j >= pairs.len()
-                || (i < singletons.len() && singletons[i].0 <= pairs[j].0);
+            let take_single =
+                j >= pairs.len() || (i < singletons.len() && singletons[i].0 <= pairs[j].0);
             if take_single {
                 cur.push(singletons[i].clone());
                 i += 1;
@@ -228,7 +223,8 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let freqs = vec![50u64, 30, 10, 5, 3, 1, 1];
-        let stream: Vec<usize> = (0..1000).map(|i| [0, 0, 0, 1, 1, 2, 3, 4, 5, 6][i % 10]).collect();
+        let stream: Vec<usize> =
+            (0..1000).map(|i| [0, 0, 0, 1, 1, 2, 3, 4, 5, 6][i % 10]).collect();
         roundtrip(&freqs, &stream);
     }
 

@@ -99,7 +99,11 @@ mod tests {
             .map(|_| {
                 x = x.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(1);
                 let r = (x >> 40) as u32;
-                if r.is_multiple_of(64) { r % 100_000 } else { r % 12 }
+                if r.is_multiple_of(64) {
+                    r % 100_000
+                } else {
+                    r % 12
+                }
             })
             .collect();
         let bytes = ShuffHuffman.encode_vec(&values);

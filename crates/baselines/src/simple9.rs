@@ -60,9 +60,8 @@ impl IntCodec for Simple9 {
 
     fn decode(&self, bytes: &[u8], n: usize, out: &mut Vec<u32>) {
         let mut widx = 0usize;
-        let word_at = |i: usize| {
-            u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("truncated"))
-        };
+        let word_at =
+            |i: usize| u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("truncated"));
         let mut remaining = n;
         while remaining > 0 {
             let word = word_at(widx);

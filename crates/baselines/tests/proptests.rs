@@ -2,10 +2,22 @@
 
 use proptest::prelude::*;
 use scc_baselines::{
-    bwt::BwtCodec, carryover12::Carryover12, classic_dict::ClassicDict, classic_for::ClassicFor,
-    deflate_like::DeflateLike, elias::{EliasDelta, EliasGamma}, golomb::{Golomb, Rice},
-    huffman::ShuffHuffman, lzrw1::Lzrw1, lzss::Lzss, lzw::Lzw, prefix::PrefixSuppression,
-    rle::Rle, simple9::Simple9, varint::VarInt, ByteCodec, IntCodec,
+    bwt::BwtCodec,
+    carryover12::Carryover12,
+    classic_dict::ClassicDict,
+    classic_for::ClassicFor,
+    deflate_like::DeflateLike,
+    elias::{EliasDelta, EliasGamma},
+    golomb::{Golomb, Rice},
+    huffman::ShuffHuffman,
+    lzrw1::Lzrw1,
+    lzss::Lzss,
+    lzw::Lzw,
+    prefix::PrefixSuppression,
+    rle::Rle,
+    simple9::Simple9,
+    varint::VarInt,
+    ByteCodec, IntCodec,
 };
 
 fn int_codecs() -> Vec<Box<dyn IntCodec>> {

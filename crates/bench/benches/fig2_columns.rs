@@ -2,7 +2,9 @@
 //! representative TPC-H column (L_ORDERKEY).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use scc_baselines::{bwt::BwtCodec, deflate_like::DeflateLike, lzrw1::Lzrw1, lzss::Lzss, ByteCodec};
+use scc_baselines::{
+    bwt::BwtCodec, deflate_like::DeflateLike, lzrw1::Lzrw1, lzss::Lzss, ByteCodec,
+};
 use scc_bench::data::to_le_bytes_i64;
 use scc_core::{analyze, compress_with_plan, AnalyzeOpts};
 

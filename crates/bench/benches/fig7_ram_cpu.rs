@@ -4,8 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scc_engine::Operator;
 use scc_storage::disk::stats_handle;
 use scc_storage::{
-    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
-    TableBuilder,
+    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, TableBuilder,
 };
 use std::sync::Arc;
 
@@ -15,10 +14,8 @@ fn bench_granularity(c: &mut Criterion) {
         .into_iter()
         .map(|v| v as i64)
         .collect();
-    let table = TableBuilder::new("col")
-        .compression(Compression::Auto)
-        .add_i64("x", values)
-        .build();
+    let table =
+        TableBuilder::new("col").compression(Compression::Auto).add_i64("x", values).build();
     let mut group = c.benchmark_group("fig7_scan");
     group.throughput(Throughput::Bytes((rows * 8) as u64));
     group.sample_size(10);

@@ -60,22 +60,13 @@ fn main() {
     report_column("l_extendedprice", &l.extendedprice);
     report_column("l_discount", &l.discount);
     report_column("l_tax", &l.tax);
-    report_column(
-        "l_shipdate",
-        &l.shipdate.iter().map(|&d| d as i64).collect::<Vec<_>>(),
-    );
-    report_column(
-        "l_linenumber",
-        &l.linenumber.iter().map(|&d| d as i64).collect::<Vec<_>>(),
-    );
+    report_column("l_shipdate", &l.shipdate.iter().map(|&d| d as i64).collect::<Vec<_>>());
+    report_column("l_linenumber", &l.linenumber.iter().map(|&d| d as i64).collect::<Vec<_>>());
     let o = &raw.orders;
     report_column("o_orderkey", &o.orderkey);
     report_column("o_custkey", &o.custkey);
     report_column("o_totalprice", &o.totalprice);
-    report_column(
-        "o_orderdate",
-        &o.orderdate.iter().map(|&d| d as i64).collect::<Vec<_>>(),
-    );
+    report_column("o_orderdate", &o.orderdate.iter().map(|&d| d as i64).collect::<Vec<_>>());
     println!("\nexpected: sorted keys -> PFOR-DELTA; clustered dates/prices -> PFOR;");
     println!("tiny domains (quantity, discount, tax, linenumber) -> PFOR or PDICT at");
     println!("the domain width; the chosen family should match the per-family minimum.");

@@ -41,8 +41,7 @@ fn main() {
                 None,
             );
             let filtered = Select::new(scan, Expr::col(0).lt(Expr::lit_i64(1000)));
-            let mut agg =
-                HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(1))]);
+            let mut agg = HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(1))]);
             std::hint::black_box(agg.next());
         });
         let bw = gb_per_sec(rows * 16, t);

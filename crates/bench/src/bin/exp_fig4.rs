@@ -19,10 +19,7 @@ fn main() {
     let out_bytes = n * 8;
     println!("Figure 4: decompression bandwidth (GB/s of decoded u64 output) vs exception rate");
     println!("n = {n} values, b = {B} bit codes");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12}",
-        "E", "NAIVE", "PFOR", "PDICT"
-    );
+    println!("{:>6} {:>12} {:>12} {:>12}", "E", "NAIVE", "PFOR", "PDICT");
     // Dictionary holding the codable domain (values 0..2^B), so PDICT has
     // the same coded/exception split as PFOR.
     let dict_entries: Vec<u64> = (0..1u64 << B).collect();

@@ -20,7 +20,9 @@ fn main() {
         let rate = pct as f64 / 100.0;
         let values = with_exception_rate(n, rate, B, 0xF15 + pct as u64);
         let mut row = Vec::new();
-        for kernel in [CompressKernel::Naive, CompressKernel::Predicated, CompressKernel::DoubleCursor] {
+        for kernel in
+            [CompressKernel::Naive, CompressKernel::Predicated, CompressKernel::DoubleCursor]
+        {
             let mut seg = pfor::compress_with(&values, 0, B, kernel);
             let t = time_median(5, || {
                 seg = pfor::compress_with(&values, 0, B, kernel);

@@ -13,7 +13,16 @@ fn main() {
     println!("model = paper's formula; real = exceptions the compressor actually stored");
     println!(
         "{:>6} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>7}",
-        "E", "b1 mod", "b1 real", "b2 mod", "b2 real", "b3 mod", "b3 real", "b4 mod", "b4 real", "b8 real"
+        "E",
+        "b1 mod",
+        "b1 real",
+        "b2 mod",
+        "b2 real",
+        "b3 mod",
+        "b3 real",
+        "b4 mod",
+        "b4 real",
+        "b8 real"
     );
     for pct in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
         let e = pct / 100.0;

@@ -15,8 +15,7 @@ use scc_engine::ops::collect;
 use scc_engine::Operator;
 use scc_storage::disk::stats_handle;
 use scc_storage::{
-    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
-    TableBuilder,
+    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, TableBuilder,
 };
 use std::sync::Arc;
 
@@ -32,10 +31,8 @@ fn main() {
         let rate = pct as f64 / 100.0;
         let values64 = scc_bench::data::with_exception_rate(rows, rate, 8, 0xF17 + pct as u64);
         let values: Vec<i64> = values64.iter().map(|&v| v as i64).collect();
-        let table = TableBuilder::new("col")
-            .compression(Compression::Auto)
-            .add_i64("x", values)
-            .build();
+        let table =
+            TableBuilder::new("col").compression(Compression::Auto).add_i64("x", values).build();
         let run = |granularity| {
             let stats = stats_handle();
             let opts = ScanOptions {
@@ -47,13 +44,8 @@ fn main() {
             };
             let mut total = 0usize;
             let t = time_median(3, || {
-                let mut scan = Scan::new(
-                    Arc::clone(&table),
-                    &["x"],
-                    opts,
-                    std::rc::Rc::clone(&stats),
-                    None,
-                );
+                let mut scan =
+                    Scan::new(Arc::clone(&table), &["x"], opts, std::rc::Rc::clone(&stats), None);
                 // Consume every vector (the query side of the pipeline).
                 total = 0;
                 while let Some(batch) = scan.next() {

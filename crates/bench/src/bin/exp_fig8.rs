@@ -13,6 +13,9 @@ struct Split {
     io_stall: f64,
     decompress: f64,
     processing: f64,
+    retries: u64,
+    checksum_failures: u64,
+    quarantined: u64,
 }
 
 fn split(db: &TpchDb, q: u32, disk: Disk, layout: Layout, mode: ScanMode) -> Split {
@@ -22,6 +25,9 @@ fn split(db: &TpchDb, q: u32, disk: Disk, layout: Layout, mode: ScanMode) -> Spl
         io_stall: run.stats.stall_seconds(run.cpu_seconds),
         decompress: run.stats.decompress_seconds,
         processing: run.processing_seconds(),
+        retries: run.stats.retries,
+        checksum_failures: run.stats.checksum_failures,
+        quarantined: run.stats.quarantined_chunks,
     }
 }
 
@@ -35,6 +41,7 @@ fn main() {
         ("middle-end 350MB/s, PAX", Disk::middle_end(), Layout::Pax),
     ] {
         println!("\n=== Figure 8 panel: {label} ===");
+        let mut faults = (0u64, 0u64, 0u64);
         println!(
             "{:>3} | {:>28} | {:>38}",
             "Q", "uncompressed (stall/proc %)", "compressed (stall/dec/proc %, of unc total)"
@@ -54,7 +61,14 @@ fn main() {
                 pct(cmp.processing),
                 pct(cmp.io_stall + cmp.decompress + cmp.processing),
             );
+            faults.0 += unc.retries + cmp.retries;
+            faults.1 += unc.checksum_failures + cmp.checksum_failures;
+            faults.2 += unc.quarantined + cmp.quarantined;
         }
+        println!(
+            "faults: {} retries, {} checksum failures, {} quarantined chunks",
+            faults.0, faults.1, faults.2
+        );
     }
     println!("\npaper shape: on the low-end disk both bars are I/O-dominated and the");
     println!("compressed bar shrinks by ~the compression ratio; on the middle-end disk");

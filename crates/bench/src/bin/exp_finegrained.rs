@@ -16,8 +16,7 @@ use scc_core::{pfor, pfordelta};
 fn main() {
     let n = env_usize("SCC_N", 4 * 1024 * 1024);
     let ghz = env_f64("SCC_GHZ", 0.0); // optional: CPU GHz for cycle estimates
-    let lookups: Vec<usize> =
-        (0..100_000).map(|i| (i * 2_654_435_761usize) % n).collect();
+    let lookups: Vec<usize> = (0..100_000).map(|i| (i * 2_654_435_761usize) % n).collect();
     println!("fine-grained access: 100K random lookups in a {n}-value segment");
     println!(
         "{:>6} {:>16} {:>16} {:>18}",

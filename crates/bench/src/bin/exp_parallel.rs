@@ -26,8 +26,7 @@ fn main() {
     );
     let seg_rows = 1 << 20;
     let values = with_exception_rate(rows, 0.05, 8, 0x9A7);
-    let segments: Vec<_> =
-        values.chunks(seg_rows).map(|c| pfor::compress(c, 0, 8)).collect();
+    let segments: Vec<_> = values.chunks(seg_rows).map(|c| pfor::compress(c, 0, 8)).collect();
     println!(
         "parallel decompression: {} segments x {} values, 5% exceptions, b=8",
         segments.len(),

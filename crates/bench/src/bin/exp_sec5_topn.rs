@@ -57,8 +57,7 @@ fn main() {
         );
     }
     println!();
-    let c_star = equilibrium_decompression_bw(uncompressed_q, io_bw)
-        .unwrap_or(f64::INFINITY);
+    let c_star = equilibrium_decompression_bw(uncompressed_q, io_bw).unwrap_or(f64::INFINITY);
     println!(
         "equilibrium decompression bandwidth for Q = {uncompressed_q:.0} MB/s vs a \
          {io_bw:.0} MB/s disk: C* = {c_star:.0} MB/s"

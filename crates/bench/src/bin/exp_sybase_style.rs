@@ -13,8 +13,7 @@ use scc_bench::{env_usize, time_median};
 use scc_engine::{AggExpr, Expr, HashAggregate, Operator, Select};
 use scc_storage::disk::stats_handle;
 use scc_storage::{
-    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
-    TableBuilder,
+    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, TableBuilder,
 };
 use std::sync::Arc;
 
@@ -48,10 +47,8 @@ fn main() {
         "design", "ratio", "cpu ms", "io ms", "total ms", "RAM MB"
     );
     for (label, compression, mode, granularity) in designs {
-        let table = TableBuilder::new("col")
-            .compression(compression)
-            .add_i64("v", values.clone())
-            .build();
+        let table =
+            TableBuilder::new("col").compression(compression).add_i64("v", values.clone()).build();
         let stats = stats_handle();
         let mut result = 0i64;
         let cpu = time_median(3, || {
@@ -69,8 +66,7 @@ fn main() {
                 None,
             );
             let filtered = Select::new(scan, Expr::col(0).lt(Expr::lit_i64(41_000)));
-            let mut agg =
-                HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(0))]);
+            let mut agg = HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(0))]);
             result = agg.next().expect("one group").col(0).as_i64()[0];
         });
         let s = *stats.borrow();

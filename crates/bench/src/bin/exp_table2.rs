@@ -40,20 +40,34 @@ fn main() {
     println!();
     println!(
         "{:>3} {:>6} {:>6} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
-        "Q", "ratio", "rPAX", "dec MB/s", "loD unc", "loD cmp", "loP unc", "loP cmp",
-        "miD unc", "miD cmp", "miP unc", "miP cmp"
+        "Q",
+        "ratio",
+        "rPAX",
+        "dec MB/s",
+        "loD unc",
+        "loD cmp",
+        "loP unc",
+        "loP cmp",
+        "miD unc",
+        "miD cmp",
+        "miP unc",
+        "miP cmp"
     );
     for q in PAPER_QUERIES {
         let ratio = query_ratio(&db, q);
         let rpax = pax_ratio(&db, q);
         let mut times = Vec::new();
         let mut dec_speed = 0.0f64;
+        let mut faults = (0u64, 0u64, 0u64);
         for disk in [Disk::low_end(), Disk::middle_end()] {
             for layout in [Layout::Dsm, Layout::Pax] {
                 for mode in [ScanMode::Uncompressed, ScanMode::Compressed] {
                     let cfg = QueryConfig { mode, layout, disk, ..Default::default() };
                     let run = run_query(&db, &cfg, q);
                     times.push(run.total_seconds() * 1000.0);
+                    faults.0 += run.stats.retries;
+                    faults.1 += run.stats.checksum_failures;
+                    faults.2 += run.stats.quarantined_chunks;
                     if mode == ScanMode::Compressed && layout == Layout::Dsm {
                         let bw = run.stats.decompression_bandwidth();
                         if bw.is_finite() {
@@ -69,6 +83,12 @@ fn main() {
             times[0], times[1], times[2], times[3],
             times[4], times[5], times[6], times[7],
         );
+        if faults != (0, 0, 0) {
+            println!(
+                "    faults: {} retries, {} checksum failures, {} quarantined chunks",
+                faults.0, faults.1, faults.2
+            );
+        }
     }
     println!();
     println!("paper shape (SF-100): DSM ratios 1.7-8.2 (avg ~3.6); PAX ratios ~1.1-2.8");

@@ -35,11 +35,19 @@ fn main() {
                 ..Default::default()
             };
             let run = run_query(&db, &cfg, q);
-            row.push((run.cpu_seconds * 1000.0, run.stats.ram_traffic_bytes as f64 / (1024.0 * 1024.0)));
+            row.push((
+                run.cpu_seconds * 1000.0,
+                run.stats.ram_traffic_bytes as f64 / (1024.0 * 1024.0),
+            ));
         }
         println!(
             "{:>3} | {:>12.1} {:>14.1} | {:>12.1} {:>14.1} | {:>7.2}x",
-            q, row[0].0, row[0].1, row[1].0, row[1].1, row[0].0 / row[1].0
+            q,
+            row[0].0,
+            row[0].1,
+            row[1].0,
+            row[1].1,
+            row[0].0 / row[1].0
         );
     }
     println!("\npaper shape (SF-100): vector-wise is 1.1-1.5x faster and has far fewer");

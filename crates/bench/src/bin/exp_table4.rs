@@ -22,12 +22,18 @@ fn main() {
     println!("Table 4: PFOR-DELTA on inverted files (measured | paper)");
     println!(
         "{:<13} | {:>5} {:>6} {:>6} | {:>5} {:>6} {:>6} | {:>5} {:>6} {:>6}",
-        "collection", "ratio", "c MB/s", "d MB/s", "ratio", "c MB/s", "d MB/s", "ratio", "c MB/s", "d MB/s"
+        "collection",
+        "ratio",
+        "c MB/s",
+        "d MB/s",
+        "ratio",
+        "c MB/s",
+        "d MB/s",
+        "ratio",
+        "c MB/s",
+        "d MB/s"
     );
-    println!(
-        "{:<13} | {:^20} | {:^20} | {:^20}",
-        "", "PFOR-DELTA", "carryover-12", "shuff"
-    );
+    println!("{:<13} | {:^20} | {:^20} | {:^20}", "", "PFOR-DELTA", "carryover-12", "shuff");
     for (i, preset) in CollectionPreset::all().into_iter().enumerate() {
         let c = synthesize(preset, 0x7AB4 + i as u64);
         let gaps = gap_stream(&c);

@@ -122,11 +122,7 @@ impl<'a> BitReader<'a> {
         let off = (self.pos_bits & 63) as u32;
         self.pos_bits += n as u64;
         let lo = self.words[word] >> off;
-        let v = if off + n <= 64 {
-            lo
-        } else {
-            lo | (self.words[word + 1] << (64 - off))
-        };
+        let v = if off + n <= 64 { lo } else { lo | (self.words[word + 1] << (64 - off)) };
         if n == 64 {
             v
         } else {
@@ -165,7 +161,8 @@ mod tests {
     #[test]
     fn put_get_roundtrip_mixed_widths() {
         let mut w = BitWriter::new();
-        let items: Vec<(u64, u32)> = (1..=64u32).map(|n| ((n as u64).wrapping_mul(0x123456789), n)).collect();
+        let items: Vec<(u64, u32)> =
+            (1..=64u32).map(|n| ((n as u64).wrapping_mul(0x123456789), n)).collect();
         for &(v, n) in &items {
             w.put(v, n);
         }

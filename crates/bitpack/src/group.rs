@@ -61,39 +61,10 @@ fn unpack_group_0(_input: &[u32], out: &mut [u32; GROUP]) {
 macro_rules! kernel_table {
     ($f:ident, $zero:ident, $ty:ty) => {{
         [
-            $zero,
-            $f::<1>,
-            $f::<2>,
-            $f::<3>,
-            $f::<4>,
-            $f::<5>,
-            $f::<6>,
-            $f::<7>,
-            $f::<8>,
-            $f::<9>,
-            $f::<10>,
-            $f::<11>,
-            $f::<12>,
-            $f::<13>,
-            $f::<14>,
-            $f::<15>,
-            $f::<16>,
-            $f::<17>,
-            $f::<18>,
-            $f::<19>,
-            $f::<20>,
-            $f::<21>,
-            $f::<22>,
-            $f::<23>,
-            $f::<24>,
-            $f::<25>,
-            $f::<26>,
-            $f::<27>,
-            $f::<28>,
-            $f::<29>,
-            $f::<30>,
-            $f::<31>,
-            $f::<32>,
+            $zero, $f::<1>, $f::<2>, $f::<3>, $f::<4>, $f::<5>, $f::<6>, $f::<7>, $f::<8>, $f::<9>,
+            $f::<10>, $f::<11>, $f::<12>, $f::<13>, $f::<14>, $f::<15>, $f::<16>, $f::<17>,
+            $f::<18>, $f::<19>, $f::<20>, $f::<21>, $f::<22>, $f::<23>, $f::<24>, $f::<25>,
+            $f::<26>, $f::<27>, $f::<28>, $f::<29>, $f::<30>, $f::<31>, $f::<32>,
         ] as $ty
     }};
 }
@@ -104,8 +75,7 @@ type PackFn = fn(&[u32; GROUP], &mut [u32]);
 type UnpackFn = fn(&[u32], &mut [u32; GROUP]);
 
 /// Dispatch table: `PACK[b]` packs one 32-value group at width `b`.
-pub(crate) static PACK: [PackFn; 33] =
-    kernel_table!(pack_group, pack_group_0, [PackFn; 33]);
+pub(crate) static PACK: [PackFn; 33] = kernel_table!(pack_group, pack_group_0, [PackFn; 33]);
 
 /// Dispatch table: `UNPACK[b]` unpacks one 32-value group at width `b`.
 pub(crate) static UNPACK: [UnpackFn; 33] =

@@ -21,7 +21,7 @@ use crate::patch::BLOCK;
 use crate::pdict::Dictionary;
 use crate::segment::Segment;
 use crate::value::Value;
-use crate::{pfor, pfordelta, pdict};
+use crate::{pdict, pfor, pfordelta};
 
 /// Entry-point overhead per value in bits (one `u32` per 128 values).
 const ENTRY_BITS_PER_VALUE: f64 = 32.0 / BLOCK as f64;
@@ -134,8 +134,7 @@ impl<V: Value> Analysis<V> {
 
     /// True when the best candidate actually beats plain storage.
     pub fn worthwhile(&self) -> bool {
-        self.best()
-            .is_some_and(|c| c.est_bits_per_value < self.plain_bits_per_value)
+        self.best().is_some_and(|c| c.est_bits_per_value < self.plain_bits_per_value)
     }
 }
 
@@ -298,9 +297,7 @@ pub fn analyze<V: Value>(sample: &[V], opts: &AnalyzeOpts) -> Analysis<V> {
     }
 
     candidates.sort_by(|a, b| {
-        a.est_bits_per_value
-            .partial_cmp(&b.est_bits_per_value)
-            .expect("cost is never NaN")
+        a.est_bits_per_value.partial_cmp(&b.est_bits_per_value).expect("cost is never NaN")
     });
     Analysis { candidates, plain_bits_per_value: w }
 }
@@ -407,9 +404,8 @@ mod tests {
 
     #[test]
     fn auto_roundtrips_and_predicts_size() {
-        let values: Vec<u32> = (0..20_000)
-            .map(|i| if i % 101 == 0 { i * 7919 } else { 300 + i % 64 })
-            .collect();
+        let values: Vec<u32> =
+            (0..20_000).map(|i| if i % 101 == 0 { i * 7919 } else { 300 + i % 64 }).collect();
         let (seg, plan) = compress_auto(&values).expect("compressible");
         assert_eq!(seg.decompress(), values);
         // Realized size should be in the ballpark of the estimate.

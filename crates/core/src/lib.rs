@@ -43,11 +43,15 @@
 //! | [`patch`] | §3.1 | Linked exception lists, compulsory exceptions |
 //! | [`segment`] | Fig. 3 | Segment layout, entry points, fine-grained access |
 //! | [`analyze`] | §3.1 | `PFOR_ANALYZE_BITS`, histogram analysis, auto choice |
-//! | [`wire`] | Fig. 3 | Byte serialization |
+//! | [`wire`] | Fig. 3 | Byte serialization (v2: per-section CRC32C checksums) |
+//! | [`crc`] | — | Hand-rolled CRC32C (slicing-by-8) |
+//! | [`error`] | — | Unified [`Error`] type for the fallible decode path |
 
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod crc;
+pub mod error;
 pub mod float;
 pub mod naive;
 pub mod patch;
@@ -58,12 +62,16 @@ pub mod segment;
 pub mod value;
 pub mod wire;
 
-pub use analyze::{analyze, compress_auto, compress_with_plan, Analysis, AnalyzeOpts, Candidate, Plan};
+pub use analyze::{
+    analyze, compress_auto, compress_with_plan, Analysis, AnalyzeOpts, Candidate, Plan,
+};
+pub use crc::{crc32c, crc32c_append};
+pub use error::{ChunkRef, Error};
 pub use float::{compress_f64_auto, FloatPlan, FloatSegment};
 pub use naive::NaiveSegment;
 pub use patch::{EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
 pub use pdict::Dictionary;
 pub use pfor::CompressKernel;
-pub use segment::{SchemeKind, Segment, SegmentStats};
+pub use segment::{Integrity, SchemeKind, Segment, SegmentStats};
 pub use value::Value;
 pub use wire::WireError;

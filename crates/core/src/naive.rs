@@ -96,9 +96,8 @@ mod tests {
 
     #[test]
     fn roundtrip_with_exceptions() {
-        let values: Vec<u64> = (0..4000u64)
-            .map(|i| if i % 3 == 0 { i * 1000 } else { i % 200 })
-            .collect();
+        let values: Vec<u64> =
+            (0..4000u64).map(|i| if i % 3 == 0 { i * 1000 } else { i % 200 }).collect();
         let seg = NaiveSegment::compress(&values, 0, 8);
         assert_eq!(seg.decompress(), values);
         assert!(seg.exception_count() > 1000);

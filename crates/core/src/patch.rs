@@ -100,20 +100,31 @@ pub fn write_gap_codes(codes: &mut [u32], positions: &[u32]) {
 }
 
 /// Walks one block's patch list: calls `patch(block_relative_pos, k)` for
-/// the `count` exceptions in the block, starting at `patch_start`. `gap_at`
-/// must return the unpacked code at a block-relative position.
+/// up to `count` exceptions in the block, starting at `patch_start`.
+/// `gap_at` must return the unpacked code at a block-relative position.
 ///
 /// This is the paper's LOOP2 — a tight loop whose only inter-iteration
 /// dependency is the list pointer (a data hazard, not a control hazard).
+///
+/// The walk stops early if the list runs past `limit` (the block length):
+/// the gap codes live in the checksummed data itself, so a corrupt v1
+/// segment — or a crafted file — can encode a chain that escapes the
+/// block. Stopping leaves those values unpatched (garbage in, garbage
+/// out) instead of reading out of bounds. The check rides on the loop's
+/// existing compare, so clean decode speed is unaffected.
 #[inline]
 pub fn walk_patch_list(
     patch_start: u32,
     count: usize,
+    limit: usize,
     mut gap_at: impl FnMut(usize) -> u32,
     mut patch: impl FnMut(usize, usize),
 ) {
     let mut pos = patch_start as usize;
     for k in 0..count {
+        if pos >= limit {
+            break;
+        }
         patch(pos, k);
         pos += gap_at(pos) as usize + 1;
     }
@@ -183,17 +194,28 @@ mod tests {
         assert_eq!(codes[11], 108);
         assert_eq!(codes[120], 0);
         let mut seen = Vec::new();
-        walk_patch_list(3, positions.len(), |p| codes[p], |pos, k| seen.push((pos, k)));
-        assert_eq!(
-            seen,
-            vec![(3usize, 0usize), (7, 1), (11, 2), (120, 3)]
-        );
+        walk_patch_list(3, positions.len(), BLOCK, |p| codes[p], |pos, k| seen.push((pos, k)));
+        assert_eq!(seen, vec![(3usize, 0usize), (7, 1), (11, 2), (120, 3)]);
     }
 
     #[test]
     fn empty_block_walks_nothing() {
         let mut called = false;
-        walk_patch_list(0, 0, |_| 0, |_, _| called = true);
+        walk_patch_list(0, 0, BLOCK, |_| 0, |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn runaway_patch_chain_stops_at_the_limit() {
+        // A corrupt gap code that points past the block must end the walk,
+        // not index out of bounds.
+        let codes = vec![200u32; BLOCK];
+        let mut seen = Vec::new();
+        walk_patch_list(5, 4, BLOCK, |p| codes[p], |pos, k| seen.push((pos, k)));
+        assert_eq!(seen, vec![(5, 0)]);
+        // A patch_start already past a short block's length patches nothing.
+        let mut called = false;
+        walk_patch_list(100, 2, 40, |_| 0, |_, _| called = true);
         assert!(!called);
     }
 }

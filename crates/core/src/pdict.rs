@@ -13,7 +13,7 @@
 //! and branch-light (documented substitution, see DESIGN.md §2).
 
 use crate::pfor::CompressKernel;
-use crate::segment::{Segment, SegmentAssembly, SchemeKind};
+use crate::segment::{SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
 
 /// An encode-side dictionary: the code array plus a value→code hash table.
@@ -243,7 +243,8 @@ mod tests {
 
     #[test]
     fn fine_grained_get() {
-        let values: Vec<u32> = (0..500u32).map(|i| if i % 50 == 0 { i + 10_000 } else { i % 8 }).collect();
+        let values: Vec<u32> =
+            (0..500u32).map(|i| if i % 50 == 0 { i + 10_000 } else { i % 8 }).collect();
         let dict = Dictionary::new((0..8u32).collect());
         let seg = compress(&values, &dict);
         for (i, &v) in values.iter().enumerate() {

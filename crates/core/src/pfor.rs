@@ -18,7 +18,7 @@
 //!
 //! All three produce byte-identical segments.
 
-use crate::segment::{Segment, SegmentAssembly, SchemeKind};
+use crate::segment::{SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
 
 /// Compression inner-loop strategy (Figure 5).
@@ -132,9 +132,7 @@ pub(crate) fn find_exceptions<V: Value>(
     match kernel {
         CompressKernel::Naive => find_exceptions_naive(values, base, b, codes, miss),
         CompressKernel::Predicated => find_exceptions_predicated(values, base, b, codes, miss),
-        CompressKernel::DoubleCursor => {
-            find_exceptions_double_cursor(values, base, b, codes, miss)
-        }
+        CompressKernel::DoubleCursor => find_exceptions_double_cursor(values, base, b, codes, miss),
     }
 }
 
@@ -207,9 +205,8 @@ mod tests {
 
     #[test]
     fn all_kernels_produce_identical_segments() {
-        let values: Vec<u64> = (0..5000u64)
-            .map(|i| if i % 37 == 0 { i * 1_000_003 } else { i % 200 })
-            .collect();
+        let values: Vec<u64> =
+            (0..5000u64).map(|i| if i % 37 == 0 { i * 1_000_003 } else { i % 200 }).collect();
         let a = compress_with(&values, 0, 8, CompressKernel::Naive);
         let b = compress_with(&values, 0, 8, CompressKernel::Predicated);
         let c = compress_with(&values, 0, 8, CompressKernel::DoubleCursor);
@@ -264,9 +261,8 @@ mod tests {
 
     #[test]
     fn fine_grained_get_matches_decompress() {
-        let values: Vec<u32> = (0..777)
-            .map(|i| if i % 13 == 0 { i * 99_991 } else { 50 + i % 30 })
-            .collect();
+        let values: Vec<u32> =
+            (0..777).map(|i| if i % 13 == 0 { i * 99_991 } else { 50 + i % 30 }).collect();
         let seg = compress(&values, 50, 5);
         let full = seg.decompress();
         assert_eq!(full, values);
@@ -286,9 +282,8 @@ mod tests {
 
     #[test]
     fn streaming_iterator_matches_decompress() {
-        let values: Vec<u32> = (0..1000)
-            .map(|i| if i % 31 == 0 { i * 1_000_003 } else { i % 64 })
-            .collect();
+        let values: Vec<u32> =
+            (0..1000).map(|i| if i % 31 == 0 { i * 1_000_003 } else { i % 64 }).collect();
         let seg = compress(&values, 0, 6);
         let iterated: Vec<u32> = seg.iter().collect();
         assert_eq!(iterated, values);

@@ -14,7 +14,7 @@
 
 use crate::patch::BLOCK;
 use crate::pfor::{find_exceptions, CompressKernel};
-use crate::segment::{Segment, SegmentAssembly, SchemeKind};
+use crate::segment::{SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
 
 /// Compresses `values` with PFOR-DELTA: deltas are taken against `seed`

@@ -13,9 +13,30 @@
 //! cache decompression possible — the working set of a decode call is one
 //! block of codes plus the output vector, both cache-resident.
 
+use crate::error::Error;
 use crate::patch::{walk_patch_list, EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
 use crate::value::Value;
 use scc_bitpack::{get_one, packed_words, unpack};
+
+/// Whether a segment's bytes were checksum-verified when it was loaded.
+///
+/// Segments built in memory by an encoder are trivially [`Verified`]
+/// (nothing untrusted touched them); segments deserialized from wire
+/// format v2 are [`Verified`] because every section passed its CRC32C;
+/// segments read from legacy wire format v1 are [`Unverified`] — v1
+/// carries no checksums, so payload corruption there is undetectable at
+/// load time.
+///
+/// [`Verified`]: Integrity::Verified
+/// [`Unverified`]: Integrity::Unverified
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Integrity {
+    /// Sections were verified against checksums (or built in memory).
+    Verified,
+    /// Loaded from a checksum-less v1 segment; contents are plausible but
+    /// unvouched-for.
+    Unverified,
+}
 
 /// Which of the three patched schemes a segment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +71,7 @@ impl SchemeKind {
 }
 
 /// A compressed column segment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Segment<V: Value> {
     pub(crate) scheme: SchemeKind,
     pub(crate) n: usize,
@@ -68,7 +89,28 @@ pub struct Segment<V: Value> {
     pub(crate) exceptions: Vec<V>,
     /// PDICT only: the dictionary (codes index into it).
     pub(crate) dict: Vec<V>,
+    /// Provenance of the bytes: see [`Integrity`].
+    pub(crate) integrity: Integrity,
 }
+
+/// Equality compares the logical contents only — two segments with the
+/// same values are equal regardless of whether one came off disk
+/// [`Integrity::Unverified`].
+impl<V: Value> PartialEq for Segment<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.scheme == other.scheme
+            && self.n == other.n
+            && self.b == other.b
+            && self.base == other.base
+            && self.entries == other.entries
+            && self.delta_bases == other.delta_bases
+            && self.codes == other.codes
+            && self.exceptions == other.exceptions
+            && self.dict == other.dict
+    }
+}
+
+impl<V: Value> Eq for Segment<V> {}
 
 /// Size and composition report for a segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -194,6 +236,7 @@ impl<V: Value> Segment<V> {
                 walk_patch_list(
                     patch_start,
                     exc_count,
+                    len,
                     |p| code[p],
                     |pos, k| out[pos] = self.exceptions[exc_start + k],
                 );
@@ -209,6 +252,7 @@ impl<V: Value> Segment<V> {
                 walk_patch_list(
                     patch_start,
                     exc_count,
+                    len,
                     |p| code[p],
                     |pos, k| out[pos] = self.exceptions[exc_start + k],
                 );
@@ -223,6 +267,7 @@ impl<V: Value> Segment<V> {
                 walk_patch_list(
                     patch_start,
                     exc_count,
+                    len,
                     |p| code[p],
                     |pos, k| out[pos] = self.exceptions[exc_start + k],
                 );
@@ -256,9 +301,17 @@ impl<V: Value> Segment<V> {
     /// Decompresses values `[start, start + out.len())` into `out`.
     /// `start` must be block-aligned (multiple of 128); the length may end
     /// mid-block. This is the vector-wise granularity used by the scan.
-    pub fn decode_range(&self, start: usize, out: &mut [V]) {
-        assert!(start.is_multiple_of(BLOCK), "range start must be block-aligned");
-        assert!(start + out.len() <= self.n, "range out of bounds");
+    ///
+    /// Returns [`Error::UnalignedRange`] for a misaligned start and
+    /// [`Error::RangeOutOfBounds`] for a range past the end; on error
+    /// `out` is untouched.
+    pub fn try_decode_range(&self, start: usize, out: &mut [V]) -> Result<(), Error> {
+        if !start.is_multiple_of(BLOCK) {
+            return Err(Error::UnalignedRange { start });
+        }
+        if start + out.len() > self.n {
+            return Err(Error::RangeOutOfBounds { start, len: out.len(), n: self.n });
+        }
         let mut buf = [V::default(); BLOCK];
         let mut written = 0;
         let mut blk = start / BLOCK;
@@ -269,14 +322,42 @@ impl<V: Value> Segment<V> {
             written += take;
             blk += 1;
         }
+        Ok(())
+    }
+
+    /// Infallible [`try_decode_range`](Self::try_decode_range): panics on
+    /// a bad range. Kept for the bench kernels and call sites that decode
+    /// ranges they just computed.
+    pub fn decode_range(&self, start: usize, out: &mut [V]) {
+        if let Err(e) = self.try_decode_range(start, out) {
+            panic!("{e}");
+        }
     }
 
     /// Fine-grained random access: the value at position `x`, without
     /// decompressing the rest of the block (except for PFOR-DELTA, which
     /// must reconstruct the running sum of its block — §3.1 "Fine-Grained
-    /// Access").
+    /// Access"). Returns [`Error::IndexOutOfBounds`] for `x >= len`.
+    pub fn try_get(&self, x: usize) -> Result<V, Error> {
+        if x < self.n {
+            Ok(self.get_unchecked_pos(x))
+        } else {
+            Err(Error::IndexOutOfBounds { index: x, n: self.n })
+        }
+    }
+
+    /// Infallible [`try_get`](Self::try_get): panics when `x` is out of
+    /// bounds.
     pub fn get(&self, x: usize) -> V {
-        assert!(x < self.n, "index {x} out of bounds for segment of {}", self.n);
+        match self.try_get(x) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fine-grained access kernel; `x` must already be bounds-checked.
+    fn get_unchecked_pos(&self, x: usize) -> V {
+        debug_assert!(x < self.n);
         let blk = x / BLOCK;
         if self.scheme == SchemeKind::PforDelta {
             let mut buf = [V::default(); BLOCK];
@@ -286,8 +367,7 @@ impl<V: Value> Segment<V> {
         let local = (x % BLOCK) as u32;
         let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
         let word_base = self.block_word_offset(blk);
-        let code_at =
-            |p: u32| get_one(&self.codes[word_base..], self.b, p as usize);
+        let code_at = |p: u32| get_one(&self.codes[word_base..], self.b, p as usize);
         // Walk the linked list until we reach or pass x.
         let mut i = patch_start;
         let mut k = 0usize;
@@ -315,13 +395,19 @@ impl<V: Value> Segment<V> {
         SegmentIter { seg: self, buf: [V::default(); BLOCK], blk: 0, pos: 0, len: 0 }
     }
 
+    /// Whether the segment's bytes were checksum-verified at load time.
+    #[inline]
+    pub fn integrity(&self) -> Integrity {
+        self.integrity
+    }
+
     /// Serialized size in bytes of each section, `(header, entry_points,
     /// codes, exceptions, extra)` where `extra` covers delta bases or the
-    /// dictionary.
+    /// dictionary. The header component includes the v2 checksum block.
     pub fn section_bytes(&self) -> (usize, usize, usize, usize, usize) {
         let w = V::byte_width();
         (
-            crate::wire::HEADER_BYTES,
+            crate::wire::HEADER_BYTES_V2,
             self.entries.len() * 4,
             self.codes.len() * 4,
             self.exceptions.len() * w,
@@ -455,6 +541,7 @@ impl<'a, V: Value> SegmentAssembly<'a, V> {
             codes,
             exceptions,
             dict: self.dict,
+            integrity: Integrity::Verified,
         }
     }
 }

@@ -13,9 +13,7 @@ use std::hash::Hash;
 
 /// A fixed-width integer type that can be compressed by PFOR, PFOR-DELTA
 /// and PDICT.
-pub trait Value:
-    Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'static
-{
+pub trait Value: Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'static {
     /// Width of the type in bits (32 or 64).
     const BITS: u32;
     /// Human-readable type name used in headers and reports.

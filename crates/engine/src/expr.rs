@@ -218,11 +218,7 @@ impl Expr {
             Expr::BucketI32(a, bounds) => {
                 let av = a.eval(batch);
                 let x = av.as_i32();
-                Vector::I32(
-                    x.iter()
-                        .map(|v| bounds.partition_point(|b| b <= v) as i32)
-                        .collect(),
-                )
+                Vector::I32(x.iter().map(|v| bounds.partition_point(|b| b <= v) as i32).collect())
             }
         }
     }
@@ -377,17 +373,13 @@ mod tests {
 
     #[test]
     fn cond_selects_per_row() {
-        let e = Expr::col(0)
-            .ge(Expr::lit_i64(3))
-            .cond(Expr::col(0), Expr::lit_i64(0));
+        let e = Expr::col(0).ge(Expr::lit_i64(3)).cond(Expr::col(0), Expr::lit_i64(0));
         assert_eq!(e.eval(&batch()).as_i64(), &[0, 0, 3, 4, 5]);
     }
 
     #[test]
     fn cond_f64_branches() {
-        let e = Expr::col(2)
-            .eq(Expr::lit_u32(7))
-            .cond(Expr::col(1), Expr::lit_f64(0.0));
+        let e = Expr::col(2).eq(Expr::lit_u32(7)).cond(Expr::col(1), Expr::lit_f64(0.0));
         let v = e.eval(&batch());
         assert_eq!(v.as_f64(), &[0.1, 0.0, 0.3, 0.0, 0.5]);
     }

@@ -106,9 +106,9 @@ impl HashAggregate {
 }
 
 impl Operator for HashAggregate {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         if self.done {
-            return None;
+            return Ok(None);
         }
         self.done = true;
         let mut groups: HashMap<Box<[u64]>, usize> = HashMap::new();
@@ -116,7 +116,7 @@ impl Operator for HashAggregate {
         let mut accs: Vec<Vec<Acc>> = Vec::new();
         let mut key_types: Vec<ColType> = Vec::new();
         let mut key_buf: Vec<u64> = vec![0; self.keys.len()];
-        while let Some(batch) = self.input.next() {
+        while let Some(batch) = self.input.try_next()? {
             let key_vecs: Vec<Vector> = self.keys.iter().map(|k| k.eval(&batch)).collect();
             let agg_vecs: Vec<Vector> = self
                 .aggs
@@ -159,7 +159,7 @@ impl Operator for HashAggregate {
         }
         if !self.keys.is_empty() && key_vals.is_empty() {
             // Keyed group-by over an empty input: no groups, no rows.
-            return None;
+            return Ok(None);
         }
         if self.keys.is_empty() && key_vals.is_empty() {
             // Global aggregate over empty input: one identity row.
@@ -185,7 +185,7 @@ impl Operator for HashAggregate {
         for a in 0..self.aggs.len() {
             columns.push(rebuild_agg_column(&accs, a, n));
         }
-        Some(Batch::new(columns))
+        Ok(Some(Batch::new(columns)))
     }
 }
 
@@ -201,38 +201,76 @@ fn rebuild_key_column(key_vals: &[Box<[u64]>], k: usize, ty: ColType) -> Vector 
 fn rebuild_agg_column(accs: &[Vec<Acc>], a: usize, n: usize) -> Vector {
     debug_assert_eq!(accs.len(), n);
     match accs[0][a] {
-        Acc::SumI64(_) => Vector::I64(accs.iter().map(|g| match g[a] {
-            Acc::SumI64(s) => s,
-            _ => unreachable!(),
-        }).collect()),
-        Acc::SumF64(_) => Vector::F64(accs.iter().map(|g| match g[a] {
-            Acc::SumF64(s) => s,
-            _ => unreachable!(),
-        }).collect()),
-        Acc::Count(_) => Vector::I64(accs.iter().map(|g| match g[a] {
-            Acc::Count(c) => c,
-            _ => unreachable!(),
-        }).collect()),
-        Acc::Avg(..) => Vector::F64(accs.iter().map(|g| match g[a] {
-            Acc::Avg(s, c) => if c == 0 { f64::NAN } else { s / c as f64 },
-            _ => unreachable!(),
-        }).collect()),
-        Acc::MinI64(_) => Vector::I64(accs.iter().map(|g| match g[a] {
-            Acc::MinI64(m) => m,
-            _ => unreachable!(),
-        }).collect()),
-        Acc::MinF64(_) => Vector::F64(accs.iter().map(|g| match g[a] {
-            Acc::MinF64(m) => m,
-            _ => unreachable!(),
-        }).collect()),
-        Acc::MaxI64(_) => Vector::I64(accs.iter().map(|g| match g[a] {
-            Acc::MaxI64(m) => m,
-            _ => unreachable!(),
-        }).collect()),
-        Acc::MaxF64(_) => Vector::F64(accs.iter().map(|g| match g[a] {
-            Acc::MaxF64(m) => m,
-            _ => unreachable!(),
-        }).collect()),
+        Acc::SumI64(_) => Vector::I64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::SumI64(s) => s,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::SumF64(_) => Vector::F64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::SumF64(s) => s,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::Count(_) => Vector::I64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::Count(c) => c,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::Avg(..) => Vector::F64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::Avg(s, c) => {
+                        if c == 0 {
+                            f64::NAN
+                        } else {
+                            s / c as f64
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::MinI64(_) => Vector::I64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::MinI64(m) => m,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::MinF64(_) => Vector::F64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::MinF64(m) => m,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::MaxI64(_) => Vector::I64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::MaxI64(m) => m,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
+        Acc::MaxF64(_) => Vector::F64(
+            accs.iter()
+                .map(|g| match g[a] {
+                    Acc::MaxF64(m) => m,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -279,10 +317,7 @@ mod tests {
 
     #[test]
     fn min_max_float() {
-        let src = MemSource::new(
-            vec![Vector::F64(vec![3.5, -1.0, 2.0])],
-            8,
-        );
+        let src = MemSource::new(vec![Vector::F64(vec![3.5, -1.0, 2.0])], 8);
         let mut agg = HashAggregate::new(
             Box::new(src),
             vec![],

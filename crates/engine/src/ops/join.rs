@@ -2,7 +2,7 @@
 //! columns.
 
 use crate::batch::{Batch, Vector};
-use crate::ops::{collect, Operator};
+use crate::ops::Operator;
 use std::collections::HashMap;
 
 /// Join variant.
@@ -52,30 +52,30 @@ impl HashJoin {
         }
     }
 
-    fn ensure_built(&mut self) {
+    fn ensure_built(&mut self) -> Result<(), scc_core::Error> {
         if let Some(mut build) = self.build.take() {
-            let data = collect(build.as_mut());
+            let data = crate::ops::try_collect(build.as_mut())?;
             let mut key = vec![0u64; self.build_keys.len()];
             for row in 0..data.len() {
                 for (slot, &k) in key.iter_mut().zip(&self.build_keys) {
                     *slot = data.col(k).key_at(row);
                 }
-                self.table
-                    .entry(key.clone().into_boxed_slice())
-                    .or_default()
-                    .push(row as u32);
+                self.table.entry(key.clone().into_boxed_slice()).or_default().push(row as u32);
             }
             self.build_data = Some(data);
         }
+        Ok(())
     }
 }
 
 impl Operator for HashJoin {
-    fn next(&mut self) -> Option<Batch> {
-        self.ensure_built();
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        self.ensure_built()?;
         let mut key = vec![0u64; self.probe_keys.len()];
         loop {
-            let batch = self.probe.next()?;
+            let Some(batch) = self.probe.try_next()? else {
+                return Ok(None);
+            };
             match self.kind {
                 JoinKind::Inner => {
                     let mut probe_idx: Vec<usize> = Vec::new();
@@ -94,14 +94,11 @@ impl Operator for HashJoin {
                     if probe_idx.is_empty() {
                         continue;
                     }
-                    let mut cols: Vec<Vector> = batch
-                        .columns
-                        .iter()
-                        .map(|c| c.gather(&probe_idx))
-                        .collect();
+                    let mut cols: Vec<Vector> =
+                        batch.columns.iter().map(|c| c.gather(&probe_idx)).collect();
                     let build_data = self.build_data.as_ref().expect("built");
                     cols.extend(build_data.columns.iter().map(|c| c.gather(&build_idx)));
-                    return Some(Batch::new(cols));
+                    return Ok(Some(Batch::new(cols)));
                 }
                 JoinKind::LeftSemi | JoinKind::LeftAnti => {
                     let want_match = self.kind == JoinKind::LeftSemi;
@@ -117,7 +114,7 @@ impl Operator for HashJoin {
                     if keep.is_empty() {
                         continue;
                     }
-                    return Some(batch.gather(&keep));
+                    return Ok(Some(batch.gather(&keep)));
                 }
             }
         }
@@ -127,22 +124,16 @@ impl Operator for HashJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::source::MemSource;
+    use crate::ops::{collect, source::MemSource};
 
     fn probe_src() -> Box<dyn Operator> {
         // (key, payload)
-        Box::new(MemSource::from_i64(
-            vec![vec![1, 2, 3, 4, 2], vec![10, 20, 30, 40, 21]],
-            2,
-        ))
+        Box::new(MemSource::from_i64(vec![vec![1, 2, 3, 4, 2], vec![10, 20, 30, 40, 21]], 2))
     }
 
     fn build_src() -> Box<dyn Operator> {
         // (key, name-code): key 2 appears twice.
-        Box::new(MemSource::from_i64(
-            vec![vec![2, 3, 2, 9], vec![200, 300, 201, 900]],
-            3,
-        ))
+        Box::new(MemSource::from_i64(vec![vec![2, 3, 2, 9], vec![200, 300, 201, 900]], 3))
     }
 
     #[test]

@@ -50,43 +50,43 @@ impl MergeJoin {
         }
     }
 
-    fn fill_left(&mut self) -> bool {
+    fn fill_left(&mut self) -> Result<bool, scc_core::Error> {
         loop {
             if let Some((b, pos)) = &self.left_buf {
                 if *pos < b.len() {
-                    return true;
+                    return Ok(true);
                 }
             }
             if self.left_done {
-                return false;
+                return Ok(false);
             }
-            match self.left.next() {
+            match self.left.try_next()? {
                 Some(b) if !b.is_empty() => self.left_buf = Some((b, 0)),
                 Some(_) => continue,
                 None => {
                     self.left_done = true;
-                    return false;
+                    return Ok(false);
                 }
             }
         }
     }
 
-    fn fill_right(&mut self) -> bool {
+    fn fill_right(&mut self) -> Result<bool, scc_core::Error> {
         loop {
             if let Some((b, pos)) = &self.right_buf {
                 if *pos < b.len() {
-                    return true;
+                    return Ok(true);
                 }
             }
             if self.right_done {
-                return false;
+                return Ok(false);
             }
-            match self.right.next() {
+            match self.right.try_next()? {
                 Some(b) if !b.is_empty() => self.right_buf = Some((b, 0)),
                 Some(_) => continue,
                 None => {
                     self.right_done = true;
-                    return false;
+                    return Ok(false);
                 }
             }
         }
@@ -103,9 +103,9 @@ impl MergeJoin {
     }
 
     /// Collects the full right-side group for `key` (may span batches).
-    fn collect_right_group(&mut self, key: i64) -> Batch {
+    fn collect_right_group(&mut self, key: i64) -> Result<Batch, scc_core::Error> {
         let mut rows: Option<Batch> = None;
-        while self.fill_right() && self.right_key_at() == key {
+        while self.fill_right()? && self.right_key_at() == key {
             let (b, pos) = self.right_buf.as_mut().expect("filled");
             let start = *pos;
             let mut end = start;
@@ -123,15 +123,15 @@ impl MergeJoin {
                 }
             }
         }
-        rows.expect("group is non-empty by construction")
+        Ok(rows.expect("group is non-empty by construction"))
     }
 }
 
 impl Operator for MergeJoin {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         loop {
-            if !self.fill_left() {
-                return None;
+            if !self.fill_left()? {
+                return Ok(None);
             }
             let lk = self.left_key_at();
             // Reuse the buffered right group if it matches; otherwise
@@ -140,8 +140,8 @@ impl Operator for MergeJoin {
             if !group_matches {
                 self.right_group = None;
                 loop {
-                    if !self.fill_right() {
-                        return None; // right exhausted: no more matches
+                    if !self.fill_right()? {
+                        return Ok(None); // right exhausted: no more matches
                     }
                     let rk = self.right_key_at();
                     if rk < lk {
@@ -162,7 +162,7 @@ impl Operator for MergeJoin {
                     }
                     continue;
                 }
-                let group = self.collect_right_group(lk);
+                let group = self.collect_right_group(lk)?;
                 self.right_group = Some((lk, group));
             }
             // Emit the cross product of the left run (within this batch)
@@ -179,10 +179,9 @@ impl Operator for MergeJoin {
             let left_idx: Vec<usize> =
                 (start..end).flat_map(|i| std::iter::repeat_n(i, g)).collect();
             let right_idx: Vec<usize> = (start..end).flat_map(|_| 0..g).collect();
-            let mut cols: Vec<Vector> =
-                b.columns.iter().map(|c| c.gather(&left_idx)).collect();
+            let mut cols: Vec<Vector> = b.columns.iter().map(|c| c.gather(&left_idx)).collect();
             cols.extend(group.columns.iter().map(|c| c.gather(&right_idx)));
-            return Some(Batch::new(cols));
+            return Ok(Some(Batch::new(cols)));
         }
     }
 }
@@ -215,13 +214,8 @@ mod tests {
         let mut join = MergeJoin::new(left, right, 0, 0);
         let out = collect(&mut join);
         assert_eq!(out.len(), 6);
-        let pairs: Vec<(i64, i64)> = out
-            .col(1)
-            .as_i64()
-            .iter()
-            .zip(out.col(3).as_i64())
-            .map(|(&a, &b)| (a, b))
-            .collect();
+        let pairs: Vec<(i64, i64)> =
+            out.col(1).as_i64().iter().zip(out.col(3).as_i64()).map(|(&a, &b)| (a, b)).collect();
         for l in 1..=3 {
             for r in [10, 20] {
                 assert!(pairs.contains(&(l, r)), "missing ({l},{r})");

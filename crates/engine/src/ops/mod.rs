@@ -1,6 +1,7 @@
 //! Volcano-style vector-at-a-time operators.
 
 use crate::batch::Batch;
+use scc_core::Error;
 
 pub mod aggregate;
 pub mod join;
@@ -10,24 +11,44 @@ pub mod select;
 pub mod sort;
 pub mod source;
 
-/// A vectorized Volcano operator: `next()` yields a [`Batch`] of tuples
+/// A vectorized Volcano operator: pulls yield a [`Batch`] of tuples
 /// (typically [`crate::VECTOR_SIZE`] rows) or `None` at end of stream.
+///
+/// [`try_next`](Operator::try_next) is the required method: operators that
+/// read storage surface corruption and I/O failures as [`Error`] instead
+/// of panicking, and every relational operator propagates its child's
+/// errors, so a checksum mismatch deep in a scan travels intact to the
+/// root of the pipeline. [`next`](Operator::next) is the infallible
+/// convenience wrapper used by bench kernels and trusted in-memory
+/// pipelines; it panics with the error's message.
 pub trait Operator {
-    /// Pulls the next vector of tuples.
-    fn next(&mut self) -> Option<Batch>;
+    /// Pulls the next vector of tuples, or the first error raised beneath
+    /// this operator.
+    fn try_next(&mut self) -> Result<Option<Batch>, Error>;
+
+    /// Infallible [`try_next`](Operator::try_next); panics on error.
+    fn next(&mut self) -> Option<Batch> {
+        self.try_next().unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 impl<T: Operator + ?Sized> Operator for Box<T> {
-    fn next(&mut self) -> Option<Batch> {
-        (**self).next()
+    fn try_next(&mut self) -> Result<Option<Batch>, Error> {
+        (**self).try_next()
     }
 }
 
 /// Drains an operator into a single materialized batch (test/report
-/// helper, not a pipeline stage).
+/// helper, not a pipeline stage); panics on pipeline errors.
 pub fn collect(op: &mut dyn Operator) -> Batch {
+    try_collect(op).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Drains an operator into a single materialized batch, stopping at the
+/// first error raised anywhere in the pipeline.
+pub fn try_collect(op: &mut dyn Operator) -> Result<Batch, Error> {
     let mut out: Option<Batch> = None;
-    while let Some(batch) = op.next() {
+    while let Some(batch) = op.try_next()? {
         match &mut out {
             None => out = Some(batch),
             Some(acc) => {
@@ -37,5 +58,5 @@ pub fn collect(op: &mut dyn Operator) -> Batch {
             }
         }
     }
-    out.unwrap_or_else(|| Batch::new(vec![]))
+    Ok(out.unwrap_or_else(|| Batch::new(vec![])))
 }

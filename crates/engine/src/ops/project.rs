@@ -19,9 +19,11 @@ impl Project {
 }
 
 impl Operator for Project {
-    fn next(&mut self) -> Option<Batch> {
-        let batch = self.input.next()?;
-        Some(Batch::new(self.exprs.iter().map(|e| e.eval(&batch)).collect()))
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let Some(batch) = self.input.try_next()? else {
+            return Ok(None);
+        };
+        Ok(Some(Batch::new(self.exprs.iter().map(|e| e.eval(&batch)).collect())))
     }
 }
 
@@ -33,10 +35,8 @@ mod tests {
     #[test]
     fn computes_expressions() {
         let src = MemSource::from_i64(vec![(1..=4).collect()], 2);
-        let mut proj = Project::new(
-            Box::new(src),
-            vec![Expr::col(0), Expr::col(0).mul(Expr::col(0))],
-        );
+        let mut proj =
+            Project::new(Box::new(src), vec![Expr::col(0), Expr::col(0).mul(Expr::col(0))]);
         let out = collect(&mut proj);
         assert_eq!(out.col(0).as_i64(), &[1, 2, 3, 4]);
         assert_eq!(out.col(1).as_i64(), &[1, 4, 9, 16]);

@@ -20,9 +20,11 @@ impl Select {
 }
 
 impl Operator for Select {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         loop {
-            let batch = self.input.next()?;
+            let Some(batch) = self.input.try_next()? else {
+                return Ok(None);
+            };
             let mask_v = self.predicate.eval(&batch);
             let mask = mask_v.as_mask();
             // Predicated compaction (§2.2 / Ross PODS'02): always store
@@ -39,9 +41,9 @@ impl Operator for Select {
                 continue;
             }
             if indices.len() == batch.len() {
-                return Some(batch);
+                return Ok(Some(batch));
             }
-            return Some(batch.gather(&indices));
+            return Ok(Some(batch.gather(&indices)));
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Sorting and top-N.
 
 use crate::batch::{Batch, Vector};
-use crate::ops::{collect, Operator};
+use crate::ops::Operator;
 use std::cmp::Ordering;
 
 /// One sort key: column index and direction.
@@ -65,16 +65,16 @@ impl OrderBy {
 }
 
 impl Operator for OrderBy {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         if let Some(mut input) = self.input.take() {
-            let data = collect(input.as_mut());
+            let data = crate::ops::try_collect(input.as_mut())?;
             if data.is_empty() {
-                return None;
+                return Ok(None);
             }
             let idx = sorted_indices(&data, &self.keys);
             self.out = Some(data.gather(&idx));
         }
-        self.out.take().filter(|b| !b.is_empty())
+        Ok(self.out.take().filter(|b| !b.is_empty()))
     }
 }
 
@@ -92,13 +92,15 @@ impl TopN {
 }
 
 impl Operator for TopN {
-    fn next(&mut self) -> Option<Batch> {
-        let batch = self.inner.next()?;
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let Some(batch) = self.inner.try_next()? else {
+            return Ok(None);
+        };
         if batch.len() <= self.n {
-            return Some(batch);
+            return Ok(Some(batch));
         }
         let idx: Vec<usize> = (0..self.n).collect();
-        Some(batch.gather(&idx))
+        Ok(Some(batch.gather(&idx)))
     }
 }
 

@@ -29,14 +29,14 @@ impl MemSource {
 }
 
 impl Operator for MemSource {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         if self.pos >= self.len {
-            return None;
+            return Ok(None);
         }
         let take = self.vector_size.min(self.len - self.pos);
         let indices: Vec<usize> = (self.pos..self.pos + take).collect();
         self.pos += take;
-        Some(Batch::new(self.columns.iter().map(|c| c.gather(&indices)).collect()))
+        Ok(Some(Batch::new(self.columns.iter().map(|c| c.gather(&indices)).collect())))
     }
 }
 

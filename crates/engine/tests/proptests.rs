@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use scc_engine::ops::collect;
 use scc_engine::{
-    AggExpr, Expr, HashAggregate, HashJoin, JoinKind, MemSource, OrderBy, Project, Select,
-    SortKey, TopN, Vector,
+    AggExpr, Expr, HashAggregate, HashJoin, JoinKind, MemSource, OrderBy, Project, Select, SortKey,
+    TopN, Vector,
 };
 use std::collections::HashMap;
 

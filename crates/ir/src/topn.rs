@@ -16,7 +16,12 @@ pub struct TopNResult {
 }
 
 /// Runs the top-N-by-term-frequency query for one term.
-pub fn top_n_by_tf(index: &InvertedIndex, term: usize, n: usize, scratch: &mut Vec<u32>) -> TopNResult {
+pub fn top_n_by_tf(
+    index: &InvertedIndex,
+    term: usize,
+    n: usize,
+    scratch: &mut Vec<u32>,
+) -> TopNResult {
     scratch.clear();
     index.decode_list(term, scratch);
     let tfs = &index.tfs[term];
@@ -63,12 +68,8 @@ mod tests {
     fn identical_across_codecs() {
         let c = synthesize(CollectionPreset::TrecFt, 12);
         let mut scratch = Vec::new();
-        let reference = top_n_by_tf(
-            &InvertedIndex::build(&c, PostingsCodec::PforDelta),
-            1,
-            20,
-            &mut scratch,
-        );
+        let reference =
+            top_n_by_tf(&InvertedIndex::build(&c, PostingsCodec::PforDelta), 1, 20, &mut scratch);
         for codec in [PostingsCodec::Carryover12, PostingsCodec::Shuff, PostingsCodec::Golomb] {
             let idx = InvertedIndex::build(&c, codec);
             let r = top_n_by_tf(&idx, 1, 20, &mut scratch);

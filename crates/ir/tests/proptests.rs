@@ -7,8 +7,7 @@ use scc_ir::{top_n_by_tf, PostingsCodec};
 
 /// Strategy: a sorted, deduplicated docid list.
 fn docid_list(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::btree_set(0u32..500_000, 1..max_len)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(0u32..500_000, 1..max_len).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {

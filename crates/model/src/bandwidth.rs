@@ -52,8 +52,7 @@ impl ScanModel {
         match self.regime() {
             Regime::IoBound => self.io_bw * self.ratio,
             Regime::CpuBound => {
-                (self.query_bw * self.decompression_bw)
-                    / (self.query_bw + self.decompression_bw)
+                (self.query_bw * self.decompression_bw) / (self.query_bw + self.decompression_bw)
             }
         }
     }
@@ -128,7 +127,8 @@ mod tests {
     #[test]
     fn design_target_rules_of_thumb() {
         // Paper: B=0.3, r=4 needs C=1.2 GB/s just to keep up.
-        let m = ScanModel { io_bw: 0.3, ratio: 4.0, query_bw: f64::INFINITY, decompression_bw: 1.2 };
+        let m =
+            ScanModel { io_bw: 0.3, ratio: 4.0, query_bw: f64::INFINITY, decompression_bw: 1.2 };
         assert!((m.decompression_cpu_fraction() - 1.0).abs() < 1e-12);
         // C=2.4 GB/s halves that.
         let m2 = ScanModel { decompression_bw: 2.4, ..m };

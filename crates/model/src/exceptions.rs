@@ -67,9 +67,7 @@ mod tests {
     #[test]
     fn monotone_in_b() {
         for b in 1..8 {
-            assert!(
-                effective_exception_rate(0.02, b) >= effective_exception_rate(0.02, b + 1)
-            );
+            assert!(effective_exception_rate(0.02, b) >= effective_exception_rate(0.02, b + 1));
         }
     }
 
@@ -78,12 +76,8 @@ mod tests {
         // For a skewed distribution the best width is neither 0 nor max.
         let e_of_b = |b: u32| 0.3 / (1.0 + b as f64 * b as f64); // toy decay
         let costs: Vec<f64> = (0..=20).map(|b| pfor_bits_per_value(e_of_b(b), b, 32)).collect();
-        let min_idx = costs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let min_idx =
+            costs.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(min_idx > 0 && min_idx < 20, "min at {min_idx}");
     }
 }

@@ -133,12 +133,22 @@ impl<V: Value> ColumnStore<V> {
             }
             StoredSegment::Lz(page, n) => {
                 let w = V::byte_width();
-                let raw =
-                    scc_baselines::lzrw1::Lzrw1.decompress_vec(page, *n * w);
+                let raw = scc_baselines::lzrw1::Lzrw1.decompress_vec(page, *n * w);
                 for (o, chunk) in out.iter_mut().zip(raw[offset * w..].chunks_exact(w)) {
                     *o = V::read_le(chunk);
                 }
             }
+        }
+    }
+
+    /// Serialized (checksummed v2) wire bytes of one segment, when it
+    /// has a checksummed representation: `None` for plain and LZRW1-page
+    /// segments, whose formats carry no integrity metadata — corruption
+    /// of those is undetectable by design and fault injection skips them.
+    pub fn segment_wire_bytes(&self, seg: usize) -> Option<Vec<u8>> {
+        match &self.segments[seg] {
+            StoredSegment::Compressed(s, _) => Some(s.to_bytes()),
+            StoredSegment::Plain(_) | StoredSegment::Lz(..) => None,
         }
     }
 
@@ -232,6 +242,16 @@ impl NumColumn {
             NumColumn::U32(c) => c.n_segments(),
         }
     }
+
+    /// Checksummed wire bytes of one segment (see
+    /// [`ColumnStore::segment_wire_bytes`]).
+    pub fn segment_wire_bytes(&self, seg: usize) -> Option<Vec<u8>> {
+        match self {
+            NumColumn::I32(c) => c.segment_wire_bytes(seg),
+            NumColumn::I64(c) => c.segment_wire_bytes(seg),
+            NumColumn::U32(c) => c.segment_wire_bytes(seg),
+        }
+    }
 }
 
 /// A dictionary-encoded string column: distinct strings plus a `u32` code
@@ -260,10 +280,8 @@ impl StrColumn {
         let index: std::collections::HashMap<&str, u32> =
             dict.iter().enumerate().map(|(i, s)| (s.as_str(), i as u32)).collect();
         let codes: Vec<u32> = values.iter().map(|s| index[s.as_str()]).collect();
-        let raw_seg_bytes = values
-            .chunks(seg_rows)
-            .map(|c| c.iter().map(|s| s.len() as u64 + 4).sum())
-            .collect();
+        let raw_seg_bytes =
+            values.chunks(seg_rows).map(|c| c.iter().map(|s| s.len() as u64 + 4).sum()).collect();
         Self { dict, codes: ColumnStore::build(codes, seg_rows, compression), raw_seg_bytes }
     }
 
@@ -280,12 +298,7 @@ impl StrColumn {
     /// Codes of all dictionary entries matching a predicate — how LIKE
     /// and set predicates are translated before reaching the engine.
     pub fn codes_matching(&self, pred: impl Fn(&str) -> bool) -> std::collections::HashSet<u64> {
-        self.dict
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| pred(s))
-            .map(|(i, _)| i as u64)
-            .collect()
+        self.dict.iter().enumerate().filter(|(_, s)| pred(s)).map(|(i, _)| i as u64).collect()
     }
 
     /// Dictionary size in bytes (strings + offsets), charged to I/O.
@@ -361,9 +374,8 @@ mod tests {
 
     #[test]
     fn string_dictionary_and_predicates() {
-        let values: Vec<String> = (0..1000)
-            .map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].to_string())
-            .collect();
+        let values: Vec<String> =
+            (0..1000).map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].to_string()).collect();
         let col = StrColumn::build(&values, 1024, &Compression::Auto);
         assert_eq!(col.dict.len(), 4);
         assert!(col.code_of("RAIL").is_some());

@@ -153,10 +153,10 @@ impl MergingScan {
 }
 
 impl Operator for MergingScan {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         loop {
-            let Some(mut batch) = self.inner.next() else {
-                return self.next_appends();
+            let Some(mut batch) = self.inner.try_next()? else {
+                return Ok(self.next_appends());
             };
             let n = batch.len();
             let base = self.pos;
@@ -172,15 +172,14 @@ impl Operator for MergingScan {
             // Compact deletions away.
             let has_deletes = self.deltas.deletes.range(base..base + n).next().is_some();
             if has_deletes {
-                let keep: Vec<usize> = (0..n)
-                    .filter(|i| !self.deltas.deletes.contains(&(base + i)))
-                    .collect();
+                let keep: Vec<usize> =
+                    (0..n).filter(|i| !self.deltas.deletes.contains(&(base + i))).collect();
                 if keep.is_empty() {
                     continue;
                 }
-                return Some(batch.gather(&keep));
+                return Ok(Some(batch.gather(&keep)));
             }
-            return Some(batch);
+            return Ok(Some(batch));
         }
     }
 }
@@ -196,8 +195,7 @@ pub fn materialize(table: &Arc<Table>, deltas: &Arc<TableDeltas>, opts: ScanOpti
         .map(|(n, _)| n.as_str())
         .collect();
     let stats = crate::disk::stats_handle();
-    let mut scan =
-        MergingScan::new(Arc::clone(table), &names, opts, stats, Arc::clone(deltas));
+    let mut scan = MergingScan::new(Arc::clone(table), &names, opts, stats, Arc::clone(deltas));
     let merged = scc_engine::ops::collect(&mut scan);
     let mut builder = TableBuilder::new(&table.name).seg_rows(table.seg_rows());
     builder = builder.compression(Compression::Auto);
@@ -220,7 +218,10 @@ pub fn scannable_columns(table: &Table) -> usize {
 
 /// Looks up the numeric value of a scannable column for appends testing.
 pub fn column_is_numeric(table: &Table, name: &str) -> bool {
-    matches!(table.col(name), Column::Num(NumColumn::I32(_) | NumColumn::I64(_) | NumColumn::U32(_)))
+    matches!(
+        table.col(name),
+        Column::Num(NumColumn::I32(_) | NumColumn::I64(_) | NumColumn::U32(_))
+    )
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The simulated disk and per-scan accounting.
+//! The simulated disk, fault injection, and per-scan accounting.
 //!
 //! The container this reproduction runs in has no RAID to measure, so
 //! I/O is modeled analytically: a read of `n` bytes costs
@@ -7,8 +7,18 @@
 //! that way). Scans overlap I/O with computation through DMA-style
 //! prefetching (Figure 1), so reported *stall* time is
 //! `max(0, io_seconds - cpu_seconds)`.
+//!
+//! The [`DiskRead`] trait abstracts the delivery of one chunk so a scan
+//! can run over either the clean [`Disk`] or a [`FaultyDisk`] decorator
+//! that injects deterministic, seeded faults (bit flips, truncated
+//! reads, transient failures). Corrupt deliveries are caught by the
+//! wire-format checksums (v2 segments); chunks that stay corrupt past
+//! the retry budget are quarantined and every later read of them fails
+//! fast.
 
+use crate::pool::ChunkId;
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::rc::Rc;
 
 /// A bandwidth-modeled disk.
@@ -35,6 +45,189 @@ impl Disk {
     }
 }
 
+/// The result of delivering one chunk from a [`DiskRead`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The stored bytes arrived intact.
+    Clean,
+    /// The read completed but delivered these (damaged) bytes instead of
+    /// the stored ones. Only possible when the caller supplied a payload
+    /// to damage; the caller validates them against the wire checksums.
+    Corrupted(Vec<u8>),
+    /// The read failed outright (transient device error); no bytes.
+    Failed,
+}
+
+/// A source of chunk reads: the clean modeled [`Disk`] or a fault
+/// injector wrapped around it.
+pub trait DiskRead {
+    /// Modeled seconds to deliver `bytes` sequentially.
+    fn read_seconds(&self, bytes: u64) -> f64;
+
+    /// Delivers chunk `id`. `attempt` starts at 1 and increments per
+    /// retry so injectors can fault deterministically per *attempt*.
+    /// `payload` is the chunk's serialized bytes when the caller has a
+    /// checksummed representation to damage (compressed segments);
+    /// `None` for representations without checksums (plain / LZ pages),
+    /// whose corruption is undetectable by design and therefore never
+    /// injected.
+    fn read_chunk(&mut self, id: ChunkId, attempt: u32, payload: Option<&[u8]>) -> ReadOutcome;
+
+    /// Marks a chunk as permanently bad. Default: no bookkeeping.
+    fn quarantine(&mut self, _id: ChunkId) {}
+
+    /// True when the chunk was quarantined earlier. Default: never.
+    fn is_quarantined(&self, _id: ChunkId) -> bool {
+        false
+    }
+}
+
+impl DiskRead for Disk {
+    fn read_seconds(&self, bytes: u64) -> f64 {
+        Disk::read_seconds(self, bytes)
+    }
+
+    fn read_chunk(&mut self, _id: ChunkId, _attempt: u32, _payload: Option<&[u8]>) -> ReadOutcome {
+        ReadOutcome::Clean
+    }
+}
+
+/// Per-read fault probabilities for a [`FaultyDisk`], drawn
+/// deterministically from `seed` and the `(chunk, attempt)` pair — the
+/// same plan over the same scan replays the exact same fault sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-(chunk, attempt) hash.
+    pub seed: u64,
+    /// Probability a read delivers the payload with one bit flipped.
+    pub bit_flip: f64,
+    /// Probability a read delivers a truncated copy of the payload.
+    pub truncate: f64,
+    /// Probability a read fails outright (retriable transient error).
+    pub transient_fail: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never faults (useful as a baseline in tests).
+    pub fn none(seed: u64) -> Self {
+        Self { seed, bit_flip: 0.0, truncate: 0.0, transient_fail: 0.0 }
+    }
+}
+
+/// SplitMix64 finalizer: the one-round mixer behind the deterministic
+/// fault draws.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault-injecting decorator over the modeled [`Disk`].
+///
+/// Faults are a pure function of `(plan.seed, chunk id, attempt)`: a
+/// read that corrupts on attempt 1 may deliver cleanly on attempt 2,
+/// exactly the behaviour bounded retry exploits. Quarantined chunks are
+/// remembered here so independent scans sharing the disk all fail fast
+/// on them.
+#[derive(Debug)]
+pub struct FaultyDisk {
+    /// The wrapped bandwidth model.
+    pub disk: Disk,
+    /// The fault probabilities and seed.
+    pub plan: FaultPlan,
+    quarantined: HashSet<ChunkId>,
+}
+
+impl FaultyDisk {
+    /// Wraps `disk` with the given fault plan.
+    pub fn new(disk: Disk, plan: FaultPlan) -> Self {
+        Self { disk, plan, quarantined: HashSet::new() }
+    }
+
+    /// Uniform draw in `[0, 1)` for one fault decision.
+    fn draw(&self, id: ChunkId, attempt: u32, salt: u64) -> f64 {
+        let chunk = ((id.0 as u64) << 42) ^ ((id.1 as u64) << 21) ^ id.2 as u64;
+        let h = mix(self.plan.seed ^ mix(chunk) ^ mix((attempt as u64) << 8 | salt));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Raw 64-bit draw (for picking which bit / where to cut).
+    fn draw_u64(&self, id: ChunkId, attempt: u32, salt: u64) -> u64 {
+        let chunk = ((id.0 as u64) << 42) ^ ((id.1 as u64) << 21) ^ id.2 as u64;
+        mix(self.plan.seed ^ mix(chunk) ^ mix((attempt as u64) << 8 | salt))
+    }
+
+    /// Chunks currently quarantined.
+    pub fn quarantined_chunks(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
+impl DiskRead for FaultyDisk {
+    fn read_seconds(&self, bytes: u64) -> f64 {
+        self.disk.read_seconds(bytes)
+    }
+
+    fn read_chunk(&mut self, id: ChunkId, attempt: u32, payload: Option<&[u8]>) -> ReadOutcome {
+        if self.draw(id, attempt, 1) < self.plan.transient_fail {
+            return ReadOutcome::Failed;
+        }
+        if let Some(bytes) = payload {
+            if !bytes.is_empty() && self.draw(id, attempt, 2) < self.plan.bit_flip {
+                let mut damaged = bytes.to_vec();
+                let bit = self.draw_u64(id, attempt, 3) % (damaged.len() as u64 * 8);
+                damaged[(bit / 8) as usize] ^= 1 << (bit % 8);
+                return ReadOutcome::Corrupted(damaged);
+            }
+            if !bytes.is_empty() && self.draw(id, attempt, 4) < self.plan.truncate {
+                let cut = (self.draw_u64(id, attempt, 5) % bytes.len() as u64) as usize;
+                return ReadOutcome::Corrupted(bytes[..cut].to_vec());
+            }
+        }
+        ReadOutcome::Clean
+    }
+
+    fn quarantine(&mut self, id: ChunkId) {
+        self.quarantined.insert(id);
+    }
+
+    fn is_quarantined(&self, id: ChunkId) -> bool {
+        self.quarantined.contains(&id)
+    }
+}
+
+/// Bounded retry for chunk reads that fail or arrive corrupt.
+///
+/// Every attempt is charged full chunk I/O; attempts after the first
+/// additionally charge a doubling backoff (`backoff_seconds`,
+/// `2*backoff_seconds`, ...) to the scan's modeled `io_seconds`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per chunk read, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub backoff_seconds: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, backoff_seconds: 0.001 }
+    }
+}
+
+impl RetryPolicy {
+    /// Modeled backoff charged before retry attempt `attempt` (2-based:
+    /// the first read carries no backoff).
+    pub fn backoff_before(&self, attempt: u32) -> f64 {
+        if attempt < 2 {
+            0.0
+        } else {
+            self.backoff_seconds * (1u64 << (attempt - 2).min(62)) as f64
+        }
+    }
+}
+
 /// Counters accumulated by a scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ScanStats {
@@ -54,6 +247,12 @@ pub struct ScanStats {
     pub pool_hits: u64,
     /// Buffer-pool misses.
     pub pool_misses: u64,
+    /// Re-read attempts beyond the first, across all chunks.
+    pub retries: u64,
+    /// Deliveries rejected by wire-format checksum verification.
+    pub checksum_failures: u64,
+    /// Chunks quarantined after exhausting the retry budget corrupt.
+    pub quarantined_chunks: u64,
 }
 
 impl ScanStats {
@@ -103,5 +302,74 @@ mod tests {
     fn decompression_bandwidth_handles_zero_time() {
         let stats = ScanStats::default();
         assert!(stats.decompression_bandwidth().is_infinite());
+    }
+
+    #[test]
+    fn clean_disk_always_delivers_clean() {
+        let mut disk = Disk::low_end();
+        for seg in 0..100 {
+            assert_eq!(disk.read_chunk((1, 2, seg), 1, Some(&[1, 2, 3])), ReadOutcome::Clean);
+        }
+        assert!(!DiskRead::is_quarantined(&disk, (1, 2, 3)));
+    }
+
+    #[test]
+    fn faulty_disk_is_deterministic_per_seed() {
+        let plan = FaultPlan { seed: 42, bit_flip: 0.3, truncate: 0.2, transient_fail: 0.2 };
+        let payload = vec![7u8; 256];
+        let run = || {
+            let mut d = FaultyDisk::new(Disk::low_end(), plan);
+            (0..200u32)
+                .map(|seg| d.read_chunk((1, 1, seg), 1 + seg % 3, Some(&payload)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // A different seed produces a different fault sequence.
+        let mut other = FaultyDisk::new(Disk::low_end(), FaultPlan { seed: 43, ..plan });
+        let a = run();
+        let b: Vec<_> = (0..200u32)
+            .map(|seg| other.read_chunk((1, 1, seg), 1 + seg % 3, Some(&payload)))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn faulty_disk_damages_exactly_one_bit_on_flip() {
+        let plan = FaultPlan { seed: 7, bit_flip: 1.0, truncate: 0.0, transient_fail: 0.0 };
+        let mut d = FaultyDisk::new(Disk::low_end(), plan);
+        let payload = vec![0u8; 64];
+        match d.read_chunk((0, 0, 0), 1, Some(&payload)) {
+            ReadOutcome::Corrupted(bytes) => {
+                assert_eq!(bytes.len(), payload.len());
+                let flipped: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+                assert_eq!(flipped, 1, "exactly one bit flipped");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_disk_never_corrupts_checksumless_payloads() {
+        let plan = FaultPlan { seed: 9, bit_flip: 1.0, truncate: 1.0, transient_fail: 0.0 };
+        let mut d = FaultyDisk::new(Disk::low_end(), plan);
+        assert_eq!(d.read_chunk((0, 0, 0), 1, None), ReadOutcome::Clean);
+    }
+
+    #[test]
+    fn quarantine_is_remembered() {
+        let mut d = FaultyDisk::new(Disk::low_end(), FaultPlan::none(0));
+        assert!(!d.is_quarantined((1, 2, 3)));
+        d.quarantine((1, 2, 3));
+        assert!(d.is_quarantined((1, 2, 3)));
+        assert_eq!(d.quarantined_chunks(), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let p = RetryPolicy { max_attempts: 4, backoff_seconds: 0.5 };
+        assert_eq!(p.backoff_before(1), 0.0);
+        assert_eq!(p.backoff_before(2), 0.5);
+        assert_eq!(p.backoff_before(3), 1.0);
+        assert_eq!(p.backoff_before(4), 2.0);
     }
 }

@@ -33,8 +33,11 @@ pub mod table;
 
 pub use column::{Column, ColumnStore, Compression, NumColumn, StoredSegment, StrColumn};
 pub use delta::{materialize, Cell, MergingScan, TableDeltas};
-pub use disk::{Disk, ScanStats};
-pub use pool::BufferPool;
+pub use disk::{
+    stats_handle, Disk, DiskRead, FaultPlan, FaultyDisk, ReadOutcome, RetryPolicy, ScanStats,
+    StatsHandle,
+};
+pub use pool::{BufferPool, ChunkId};
 pub use scan::{DecompressionGranularity, Scan, ScanMode, ScanOptions};
 pub use table::{Layout, Table, TableBuilder};
 

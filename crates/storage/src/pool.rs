@@ -71,6 +71,14 @@ impl BufferPool {
         self.resident.len()
     }
 
+    /// Drops one chunk if resident (used when a read of it later proves
+    /// corrupt: a quarantined chunk must not be served from cache).
+    pub fn evict(&mut self, id: ChunkId) {
+        if let Some((bytes, _)) = self.resident.remove(&id) {
+            self.used -= bytes;
+        }
+    }
+
     /// Drops all residents (e.g. between experiment runs).
     pub fn clear(&mut self) {
         self.resident.clear();
@@ -123,6 +131,17 @@ mod tests {
             pool.access((0, 1, i), 250); // compressed chunks: 16 fit
         }
         assert_eq!(pool.resident_chunks(), 16);
+    }
+
+    #[test]
+    fn evict_frees_budget_and_forgets_chunk() {
+        let mut pool = BufferPool::new(1000);
+        pool.access((0, 0, 0), 400);
+        pool.evict((0, 0, 0));
+        assert_eq!(pool.used_bytes(), 0);
+        assert!(!pool.access((0, 0, 0), 400), "evicted chunk misses again");
+        pool.evict((9, 9, 9)); // evicting a non-resident chunk is a no-op
+        assert_eq!(pool.resident_chunks(), 1);
     }
 
     #[test]

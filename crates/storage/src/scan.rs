@@ -18,9 +18,10 @@
 //! read, keeping the I/O accounting faithful to the paper's baseline.
 
 use crate::column::{Column, NumColumn};
-use crate::disk::{Disk, StatsHandle};
-use crate::pool::BufferPool;
+use crate::disk::{Disk, DiskRead, ReadOutcome, RetryPolicy, StatsHandle};
+use crate::pool::{BufferPool, ChunkId};
 use crate::table::{Layout, Table};
+use scc_core::Error;
 use scc_engine::{Batch, Operator, Vector};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -88,6 +89,9 @@ pub struct Scan {
     pos: usize,
     cur_segment: Option<usize>,
     pages: Vec<Option<PageBuf>>,
+    /// Fault-injecting disk + retry policy; `None` scans the clean
+    /// modeled disk with no per-chunk validation.
+    faulty: Option<(Rc<RefCell<dyn DiskRead>>, RetryPolicy)>,
 }
 
 impl Scan {
@@ -99,8 +103,10 @@ impl Scan {
         stats: StatsHandle,
         pool: Option<Rc<RefCell<BufferPool>>>,
     ) -> Self {
-        assert!(opts.vector_size > 0 && table.seg_rows().is_multiple_of(opts.vector_size),
-            "vector size must divide segment rows");
+        assert!(
+            opts.vector_size > 0 && table.seg_rows().is_multiple_of(opts.vector_size),
+            "vector size must divide segment rows"
+        );
         let cols: Vec<usize> = cols.iter().map(|c| table.col_index(c)).collect();
         for &c in &cols {
             assert!(
@@ -109,50 +115,141 @@ impl Scan {
             );
         }
         let n_cols = cols.len();
-        Self { table, cols, opts, stats, pool, pos: 0, cur_segment: None, pages: (0..n_cols).map(|_| None).collect() }
+        Self {
+            table,
+            cols,
+            opts,
+            stats,
+            pool,
+            pos: 0,
+            cur_segment: None,
+            pages: (0..n_cols).map(|_| None).collect(),
+            faulty: None,
+        }
     }
 
-    fn charge_segment_io(&mut self, seg: usize) {
-        let mut stats = self.stats.borrow_mut();
-        let charge = |stats: &mut crate::disk::ScanStats, bytes: u64, hit: bool, disk: &Disk| {
-            if hit {
-                stats.pool_hits += 1;
-            } else {
-                stats.pool_misses += 1;
-                stats.io_bytes += bytes;
-                stats.io_seconds += disk.read_seconds(bytes);
+    /// Routes this scan's chunk reads through a fault-injecting disk
+    /// with bounded retry: each attempt is charged full chunk I/O plus a
+    /// doubling backoff, corrupt deliveries are rejected by wire
+    /// checksum, and chunks still corrupt after the retry budget are
+    /// quarantined (evicted from the pool, every later read fails fast).
+    pub fn with_fault_injection(
+        mut self,
+        disk: Rc<RefCell<dyn DiskRead>>,
+        policy: RetryPolicy,
+    ) -> Self {
+        assert!(policy.max_attempts >= 1, "retry policy needs at least one attempt");
+        self.faulty = Some((disk, policy));
+        self
+    }
+
+    /// Serialized checksummed bytes of column `c`'s part of segment
+    /// `seg`, for fault validation. `None` when the stored form carries
+    /// no checksums (plain arrays, LZRW1 pages, blobs, uncompressed
+    /// scans): damage there is undetectable and never injected.
+    fn chunk_payload(&self, c: usize, seg: usize) -> Option<Vec<u8>> {
+        if self.faulty.is_none() || self.opts.mode == ScanMode::Uncompressed {
+            return None;
+        }
+        match &self.table.columns()[c].1 {
+            Column::Num(nc) => nc.segment_wire_bytes(seg),
+            Column::Str(sc) => sc.codes.segment_wire_bytes(seg),
+            Column::Blob(_) => None,
+        }
+    }
+
+    /// Accounts one chunk read, retrying through the fault injector when
+    /// one is attached. Pool hits bypass the disk entirely (the cached
+    /// copy was validated when it was first read).
+    fn charge_chunk(&self, id: ChunkId, bytes: u64, payload: Option<&[u8]>) -> Result<(), Error> {
+        if let Some((disk, policy)) = &self.faulty {
+            if disk.borrow().is_quarantined(id) {
+                return Err(Error::ChunkQuarantined { chunk: id, attempts: policy.max_attempts });
             }
-            // Compressed (or plain) bytes stream through RAM either way.
-            stats.ram_traffic_bytes += bytes;
+        }
+        let hit = self.pool.as_ref().is_some_and(|p| p.borrow_mut().access(id, bytes));
+        let mut stats = self.stats.borrow_mut();
+        // Compressed (or plain) bytes stream through RAM either way.
+        stats.ram_traffic_bytes += bytes;
+        if hit {
+            stats.pool_hits += 1;
+            return Ok(());
+        }
+        stats.pool_misses += 1;
+        let Some((disk, policy)) = &self.faulty else {
+            stats.io_bytes += bytes;
+            stats.io_seconds += self.opts.disk.read_seconds(bytes);
+            return Ok(());
         };
+        let mut disk = disk.borrow_mut();
+        let mut saw_corruption = false;
+        for attempt in 1..=policy.max_attempts {
+            stats.io_bytes += bytes;
+            stats.io_seconds += disk.read_seconds(bytes) + policy.backoff_before(attempt);
+            if attempt > 1 {
+                stats.retries += 1;
+            }
+            match disk.read_chunk(id, attempt, payload) {
+                ReadOutcome::Clean => return Ok(()),
+                ReadOutcome::Corrupted(data) => match scc_core::wire::verify(&data) {
+                    // Damage that leaves every checksum valid is
+                    // indistinguishable from a clean read.
+                    Ok(_) => return Ok(()),
+                    Err(_) => {
+                        stats.checksum_failures += 1;
+                        saw_corruption = true;
+                    }
+                },
+                ReadOutcome::Failed => {}
+            }
+        }
+        // Retry budget exhausted: the pool must not serve this chunk.
+        if let Some(p) = &self.pool {
+            p.borrow_mut().evict(id);
+        }
+        if saw_corruption {
+            disk.quarantine(id);
+            stats.quarantined_chunks += 1;
+            Err(Error::ChunkQuarantined { chunk: id, attempts: policy.max_attempts })
+        } else {
+            Err(Error::ReadFailed { chunk: id, attempts: policy.max_attempts })
+        }
+    }
+
+    fn try_charge_segment_io(&mut self, seg: usize) -> Result<(), Error> {
         match self.opts.layout {
             Layout::Dsm => {
-                for &c in &self.cols {
+                for i in 0..self.cols.len() {
+                    let c = self.cols[i];
                     let bytes = self.column_segment_bytes(c, seg);
-                    let hit = self.pool.as_ref().is_some_and(|p| {
-                        p.borrow_mut().access((self.table.id, c as u32, seg as u32), bytes)
-                    });
-                    charge(&mut stats, bytes, hit, &self.opts.disk);
+                    let payload = self.chunk_payload(c, seg);
+                    self.charge_chunk(
+                        (self.table.id, c as u32, seg as u32),
+                        bytes,
+                        payload.as_deref(),
+                    )?;
                 }
             }
             Layout::Pax => {
-                // A PAX chunk carries a segment of every column.
-                let bytes: u64 = (0..self.table.columns().len())
-                    .map(|c| self.column_segment_bytes(c, seg))
-                    .sum();
-                let hit = self.pool.as_ref().is_some_and(|p| {
-                    p.borrow_mut().access((self.table.id, u32::MAX, seg as u32), bytes)
-                });
-                charge(&mut stats, bytes, hit, &self.opts.disk);
+                // A PAX chunk carries a segment of every column; validate
+                // it through the first column with a checksummed form.
+                let n_cols = self.table.columns().len();
+                let bytes: u64 = (0..n_cols).map(|c| self.column_segment_bytes(c, seg)).sum();
+                let payload = (0..n_cols).find_map(|c| self.chunk_payload(c, seg));
+                self.charge_chunk(
+                    (self.table.id, u32::MAX, seg as u32),
+                    bytes,
+                    payload.as_deref(),
+                )?;
             }
         }
+        Ok(())
     }
 
     /// Bytes of column `c`'s part of segment `seg` under the scan mode.
     fn column_segment_bytes(&self, c: usize, seg: usize) -> u64 {
         let seg_rows = self.table.seg_rows();
-        let rows_in_seg =
-            seg_rows.min(self.table.n_rows().saturating_sub(seg * seg_rows)) as u64;
+        let rows_in_seg = seg_rows.min(self.table.n_rows().saturating_sub(seg * seg_rows)) as u64;
         match (&self.table.columns()[c].1, self.opts.mode) {
             (Column::Num(nc), ScanMode::Compressed) => nc.segment_bytes(seg),
             (Column::Num(nc), ScanMode::Uncompressed) => {
@@ -167,7 +264,13 @@ impl Scan {
         }
     }
 
-    fn read_column_vector(&mut self, slot: usize, seg: usize, offset: usize, take: usize) -> Vector {
+    fn read_column_vector(
+        &mut self,
+        slot: usize,
+        seg: usize,
+        offset: usize,
+        take: usize,
+    ) -> Vector {
         let c = self.cols[slot];
         let stats = Rc::clone(&self.stats);
         let col = match &self.table.columns()[c].1 {
@@ -190,8 +293,7 @@ impl Scan {
                     (ScanMode::Compressed, DecompressionGranularity::PageWise) => {
                         if self.pages[slot].is_none() {
                             let seg_rows = self.table.seg_rows();
-                            let rows = seg_rows
-                                .min(self.table.n_rows() - seg * seg_rows);
+                            let rows = seg_rows.min(self.table.n_rows() - seg * seg_rows);
                             let mut page = vec![<$ty>::default(); rows];
                             let t0 = Instant::now();
                             $store.decode_segment_range(seg, 0, &mut page);
@@ -239,14 +341,14 @@ impl NumColumn {
 }
 
 impl Operator for Scan {
-    fn next(&mut self) -> Option<Batch> {
+    fn try_next(&mut self) -> Result<Option<Batch>, Error> {
         if self.pos >= self.table.n_rows() {
-            return None;
+            return Ok(None);
         }
         let seg_rows = self.table.seg_rows();
         let seg = self.pos / seg_rows;
         if self.cur_segment != Some(seg) {
-            self.charge_segment_io(seg);
+            self.try_charge_segment_io(seg)?;
             self.cur_segment = Some(seg);
             for p in &mut self.pages {
                 *p = None;
@@ -259,7 +361,7 @@ impl Operator for Scan {
             .map(|slot| self.read_column_vector(slot, seg, offset, take))
             .collect();
         self.pos += take;
-        Some(Batch::new(columns))
+        Ok(Some(Batch::new(columns)))
     }
 }
 
@@ -275,10 +377,7 @@ mod tests {
             .seg_rows(2048)
             .add_i64("key", (0..10_000).collect())
             .add_i32("val", (0..10_000).map(|i| i % 97).collect())
-            .add_str(
-                "flag",
-                (0..10_000).map(|i| ["A", "B", "C"][i % 3].to_string()).collect(),
-            )
+            .add_str("flag", (0..10_000).map(|i| ["A", "B", "C"][i % 3].to_string()).collect())
             .add_blob("comment", 500_000)
             .build()
     }
@@ -400,12 +499,196 @@ mod tests {
         Scan::new(t, &["comment"], ScanOptions::default(), stats_handle(), None);
     }
 
+    fn faulty(plan: crate::disk::FaultPlan) -> Rc<RefCell<dyn DiskRead>> {
+        Rc::new(RefCell::new(crate::disk::FaultyDisk::new(Disk::middle_end(), plan)))
+    }
+
+    #[test]
+    fn fault_free_injector_matches_clean_scan() {
+        let t = test_table();
+        let stats = stats_handle();
+        let mut scan = Scan::new(
+            Arc::clone(&t),
+            &["key", "val"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            Rc::clone(&stats),
+            None,
+        )
+        .with_fault_injection(faulty(crate::disk::FaultPlan::none(1)), RetryPolicy::default());
+        let out = collect(&mut scan);
+        assert_eq!(out.len(), 10_000);
+        let s = stats.borrow();
+        assert_eq!((s.retries, s.checksum_failures, s.quarantined_chunks), (0, 0, 0));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_and_corrupt_reads() {
+        let t = test_table();
+        // Fault draws hash the chunk id, which includes the globally
+        // allocated table id, so which seed produces which faults shifts
+        // with test ordering. Scan over a few seeds: with these rates and
+        // a 20-attempt budget, a seed whose run both retries and catches
+        // a checksum failure — while still recovering fully — turns up
+        // almost immediately.
+        let clean_io = {
+            let stats = stats_handle();
+            let mut scan = Scan::new(
+                Arc::clone(&t),
+                &["key", "val", "flag"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                Rc::clone(&stats),
+                None,
+            );
+            collect(&mut scan);
+            let b = stats.borrow().io_bytes;
+            b
+        };
+        let mut recovered_with_faults = false;
+        for seed in 0..10 {
+            let plan =
+                crate::disk::FaultPlan { seed, bit_flip: 0.2, truncate: 0.05, transient_fail: 0.1 };
+            let stats = stats_handle();
+            let mut scan = Scan::new(
+                Arc::clone(&t),
+                &["key", "val", "flag"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                Rc::clone(&stats),
+                None,
+            )
+            .with_fault_injection(
+                faulty(plan),
+                RetryPolicy { max_attempts: 20, backoff_seconds: 0.001 },
+            );
+            let out = scc_engine::ops::try_collect(&mut scan).expect("20 attempts recover");
+            assert_eq!(out.len(), 10_000, "retries recover the full scan");
+            assert_eq!(out.col(0).as_i64()[5000], 5000);
+            let s = stats.borrow();
+            assert_eq!(s.quarantined_chunks, 0);
+            if s.retries > 0 && s.checksum_failures > 0 {
+                // Each retry re-charged full chunk I/O.
+                assert!(s.io_bytes > clean_io);
+                recovered_with_faults = true;
+                break;
+            }
+        }
+        assert!(recovered_with_faults, "no seed in 0..10 exercised both fault kinds");
+    }
+
+    #[test]
+    fn always_corrupt_chunk_is_quarantined_with_typed_error() {
+        let t = test_table();
+        let plan =
+            crate::disk::FaultPlan { seed: 3, bit_flip: 1.0, truncate: 0.0, transient_fail: 0.0 };
+        let disk = faulty(plan);
+        let pool = Rc::new(RefCell::new(BufferPool::unbounded()));
+        let stats = stats_handle();
+        let mut scan = Scan::new(
+            Arc::clone(&t),
+            &["key"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            Rc::clone(&stats),
+            Some(Rc::clone(&pool)),
+        )
+        .with_fault_injection(Rc::clone(&disk), RetryPolicy::default());
+        let err = scan.try_next().expect_err("every delivery is corrupt");
+        let scc_core::Error::ChunkQuarantined { chunk, attempts } = err else {
+            panic!("expected quarantine, got {err}");
+        };
+        assert_eq!(attempts, 3);
+        let s = *stats.borrow();
+        assert_eq!(s.checksum_failures, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.quarantined_chunks, 1);
+        assert!(disk.borrow().is_quarantined(chunk));
+        assert_eq!(pool.borrow().resident_chunks(), 0, "corrupt chunk evicted");
+        // Later reads of the quarantined chunk fail fast: no extra I/O.
+        let io_before = s.io_bytes;
+        let err2 = scan.try_next().expect_err("quarantined chunk fails fast");
+        assert!(matches!(err2, scc_core::Error::ChunkQuarantined { .. }));
+        assert_eq!(stats.borrow().io_bytes, io_before);
+    }
+
+    #[test]
+    fn always_failing_reads_report_read_failed_without_quarantine() {
+        let t = test_table();
+        let plan =
+            crate::disk::FaultPlan { seed: 5, bit_flip: 0.0, truncate: 0.0, transient_fail: 1.0 };
+        let disk = faulty(plan);
+        let stats = stats_handle();
+        let mut scan = Scan::new(
+            Arc::clone(&t),
+            &["key"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            Rc::clone(&stats),
+            None,
+        )
+        .with_fault_injection(Rc::clone(&disk), RetryPolicy::default());
+        let err = scan.try_next().expect_err("every read fails");
+        let scc_core::Error::ReadFailed { chunk, attempts } = err else {
+            panic!("expected ReadFailed, got {err}");
+        };
+        assert_eq!(attempts, 3);
+        assert!(!disk.borrow().is_quarantined(chunk), "transient failures do not quarantine");
+        assert_eq!(stats.borrow().quarantined_chunks, 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_for_a_fixed_seed() {
+        let t = test_table();
+        let plan = crate::disk::FaultPlan {
+            seed: 99,
+            bit_flip: 0.25,
+            truncate: 0.15,
+            transient_fail: 0.2,
+        };
+        let run = || {
+            let stats = stats_handle();
+            let mut scan = Scan::new(
+                Arc::clone(&t),
+                &["key", "val"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                Rc::clone(&stats),
+                None,
+            )
+            .with_fault_injection(
+                faulty(plan),
+                RetryPolicy { max_attempts: 8, backoff_seconds: 0.001 },
+            );
+            let rows = collect(&mut scan).len();
+            let s = *stats.borrow();
+            (rows, s.io_bytes, s.retries, s.checksum_failures, s.quarantined_chunks, s.pool_misses)
+        };
+        assert_eq!(run(), run(), "same seed, same fault sequence, same stats");
+    }
+
+    #[test]
+    fn pool_hits_bypass_fault_injection() {
+        let t = test_table();
+        // Corrupt every delivery — but only on attempts after the first
+        // scan has populated the pool, which it can't since bit_flip is
+        // keyed per attempt; instead verify hits don't touch the disk.
+        let plan = crate::disk::FaultPlan::none(0);
+        let disk = faulty(plan);
+        let pool = Rc::new(RefCell::new(BufferPool::unbounded()));
+        let stats = stats_handle();
+        for _ in 0..2 {
+            let mut scan = Scan::new(
+                Arc::clone(&t),
+                &["key"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                Rc::clone(&stats),
+                Some(Rc::clone(&pool)),
+            )
+            .with_fault_injection(Rc::clone(&disk), RetryPolicy::default());
+            collect(&mut scan);
+        }
+        let s = stats.borrow();
+        assert_eq!(s.pool_hits, s.pool_misses, "second scan served from pool");
+    }
+
     #[test]
     fn partial_tail_segment() {
-        let t = TableBuilder::new("tail")
-            .seg_rows(2048)
-            .add_i64("x", (0..3000).collect())
-            .build();
+        let t = TableBuilder::new("tail").seg_rows(2048).add_i64("x", (0..3000).collect()).build();
         let stats = stats_handle();
         let mut scan = Scan::new(
             t,

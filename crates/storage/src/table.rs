@@ -89,16 +89,24 @@ impl Table {
     /// Fine-grained point lookup of a numeric cell from the compressed
     /// representation, widened to i64 (string columns return the code).
     /// This is the OLTP-style access path that fine-grained segment
-    /// decompression enables (§3.1, §4's PAX discussion).
-    pub fn get_cell(&self, col: &str, row: usize) -> i64 {
-        assert!(row < self.n_rows, "row {row} out of bounds");
-        match self.col(col) {
+    /// decompression enables (§3.1, §4's PAX discussion). Out-of-bounds
+    /// rows report [`scc_core::Error::IndexOutOfBounds`].
+    pub fn try_get_cell(&self, col: &str, row: usize) -> Result<i64, scc_core::Error> {
+        if row >= self.n_rows {
+            return Err(scc_core::Error::IndexOutOfBounds { index: row, n: self.n_rows });
+        }
+        Ok(match self.col(col) {
             Column::Num(NumColumn::I32(c)) => c.get_compressed(row) as i64,
             Column::Num(NumColumn::I64(c)) => c.get_compressed(row),
             Column::Num(NumColumn::U32(c)) => c.get_compressed(row) as i64,
             Column::Str(s) => s.codes.get_compressed(row) as i64,
             Column::Blob(_) => panic!("blob columns have no cells"),
-        }
+        })
+    }
+
+    /// Infallible [`Self::try_get_cell`]; panics on out-of-bounds rows.
+    pub fn get_cell(&self, col: &str, row: usize) -> i64 {
+        self.try_get_cell(col, row).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Compression ratio over a subset of columns (the per-query ratios
@@ -222,9 +230,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "row count mismatch")]
     fn ragged_columns_rejected() {
-        TableBuilder::new("t")
-            .add_i64("a", vec![1, 2, 3])
-            .add_i64("b", vec![1]);
+        TableBuilder::new("t").add_i64("a", vec![1, 2, 3]).add_i64("b", vec![1]);
     }
 
     #[test]

@@ -127,7 +127,18 @@ impl TpchDb {
             .add_i64("r_regionkey", r.regionkey.clone())
             .add_str("r_name", r.name.clone())
             .build();
-        Self { sf: raw.sf, raw, lineitem, orders, customer, supplier, part, partsupp, nation, region }
+        Self {
+            sf: raw.sf,
+            raw,
+            lineitem,
+            orders,
+            customer,
+            supplier,
+            part,
+            partsupp,
+            nation,
+            region,
+        }
     }
 
     /// Generates and loads in one step.
@@ -211,9 +222,7 @@ impl QueryRun {
 }
 
 /// Runs a query closure, timing it and collecting its stats.
-pub fn run_query(
-    f: impl FnOnce(&StatsHandle) -> Batch,
-) -> QueryRun {
+pub fn run_query(f: impl FnOnce(&StatsHandle) -> Batch) -> QueryRun {
     let stats = stats_handle();
     let t0 = Instant::now();
     let batch = f(&stats);
@@ -232,8 +241,15 @@ mod tests {
         // The paper reports 3-4x on TPC-H columns (DSM, excluding
         // comments). Check the scannable lineitem columns.
         let cols = [
-            "l_orderkey", "l_suppkey", "l_linenumber", "l_quantity", "l_discount",
-            "l_tax", "l_shipdate", "l_commitdate", "l_receiptdate",
+            "l_orderkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_discount",
+            "l_tax",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
         ];
         let ratio = db.lineitem.ratio_over(&cols);
         assert!(ratio > 2.5, "lineitem ratio {ratio}");

@@ -19,6 +19,6 @@ pub mod db;
 pub mod gen;
 pub mod queries;
 
-pub use db::{QueryConfig, QueryRun, TpchDb};
 pub use dates::{date, Date};
+pub use db::{QueryConfig, QueryRun, TpchDb};
 pub use gen::{generate, RawTables, SCALE_BASE_ORDERS};

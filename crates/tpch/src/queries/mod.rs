@@ -113,12 +113,7 @@ pub fn table_by_name<'a>(db: &'a TpchDb, name: &str) -> &'a Arc<Table> {
 /// The dictionary code of a string constant in a column, as a 1-element
 /// set (empty when the value never occurs at this scale factor).
 pub(crate) fn code_set(table: &Table, col: &str, value: &str) -> HashSet<u64> {
-    table
-        .str_col(col)
-        .code_of(value)
-        .map(|c| c as u64)
-        .into_iter()
-        .collect()
+    table.str_col(col).code_of(value).map(|c| c as u64).into_iter().collect()
 }
 
 /// The nation key for a nation name (from the fixed nation table).
@@ -143,9 +138,7 @@ pub(crate) mod testkit {
     /// and smaller factors leave Q21 with an empty result.
     pub fn small_db() -> &'static TpchDb {
         static DB: OnceLock<TpchDb> = OnceLock::new();
-        DB.get_or_init(|| {
-            crate::TpchDb::load(crate::gen::generate(0.01, 20_060_703), Some(2048))
-        })
+        DB.get_or_init(|| crate::TpchDb::load(crate::gen::generate(0.01, 20_060_703), Some(2048)))
     }
 
     /// Runs a query under every scan mode / layout / granularity combo

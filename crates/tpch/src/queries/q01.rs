@@ -96,9 +96,7 @@ mod tests {
             if l.shipdate[i] > cutoff {
                 continue;
             }
-            let g = groups
-                .entry((l.returnflag[i].clone(), l.linestatus[i].clone()))
-                .or_default();
+            let g = groups.entry((l.returnflag[i].clone(), l.linestatus[i].clone())).or_default();
             g.0 += l.quantity[i];
             g.1 += l.extendedprice[i];
             let disc = l.extendedprice[i] as f64 * (100 - l.discount[i]) as f64 / 100.0;

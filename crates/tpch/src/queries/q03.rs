@@ -48,22 +48,15 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let li = Select::new(li, Expr::col(3).gt(Expr::lit_i32(cut)));
         // After join: 0..=3 lineitem cols, 4=o_orderkey 5=o_custkey
         // 6=o_orderdate 7=o_shippriority 8=c_custkey.
-        let joined = HashJoin::new(
-            Box::new(li),
-            Box::new(ord_cust),
-            vec![0],
-            vec![0],
-            JoinKind::Inner,
-        );
+        let joined =
+            HashJoin::new(Box::new(li), Box::new(ord_cust), vec![0], vec![0], JoinKind::Inner);
         let revenue = Expr::lit_i64(100)
             .sub(Expr::col(2))
             .to_f64()
             .mul(Expr::col(1).to_f64())
             .mul(Expr::lit_f64(0.01));
-        let proj = Project::new(
-            Box::new(joined),
-            vec![Expr::col(0), revenue, Expr::col(6), Expr::col(7)],
-        );
+        let proj =
+            Project::new(Box::new(joined), vec![Expr::col(0), revenue, Expr::col(6), Expr::col(7)]);
         // Group by orderkey, orderdate, shippriority; sum revenue.
         let agg = HashAggregate::new(
             Box::new(proj),
@@ -118,10 +111,9 @@ mod tests {
         for i in 0..raw.lineitem.orderkey.len() {
             if raw.lineitem.shipdate[i] > cut && order_info.contains_key(&raw.lineitem.orderkey[i])
             {
-                *rev.entry(raw.lineitem.orderkey[i]).or_default() += raw.lineitem.extendedprice
-                    [i] as f64
-                    * (100 - raw.lineitem.discount[i]) as f64
-                    / 100.0;
+                *rev.entry(raw.lineitem.orderkey[i]).or_default() +=
+                    raw.lineitem.extendedprice[i] as f64 * (100 - raw.lineitem.discount[i]) as f64
+                        / 100.0;
             }
         }
         let mut rows: Vec<(i64, f64, i32, i32)> = rev
@@ -131,9 +123,7 @@ mod tests {
                 (ok, r, d, p)
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap().then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0))
-        });
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
         rows.truncate(10);
         assert!(!rows.is_empty(), "selectivity sanity");
         assert_eq!(out.len(), rows.len());

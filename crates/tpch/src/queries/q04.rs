@@ -30,8 +30,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             ord,
             Expr::col(1).ge(Expr::lit_i32(lo)).and(Expr::col(1).lt(Expr::lit_i32(hi))),
         );
-        let semi =
-            HashJoin::new(Box::new(ord), Box::new(li), vec![0], vec![0], JoinKind::LeftSemi);
+        let semi = HashJoin::new(Box::new(ord), Box::new(li), vec![0], vec![0], JoinKind::LeftSemi);
         let agg = HashAggregate::new(Box::new(semi), vec![Expr::col(2)], vec![AggExpr::Count]);
         let mut plan = OrderBy::new(Box::new(agg), vec![SortKey::asc(0)]);
         scc_engine::ops::collect(&mut plan)

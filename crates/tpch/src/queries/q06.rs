@@ -6,10 +6,8 @@ use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use scc_engine::{AggExpr, Expr, HashAggregate, Select};
 
 /// Columns scanned.
-pub const COLUMNS: &[(&str, &[&str])] = &[(
-    "lineitem",
-    &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
-)];
+pub const COLUMNS: &[(&str, &[&str])] =
+    &[("lineitem", &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"])];
 
 /// Executes Q6. Output: a single revenue value (f64, cents).
 pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
@@ -31,8 +29,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             .and(Expr::col(2).lt(Expr::lit_i64(24)));
         let filtered = Select::new(scan, pred);
         let revenue = Expr::col(3).to_f64().mul(Expr::col(1).to_f64()).mul(Expr::lit_f64(0.01));
-        let mut plan =
-            HashAggregate::new(Box::new(filtered), vec![], vec![AggExpr::Sum(revenue)]);
+        let mut plan = HashAggregate::new(Box::new(filtered), vec![], vec![AggExpr::Sum(revenue)]);
         scc_engine::ops::collect(&mut plan)
     })
 }

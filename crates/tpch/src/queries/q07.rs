@@ -63,17 +63,14 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             .mul(Expr::lit_f64(0.01));
         // Year index: 0 for 1995, 1 for 1996.
         let year = Expr::col(4).bucket_i32(vec![date(1996, 1, 1)]);
-        let proj =
-            Project::new(Box::new(cross), vec![Expr::col(6), Expr::col(10), year, volume]);
+        let proj = Project::new(Box::new(cross), vec![Expr::col(6), Expr::col(10), year, volume]);
         let agg = HashAggregate::new(
             Box::new(proj),
             vec![Expr::col(0), Expr::col(1), Expr::col(2)],
             vec![AggExpr::Sum(Expr::col(3))],
         );
-        let mut plan = OrderBy::new(
-            Box::new(agg),
-            vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
-        );
+        let mut plan =
+            OrderBy::new(Box::new(agg), vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)]);
         scc_engine::ops::collect(&mut plan)
     })
 }

@@ -3,9 +3,7 @@
 
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::nation_key;
-use scc_engine::{
-    AggExpr, Batch, Expr, HashAggregate, HashJoin, JoinKind, Project, Select,
-};
+use scc_engine::{AggExpr, Batch, Expr, HashAggregate, HashJoin, JoinKind, Project, Select};
 
 /// Columns scanned.
 pub const COLUMNS: &[(&str, &[&str])] = &[
@@ -29,8 +27,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
             stats,
         );
-        let joined =
-            HashJoin::new(Box::new(ps), Box::new(supp), vec![1], vec![0], JoinKind::Inner);
+        let joined = HashJoin::new(Box::new(ps), Box::new(supp), vec![1], vec![0], JoinKind::Inner);
         let value = Expr::col(3).to_f64().mul(Expr::col(2).to_f64());
         let proj = Project::new(Box::new(joined), vec![Expr::col(0), value]);
         let mut agg = HashAggregate::new(
@@ -45,12 +42,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let vals = groups.col(1).as_f64();
         let total: f64 = vals.iter().sum();
         let threshold = total * fraction;
-        let mut rows: Vec<(i64, f64)> = keys
-            .iter()
-            .zip(vals)
-            .filter(|(_, &v)| v > threshold)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let mut rows: Vec<(i64, f64)> =
+            keys.iter().zip(vals).filter(|(_, &v)| v > threshold).map(|(&k, &v)| (k, v)).collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         Batch::new(vec![
             scc_engine::Vector::I64(rows.iter().map(|r| r.0).collect()),

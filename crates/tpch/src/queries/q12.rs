@@ -11,10 +11,7 @@ use std::collections::HashSet;
 
 /// Columns scanned.
 pub const COLUMNS: &[(&str, &[&str])] = &[
-    (
-        "lineitem",
-        &["l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"],
-    ),
+    ("lineitem", &["l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"]),
     ("orders", &["o_orderkey", "o_orderpriority"]),
 ];
 

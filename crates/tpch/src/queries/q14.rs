@@ -3,9 +3,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
-use scc_engine::{
-    AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select,
-};
+use scc_engine::{AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select};
 
 /// Columns scanned.
 pub const COLUMNS: &[(&str, &[&str])] = &[
@@ -30,8 +28,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         );
         // Parts: 4=p_partkey 5=p_type after the join.
         let part = cfg.scan(&db.part, &["p_partkey", "p_type"], stats);
-        let joined =
-            HashJoin::new(Box::new(li), Box::new(part), vec![0], vec![0], JoinKind::Inner);
+        let joined = HashJoin::new(Box::new(li), Box::new(part), vec![0], vec![0], JoinKind::Inner);
         let promo = db.part.str_col("p_type").codes_matching(|t| t.starts_with("PROMO"));
         let revenue = Expr::lit_i64(100)
             .sub(Expr::col(2))
@@ -40,9 +37,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             .mul(Expr::lit_f64(0.01));
         // Branch-free: promo revenue is revenue where p_type is PROMO*,
         // else 0 (the predicated select of §2.2).
-        let promo_revenue = Expr::col(5)
-            .in_set(promo)
-            .cond(revenue.clone(), Expr::lit_f64(0.0));
+        let promo_revenue = Expr::col(5).in_set(promo).cond(revenue.clone(), Expr::lit_f64(0.0));
         let proj = Project::new(Box::new(joined), vec![promo_revenue, revenue]);
         let mut agg = HashAggregate::new(
             Box::new(proj),
@@ -52,9 +47,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let sums = scc_engine::ops::collect(&mut agg);
         let promo_sum = sums.col(0).as_f64()[0];
         let total = sums.col(1).as_f64()[0];
-        scc_engine::Batch::new(vec![scc_engine::Vector::F64(vec![
-            100.0 * promo_sum / total,
-        ])])
+        scc_engine::Batch::new(vec![scc_engine::Vector::F64(vec![100.0 * promo_sum / total])])
     })
 }
 

@@ -3,9 +3,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
-use scc_engine::{
-    AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select,
-};
+use scc_engine::{AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select};
 
 /// Columns scanned.
 pub const COLUMNS: &[(&str, &[&str])] = &[
@@ -48,14 +46,10 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         // Join supplier to confirm the key exists (and model the paper's
         // plan shape). 0=s_suppkey then 1=view suppkey 2=revenue.
         let supp = cfg.scan(&db.supplier, &["s_suppkey"], stats);
-        let joined =
-            HashJoin::new(supp, Box::new(best), vec![0], vec![0], JoinKind::Inner);
-        let reorder =
-            Project::new(Box::new(joined), vec![Expr::col(0), Expr::col(2)]);
-        let mut plan = scc_engine::OrderBy::new(
-            Box::new(reorder),
-            vec![scc_engine::SortKey::asc(0)],
-        );
+        let joined = HashJoin::new(supp, Box::new(best), vec![0], vec![0], JoinKind::Inner);
+        let reorder = Project::new(Box::new(joined), vec![Expr::col(0), Expr::col(2)]);
+        let mut plan =
+            scc_engine::OrderBy::new(Box::new(reorder), vec![scc_engine::SortKey::asc(0)]);
         scc_engine::ops::collect(&mut plan)
     })
 }
@@ -76,15 +70,13 @@ mod tests {
         let mut per_supp: HashMap<i64, f64> = HashMap::new();
         for i in 0..raw.lineitem.orderkey.len() {
             if raw.lineitem.shipdate[i] >= lo && raw.lineitem.shipdate[i] < hi {
-                *per_supp.entry(raw.lineitem.suppkey[i]).or_default() += raw.lineitem
-                    .extendedprice[i] as f64
-                    * (100 - raw.lineitem.discount[i]) as f64
-                    / 100.0;
+                *per_supp.entry(raw.lineitem.suppkey[i]).or_default() +=
+                    raw.lineitem.extendedprice[i] as f64 * (100 - raw.lineitem.discount[i]) as f64
+                        / 100.0;
             }
         }
         let max = per_supp.values().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut best: Vec<(i64, f64)> =
-            per_supp.into_iter().filter(|&(_, v)| v >= max).collect();
+        let mut best: Vec<(i64, f64)> = per_supp.into_iter().filter(|&(_, v)| v >= max).collect();
         best.sort_by_key(|r| r.0);
         assert!(!best.is_empty());
         assert_eq!(out.len(), best.len());

@@ -26,22 +26,13 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
     timed(|stats| {
         // Parts of the brand in MED* containers. 0=p_partkey 1=p_brand
         // 2=p_container.
-        let brand: HashSet<u64> = db
-            .part
-            .str_col("p_brand")
-            .code_of(BRAND)
-            .map(|c| c as u64)
-            .into_iter()
-            .collect();
-        let containers = db
-            .part
-            .str_col("p_container")
-            .codes_matching(|c| c.starts_with(CONTAINER_PREFIX));
+        let brand: HashSet<u64> =
+            db.part.str_col("p_brand").code_of(BRAND).map(|c| c as u64).into_iter().collect();
+        let containers =
+            db.part.str_col("p_container").codes_matching(|c| c.starts_with(CONTAINER_PREFIX));
         let part = cfg.scan(&db.part, &["p_partkey", "p_brand", "p_container"], stats);
-        let part = Select::new(
-            part,
-            Expr::col(1).in_set(brand).and(Expr::col(2).in_set(containers)),
-        );
+        let part =
+            Select::new(part, Expr::col(1).in_set(brand).and(Expr::col(2).in_set(containers)));
         let part = Project::new(part, vec![Expr::col(0)]);
 
         // Per-part average quantity over the *qualifying* parts only
@@ -55,11 +46,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         }
         // avg qty per part.
         let src = scc_engine::MemSource::new(li_all.columns.clone(), cfg.vector_size);
-        let mut avg = HashAggregate::new(
-            src,
-            vec![Expr::col(0)],
-            vec![AggExpr::Avg(Expr::col(1))],
-        );
+        let mut avg = HashAggregate::new(src, vec![Expr::col(0)], vec![AggExpr::Avg(Expr::col(1))]);
         let avgs = scc_engine::ops::collect(&mut avg);
         // Join back: lineitem rows with quantity < 0.2 * avg(part).
         let src = scc_engine::MemSource::new(li_all.columns, cfg.vector_size);
@@ -71,15 +58,9 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             JoinKind::Inner,
         );
         // cols: 0=l_partkey 1=l_quantity 2=l_extendedprice 3=partkey 4=avg.
-        let small = Select::new(
-            joined,
-            Expr::col(1).to_f64().lt(Expr::lit_f64(0.2).mul(Expr::col(4))),
-        );
-        let mut total = HashAggregate::new(
-            small,
-            vec![],
-            vec![AggExpr::Sum(Expr::col(2))],
-        );
+        let small =
+            Select::new(joined, Expr::col(1).to_f64().lt(Expr::lit_f64(0.2).mul(Expr::col(4))));
+        let mut total = HashAggregate::new(small, vec![], vec![AggExpr::Sum(Expr::col(2))]);
         let sums = scc_engine::ops::collect(&mut total);
         let sum = match &sums.columns[0] {
             Vector::I64(v) => v[0] as f64,
@@ -103,7 +84,9 @@ mod tests {
 
         let raw = &db.raw;
         let qualifying: HashSet<i64> = (0..raw.part.partkey.len())
-            .filter(|&i| raw.part.brand[i] == BRAND && raw.part.container[i].starts_with(CONTAINER_PREFIX))
+            .filter(|&i| {
+                raw.part.brand[i] == BRAND && raw.part.container[i].starts_with(CONTAINER_PREFIX)
+            })
             .map(|i| raw.part.partkey[i])
             .collect();
         let mut qty: HashMap<i64, (i64, i64)> = HashMap::new();
@@ -125,7 +108,11 @@ mod tests {
             }
         }
         let expect = sum / 7.0;
-        assert!((out.col(0).as_f64()[0] - expect).abs() < 1.0, "{} vs {expect}", out.col(0).as_f64()[0]);
+        assert!(
+            (out.col(0).as_f64()[0] - expect).abs() < 1.0,
+            "{} vs {expect}",
+            out.col(0).as_f64()[0]
+        );
     }
 
     #[test]

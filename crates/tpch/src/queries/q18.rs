@@ -31,11 +31,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
     timed(|stats| {
         // Per-order quantity. 0=l_orderkey 1=l_quantity.
         let li = cfg.scan(&db.lineitem, &["l_orderkey", "l_quantity"], stats);
-        let per_order = HashAggregate::new(
-            Box::new(li),
-            vec![Expr::col(0)],
-            vec![AggExpr::Sum(Expr::col(1))],
-        );
+        let per_order =
+            HashAggregate::new(Box::new(li), vec![Expr::col(0)], vec![AggExpr::Sum(Expr::col(1))]);
         let big = Select::new(Box::new(per_order), Expr::col(1).gt(Expr::lit_i64(thresh)));
 
         // Orders joined to big orders: 0=o_orderkey 1=o_custkey
@@ -45,7 +42,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
             stats,
         );
-        let ord_big = HashJoin::new(Box::new(ord), Box::new(big), vec![0], vec![0], JoinKind::Inner);
+        let ord_big =
+            HashJoin::new(Box::new(ord), Box::new(big), vec![0], vec![0], JoinKind::Inner);
 
         // Customers: 6=c_custkey after join.
         let cust = cfg.scan(&db.customer, &["c_custkey"], stats);

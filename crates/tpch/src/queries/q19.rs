@@ -9,7 +9,17 @@ use std::collections::HashSet;
 
 /// Columns scanned.
 pub const COLUMNS: &[(&str, &[&str])] = &[
-    ("lineitem", &["l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct"]),
+    (
+        "lineitem",
+        &[
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipmode",
+            "l_shipinstruct",
+        ],
+    ),
     ("part", &["p_partkey", "p_brand", "p_container", "p_size"]),
 ];
 
@@ -25,7 +35,14 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         // 8=p_container 9=p_size.
         let li = cfg.scan(
             &db.lineitem,
-            &["l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct"],
+            &[
+                "l_partkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_shipmode",
+                "l_shipinstruct",
+            ],
             stats,
         );
         let air: HashSet<u64> = ["AIR", "REG AIR"]
@@ -33,20 +50,16 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             .filter_map(|m| db.lineitem.str_col("l_shipmode").code_of(m))
             .map(|c| c as u64)
             .collect();
-        let deliver = db
-            .lineitem
-            .str_col("l_shipinstruct")
-            .codes_matching(|s| s == "DELIVER IN PERSON");
+        let deliver =
+            db.lineitem.str_col("l_shipinstruct").codes_matching(|s| s == "DELIVER IN PERSON");
         let li = Select::new(li, Expr::col(4).in_set(air).and(Expr::col(5).in_set(deliver)));
         let part = cfg.scan(&db.part, &["p_partkey", "p_brand", "p_container", "p_size"], stats);
         let joined = HashJoin::new(li, part, vec![0], vec![0], JoinKind::Inner);
 
-        let sm_containers =
-            db.part.str_col("p_container").codes_matching(|c| c.starts_with("SM"));
+        let sm_containers = db.part.str_col("p_container").codes_matching(|c| c.starts_with("SM"));
         let med_containers =
             db.part.str_col("p_container").codes_matching(|c| c.starts_with("MED"));
-        let lg_containers =
-            db.part.str_col("p_container").codes_matching(|c| c.starts_with("LG"));
+        let lg_containers = db.part.str_col("p_container").codes_matching(|c| c.starts_with("LG"));
         let clause = |brand: &str, containers: HashSet<u64>, qlo: i64, qhi: i64, size_hi: i32| {
             Expr::col(7)
                 .in_set(brand_code(db, brand))
@@ -84,7 +97,10 @@ mod tests {
         let raw = &db.raw;
         let part: HashMap<i64, (&String, &String, i32)> = (0..raw.part.partkey.len())
             .map(|i| {
-                (raw.part.partkey[i], (&raw.part.brand[i], &raw.part.container[i], raw.part.size[i]))
+                (
+                    raw.part.partkey[i],
+                    (&raw.part.brand[i], &raw.part.container[i], raw.part.size[i]),
+                )
             })
             .collect();
         let mut expect = 0.0f64;
@@ -97,9 +113,18 @@ mod tests {
             }
             let (brand, container, size) = part[&raw.lineitem.partkey[i]];
             let q = raw.lineitem.quantity[i];
-            let hit = (brand == "Brand#12" && container.starts_with("SM") && (1..=11).contains(&q) && (1..=5).contains(&size))
-                || (brand == "Brand#23" && container.starts_with("MED") && (10..=20).contains(&q) && (1..=10).contains(&size))
-                || (brand == "Brand#34" && container.starts_with("LG") && (20..=30).contains(&q) && (1..=15).contains(&size));
+            let hit = (brand == "Brand#12"
+                && container.starts_with("SM")
+                && (1..=11).contains(&q)
+                && (1..=5).contains(&size))
+                || (brand == "Brand#23"
+                    && container.starts_with("MED")
+                    && (10..=20).contains(&q)
+                    && (1..=10).contains(&size))
+                || (brand == "Brand#34"
+                    && container.starts_with("LG")
+                    && (20..=30).contains(&q)
+                    && (1..=15).contains(&size));
             if hit {
                 expect += raw.lineitem.extendedprice[i] as f64
                     * (100 - raw.lineitem.discount[i]) as f64

@@ -34,13 +34,9 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![Expr::col(0), Expr::col(1)],
             vec![AggExpr::Count],
         );
-        let per_order = HashAggregate::new(
-            Box::new(pairs),
-            vec![Expr::col(0)],
-            vec![AggExpr::Count],
-        );
-        let multi_supp =
-            Select::new(Box::new(per_order), Expr::col(1).ge(Expr::lit_i64(2)));
+        let per_order =
+            HashAggregate::new(Box::new(pairs), vec![Expr::col(0)], vec![AggExpr::Count]);
+        let multi_supp = Select::new(Box::new(per_order), Expr::col(1).ge(Expr::lit_i64(2)));
         let multi_supp = Project::new(Box::new(multi_supp), vec![Expr::col(0)]);
 
         // Distinct late (orderkey, suppkey) pairs.
@@ -63,48 +59,41 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![AggExpr::Count],
         ));
         let late_src = || {
-            Box::new(scc_engine::MemSource::new(
-                late_batch.columns[..2].to_vec(),
-                cfg.vector_size,
-            ))
+            Box::new(scc_engine::MemSource::new(late_batch.columns[..2].to_vec(), cfg.vector_size))
         };
 
         // Orders with exactly one late supplier.
-        let late_per_order = HashAggregate::new(
-            late_src(),
-            vec![Expr::col(0)],
-            vec![AggExpr::Count],
-        );
-        let single_late =
-            Select::new(Box::new(late_per_order), Expr::col(1).eq(Expr::lit_i64(1)));
+        let late_per_order =
+            HashAggregate::new(late_src(), vec![Expr::col(0)], vec![AggExpr::Count]);
+        let single_late = Select::new(Box::new(late_per_order), Expr::col(1).eq(Expr::lit_i64(1)));
         let single_late = Project::new(Box::new(single_late), vec![Expr::col(0)]);
 
         // Candidate pairs: late pair AND order has >=2 suppliers AND only
         // one late supplier AND order status 'F'.
-        let cand = HashJoin::new(late_src(), Box::new(single_late), vec![0], vec![0], JoinKind::LeftSemi);
         let cand =
-            HashJoin::new(Box::new(cand), Box::new(multi_supp), vec![0], vec![0], JoinKind::LeftSemi);
+            HashJoin::new(late_src(), Box::new(single_late), vec![0], vec![0], JoinKind::LeftSemi);
+        let cand = HashJoin::new(
+            Box::new(cand),
+            Box::new(multi_supp),
+            vec![0],
+            vec![0],
+            JoinKind::LeftSemi,
+        );
         let ord = cfg.scan(&db.orders, &["o_orderkey", "o_orderstatus"], stats);
         let f_code = code_set(&db.orders, "o_orderstatus", "F");
         let ord_f = Select::new(ord, Expr::col(1).in_set(f_code));
         let ord_f = Project::new(Box::new(ord_f), vec![Expr::col(0)]);
-        let cand = HashJoin::new(Box::new(cand), Box::new(ord_f), vec![0], vec![0], JoinKind::LeftSemi);
+        let cand =
+            HashJoin::new(Box::new(cand), Box::new(ord_f), vec![0], vec![0], JoinKind::LeftSemi);
 
         // Saudi suppliers only; count waits per supplier.
         // cand: 0=orderkey 1=suppkey; join adds 2=s_suppkey 3=s_nationkey.
         let supp = cfg.scan(&db.supplier, &["s_suppkey", "s_nationkey"], stats);
         let supp = Select::new(supp, Expr::col(1).eq(Expr::lit_i64(saudi)));
-        let joined = HashJoin::new(Box::new(cand), Box::new(supp), vec![1], vec![0], JoinKind::Inner);
-        let agg = HashAggregate::new(
-            Box::new(joined),
-            vec![Expr::col(1)],
-            vec![AggExpr::Count],
-        );
-        let mut plan = TopN::new(
-            Box::new(agg),
-            vec![SortKey::desc(1), SortKey::asc(0)],
-            100,
-        );
+        let joined =
+            HashJoin::new(Box::new(cand), Box::new(supp), vec![1], vec![0], JoinKind::Inner);
+        let agg = HashAggregate::new(Box::new(joined), vec![Expr::col(1)], vec![AggExpr::Count]);
+        let mut plan = TopN::new(Box::new(agg), vec![SortKey::desc(1), SortKey::asc(0)], 100);
         scc_engine::ops::collect(&mut plan)
     })
 }

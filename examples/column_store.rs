@@ -9,8 +9,8 @@
 use scc::engine::{Expr, Operator, Select};
 use scc::storage::disk::stats_handle;
 use scc::storage::{
-    BufferPool, Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode,
-    ScanOptions, TableBuilder,
+    BufferPool, Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
+    TableBuilder,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -38,11 +38,7 @@ fn main() {
         table.ratio()
     );
     for (name, col) in table.columns() {
-        println!(
-            "  {name:<8} {:>9} -> {:>9} bytes",
-            col.plain_bytes(),
-            col.compressed_bytes()
-        );
+        println!("  {name:<8} {:>9} -> {:>9} bytes", col.plain_bytes(), col.compressed_bytes());
     }
 
     // Scan + filter through the engine: count FAIL rows.
@@ -107,9 +103,6 @@ fn main() {
             None,
         );
         while scan.next().is_some() {}
-        println!(
-            "{label}: {:.1} MB of RAM traffic",
-            stats.borrow().ram_traffic_bytes as f64 / 1e6
-        );
+        println!("{label}: {:.1} MB of RAM traffic", stats.borrow().ram_traffic_bytes as f64 / 1e6);
     }
 }

@@ -34,12 +34,7 @@ fn main() {
         PostingsCodec::VByte,
     ] {
         let file = compress_file(&gaps, codec);
-        println!(
-            "{:<13} {:>7.2} {:>12.2}",
-            codec.name(),
-            file.ratio(),
-            32.0 / file.ratio()
-        );
+        println!("{:<13} {:>7.2} {:>12.2}", codec.name(), file.ratio(), 32.0 / file.ratio());
     }
 
     // Top-N query over per-term compressed lists.
@@ -48,7 +43,11 @@ fn main() {
     let t0 = Instant::now();
     let result = top_n_by_tf(&index, 0, 10, &mut scratch);
     let dt = t0.elapsed().as_secs_f64();
-    println!("\ntop-10 docs for the densest term ({} postings, {:.2} ms):", result.postings, dt * 1000.0);
+    println!(
+        "\ntop-10 docs for the densest term ({} postings, {:.2} ms):",
+        result.postings,
+        dt * 1000.0
+    );
     for (tf, doc) in &result.docs {
         println!("  doc {doc:>8}  tf {tf}");
     }
@@ -57,11 +56,9 @@ fn main() {
     let q_bw = 580.0; // the paper's measured query bandwidth, MB/s
     let c_star = equilibrium_decompression_bw(q_bw, 350.0).unwrap();
     println!("\nwith Q = {q_bw} MB/s and a 350 MB/s disk, break-even C* = {c_star:.0} MB/s;");
-    for (name, ratio, dec_bw) in [
-        ("PFOR-DELTA", 3.47, 3911.0),
-        ("carryover-12", 4.26, 740.0),
-        ("shuff", 5.11, 164.0),
-    ] {
+    for (name, ratio, dec_bw) in
+        [("PFOR-DELTA", 3.47, 3911.0), ("carryover-12", 4.26, 740.0), ("shuff", 5.11, 164.0)]
+    {
         let r = result_bandwidth(350.0, ratio, q_bw, dec_bw);
         println!(
             "  {name:<13} (paper numbers) -> effective scan {r:.0} MB/s {}",

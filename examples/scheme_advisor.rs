@@ -11,10 +11,7 @@ use scc::core::{analyze, compress_with_plan, AnalyzeOpts};
 fn report(name: &str, values: &[u32]) {
     let analysis = analyze(values, &AnalyzeOpts::default());
     println!("\n=== {name} ({} values) ===", values.len());
-    println!(
-        "{:<12} {:>4} {:>12} {:>10} {:>10}",
-        "scheme", "b", "est bits/v", "real b/v", "ratio"
-    );
+    println!("{:<12} {:>4} {:>12} {:>10} {:>10}", "scheme", "b", "est bits/v", "real b/v", "ratio");
     for cand in analysis.candidates.iter().take(3) {
         let seg = compress_with_plan(values, &cand.plan);
         assert_eq!(seg.decompress(), values);

@@ -39,12 +39,20 @@ fn main() {
     for q in PAPER_QUERIES {
         let unc = run_query(
             &db,
-            &QueryConfig { mode: ScanMode::Uncompressed, disk: Disk::low_end(), ..Default::default() },
+            &QueryConfig {
+                mode: ScanMode::Uncompressed,
+                disk: Disk::low_end(),
+                ..Default::default()
+            },
             q,
         );
         let cmp = run_query(
             &db,
-            &QueryConfig { mode: ScanMode::Compressed, disk: Disk::low_end(), ..Default::default() },
+            &QueryConfig {
+                mode: ScanMode::Compressed,
+                disk: Disk::low_end(),
+                ..Default::default()
+            },
             q,
         );
         println!(

@@ -5,12 +5,20 @@
 //! scc compress   <in.bin>  <out.scc> [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]
 //! scc decompress <in.scc>  <out.bin>
 //! scc inspect    <in.scc>
+//! scc verify     <in.scc>
 //! ```
 //!
 //! File format: `SCCF` magic, a type tag, a segment count, then
 //! length-prefixed `scc_core` wire segments of up to 2^20 values each.
+//!
+//! Corrupt or truncated inputs never panic: every structural defect is
+//! reported as a typed [`scc::core::Error`] mapped to a message and a
+//! nonzero exit. `scc verify` checks each segment's checksums without
+//! decompressing and reports the first corrupt byte offset.
 
-use scc::core::{analyze, compress_with_plan, AnalyzeOpts, Plan, Segment, Value};
+use scc::core::{
+    analyze, compress_with_plan, wire, AnalyzeOpts, Error, Integrity, Plan, Segment, Value,
+};
 use std::fs;
 use std::process::ExitCode;
 
@@ -32,7 +40,8 @@ fn die(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  scc analyze    <in.bin> [--type T]\n  scc compress   <in.bin> <out.scc> \
          [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
-         <out.bin>\n  scc inspect    <in.scc>\n  (T = u32|i32|u64|i64, default u32)"
+         <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  \
+         (T = u32|i32|u64|i64, default u32)"
     );
     ExitCode::FAILURE
 }
@@ -45,11 +54,7 @@ fn parse_values<V: Value>(bytes: &[u8]) -> Result<Vec<V>, String> {
     Ok(bytes.chunks_exact(w).map(V::read_le).collect())
 }
 
-fn pick_plan<V: Value>(
-    values: &[V],
-    scheme: &str,
-    bits: Option<u32>,
-) -> Result<Plan<V>, String> {
+fn pick_plan<V: Value>(values: &[V], scheme: &str, bits: Option<u32>) -> Result<Plan<V>, String> {
     let analysis = analyze(values, &AnalyzeOpts::default());
     let matches_scheme = |p: &Plan<V>| match scheme {
         "auto" => true,
@@ -130,27 +135,36 @@ fn cmd_compress<V: Value>(
     Ok(())
 }
 
-fn read_segments<V: Value>(bytes: &[u8]) -> Result<Vec<Segment<V>>, String> {
+/// Walks the `SCCF` container. Every structural defect — a file too short
+/// for the segment count, a length prefix past EOF, a segment body the
+/// wire parser rejects — comes back as a typed [`Error`], never a panic.
+fn read_segments<V: Value>(bytes: &[u8]) -> Result<Vec<Segment<V>>, Error> {
+    if bytes.len() < 9 {
+        return Err(Error::Truncated { offset: 5, need: 4, have: bytes.len().saturating_sub(5) });
+    }
     let n_segs = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
     let mut pos = 9usize;
-    let mut segs = Vec::with_capacity(n_segs);
-    for i in 0..n_segs {
+    // The count is untrusted input: grow the vec lazily rather than
+    // pre-reserving an attacker-chosen capacity.
+    let mut segs = Vec::new();
+    for _ in 0..n_segs {
         if pos + 4 > bytes.len() {
-            return Err(format!("truncated at segment {i}"));
+            return Err(Error::Truncated { offset: pos, need: 4, have: bytes.len() - pos });
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
-        let seg = Segment::<V>::from_bytes(&bytes[pos..pos + len])
-            .map_err(|e| format!("segment {i}: {e}"))?;
+        if pos + len > bytes.len() {
+            return Err(Error::Truncated { offset: pos, need: len, have: bytes.len() - pos });
+        }
+        segs.push(Segment::<V>::try_from_bytes(&bytes[pos..pos + len])?);
         pos += len;
-        segs.push(seg);
     }
     Ok(segs)
 }
 
 fn cmd_decompress<V: Value>(bytes: &[u8], out_path: &str) -> Result<(), String> {
     let mut out = Vec::new();
-    for seg in read_segments::<V>(bytes)? {
+    for seg in read_segments::<V>(bytes).map_err(|e| e.to_string())? {
         for v in seg.decompress() {
             v.write_le(&mut out);
         }
@@ -160,8 +174,75 @@ fn cmd_decompress<V: Value>(bytes: &[u8], out_path: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// Per-segment integrity check: validates structure and checksums via
+/// `wire::verify` without decompressing any data, and reports the file
+/// offset of the first corrupt byte range. Type-agnostic — the width is
+/// read from each segment's own header.
+fn cmd_verify(bytes: &[u8]) -> Result<(), String> {
+    if bytes.len() < 9 {
+        return Err(Error::Truncated { offset: 5, need: 4, have: bytes.len().saturating_sub(5) }
+            .to_string());
+    }
+    let n_segs = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+    let mut pos = 9usize;
+    let mut corrupt = 0usize;
+    let mut unverified = 0usize;
+    let mut verified = 0usize;
+    for i in 0..n_segs {
+        if pos + 4 > bytes.len() {
+            println!(
+                "  seg {i}: CORRUPT at file offset {pos}: {}",
+                Error::Truncated { offset: pos, need: 4, have: bytes.len() - pos }
+            );
+            corrupt += 1;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            println!(
+                "  seg {i}: CORRUPT at file offset {pos}: {}",
+                Error::Truncated { offset: pos, need: len, have: bytes.len() - pos }
+            );
+            corrupt += 1;
+            break;
+        }
+        match wire::verify(&bytes[pos..pos + len]) {
+            Ok(r) => {
+                let tag = match r.integrity {
+                    Integrity::Verified => {
+                        verified += 1;
+                        "verified"
+                    }
+                    Integrity::Unverified => {
+                        unverified += 1;
+                        "unverified (v1: no checksums)"
+                    }
+                };
+                println!(
+                    "  seg {i}: v{} {:?} n={} {} bytes - {tag}",
+                    r.version, r.scheme, r.n, r.bytes
+                );
+            }
+            Err(f) => {
+                println!("  seg {i}: CORRUPT at file offset {}: {}", pos + f.offset, f.error);
+                corrupt += 1;
+            }
+        }
+        pos += len;
+    }
+    println!(
+        "{n_segs} segment(s): {verified} verified, {unverified} unverified, {corrupt} corrupt"
+    );
+    if corrupt > 0 {
+        Err(format!("{corrupt} corrupt segment(s)"))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_inspect<V: Value>(bytes: &[u8]) -> Result<(), String> {
-    let segs = read_segments::<V>(bytes)?;
+    let segs = read_segments::<V>(bytes).map_err(|e| e.to_string())?;
     println!("type {}; {} segment(s)", V::NAME, segs.len());
     for (i, seg) in segs.iter().enumerate() {
         let s = seg.stats();
@@ -218,6 +299,17 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 
     // For compressed inputs, the embedded tag overrides --type.
     let compressed_input = bytes.len() >= 9 && &bytes[..4] == FILE_MAGIC;
+
+    // `verify` is type-agnostic (each segment header carries its own
+    // width), so it runs before type resolution: a corrupted type tag
+    // must not prevent verification.
+    if cmd == "verify" {
+        if bytes.len() < 4 || &bytes[..4] != FILE_MAGIC {
+            return Err("input is not an scc file".into());
+        }
+        return cmd_verify(&bytes);
+    }
+
     let eff_ty: String = if compressed_input {
         match bytes[4] {
             1 => "u32",

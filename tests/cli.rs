@@ -91,6 +91,80 @@ fn explicit_scheme_and_width() {
     }
 }
 
+/// Compresses a small column and returns the path of the `.scc` file.
+fn make_compressed(name: &str) -> std::path::PathBuf {
+    let input = tmp(&format!("{name}_in.bin"));
+    let compressed = tmp(&format!("{name}.scc"));
+    write_u32s(
+        &input,
+        &(0..20_000u32).map(|i| if i % 91 == 0 { i * 500 } else { i % 128 }).collect::<Vec<_>>(),
+    );
+    let st = scc()
+        .args(["compress", input.to_str().unwrap(), compressed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let _ = std::fs::remove_file(input);
+    compressed
+}
+
+#[test]
+fn verify_reports_clean_and_corrupt_segments() {
+    let compressed = make_compressed("vf");
+
+    let st = scc().args(["verify", compressed.to_str().unwrap()]).output().unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("verified"), "{stdout}");
+    assert!(stdout.contains("0 corrupt"), "{stdout}");
+
+    // Flip one byte in the middle of the payload: verify must fail with a
+    // nonzero exit and report the corrupt file offset.
+    let mut bytes = std::fs::read(&compressed).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&compressed, &bytes).unwrap();
+    let st = scc().args(["verify", compressed.to_str().unwrap()]).output().unwrap();
+    assert!(!st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("CORRUPT at file offset"), "{stdout}");
+
+    let _ = std::fs::remove_file(compressed);
+}
+
+#[test]
+fn truncated_files_fail_cleanly_not_panic() {
+    let compressed = make_compressed("tr");
+    let bytes = std::fs::read(&compressed).unwrap();
+    // Cut the container at a handful of nasty boundaries: inside the
+    // 9-byte preamble, inside a length prefix, and inside a segment body.
+    for cut in [0, 3, 7, 11, bytes.len() / 2, bytes.len() - 1] {
+        let short = tmp("tr_cut.scc");
+        std::fs::write(&short, &bytes[..cut]).unwrap();
+        for cmd in ["inspect", "decompress"] {
+            let st = scc()
+                .args([cmd, short.to_str().unwrap(), "/tmp/scc_cli_never.bin"])
+                .output()
+                .unwrap();
+            assert!(!st.status.success(), "{cmd} at cut {cut} should fail");
+            let stderr = String::from_utf8_lossy(&st.stderr);
+            assert!(!stderr.contains("panicked"), "{cmd} at cut {cut} panicked: {stderr}");
+        }
+        let _ = std::fs::remove_file(short);
+    }
+    // A cut that preserves the preamble must produce the typed
+    // truncation message.
+    let short = tmp("tr_cut2.scc");
+    std::fs::write(&short, &bytes[..bytes.len() - 1]).unwrap();
+    let st = scc().args(["inspect", short.to_str().unwrap()]).output().unwrap();
+    assert!(!st.status.success());
+    let stderr = String::from_utf8_lossy(&st.stderr);
+    assert!(stderr.contains("truncated"), "{stderr}");
+    for p in [short, compressed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
@@ -99,10 +173,7 @@ fn bad_inputs_fail_cleanly() {
     // Decompressing a non-scc file.
     let input = tmp("bad.bin");
     std::fs::write(&input, b"not an scc file").unwrap();
-    let st = scc()
-        .args(["decompress", input.to_str().unwrap(), "/tmp/never"])
-        .output()
-        .unwrap();
+    let st = scc().args(["decompress", input.to_str().unwrap(), "/tmp/never"]).output().unwrap();
     assert!(!st.status.success());
     // Misaligned input length.
     let st = scc().args(["analyze", input.to_str().unwrap()]).output().unwrap();

@@ -3,9 +3,16 @@
 //! compression-ratio orderings the paper's design arguments rely on.
 
 use scc::baselines::{
-    carryover12::Carryover12, classic_dict::ClassicDict, classic_for::ClassicFor,
-    elias::{EliasDelta, EliasGamma}, golomb::{Golomb, Rice}, huffman::ShuffHuffman,
-    prefix::PrefixSuppression, simple9::Simple9, varint::VarInt, IntCodec,
+    carryover12::Carryover12,
+    classic_dict::ClassicDict,
+    classic_for::ClassicFor,
+    elias::{EliasDelta, EliasGamma},
+    golomb::{Golomb, Rice},
+    huffman::ShuffHuffman,
+    prefix::PrefixSuppression,
+    simple9::Simple9,
+    varint::VarInt,
+    IntCodec,
 };
 use scc::core::{analyze, compress_with_plan, pfor, AnalyzeOpts};
 
@@ -21,8 +28,23 @@ fn shapes() -> Vec<(&'static str, Vec<u32>)> {
         ("constant", vec![42; 20_000]),
         ("clustered", (0..20_000).map(|i| 1000 + i % 128).collect()),
         ("monotone", (0..20_000u32).map(|i| i * 7).collect()),
-        ("clustered+outliers", (0..20_000).map(|i| if i % 97 == 0 { 1 << 29 } else { i % 64 }).collect()),
-        ("zipf-ish gaps", (0..20_000).map(|_| { let r = rng(1000); if r < 900 { r % 8 } else { r * 1000 } }).collect()),
+        (
+            "clustered+outliers",
+            (0..20_000).map(|i| if i % 97 == 0 { 1 << 29 } else { i % 64 }).collect(),
+        ),
+        (
+            "zipf-ish gaps",
+            (0..20_000)
+                .map(|_| {
+                    let r = rng(1000);
+                    if r < 900 {
+                        r % 8
+                    } else {
+                        r * 1000
+                    }
+                })
+                .collect(),
+        ),
         ("uniform noise", (0..20_000).map(|_| rng(1 << 30)).collect()),
     ]
 }

@@ -4,8 +4,8 @@
 use scc::engine::{AggExpr, Expr, HashAggregate, Operator, Select};
 use scc::storage::disk::stats_handle;
 use scc::storage::{
-    BufferPool, Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode,
-    ScanOptions, Table, TableBuilder,
+    BufferPool, Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
+    Table, TableBuilder,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -25,13 +25,7 @@ fn build_table() -> Arc<Table> {
 
 fn total_amount_of_kind(table: &Arc<Table>, kind: &str, opts: ScanOptions) -> i64 {
     let stats = stats_handle();
-    let scan = Scan::new(
-        Arc::clone(table),
-        &["amount", "kind"],
-        opts,
-        stats,
-        None,
-    );
+    let scan = Scan::new(Arc::clone(table), &["amount", "kind"], opts, stats, None);
     let code = table.str_col("kind").codes_matching(|s| s == kind);
     let filtered = Select::new(scan, Expr::col(1).in_set(code));
     let mut agg = HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(0))]);
@@ -128,7 +122,8 @@ fn buffer_pool_compressed_caching_beats_uncompressed_budget() {
 fn segment_wire_format_survives_storage_roundtrip() {
     // Compress a column with the core API, serialize every segment, and
     // reload: same bytes, same values.
-    let values: Vec<u32> = (0..100_000).map(|i| if i % 500 == 0 { i * 3_000 } else { i % 900 }).collect();
+    let values: Vec<u32> =
+        (0..100_000).map(|i| if i % 500 == 0 { i * 3_000 } else { i % 900 }).collect();
     let (seg, _) = scc::core::compress_auto(&values).expect("compressible");
     let bytes = seg.to_bytes();
     let reloaded = scc::core::Segment::<u32>::from_bytes(&bytes).expect("valid");

@@ -2,7 +2,7 @@
 //! updates flowing through engine pipelines, float compression through
 //! the facade, and the merge join against postings-shaped data.
 
-use scc::engine::{AggExpr, Expr, HashAggregate, MergeJoin, MemSource, Vector};
+use scc::engine::{AggExpr, Expr, HashAggregate, MemSource, MergeJoin, Vector};
 use scc::storage::disk::stats_handle;
 use scc::storage::{materialize, Cell, MergingScan, ScanOptions, TableBuilder, TableDeltas};
 use std::sync::Arc;
@@ -24,11 +24,8 @@ fn updates_change_query_results_without_recompression() {
             stats_handle(),
             deltas,
         );
-        let mut agg = HashAggregate::new(
-            scan,
-            vec![Expr::col(0)],
-            vec![AggExpr::Sum(Expr::col(1))],
-        );
+        let mut agg =
+            HashAggregate::new(scan, vec![Expr::col(0)], vec![AggExpr::Sum(Expr::col(1))]);
         let out = scc::engine::ops::collect(&mut agg);
         (0..out.len())
             .find(|&r| out.col(0).as_i64()[r] == 0)
@@ -48,7 +45,8 @@ fn updates_change_query_results_without_recompression() {
 
     // The periodic merge bakes the deltas in; a delta-free scan of the
     // fresh table agrees.
-    let fresh = materialize(&table, &deltas, ScanOptions { vector_size: 512, ..Default::default() });
+    let fresh =
+        materialize(&table, &deltas, ScanOptions { vector_size: 512, ..Default::default() });
     let rebased = {
         let scan = MergingScan::new(
             Arc::clone(&fresh),
@@ -57,11 +55,8 @@ fn updates_change_query_results_without_recompression() {
             stats_handle(),
             Arc::new(TableDeltas::new()),
         );
-        let mut agg = HashAggregate::new(
-            scan,
-            vec![Expr::col(0)],
-            vec![AggExpr::Sum(Expr::col(1))],
-        );
+        let mut agg =
+            HashAggregate::new(scan, vec![Expr::col(0)], vec![AggExpr::Sum(Expr::col(1))]);
         let out = scc::engine::ops::collect(&mut agg);
         (0..out.len())
             .find(|&r| out.col(0).as_i64()[r] == 0)
@@ -91,10 +86,7 @@ fn merge_join_on_postings_shaped_inputs() {
     let doc_ids: Vec<i64> = (0..15_000).collect();
     let doc_len: Vec<i64> = (0..15_000).map(|i| 100 + i % 400).collect();
     let mut join = MergeJoin::new(
-        MemSource::new(
-            vec![Vector::I64(postings_docs.clone()), Vector::I64(postings_tf)],
-            1024,
-        ),
+        MemSource::new(vec![Vector::I64(postings_docs.clone()), Vector::I64(postings_tf)], 1024),
         MemSource::new(vec![Vector::I64(doc_ids), Vector::I64(doc_len)], 1024),
         0,
         0,

@@ -2,7 +2,11 @@
 //! byte-by-byte, independently of `Segment::from_bytes`, so the document
 //! and the implementation cannot drift apart silently.
 
-use scc::core::{pfor, pfordelta, Segment};
+use scc::core::{crc32c, pfor, pfordelta, Segment};
+
+/// Sections start after the 32-byte header plus the 24-byte v2 checksum
+/// block.
+const SECTIONS: usize = 56;
 
 fn rd32(bytes: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
@@ -15,19 +19,53 @@ fn header_fields_match_the_spec() {
     let bytes = seg.to_bytes();
 
     assert_eq!(&bytes[0..4], b"SCCS", "magic");
-    assert_eq!(bytes[4], 1, "version");
+    assert_eq!(bytes[4], 2, "version");
     assert_eq!(bytes[5], 1, "scheme tag: PFOR");
     assert_eq!(bytes[6], 1, "value type tag: u32");
     assert_eq!(bytes[7], 5, "bit width");
     assert_eq!(rd32(&bytes, 8), 300, "n");
     assert_eq!(rd32(&bytes, 12) as usize, seg.exception_count(), "n_exc");
     assert_eq!(rd32(&bytes, 16), 0, "n_dict (not PDICT)");
-    assert_eq!(
-        rd32(&bytes, 20) as usize,
-        scc::bitpack::packed_words(300, 5),
-        "codes_words"
-    );
+    assert_eq!(rd32(&bytes, 20) as usize, scc::bitpack::packed_words(300, 5), "codes_words");
     assert_eq!(rd32(&bytes, 24), 0, "base low word");
+}
+
+#[test]
+fn v2_checksum_block_matches_recomputed_crcs() {
+    let values: Vec<u32> =
+        (0..1000).map(|i| if i % 83 == 0 { i * 4093 } else { i % 100 }).collect();
+    let seg = pfor::compress(&values, 0, 7);
+    let bytes = seg.to_bytes();
+    // Offsets 32..56 hold six CRC32C words: header, entries, delta
+    // bases, dict, codes, exceptions — in file order.
+    assert_eq!(rd32(&bytes, 32), crc32c(&bytes[0..32]), "header checksum");
+    let n = rd32(&bytes, 8) as usize;
+    let n_exc = rd32(&bytes, 12) as usize;
+    let codes_words = rd32(&bytes, 20) as usize;
+    let n_blocks = n.div_ceil(128);
+    let entries = SECTIONS..SECTIONS + n_blocks * 4;
+    let codes = entries.end..entries.end + codes_words * 4;
+    let exc = codes.end..codes.end + n_exc * 4;
+    assert_eq!(rd32(&bytes, 36), crc32c(&bytes[entries]), "entries checksum");
+    assert_eq!(rd32(&bytes, 40), crc32c(&[]), "delta bases checksum (empty for PFOR)");
+    assert_eq!(rd32(&bytes, 44), crc32c(&[]), "dict checksum (empty for PFOR)");
+    assert_eq!(rd32(&bytes, 48), crc32c(&bytes[codes]), "codes checksum");
+    assert_eq!(rd32(&bytes, 52), crc32c(&bytes[exc.clone()]), "exceptions checksum");
+    assert_eq!(exc.end, bytes.len(), "sections cover the file exactly");
+}
+
+#[test]
+fn v1_writer_still_produces_the_legacy_layout() {
+    let values: Vec<u32> = (0..300).map(|i| i % 32).collect();
+    let seg = pfor::compress(&values, 0, 5);
+    let bytes = seg.to_bytes_v1();
+    assert_eq!(bytes[4], 1, "version");
+    let n_blocks = 300usize.div_ceil(128);
+    let codes_words = scc::bitpack::packed_words(300, 5);
+    // v1 sections start right after the 32-byte header: no checksums.
+    assert_eq!(bytes.len(), 32 + n_blocks * 4 + codes_words * 4);
+    let reloaded = Segment::<u32>::from_bytes(&bytes).unwrap();
+    assert_eq!(reloaded.decompress(), values);
 }
 
 #[test]
@@ -39,15 +77,15 @@ fn section_sizes_add_up() {
     let n_exc = rd32(&bytes, 12) as usize;
     let codes_words = rd32(&bytes, 20) as usize;
     let n_blocks = n.div_ceil(128);
-    // PFOR u32: header + entries + codes + exceptions, no delta bases, no
-    // dictionary.
-    let expect = 32 + n_blocks * 4 + codes_words * 4 + n_exc * 4;
+    // PFOR u32: header + checksums + entries + codes + exceptions, no
+    // delta bases, no dictionary.
+    let expect = SECTIONS + n_blocks * 4 + codes_words * 4 + n_exc * 4;
     assert_eq!(bytes.len(), expect);
 }
 
 #[test]
 fn entry_points_are_monotone_and_start_lists() {
-    let values: Vec<u32> = (0..1024).map(|i| if i % 10 == 3 { 1 << 29 } else { 1 } ).collect();
+    let values: Vec<u32> = (0..1024).map(|i| if i % 10 == 3 { 1 << 29 } else { 1 }).collect();
     let seg = pfor::compress(&values, 0, 4);
     let bytes = seg.to_bytes();
     let n = rd32(&bytes, 8) as usize;
@@ -55,7 +93,7 @@ fn entry_points_are_monotone_and_start_lists() {
     let n_blocks = n.div_ceil(128);
     let mut prev_start = 0u32;
     for blk in 0..n_blocks {
-        let e = rd32(&bytes, 32 + blk * 4);
+        let e = rd32(&bytes, SECTIONS + blk * 4);
         let patch_start = e & 0x7f;
         let exc_start = e >> 7;
         assert!(exc_start >= prev_start, "monotone at block {blk}");
@@ -87,14 +125,10 @@ fn delta_bases_follow_entry_points() {
     let n_blocks = 512usize.div_ceil(128);
     // Delta bases sit right after the entry points: block k's restart is
     // the value at index 128k - 1 (seed 0 for block 0).
-    let db_off = 32 + n_blocks * 4;
+    let db_off = SECTIONS + n_blocks * 4;
     assert_eq!(rd32(&bytes, db_off), 0, "block 0 seed");
     for blk in 1..n_blocks {
-        assert_eq!(
-            rd32(&bytes, db_off + blk * 4),
-            values[blk * 128 - 1],
-            "block {blk} restart"
-        );
+        assert_eq!(rd32(&bytes, db_off + blk * 4), values[blk * 128 - 1], "block {blk} restart");
     }
 }
 

@@ -33,36 +33,33 @@ fn io_bound_speedup_tracks_compression_ratio() {
     for q in [1u32, 6] {
         let unc = run_query(
             db(),
-            &QueryConfig { mode: ScanMode::Uncompressed, disk: Disk::low_end(), ..Default::default() },
+            &QueryConfig {
+                mode: ScanMode::Uncompressed,
+                disk: Disk::low_end(),
+                ..Default::default()
+            },
             q,
         );
         let cmp = run_query(
             db(),
-            &QueryConfig { mode: ScanMode::Compressed, disk: Disk::low_end(), ..Default::default() },
+            &QueryConfig {
+                mode: ScanMode::Compressed,
+                disk: Disk::low_end(),
+                ..Default::default()
+            },
             q,
         );
         let speedup = unc.total_seconds() / cmp.total_seconds();
         let ratio = query_ratio(db(), q);
-        assert!(
-            speedup > 0.5 * ratio,
-            "q{q}: speedup {speedup:.2} vs ratio {ratio:.2}"
-        );
+        assert!(speedup > 0.5 * ratio, "q{q}: speedup {speedup:.2} vs ratio {ratio:.2}");
     }
 }
 
 #[test]
 fn pax_reads_more_than_dsm() {
     for q in [1u32, 6, 14] {
-        let dsm = run_query(
-            db(),
-            &QueryConfig { layout: Layout::Dsm, ..Default::default() },
-            q,
-        );
-        let pax = run_query(
-            db(),
-            &QueryConfig { layout: Layout::Pax, ..Default::default() },
-            q,
-        );
+        let dsm = run_query(db(), &QueryConfig { layout: Layout::Dsm, ..Default::default() }, q);
+        let pax = run_query(db(), &QueryConfig { layout: Layout::Pax, ..Default::default() }, q);
         assert!(
             pax.stats.io_bytes > dsm.stats.io_bytes,
             "q{q}: pax {} dsm {}",
@@ -113,10 +110,7 @@ fn compulsory_exception_model_matches_compressor() {
                 b,
             );
             // Within a factor band: the model assumes one global list.
-            assert!(
-                real < model * 1.6 + 0.02,
-                "b={b} e={e}: real {real:.3} model {model:.3}"
-            );
+            assert!(real < model * 1.6 + 0.02, "b={b} e={e}: real {real:.3} model {model:.3}");
         }
     }
 }
