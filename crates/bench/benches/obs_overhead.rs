@@ -1,0 +1,44 @@
+//! Telemetry overhead on the hot decode loop: PFOR decompression with
+//! the `scc-obs` registry disabled (the default — one relaxed atomic
+//! load per entry point) vs enabled (counters actually recorded).
+//!
+//! The contract (docs/OBSERVABILITY.md, crates/bench/README.md) is that
+//! the *disabled* path stays within 2% of a build with telemetry
+//! compiled out entirely; the cheapest way to watch for regressions
+//! without a second build is to compare disabled vs enabled here — the
+//! disabled side must not drift toward the enabled side's cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scc_bench::data::with_exception_rate;
+use scc_core::pfor;
+
+const B: u32 = 8;
+const N: usize = 1 << 20;
+
+fn bench_overhead(c: &mut Criterion) {
+    let values = with_exception_rate(N, 0.05, B, 0x0B5);
+    let seg = pfor::compress(&values, 0, B);
+    let mut out: Vec<u64> = Vec::with_capacity(N);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    group.sample_size(30);
+    scc_obs::set_enabled(false);
+    group.bench_function("pfor_decode_telemetry_off", |b| {
+        b.iter(|| {
+            out.clear();
+            seg.decompress_into(black_box(&mut out));
+        })
+    });
+    scc_obs::set_enabled(true);
+    group.bench_function("pfor_decode_telemetry_on", |b| {
+        b.iter(|| {
+            out.clear();
+            seg.decompress_into(black_box(&mut out));
+        })
+    });
+    scc_obs::set_enabled(false);
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -44,6 +44,7 @@ fn report_column(name: &str, values: &[i64]) {
 }
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let sf = env_f64("SCC_SF", 0.02);
     eprintln!("generating TPC-H at SF {sf}...");
     let raw = scc_tpch::generate(sf, 0xAB1A);
@@ -70,4 +71,5 @@ fn main() {
     println!("\nexpected: sorted keys -> PFOR-DELTA; clustered dates/prices -> PFOR;");
     println!("tiny domains (quantity, discount, tax, linenumber) -> PFOR or PDICT at");
     println!("the domain width; the chosen family should match the per-family minimum.");
+    metrics.finish();
 }

@@ -15,6 +15,7 @@ use scc_storage::{Compression, Disk, Layout, Scan, ScanMode, ScanOptions, TableB
 use std::sync::Arc;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let rows = env_usize("SCC_ROWS", 8 * 1024 * 1024);
     let table = TableBuilder::new("t")
         .compression(Compression::Auto)
@@ -56,4 +57,5 @@ fn main() {
     println!("\nexpected shape: throughput rises steeply from 128 to ~1K tuples (per-");
     println!("vector overheads amortize), then flattens or dips as the per-vector");
     println!("working set outgrows the cache.");
+    metrics.finish();
 }

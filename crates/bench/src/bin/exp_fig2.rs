@@ -77,6 +77,7 @@ fn measure_pfor_i32(values: &[i32]) -> (f64, f64, f64) {
 }
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let sf = env_f64("SCC_SF", 0.05);
     eprintln!("generating TPC-H at SF {sf}...");
     let raw = scc_tpch::generate(sf, 42);
@@ -130,4 +131,5 @@ fn main() {
         };
         println!("{:<28} {r:>7.2} {c:>12.1} {d:>12.1}", "PFOR (auto scheme)");
     }
+    metrics.finish();
 }

@@ -15,6 +15,7 @@ use scc_core::{pdict, pfor, Dictionary, NaiveSegment};
 const B: u32 = 8;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let n = env_usize("SCC_N", 4 * 1024 * 1024);
     let out_bytes = n * 8;
     println!("Figure 4: decompression bandwidth (GB/s of decoded u64 output) vs exception rate");
@@ -59,4 +60,5 @@ fn main() {
     }
     println!("\npaper shape: NAIVE collapses toward E=0.5 (unpredictable branch) and");
     println!("recovers toward E=1; PFOR/PDICT decline smoothly and dominate NAIVE.");
+    metrics.finish();
 }

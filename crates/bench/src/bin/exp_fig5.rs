@@ -11,6 +11,7 @@ use scc_core::{pfor, CompressKernel};
 const B: u32 = 8;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let n = env_usize("SCC_N", 4 * 1024 * 1024);
     let in_bytes = n * 8;
     println!("Figure 5: PFOR compression bandwidth (GB/s of u64 input) vs exception rate");
@@ -34,4 +35,5 @@ fn main() {
     }
     println!("\npaper shape: NAIVE dips at intermediate rates (branch misses); PRED is");
     println!("flat; DC matches or beats PRED and is the most stable across platforms.");
+    metrics.finish();
 }

@@ -9,6 +9,7 @@ use scc_model::effective_exception_rate;
 const N: usize = 512 * 1024;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     println!("Figure 6: effective exception rate E' vs data exception rate E");
     println!("model = paper's formula; real = exceptions the compressor actually stored");
     println!(
@@ -43,4 +44,5 @@ fn main() {
     println!("\npaper shape: at b=1, E' shoots toward ~0.47 for E>0.01; at b=2 toward");
     println!("~0.22; negligible for b>4. (Our per-block list restart makes the real");
     println!("E' sit at or slightly below the model, which assumes one global list.)");
+    metrics.finish();
 }

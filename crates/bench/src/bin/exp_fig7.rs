@@ -20,6 +20,7 @@ use scc_storage::{
 use std::sync::Arc;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let rows = env_usize("SCC_ROWS", 8 * 1024 * 1024);
     println!("Figure 7: page-wise (I/O-RAM) vs vector-wise (RAM-CPU cache) decompression");
     println!("{rows} rows of i64, b=8 PFOR codes, exception rate swept");
@@ -43,6 +44,9 @@ fn main() {
                 layout: Layout::Dsm,
             };
             let mut total = 0usize;
+            // Drain the shared handle per run so the reported RAM
+            // traffic is a true per-run figure, not total/run-count.
+            let mut per_run = scc_storage::ScanStats::default();
             let t = time_median(3, || {
                 let mut scan =
                     Scan::new(Arc::clone(&table), &["x"], opts, std::rc::Rc::clone(&stats), None);
@@ -51,10 +55,10 @@ fn main() {
                 while let Some(batch) = scan.next() {
                     total += batch.len();
                 }
+                per_run = stats.borrow_mut().take();
             });
             assert_eq!(total, rows);
-            let ram = stats.borrow().ram_traffic_bytes / 3; // per run
-            (t, ram)
+            (t, per_run.ram_traffic_bytes)
         };
         let (t_page, ram_page) = run(DecompressionGranularity::PageWise);
         let (t_vec, ram_vec) = run(DecompressionGranularity::VectorWise);
@@ -73,4 +77,5 @@ fn main() {
     println!("\npaper shape: vector-wise is uniformly faster; the gap is the cost of");
     println!("writing the decompressed page back to RAM and re-reading it (extra L2");
     println!("misses), visible above as ~3x RAM traffic for page-wise.");
+    metrics.finish();
 }

@@ -32,6 +32,7 @@ fn split(db: &TpchDb, q: u32, disk: Disk, layout: Layout, mode: ScanMode) -> Spl
 }
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let sf = env_f64("SCC_SF", 0.05);
     eprintln!("generating + loading TPC-H at SF {sf}...");
     let db = TpchDb::generate(sf, 0x7AB2);
@@ -74,4 +75,5 @@ fn main() {
     println!("compressed bar shrinks by ~the compression ratio; on the middle-end disk");
     println!("the compressed bars lose their stalls entirely (CPU bound) and");
     println!("decompression stays a minor slice; PAX bars keep more stall than DSM.");
+    metrics.finish();
 }

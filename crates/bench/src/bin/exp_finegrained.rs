@@ -14,6 +14,7 @@ use scc_bench::{env_f64, env_usize, time_median};
 use scc_core::{pfor, pfordelta};
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let n = env_usize("SCC_N", 4 * 1024 * 1024);
     let ghz = env_f64("SCC_GHZ", 0.0); // optional: CPU GHz for cycle estimates
     let lookups: Vec<usize> = (0..100_000).map(|i| (i * 2_654_435_761usize) % n).collect();
@@ -66,4 +67,5 @@ fn main() {
     println!("within the DRAM-miss ballpark — and grows with E (longer list walks);");
     println!("PFOR-DELTA pays a constant block-decode premium; sequential decode is");
     println!("orders of magnitude cheaper per value.");
+    metrics.finish();
 }

@@ -17,6 +17,7 @@ use scc_core::pfor;
 use std::thread;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let rows = env_usize("SCC_ROWS", 16 * 1024 * 1024);
     // Container cgroup quotas often report 1 "available" CPU while extra
     // hardware threads still speed this up; sweep to 4 by default.
@@ -63,4 +64,5 @@ fn main() {
     println!("\npaper shape: aggregate decompression bandwidth scales with cores until");
     println!("the memory bus saturates — compression raises the *effective* memory");
     println!("bandwidth the same way it raises effective disk bandwidth.");
+    metrics.finish();
 }

@@ -11,6 +11,7 @@ use scc_ir::{synthesize, top_n_by_tf, CollectionPreset, InvertedIndex, PostingsC
 use scc_model::{equilibrium_decompression_bw, result_bandwidth};
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let c = synthesize(CollectionPreset::TrecFbis, 0x5EC5);
     println!("Section 5 top-N experiment on {} ({} postings)", c.name, c.n_postings());
     println!(
@@ -64,4 +65,5 @@ fn main() {
     );
     println!("(paper: Q = 580 MB/s gives C* = 883 MB/s; shuff and carryover-12 sit");
     println!("below their C*, so they slow the query; PFOR-DELTA sits far above.)");
+    metrics.finish();
 }

@@ -13,11 +13,13 @@ use scc_bench::{env_usize, time_median};
 use scc_engine::{AggExpr, Expr, HashAggregate, Operator, Select};
 use scc_storage::disk::stats_handle;
 use scc_storage::{
-    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, TableBuilder,
+    Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, ScanStats,
+    TableBuilder,
 };
 use std::sync::Arc;
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let rows = env_usize("SCC_ROWS", 8 * 1024 * 1024);
     // Warehouse-shaped column: clustered values, mild repetition.
     let values: Vec<i64> = (0..rows as i64).map(|i| 40_000 + (i * 37) % 2_000).collect();
@@ -51,6 +53,10 @@ fn main() {
             TableBuilder::new("col").compression(compression).add_i64("v", values.clone()).build();
         let stats = stats_handle();
         let mut result = 0i64;
+        // Every timed run does identical work, so draining the shared
+        // handle at the end of each run leaves the last run's true
+        // per-run counters — no averaging over an accumulated total.
+        let mut per_run = ScanStats::default();
         let cpu = time_median(3, || {
             let scan = Scan::new(
                 Arc::clone(&table),
@@ -68,9 +74,9 @@ fn main() {
             let filtered = Select::new(scan, Expr::col(0).lt(Expr::lit_i64(41_000)));
             let mut agg = HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(0))]);
             result = agg.next().expect("one group").col(0).as_i64()[0];
+            per_run = stats.borrow_mut().take();
         });
-        let s = *stats.borrow();
-        let io = s.io_seconds / 3.0; // per run (stats accumulate over runs)
+        let io = per_run.io_seconds;
         let total = cpu + (io - cpu).max(0.0);
         let ratio = table.plain_bytes() as f64 / table.compressed_bytes() as f64;
         println!(
@@ -80,11 +86,12 @@ fn main() {
             cpu * 1000.0,
             io * 1000.0,
             total * 1000.0,
-            s.ram_traffic_bytes as f64 / 3.0 / (1024.0 * 1024.0),
+            per_run.ram_traffic_bytes as f64 / (1024.0 * 1024.0),
         );
         std::hint::black_box(result);
     }
     println!("\npaper shape (Fig. 1 + §2.1): page-level LZRW1 cuts I/O but pays heavy");
     println!("CPU decompression and triple RAM traffic; PFOR vector-wise cuts I/O");
     println!("*more* (better ratio on integer columns) at a fraction of the CPU cost.");
+    metrics.finish();
 }

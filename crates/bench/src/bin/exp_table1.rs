@@ -7,6 +7,7 @@
 use scc_model::cost::{overprovisioning_factor, TABLE1};
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     println!("Table 1: TPC-H 100GB Component Cost (paper's published figures)");
     println!("{:-<78}", "");
     println!(
@@ -28,4 +29,5 @@ fn main() {
     println!("{:-<78}", "");
     println!("Disks account for 61-78% of system price, provisioned at 12-19x the");
     println!("database size — the I/O-bandwidth brute force that §1 argues against.");
+    metrics.finish();
 }

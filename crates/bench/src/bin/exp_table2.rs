@@ -31,6 +31,7 @@ fn pax_ratio(db: &TpchDb, q: u32) -> f64 {
 }
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let sf = env_f64("SCC_SF", 0.05);
     eprintln!("generating + loading TPC-H at SF {sf}...");
     let db = TpchDb::generate(sf, 0x7AB2);
@@ -94,4 +95,5 @@ fn main() {
     println!("paper shape (SF-100): DSM ratios 1.7-8.2 (avg ~3.6); PAX ratios ~1.1-2.8");
     println!("(comments dilute chunks); on the low-end disk compressed speedup tracks");
     println!("the ratio (I/O bound); on the middle-end disk gains shrink (CPU bound).");
+    metrics.finish();
 }

@@ -14,6 +14,7 @@ use scc_tpch::queries::run_query;
 use scc_tpch::{QueryConfig, TpchDb};
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     let sf = env_f64("SCC_SF", 0.05);
     eprintln!("generating + loading TPC-H at SF {sf}...");
     let db = TpchDb::generate(sf, 0x7AB3);
@@ -52,4 +53,5 @@ fn main() {
     }
     println!("\npaper shape (SF-100): vector-wise is 1.1-1.5x faster and has far fewer");
     println!("L2 misses (e.g. Q4: 14.78M vs 0.10M) — here visible as RAM traffic.");
+    metrics.finish();
 }

@@ -19,6 +19,7 @@ const PAPER: [(&str, [f64; 9]); 5] = [
 ];
 
 fn main() {
+    let metrics = scc_bench::metrics::init();
     println!("Table 4: PFOR-DELTA on inverted files (measured | paper)");
     println!(
         "{:<13} | {:>5} {:>6} {:>6} | {:>5} {:>6} {:>6} | {:>5} {:>6} {:>6}",
@@ -67,4 +68,5 @@ fn main() {
     }
     println!("\npaper shape: PFOR-DELTA decompresses ~6.5x faster than carryover-12 at");
     println!("~15% lower ratio; shuff has the best ratio but the slowest decode.");
+    metrics.finish();
 }

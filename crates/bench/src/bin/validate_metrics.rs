@@ -1,0 +1,79 @@
+//! Validates a `--metrics-json` dump against the schema-v1 contract
+//! (`docs/OBSERVABILITY.md`). Exit 0 = valid; nonzero with one line per
+//! violation otherwise. The CI smoke job runs this over the dump of a
+//! small experiment binary so schema drift fails the build instead of
+//! silently breaking downstream consumers.
+//!
+//! Usage: `validate_metrics <dump.json> [--require <metric-name>]...`
+//!
+//! `--require` additionally asserts that a named counter or gauge is
+//! present (e.g. `core.decode.pfor.ns_per_value`), so the smoke job
+//! checks not just well-formedness but that the expected telemetry was
+//! actually recorded.
+
+use scc_obs::export::validate;
+use scc_obs::json::{parse, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => die("--require needs a metric name"),
+                }
+            }
+            a if path.is_none() => path = Some(a.to_string()),
+            a => die(&format!("unexpected argument {a:?}")),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        die("usage: validate_metrics <dump.json> [--require <metric-name>]...");
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => die(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    let mut errors = validate(&doc);
+    for name in &required {
+        let found = ["counters", "gauges", "histograms"]
+            .iter()
+            .any(|section| doc.get(section).and_then(|s| s.get(name)).is_some());
+        if !found {
+            errors.push(format!("required metric {name:?} is missing from the dump"));
+        }
+    }
+
+    if errors.is_empty() {
+        let n =
+            |section: &str| doc.get(section).and_then(Json::as_obj).map_or(0, |pairs| pairs.len());
+        println!(
+            "{path}: valid schema v1 ({} counters, {} gauges, {} histograms)",
+            n("counters"),
+            n("gauges"),
+            n("histograms")
+        );
+    } else {
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("validate_metrics: {msg}");
+    std::process::exit(2);
+}

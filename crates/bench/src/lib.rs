@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 pub mod data;
+pub mod metrics;
 
 /// Median-of-`runs` wall time for `f`, in seconds. `f` must do the same
 /// work every call.

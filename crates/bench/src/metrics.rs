@@ -1,0 +1,73 @@
+//! `--metrics-json` support shared by every `exp_*` binary.
+//!
+//! Usage in a binary's `main`:
+//!
+//! ```no_run
+//! let metrics = scc_bench::metrics::init();
+//! // ... run the experiment ...
+//! metrics.finish();
+//! ```
+//!
+//! When the process was started with `--metrics-json <path>`, [`init`]
+//! enables the global `scc-obs` registry (telemetry is off by default, so
+//! unflagged runs measure exactly what they measured before), and
+//! [`MetricsSink::finish`] publishes the derived per-scheme gauges and
+//! writes the registry as schema-v1 JSON (see `docs/OBSERVABILITY.md`).
+
+use std::path::PathBuf;
+
+/// Deferred metrics dump; created by [`init`], consumed by
+/// [`finish`](MetricsSink::finish).
+#[must_use = "call .finish() at the end of main to write the dump"]
+pub struct MetricsSink {
+    path: Option<PathBuf>,
+}
+
+/// Parses `--metrics-json <path>` from the process arguments and enables
+/// telemetry when present. Call first thing in `main`, before any data is
+/// generated or compressed.
+pub fn init() -> MetricsSink {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--metrics-json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if path.is_some() {
+        scc_obs::set_enabled(true);
+    }
+    MetricsSink { path }
+}
+
+impl MetricsSink {
+    /// True when `--metrics-json` was given (telemetry is live).
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Publishes derived gauges and writes the JSON dump, if requested.
+    /// Exits nonzero when the file cannot be written — a CI smoke job
+    /// must not mistake a missing dump for a passing run.
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        scc_core::telemetry::publish_derived();
+        if let Err(e) = scc_obs::export::write_file(scc_obs::global(), &path) {
+            eprintln!("metrics: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flag_means_inactive() {
+        // The test harness was not started with --metrics-json.
+        let sink = init();
+        assert!(!sink.active());
+        sink.finish(); // no-op, must not write or exit
+    }
+}

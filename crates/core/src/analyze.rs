@@ -334,8 +334,10 @@ pub fn plan_seed<V: Value>(values: &[V], plan: &Plan<V>) -> V {
 pub fn compress_auto<V: Value>(values: &[V]) -> Option<(Segment<V>, Plan<V>)> {
     let analysis = analyze(values, &AnalyzeOpts::default());
     if !analysis.worthwhile() {
+        crate::telemetry::record_analyze(false);
         return None;
     }
+    crate::telemetry::record_analyze(true);
     let plan = analysis.best()?.plan.clone();
     Some((compress_with_plan(values, &plan), plan))
 }

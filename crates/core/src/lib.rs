@@ -46,6 +46,7 @@
 //! | [`wire`] | Fig. 3 | Byte serialization (v2: per-section CRC32C checksums) |
 //! | [`crc`] | — | Hand-rolled CRC32C (slicing-by-8) |
 //! | [`error`] | — | Unified [`Error`] type for the fallible decode path |
+//! | [`telemetry`] | — | Per-scheme encode/decode metrics (`scc-obs` registry) |
 
 #![warn(missing_docs)]
 
@@ -59,6 +60,7 @@ pub mod pdict;
 pub mod pfor;
 pub mod pfordelta;
 pub mod segment;
+pub mod telemetry;
 pub mod value;
 pub mod wire;
 

@@ -283,11 +283,20 @@ impl<V: Value> Segment<V> {
 
     /// Decompresses the whole segment, appending to `out`.
     pub fn decompress_into(&self, out: &mut Vec<V>) {
+        let start = scc_obs::clock();
         out.reserve(self.n);
         let mut buf = [V::default(); BLOCK];
         for blk in 0..self.n_blocks() {
             let len = self.decode_block(blk, &mut buf);
             out.extend_from_slice(&buf[..len]);
+        }
+        if let Some(t) = start {
+            crate::telemetry::record_decode(
+                self.scheme,
+                self.n as u64,
+                self.n_blocks() as u64,
+                scc_obs::elapsed_ns(t),
+            );
         }
     }
 
@@ -312,6 +321,7 @@ impl<V: Value> Segment<V> {
         if start + out.len() > self.n {
             return Err(Error::RangeOutOfBounds { start, len: out.len(), n: self.n });
         }
+        let t0 = scc_obs::clock();
         let mut buf = [V::default(); BLOCK];
         let mut written = 0;
         let mut blk = start / BLOCK;
@@ -321,6 +331,14 @@ impl<V: Value> Segment<V> {
             out[written..written + take].copy_from_slice(&buf[..take]);
             written += take;
             blk += 1;
+        }
+        if let Some(t) = t0 {
+            crate::telemetry::record_decode(
+                self.scheme,
+                out.len() as u64,
+                (blk - start / BLOCK) as u64,
+                scc_obs::elapsed_ns(t),
+            );
         }
         Ok(())
     }
@@ -530,6 +548,7 @@ impl<'a, V: Value> SegmentAssembly<'a, V> {
             crate::patch::write_gap_codes(&mut self.codes[lo..hi], &planned);
         }
         debug_assert_eq!(mi, self.miss.len());
+        crate::telemetry::record_encode(self.scheme, n as u64, exceptions.len() as u64, self.b);
         let codes = scc_bitpack::pack_vec(self.codes, self.b);
         Segment {
             scheme: self.scheme,

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod explain;
 pub mod expr;
 pub mod ops;
 
 pub use batch::{Batch, ColType, Vector};
+pub use explain::{ExplainNode, OpProfile};
 pub use expr::Expr;
 pub use ops::aggregate::{AggExpr, HashAggregate};
 pub use ops::join::{HashJoin, JoinKind};

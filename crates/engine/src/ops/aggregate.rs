@@ -1,6 +1,7 @@
 //! Hash aggregation with grouping.
 
 use crate::batch::{Batch, ColType, Vector};
+use crate::explain::{ExplainNode, OpProfile};
 use crate::expr::Expr;
 use crate::ops::Operator;
 use std::collections::HashMap;
@@ -93,6 +94,7 @@ pub struct HashAggregate {
     keys: Vec<Expr>,
     aggs: Vec<AggExpr>,
     done: bool,
+    profile: OpProfile,
 }
 
 impl HashAggregate {
@@ -101,12 +103,10 @@ impl HashAggregate {
     /// SQL aggregate semantics only for COUNT; sums of empty input report
     /// their identity).
     pub fn new(input: impl Operator + 'static, keys: Vec<Expr>, aggs: Vec<AggExpr>) -> Self {
-        Self { input: Box::new(input), keys, aggs, done: false }
+        Self { input: Box::new(input), keys, aggs, done: false, profile: OpProfile::default() }
     }
-}
 
-impl Operator for HashAggregate {
-    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         if self.done {
             return Ok(None);
         }
@@ -186,6 +186,27 @@ impl Operator for HashAggregate {
             columns.push(rebuild_agg_column(&accs, a, n));
         }
         Ok(Some(Batch::new(columns)))
+    }
+}
+
+impl Operator for HashAggregate {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("HashAggregate(keys={}, aggs={})", self.keys.len(), self.aggs.len())
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(self.label(), self.profile, vec![self.input.explain()])
     }
 }
 

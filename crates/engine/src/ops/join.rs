@@ -2,6 +2,7 @@
 //! columns.
 
 use crate::batch::{Batch, Vector};
+use crate::explain::{ExplainNode, OpProfile};
 use crate::ops::Operator;
 use std::collections::HashMap;
 
@@ -22,12 +23,14 @@ pub enum JoinKind {
 /// the key columns of both sides).
 pub struct HashJoin {
     probe: Box<dyn Operator>,
-    build: Option<Box<dyn Operator>>,
+    build: Box<dyn Operator>,
+    built: bool,
     probe_keys: Vec<usize>,
     build_keys: Vec<usize>,
     kind: JoinKind,
     table: HashMap<Box<[u64]>, Vec<u32>>,
     build_data: Option<Batch>,
+    profile: OpProfile,
 }
 
 impl HashJoin {
@@ -43,18 +46,21 @@ impl HashJoin {
         assert!(!probe_keys.is_empty(), "joins need at least one key");
         Self {
             probe: Box::new(probe),
-            build: Some(Box::new(build) as Box<dyn Operator>),
+            build: Box::new(build),
+            built: false,
             probe_keys,
             build_keys,
             kind,
             table: HashMap::new(),
             build_data: None,
+            profile: OpProfile::default(),
         }
     }
 
     fn ensure_built(&mut self) -> Result<(), scc_core::Error> {
-        if let Some(mut build) = self.build.take() {
-            let data = crate::ops::try_collect(build.as_mut())?;
+        if !self.built {
+            self.built = true;
+            let data = crate::ops::try_collect(self.build.as_mut())?;
             let mut key = vec![0u64; self.build_keys.len()];
             for row in 0..data.len() {
                 for (slot, &k) in key.iter_mut().zip(&self.build_keys) {
@@ -66,10 +72,8 @@ impl HashJoin {
         }
         Ok(())
     }
-}
 
-impl Operator for HashJoin {
-    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         self.ensure_built()?;
         let mut key = vec![0u64; self.probe_keys.len()];
         loop {
@@ -118,6 +122,32 @@ impl Operator for HashJoin {
                 }
             }
         }
+    }
+}
+
+impl Operator for HashJoin {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("HashJoin({:?}, keys={})", self.kind, self.probe_keys.len())
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        // Probe (streamed) side first, build (materialized) side last.
+        ExplainNode::new(
+            self.label(),
+            self.profile,
+            vec![self.probe.explain(), self.build.explain()],
+        )
     }
 }
 

@@ -5,6 +5,7 @@
 //! hash table and streaming both sides.
 
 use crate::batch::{Batch, Vector};
+use crate::explain::{ExplainNode, OpProfile};
 use crate::ops::Operator;
 
 /// Inner merge join of two key-sorted inputs. Output: left columns ++
@@ -26,6 +27,7 @@ pub struct MergeJoin {
     right_done: bool,
     /// Buffered right-side group for duplicate-key cross products.
     right_group: Option<(i64, Batch)>,
+    profile: OpProfile,
 }
 
 impl MergeJoin {
@@ -47,6 +49,7 @@ impl MergeJoin {
             left_done: false,
             right_done: false,
             right_group: None,
+            profile: OpProfile::default(),
         }
     }
 
@@ -127,8 +130,8 @@ impl MergeJoin {
     }
 }
 
-impl Operator for MergeJoin {
-    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+impl MergeJoin {
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         loop {
             if !self.fill_left()? {
                 return Ok(None);
@@ -183,6 +186,31 @@ impl Operator for MergeJoin {
             cols.extend(group.columns.iter().map(|c| c.gather(&right_idx)));
             return Ok(Some(Batch::new(cols)));
         }
+    }
+}
+
+impl Operator for MergeJoin {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        "MergeJoin".into()
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(
+            self.label(),
+            self.profile,
+            vec![self.left.explain(), self.right.explain()],
+        )
     }
 }
 

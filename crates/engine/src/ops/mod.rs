@@ -1,6 +1,7 @@
 //! Volcano-style vector-at-a-time operators.
 
 use crate::batch::Batch;
+use crate::explain::{ExplainNode, OpProfile};
 use scc_core::Error;
 
 pub mod aggregate;
@@ -30,11 +31,43 @@ pub trait Operator {
     fn next(&mut self) -> Option<Batch> {
         self.try_next().unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// Short human-readable description for EXPLAIN output, e.g.
+    /// `HashAggregate(keys=2, aggs=8)`.
+    fn label(&self) -> String {
+        "Operator".into()
+    }
+
+    /// This operator's execution counters so far. The default (for
+    /// operators that predate instrumentation or don't track one)
+    /// reports an empty profile.
+    fn profile(&self) -> OpProfile {
+        OpProfile::default()
+    }
+
+    /// The EXPLAIN ANALYZE tree rooted at this operator, reflecting
+    /// execution so far. Call after draining the plan for a complete
+    /// picture.
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::leaf(self.label(), self.profile())
+    }
 }
 
 impl<T: Operator + ?Sized> Operator for Box<T> {
     fn try_next(&mut self) -> Result<Option<Batch>, Error> {
         (**self).try_next()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn profile(&self) -> OpProfile {
+        (**self).profile()
+    }
+
+    fn explain(&self) -> ExplainNode {
+        (**self).explain()
     }
 }
 

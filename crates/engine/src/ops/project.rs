@@ -1,6 +1,7 @@
 //! Projection: computes one output vector per expression.
 
 use crate::batch::Batch;
+use crate::explain::{ExplainNode, OpProfile};
 use crate::expr::Expr;
 use crate::ops::Operator;
 
@@ -9,21 +10,41 @@ use crate::ops::Operator;
 pub struct Project {
     input: Box<dyn Operator>,
     exprs: Vec<Expr>,
+    profile: OpProfile,
 }
 
 impl Project {
     /// Builds a projection over `input`.
     pub fn new(input: impl Operator + 'static, exprs: Vec<Expr>) -> Self {
-        Self { input: Box::new(input), exprs }
+        Self { input: Box::new(input), exprs, profile: OpProfile::default() }
+    }
+
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let Some(batch) = self.input.try_next()? else {
+            return Ok(None);
+        };
+        Ok(Some(Batch::new(self.exprs.iter().map(|e| e.eval(&batch)).collect())))
     }
 }
 
 impl Operator for Project {
     fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
-        let Some(batch) = self.input.try_next()? else {
-            return Ok(None);
-        };
-        Ok(Some(Batch::new(self.exprs.iter().map(|e| e.eval(&batch)).collect())))
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("Project(exprs={})", self.exprs.len())
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(self.label(), self.profile, vec![self.input.explain()])
     }
 }
 

@@ -2,6 +2,7 @@
 //! survivors into dense output vectors.
 
 use crate::batch::Batch;
+use crate::explain::{ExplainNode, OpProfile};
 use crate::expr::Expr;
 use crate::ops::Operator;
 
@@ -10,17 +11,16 @@ use crate::ops::Operator;
 pub struct Select {
     input: Box<dyn Operator>,
     predicate: Expr,
+    profile: OpProfile,
 }
 
 impl Select {
     /// Builds a filter over `input`.
     pub fn new(input: impl Operator + 'static, predicate: Expr) -> Self {
-        Self { input: Box::new(input), predicate }
+        Self { input: Box::new(input), predicate, profile: OpProfile::default() }
     }
-}
 
-impl Operator for Select {
-    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         loop {
             let Some(batch) = self.input.try_next()? else {
                 return Ok(None);
@@ -45,6 +45,27 @@ impl Operator for Select {
             }
             return Ok(Some(batch.gather(&indices)));
         }
+    }
+}
+
+impl Operator for Select {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        "Select".into()
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(self.label(), self.profile, vec![self.input.explain()])
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sorting and top-N.
 
 use crate::batch::{Batch, Vector};
+use crate::explain::{ExplainNode, OpProfile};
 use crate::ops::Operator;
 use std::cmp::Ordering;
 
@@ -50,31 +51,54 @@ fn sorted_indices(data: &Batch, keys: &[SortKey]) -> Vec<usize> {
     idx
 }
 
-/// Full materializing sort.
+/// Full materializing sort. The child operator is retained after the
+/// sort runs so post-execution [`Operator::explain`] sees the whole
+/// plan.
 pub struct OrderBy {
-    input: Option<Box<dyn Operator>>,
+    input: Box<dyn Operator>,
     keys: Vec<SortKey>,
     out: Option<Batch>,
+    done: bool,
+    profile: OpProfile,
 }
 
 impl OrderBy {
     /// Builds a sort over `input`.
     pub fn new(input: impl Operator + 'static, keys: Vec<SortKey>) -> Self {
-        Self { input: Some(Box::new(input)), keys, out: None }
+        Self { input: Box::new(input), keys, out: None, done: false, profile: OpProfile::default() }
+    }
+
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        if !self.done {
+            self.done = true;
+            let data = crate::ops::try_collect(self.input.as_mut())?;
+            if !data.is_empty() {
+                let idx = sorted_indices(&data, &self.keys);
+                self.out = Some(data.gather(&idx));
+            }
+        }
+        Ok(self.out.take().filter(|b| !b.is_empty()))
     }
 }
 
 impl Operator for OrderBy {
     fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
-        if let Some(mut input) = self.input.take() {
-            let data = crate::ops::try_collect(input.as_mut())?;
-            if data.is_empty() {
-                return Ok(None);
-            }
-            let idx = sorted_indices(&data, &self.keys);
-            self.out = Some(data.gather(&idx));
-        }
-        Ok(self.out.take().filter(|b| !b.is_empty()))
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("OrderBy(keys={})", self.keys.len())
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(self.label(), self.profile, vec![self.input.explain()])
     }
 }
 
@@ -82,17 +106,16 @@ impl Operator for OrderBy {
 pub struct TopN {
     inner: OrderBy,
     n: usize,
+    profile: OpProfile,
 }
 
 impl TopN {
     /// Builds a top-N over `input`.
     pub fn new(input: impl Operator + 'static, keys: Vec<SortKey>, n: usize) -> Self {
-        Self { inner: OrderBy::new(input, keys), n }
+        Self { inner: OrderBy::new(input, keys), n, profile: OpProfile::default() }
     }
-}
 
-impl Operator for TopN {
-    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         let Some(batch) = self.inner.try_next()? else {
             return Ok(None);
         };
@@ -101,6 +124,27 @@ impl Operator for TopN {
         }
         let idx: Vec<usize> = (0..self.n).collect();
         Ok(Some(batch.gather(&idx)))
+    }
+}
+
+impl Operator for TopN {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("TopN(n={}, keys={})", self.n, self.inner.keys.len())
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(self.label(), self.profile, vec![self.inner.explain()])
     }
 }
 

@@ -1,6 +1,7 @@
 //! In-memory table source: slices materialized columns into vectors.
 
 use crate::batch::{Batch, Vector};
+use crate::explain::OpProfile;
 use crate::ops::Operator;
 
 /// A source over fully materialized columns, yielding `vector_size`-row
@@ -11,6 +12,7 @@ pub struct MemSource {
     vector_size: usize,
     pos: usize,
     len: usize,
+    profile: OpProfile,
 }
 
 impl MemSource {
@@ -19,17 +21,15 @@ impl MemSource {
         let len = columns.first().map_or(0, Vector::len);
         assert!(columns.iter().all(|c| c.len() == len), "ragged columns");
         assert!(vector_size > 0);
-        Self { columns, vector_size, pos: 0, len }
+        Self { columns, vector_size, pos: 0, len, profile: OpProfile::default() }
     }
 
     /// Convenience constructor from i64 columns.
     pub fn from_i64(columns: Vec<Vec<i64>>, vector_size: usize) -> Self {
         Self::new(columns.into_iter().map(Vector::I64).collect(), vector_size)
     }
-}
 
-impl Operator for MemSource {
-    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+    fn produce(&mut self) -> Result<Option<Batch>, scc_core::Error> {
         if self.pos >= self.len {
             return Ok(None);
         }
@@ -37,6 +37,23 @@ impl Operator for MemSource {
         let indices: Vec<usize> = (self.pos..self.pos + take).collect();
         self.pos += take;
         Ok(Some(Batch::new(self.columns.iter().map(|c| c.gather(&indices)).collect())))
+    }
+}
+
+impl Operator for MemSource {
+    fn try_next(&mut self) -> Result<Option<Batch>, scc_core::Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("MemSource(cols={})", self.columns.len())
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
     }
 }
 

@@ -1,0 +1,225 @@
+//! Versioned JSON export of a [`Registry`](crate::Registry) snapshot,
+//! plus the schema validator the CI smoke job runs against it.
+//!
+//! ## Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "generator": "scc-obs",
+//!   "counters":   { "<name>": <u64>, ... },
+//!   "gauges":     { "<name>": <number>, ... },
+//!   "histograms": {
+//!     "<name>": {
+//!       "count": <u64>, "sum": <u64>,
+//!       "min": <u64>|null, "max": <u64>|null, "mean": <number>|null,
+//!       "buckets": [[<bucket_index>, <count>], ...]
+//!     }, ...
+//!   }
+//! }
+//! ```
+//!
+//! Metric names are sorted; `buckets` lists only non-empty buckets in
+//! ascending index order (bucket 0 = zeros, bucket *i* = samples in
+//! `[2^(i-1), 2^i)`). Consumers must ignore unknown top-level keys so
+//! the schema can grow additively; any breaking change bumps
+//! [`SCHEMA_VERSION`].
+
+use crate::json::Json;
+use crate::{Metric, Registry};
+
+/// Version stamped into every export; bumped on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Snapshots `registry` into a schema-version-1 JSON document.
+pub fn to_json(registry: &Registry) -> Json {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, metric) in registry.snapshot() {
+        match metric {
+            Metric::Counter(c) => counters.push((name, Json::U64(c.get()))),
+            Metric::Gauge(g) => gauges.push((name, Json::F64(g.get()))),
+            Metric::Histogram(h) => {
+                let buckets = h
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(i, n)| Json::Arr(vec![Json::U64(i as u64), Json::U64(n)]))
+                    .collect();
+                histograms.push((
+                    name,
+                    Json::Obj(vec![
+                        ("count".into(), Json::U64(h.count())),
+                        ("sum".into(), Json::U64(h.sum())),
+                        ("min".into(), h.min().map_or(Json::Null, Json::U64)),
+                        ("max".into(), h.max().map_or(Json::Null, Json::U64)),
+                        ("mean".into(), h.mean().map_or(Json::Null, Json::F64)),
+                        ("buckets".into(), Json::Arr(buckets)),
+                    ]),
+                ));
+            }
+        }
+    }
+    Json::Obj(vec![
+        ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
+        ("generator".into(), Json::Str("scc-obs".into())),
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("histograms".into(), Json::Obj(histograms)),
+    ])
+}
+
+/// Serializes [`to_json`] of `registry` to `path` (pretty-printed).
+pub fn write_file(registry: &Registry, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_json(registry).pretty())
+}
+
+/// Checks that `doc` is a well-formed schema-version-1 export: key
+/// presence and value types, exactly what the CI smoke job enforces.
+/// Returns a list of violations (empty = valid).
+pub fn validate(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut fail = |msg: String| errors.push(msg);
+
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => fail(format!("schema_version is {v}, expected {SCHEMA_VERSION}")),
+        None => fail("schema_version missing or not a u64".into()),
+    }
+    if doc.get("generator").and_then(Json::as_str).is_none() {
+        fail("generator missing or not a string".into());
+    }
+
+    match doc.get("counters").and_then(Json::as_obj) {
+        None => fail("counters missing or not an object".into()),
+        Some(pairs) => {
+            for (name, v) in pairs {
+                if v.as_u64().is_none() {
+                    fail(format!("counter {name:?} is not a u64"));
+                }
+            }
+        }
+    }
+
+    match doc.get("gauges").and_then(Json::as_obj) {
+        None => fail("gauges missing or not an object".into()),
+        Some(pairs) => {
+            for (name, v) in pairs {
+                if v.as_f64().is_none() {
+                    fail(format!("gauge {name:?} is not a number"));
+                }
+            }
+        }
+    }
+
+    match doc.get("histograms").and_then(Json::as_obj) {
+        None => fail("histograms missing or not an object".into()),
+        Some(pairs) => {
+            for (name, h) in pairs {
+                for key in ["count", "sum"] {
+                    if h.get(key).and_then(Json::as_u64).is_none() {
+                        fail(format!("histogram {name:?}: {key} missing or not a u64"));
+                    }
+                }
+                for key in ["min", "max"] {
+                    match h.get(key) {
+                        Some(Json::Null) | Some(Json::U64(_)) => {}
+                        _ => fail(format!("histogram {name:?}: {key} must be u64 or null")),
+                    }
+                }
+                match h.get("mean") {
+                    Some(Json::Null) => {}
+                    Some(v) if v.as_f64().is_some() => {}
+                    _ => fail(format!("histogram {name:?}: mean must be a number or null")),
+                }
+                match h.get("buckets").and_then(Json::as_arr) {
+                    None => fail(format!("histogram {name:?}: buckets missing or not an array")),
+                    Some(items) => {
+                        for (i, item) in items.iter().enumerate() {
+                            let ok = item.as_arr().is_some_and(|pair| {
+                                pair.len() == 2
+                                    && pair[0]
+                                        .as_u64()
+                                        .is_some_and(|idx| idx < crate::HISTOGRAM_BUCKETS as u64)
+                                    && pair[1].as_u64().is_some()
+                            });
+                            if !ok {
+                                fail(format!(
+                                    "histogram {name:?}: buckets[{i}] is not a [index, count] pair"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("a.hits").add(12);
+        r.counter("a.misses"); // zero-valued, still exported
+        r.gauge("b.rate").set(0.25);
+        let h = r.histogram("c.ns");
+        for v in [0u64, 1, 5, 5, 1_000_000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn export_round_trips_and_validates() {
+        let r = sample_registry();
+        let doc = to_json(&r);
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+
+        let text = doc.pretty();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, doc, "write -> parse is lossless");
+        assert_eq!(reparsed.pretty(), text, "parse -> write is stable");
+        assert!(validate(&reparsed).is_empty());
+    }
+
+    #[test]
+    fn export_contents_match_registry() {
+        let doc = to_json(&sample_registry());
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("a.hits").and_then(Json::as_u64), Some(12));
+        assert_eq!(counters.get("a.misses").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("gauges").unwrap().get("b.rate").and_then(Json::as_f64), Some(0.25));
+        let h = doc.get("histograms").unwrap().get("c.ns").unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(5));
+        assert_eq!(h.get("sum").and_then(Json::as_u64), Some(1_000_011));
+        assert_eq!(h.get("min").and_then(Json::as_u64), Some(0));
+        assert_eq!(h.get("max").and_then(Json::as_u64), Some(1_000_000));
+        // 0 -> bucket 0; 1 -> bucket 1; 5,5 -> bucket 3; 1e6 -> bucket 20.
+        let buckets = h.get("buckets").and_then(Json::as_arr).unwrap();
+        let pairs: Vec<(u64, u64)> = buckets
+            .iter()
+            .map(|b| {
+                let p = b.as_arr().unwrap();
+                (p[0].as_u64().unwrap(), p[1].as_u64().unwrap())
+            })
+            .collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 1), (3, 2), (20, 1)]);
+    }
+
+    #[test]
+    fn validator_flags_violations() {
+        let doc = parse(r#"{"schema_version": 2, "counters": {"x": "nope"}}"#).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
+        assert!(errors.iter().any(|e| e.contains("\"x\"")));
+        assert!(errors.iter().any(|e| e.contains("gauges")));
+        assert!(errors.iter().any(|e| e.contains("histograms")));
+        assert!(errors.iter().any(|e| e.contains("generator")));
+    }
+}

@@ -1,0 +1,588 @@
+//! # scc-obs — zero-dependency observability for the scc workspace
+//!
+//! A hierarchical metrics registry with three instrument kinds —
+//! [`Counter`], [`Gauge`] and log-scale [`Histogram`] — plus RAII timer
+//! spans ([`TimeSpan`]) and a stable, versioned JSON export
+//! ([`export`]). Metric names are dot-separated paths
+//! (`storage.pool.hits`, `core.decode.pfor.ns`) so exports group
+//! naturally by subsystem.
+//!
+//! ## Cost model
+//!
+//! The registry is designed so instrumented hot loops pay nothing when
+//! telemetry is off:
+//!
+//! * **Runtime flag** — every recording macro first checks
+//!   [`enabled()`], a single relaxed atomic load. Telemetry is
+//!   *disabled by default*; benches and the CLI opt in with
+//!   [`set_enabled`].
+//! * **Handle caching** — macros with constant metric names resolve the
+//!   registry entry once per call site through a `OnceLock`, so the
+//!   steady-state cost of an enabled counter bump is one atomic add.
+//! * **Compile-out** — building with the `off` feature turns the macros
+//!   into empty expansions; not even the flag load survives.
+//!
+//! Instruments themselves are lock-free (atomics only); the registry
+//! mutex is touched only on first resolution of a name and at export.
+//!
+//! ```
+//! scc_obs::set_enabled(true);
+//! scc_obs::counter_add!("doc.example.events", 3);
+//! let c = scc_obs::global().counter("doc.example.events");
+//! assert!(c.get() >= 3);
+//! scc_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, up to bucket 64 for
+/// values with the top bit set.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples with exact count, sum,
+/// min and max. Bucket boundaries are powers of two: bucket 0 counts
+/// zeros, bucket `i` counts samples in `[2^(i-1), 2^i)`.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the bucket a sample falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean sample value, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / n as f64)
+        }
+    }
+
+    /// Occupancy of bucket `i` (see [`bucket_index`]).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = self.bucket(i);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of instruments. Most code uses the process-wide
+/// [`global()`] registry; tests can build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.metrics.lock().unwrap();
+        if let Some(m) = map.get(name) {
+            return m.clone();
+        }
+        let m = make();
+        map.insert(name.to_string(), m.clone());
+        m
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Panics if `name` is already a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use. Panics if `name` is already a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use. Panics if `name` is already a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// All registered metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.metrics.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Zeroes every instrument **in place**: handles held by call sites
+    /// (including the `OnceLock` caches inside the recording macros)
+    /// stay valid and keep feeding the same entries.
+    pub fn reset(&self) {
+        for (_, m) in self.metrics.lock().unwrap().iter() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide registry all the `*_add!` / `time_span!` macros
+/// record into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Whether telemetry recording is currently on. One relaxed atomic
+/// load; this is the gate every macro checks first.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "off")]
+    {
+        false
+    }
+    #[cfg(not(feature = "off"))]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Turns telemetry recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Starts a wall-clock probe if telemetry is enabled. Pair with an
+/// `elapsed_ns` call; used by layers that keep their own plain-field
+/// profiles (e.g. operator `OpProfile`s) rather than registry entries.
+#[inline]
+pub fn clock() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Nanoseconds since `start`, saturating at `u64::MAX`.
+#[inline]
+pub fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// RAII timer: records the span's lifetime in nanoseconds into a
+/// histogram when dropped. Construct via [`TimeSpan::start`] or the
+/// [`time_span!`] macro; a disabled span holds no clock and records
+/// nothing.
+#[must_use = "a TimeSpan records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct TimeSpan {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl TimeSpan {
+    /// Starts a span feeding `hist`, if telemetry is enabled.
+    pub fn start(hist: &Arc<Histogram>) -> Self {
+        if enabled() {
+            Self { inner: Some((Arc::clone(hist), Instant::now())) }
+        } else {
+            Self { inner: None }
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+}
+
+impl Drop for TimeSpan {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record(elapsed_ns(start));
+        }
+    }
+}
+
+/// Adds `$delta` to the global counter `$name` (a string literal or
+/// other `&'static str` constant — the handle is cached per call
+/// site). With the `off` feature, [`enabled()`] is a constant `false`
+/// and the whole expansion is dead-code-eliminated.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $delta:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::global().counter($name)).add($delta as u64);
+        }
+    }};
+}
+
+/// Sets the global gauge `$name` (constant name; handle cached per
+/// call site). Dead-code-eliminated with the `off` feature.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $value:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::global().gauge($name)).set($value as f64);
+        }
+    }};
+}
+
+/// Records `$value` into the global histogram `$name` (constant name;
+/// handle cached per call site). Dead-code-eliminated with the `off`
+/// feature.
+#[macro_export]
+macro_rules! histogram_record {
+    ($name:expr, $value:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::global().histogram($name)).record($value as u64);
+        }
+    }};
+}
+
+/// Opens a [`TimeSpan`] feeding the global histogram `$name` (constant
+/// name; handle cached per call site). Bind it to a named local — its
+/// drop closes the span:
+///
+/// ```
+/// # scc_obs::set_enabled(true);
+/// {
+///     let _span = scc_obs::time_span!("doc.span.ns");
+///     // ... timed work ...
+/// }
+/// # scc_obs::set_enabled(false);
+/// ```
+#[macro_export]
+macro_rules! time_span {
+    ($name:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+                ::std::sync::OnceLock::new();
+            $crate::TimeSpan::start(HANDLE.get_or_init(|| $crate::global().histogram($name)))
+        } else {
+            $crate::TimeSpan::disabled()
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.add(3);
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 7);
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let r = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("concurrent.hits");
+                    for _ in 0..per_thread {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("concurrent.hits").get(), threads * per_thread);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let r = Registry::new();
+        let g = r.gauge("x");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(r.gauge("x").get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::new();
+        // Exhaustive boundary map: 0 -> bucket 0, [2^(i-1), 2^i) -> i.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(3), 2); // 4, 7
+        assert_eq!(h.bucket(4), 1); // 8
+        assert_eq!(h.bucket(10), 1); // 1023
+        assert_eq!(h.bucket(11), 1); // 1024
+        assert_eq!(h.bucket(64), 1); // u64::MAX
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_empty_has_no_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        c.add(5);
+        g.set(9.0);
+        h.record(100);
+        r.reset();
+        // The *same handles* read zero: reset must not replace entries.
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        c.add(1);
+        assert_eq!(r.counter("c").get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("same.name");
+        r.gauge("same.name");
+    }
+
+    #[test]
+    fn macros_respect_enabled_flag() {
+        // Uses the global registry: only assert relative deltas, the
+        // test binary may run other tests in parallel.
+        let c = global().counter("obs.test.flagged");
+        set_enabled(false);
+        let before = c.get();
+        counter_add!("obs.test.flagged", 10);
+        assert_eq!(c.get(), before);
+        set_enabled(true);
+        counter_add!("obs.test.flagged", 10);
+        assert_eq!(c.get(), before + 10);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn time_span_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("span.ns");
+        set_enabled(true);
+        {
+            let _span = TimeSpan::start(&h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_enabled(false);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "slept 1ms, recorded {}ns", h.sum());
+    }
+}

@@ -256,6 +256,37 @@ pub struct ScanStats {
 }
 
 impl ScanStats {
+    /// Takes the accumulated counters, leaving zeros behind. Benches
+    /// that reuse one [`StatsHandle`] across timed runs call
+    /// `stats.borrow_mut().take()` at the start of each run so every
+    /// run observes a true per-run delta instead of a running total.
+    pub fn take(&mut self) -> ScanStats {
+        std::mem::take(self)
+    }
+
+    /// A point-in-time copy of the counters (reads through a
+    /// [`StatsHandle`] without disturbing the accumulation).
+    pub fn snapshot(&self) -> ScanStats {
+        *self
+    }
+
+    /// Folds another stats block into this one. Parallel scans give
+    /// each partition its own [`StatsHandle`] and merge them at the
+    /// end instead of sharing one `Rc<RefCell<_>>` across threads
+    /// (which `Rc` forbids anyway).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.io_bytes += other.io_bytes;
+        self.io_seconds += other.io_seconds;
+        self.decompress_seconds += other.decompress_seconds;
+        self.output_bytes += other.output_bytes;
+        self.ram_traffic_bytes += other.ram_traffic_bytes;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.retries += other.retries;
+        self.checksum_failures += other.checksum_failures;
+        self.quarantined_chunks += other.quarantined_chunks;
+    }
+
     /// I/O stall seconds given measured CPU seconds, under prefetching.
     pub fn stall_seconds(&self, cpu_seconds: f64) -> f64 {
         (self.io_seconds - cpu_seconds).max(0.0)
@@ -268,6 +299,32 @@ impl ScanStats {
         } else {
             self.output_bytes as f64 / self.decompress_seconds
         }
+    }
+}
+
+impl std::fmt::Display for ScanStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const MIB: f64 = 1024.0 * 1024.0;
+        write!(
+            f,
+            "io {:.2} MiB / {:.4}s, decompress {:.4}s, output {:.2} MiB, \
+             ram {:.2} MiB, pool {}/{} hit/miss",
+            self.io_bytes as f64 / MIB,
+            self.io_seconds,
+            self.decompress_seconds,
+            self.output_bytes as f64 / MIB,
+            self.ram_traffic_bytes as f64 / MIB,
+            self.pool_hits,
+            self.pool_misses,
+        )?;
+        if self.retries + self.checksum_failures + self.quarantined_chunks > 0 {
+            write!(
+                f,
+                ", retries {}, checksum failures {}, quarantined {}",
+                self.retries, self.checksum_failures, self.quarantined_chunks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -362,6 +419,60 @@ mod tests {
         d.quarantine((1, 2, 3));
         assert!(d.is_quarantined((1, 2, 3)));
         assert_eq!(d.quarantined_chunks(), 1);
+    }
+
+    fn sample_stats(scale: u64) -> ScanStats {
+        ScanStats {
+            io_bytes: 100 * scale,
+            io_seconds: 0.5 * scale as f64,
+            decompress_seconds: 0.25 * scale as f64,
+            output_bytes: 400 * scale,
+            ram_traffic_bytes: 150 * scale,
+            pool_hits: 3 * scale,
+            pool_misses: 2 * scale,
+            retries: scale,
+            checksum_failures: scale,
+            quarantined_chunks: scale,
+        }
+    }
+
+    #[test]
+    fn take_resets_and_returns_delta() {
+        let handle = stats_handle();
+        *handle.borrow_mut() = sample_stats(2);
+        let delta = handle.borrow_mut().take();
+        assert_eq!(delta, sample_stats(2));
+        assert_eq!(*handle.borrow(), ScanStats::default());
+        // A second take observes only what accumulated since.
+        handle.borrow_mut().io_bytes = 7;
+        assert_eq!(handle.borrow_mut().take().io_bytes, 7);
+    }
+
+    #[test]
+    fn snapshot_does_not_disturb() {
+        let handle = stats_handle();
+        *handle.borrow_mut() = sample_stats(1);
+        let snap = handle.borrow().snapshot();
+        assert_eq!(snap, sample_stats(1));
+        assert_eq!(*handle.borrow(), sample_stats(1));
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = sample_stats(1);
+        a.merge(&sample_stats(2));
+        assert_eq!(a, sample_stats(3));
+    }
+
+    #[test]
+    fn display_is_compact_and_gates_fault_counters() {
+        let clean = ScanStats { io_bytes: 1024 * 1024, io_seconds: 0.5, ..Default::default() };
+        let text = format!("{clean}");
+        assert!(text.contains("io 1.00 MiB / 0.5000s"), "{text}");
+        assert!(!text.contains("retries"), "{text}");
+        let faulted = ScanStats { retries: 2, checksum_failures: 1, ..Default::default() };
+        let text = format!("{faulted}");
+        assert!(text.contains("retries 2, checksum failures 1, quarantined 0"), "{text}");
     }
 
     #[test]

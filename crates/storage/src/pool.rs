@@ -41,8 +41,10 @@ impl BufferPool {
         self.tick += 1;
         if let Some(entry) = self.resident.get_mut(&id) {
             entry.1 = self.tick;
+            scc_obs::counter_add!("storage.pool.hits", 1);
             return true;
         }
+        scc_obs::counter_add!("storage.pool.misses", 1);
         if bytes <= self.capacity {
             while self.used + bytes > self.capacity {
                 // Evict the least recently used chunk.
@@ -54,6 +56,7 @@ impl BufferPool {
                     .expect("over budget implies residents");
                 let (vb, _) = self.resident.remove(&victim).expect("victim resident");
                 self.used -= vb;
+                scc_obs::counter_add!("storage.pool.evictions", 1);
             }
             self.resident.insert(id, (bytes, self.tick));
             self.used += bytes;

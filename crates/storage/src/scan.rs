@@ -22,7 +22,7 @@ use crate::disk::{Disk, DiskRead, ReadOutcome, RetryPolicy, StatsHandle};
 use crate::pool::{BufferPool, ChunkId};
 use crate::table::{Layout, Table};
 use scc_core::Error;
-use scc_engine::{Batch, Operator, Vector};
+use scc_engine::{Batch, ExplainNode, OpProfile, Operator, Vector};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -92,6 +92,7 @@ pub struct Scan {
     /// Fault-injecting disk + retry policy; `None` scans the clean
     /// modeled disk with no per-chunk validation.
     faulty: Option<(Rc<RefCell<dyn DiskRead>>, RetryPolicy)>,
+    profile: OpProfile,
 }
 
 impl Scan {
@@ -125,6 +126,7 @@ impl Scan {
             cur_segment: None,
             pages: (0..n_cols).map(|_| None).collect(),
             faulty: None,
+            profile: OpProfile::default(),
         }
     }
 
@@ -171,23 +173,31 @@ impl Scan {
         let mut stats = self.stats.borrow_mut();
         // Compressed (or plain) bytes stream through RAM either way.
         stats.ram_traffic_bytes += bytes;
+        scc_obs::counter_add!("storage.scan.ram_traffic_bytes", bytes);
         if hit {
             stats.pool_hits += 1;
             return Ok(());
         }
         stats.pool_misses += 1;
         let Some((disk, policy)) = &self.faulty else {
+            let secs = self.opts.disk.read_seconds(bytes);
             stats.io_bytes += bytes;
-            stats.io_seconds += self.opts.disk.read_seconds(bytes);
+            stats.io_seconds += secs;
+            scc_obs::counter_add!("storage.scan.io_bytes", bytes);
+            scc_obs::counter_add!("storage.scan.io_ns", (secs * 1e9) as u64);
             return Ok(());
         };
         let mut disk = disk.borrow_mut();
         let mut saw_corruption = false;
         for attempt in 1..=policy.max_attempts {
+            let secs = disk.read_seconds(bytes) + policy.backoff_before(attempt);
             stats.io_bytes += bytes;
-            stats.io_seconds += disk.read_seconds(bytes) + policy.backoff_before(attempt);
+            stats.io_seconds += secs;
+            scc_obs::counter_add!("storage.scan.io_bytes", bytes);
+            scc_obs::counter_add!("storage.scan.io_ns", (secs * 1e9) as u64);
             if attempt > 1 {
                 stats.retries += 1;
+                scc_obs::counter_add!("storage.scan.retries", 1);
             }
             match disk.read_chunk(id, attempt, payload) {
                 ReadOutcome::Clean => return Ok(()),
@@ -197,6 +207,7 @@ impl Scan {
                     Ok(_) => return Ok(()),
                     Err(_) => {
                         stats.checksum_failures += 1;
+                        scc_obs::counter_add!("storage.scan.checksum_failures", 1);
                         saw_corruption = true;
                     }
                 },
@@ -210,6 +221,7 @@ impl Scan {
         if saw_corruption {
             disk.quarantine(id);
             stats.quarantined_chunks += 1;
+            scc_obs::counter_add!("storage.scan.quarantined_chunks", 1);
             Err(Error::ChunkQuarantined { chunk: id, attempts: policy.max_attempts })
         } else {
             Err(Error::ReadFailed { chunk: id, attempts: policy.max_attempts })
@@ -288,7 +300,9 @@ impl Scan {
                     (ScanMode::Compressed, DecompressionGranularity::VectorWise) => {
                         let t0 = Instant::now();
                         $store.decode_segment_range(seg, offset, &mut out);
-                        stats.borrow_mut().decompress_seconds += t0.elapsed().as_secs_f64();
+                        let dt = t0.elapsed();
+                        stats.borrow_mut().decompress_seconds += dt.as_secs_f64();
+                        scc_obs::counter_add!("storage.scan.decompress_ns", dt.as_nanos() as u64);
                     }
                     (ScanMode::Compressed, DecompressionGranularity::PageWise) => {
                         if self.pages[slot].is_none() {
@@ -297,8 +311,13 @@ impl Scan {
                             let mut page = vec![<$ty>::default(); rows];
                             let t0 = Instant::now();
                             $store.decode_segment_range(seg, 0, &mut page);
+                            let dt = t0.elapsed();
+                            scc_obs::counter_add!(
+                                "storage.scan.decompress_ns",
+                                dt.as_nanos() as u64
+                            );
                             let mut st = stats.borrow_mut();
-                            st.decompress_seconds += t0.elapsed().as_secs_f64();
+                            st.decompress_seconds += dt.as_secs_f64();
                             // The page is written to RAM and read back.
                             st.ram_traffic_bytes +=
                                 2 * (page.len() * std::mem::size_of::<$ty>()) as u64;
@@ -311,7 +330,9 @@ impl Scan {
                         }
                     }
                 }
-                stats.borrow_mut().output_bytes += (take * std::mem::size_of::<$ty>()) as u64;
+                let produced = (take * std::mem::size_of::<$ty>()) as u64;
+                stats.borrow_mut().output_bytes += produced;
+                scc_obs::counter_add!("storage.scan.output_bytes", produced);
                 $ctor(out)
             }};
         }
@@ -340,8 +361,8 @@ impl NumColumn {
     }
 }
 
-impl Operator for Scan {
-    fn try_next(&mut self) -> Result<Option<Batch>, Error> {
+impl Scan {
+    fn produce(&mut self) -> Result<Option<Batch>, Error> {
         if self.pos >= self.table.n_rows() {
             return Ok(None);
         }
@@ -362,6 +383,29 @@ impl Operator for Scan {
             .collect();
         self.pos += take;
         Ok(Some(Batch::new(columns)))
+    }
+}
+
+impl Operator for Scan {
+    fn try_next(&mut self) -> Result<Option<Batch>, Error> {
+        let start = scc_obs::clock();
+        let out = self.produce();
+        self.profile.record(start, &out);
+        out
+    }
+
+    fn label(&self) -> String {
+        let cols: Vec<&str> =
+            self.cols.iter().map(|&c| self.table.columns()[c].0.as_str()).collect();
+        format!("Scan({}: {})", self.table.name, cols.join(", "))
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::leaf(self.label(), self.profile)
     }
 }
 

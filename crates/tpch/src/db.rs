@@ -3,7 +3,7 @@
 //! queries.
 
 use crate::gen::RawTables;
-use scc_engine::Batch;
+use scc_engine::{Batch, ExplainNode};
 use scc_storage::disk::{stats_handle, ScanStats, StatsHandle};
 use scc_storage::{
     BufferPool, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, Table,
@@ -206,6 +206,9 @@ pub struct QueryRun {
     /// Measured wall-clock CPU seconds (simulated I/O does not sleep, so
     /// this is pure compute: decompression + processing).
     pub cpu_seconds: f64,
+    /// Post-execution operator tree with per-operator profiles (rows,
+    /// vectors, calls, wall time) — the `scc explain` payload.
+    pub explain: ExplainNode,
 }
 
 impl QueryRun {
@@ -221,19 +224,21 @@ impl QueryRun {
     }
 }
 
-/// Runs a query closure, timing it and collecting its stats.
-pub fn run_query(f: impl FnOnce(&StatsHandle) -> Batch) -> QueryRun {
+/// Runs a query closure, timing it and collecting its stats. The closure
+/// returns the result batch plus the executed plan's explain tree.
+pub fn run_query(f: impl FnOnce(&StatsHandle) -> (Batch, ExplainNode)) -> QueryRun {
     let stats = stats_handle();
     let t0 = Instant::now();
-    let batch = f(&stats);
+    let (batch, explain) = f(&stats);
     let cpu_seconds = t0.elapsed().as_secs_f64();
     let stats = *stats.borrow();
-    QueryRun { batch, stats, cpu_seconds }
+    QueryRun { batch, stats, cpu_seconds, explain }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scc_engine::Operator as _;
 
     #[test]
     fn load_compresses_lineitem_well() {
@@ -261,8 +266,11 @@ mod tests {
         let cfg = QueryConfig::default();
         let run = run_query(|stats| {
             let mut scan = cfg.scan(&db.lineitem, &["l_orderkey", "l_quantity"], stats);
-            scc_engine::ops::collect(scan.as_mut())
+            let batch = scc_engine::ops::collect(scan.as_mut());
+            (batch, scan.explain())
         });
+        assert!(run.explain.label.starts_with("Scan(lineitem"), "label {}", run.explain.label);
+        assert_eq!(run.explain.profile.rows, run.batch.len() as u64);
         assert_eq!(run.batch.len(), db.raw.lineitem.orderkey.len());
         assert_eq!(run.batch.col(0).as_i64(), &db.raw.lineitem.orderkey[..]);
         assert_eq!(run.batch.col(1).as_i64(), &db.raw.lineitem.quantity[..]);

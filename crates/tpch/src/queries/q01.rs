@@ -3,6 +3,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{AggExpr, Expr, HashAggregate, OrderBy, Select, SortKey};
 
 /// Columns scanned.
@@ -72,7 +73,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             // Dictionary order == lexicographic order (dicts are sorted).
             vec![SortKey::asc(0), SortKey::asc(1)],
         );
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 
@@ -123,5 +125,20 @@ mod tests {
     #[test]
     fn invariant_under_storage_configs() {
         assert_config_invariant(1);
+    }
+
+    /// Golden test for the explain tree: plan shape, labels and row
+    /// counts are fully determined by the fixed small_db seed, so the
+    /// structural rendering (no wall times) must be byte-stable.
+    #[test]
+    fn explain_tree_structure_is_stable() {
+        let db = small_db();
+        let run = run(db, &QueryConfig::default());
+        let golden = "OrderBy(keys=2)  rows=3 vectors=1\n\
+                      └─ HashAggregate(keys=2, aggs=8)  rows=3 vectors=1\n   \
+                      └─ Select  rows=60306 vectors=59\n      \
+                      └─ Scan(lineitem: l_returnflag, l_linestatus, l_quantity, \
+                      l_extendedprice, l_discount, l_tax, l_shipdate)  rows=60306 vectors=59\n";
+        assert_eq!(run.explain.render_structure(), golden);
     }
 }

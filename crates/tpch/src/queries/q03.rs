@@ -4,6 +4,7 @@
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::code_set;
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select, SortKey, TopN,
 };
@@ -73,7 +74,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![SortKey::desc(1), SortKey::asc(2), SortKey::asc(0)],
             10,
         );
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

@@ -4,6 +4,7 @@
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::code_set;
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, OrderBy, Project, Select, SortKey,
 };
@@ -77,7 +78,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![AggExpr::Sum(Expr::col(1))],
         );
         let mut plan = OrderBy::new(Box::new(agg), vec![SortKey::desc(1)]);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

@@ -3,6 +3,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{AggExpr, Expr, HashAggregate, Select};
 
 /// Columns scanned.
@@ -30,7 +31,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let filtered = Select::new(scan, pred);
         let revenue = Expr::col(3).to_f64().mul(Expr::col(1).to_f64()).mul(Expr::lit_f64(0.01));
         let mut plan = HashAggregate::new(Box::new(filtered), vec![], vec![AggExpr::Sum(revenue)]);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

@@ -3,6 +3,7 @@
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::nation_key;
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, OrderBy, Project, Select, SortKey,
 };
@@ -71,7 +72,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         );
         let mut plan =
             OrderBy::new(Box::new(agg), vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)]);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

@@ -5,6 +5,7 @@
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::code_set;
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select, SortKey, TopN,
 };
@@ -56,7 +57,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let reorder =
             Project::new(agg, vec![Expr::col(0), Expr::col(3), Expr::col(1), Expr::col(2)]);
         let mut plan = TopN::new(reorder, vec![SortKey::desc(1), SortKey::asc(0)], 20);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

@@ -3,6 +3,7 @@
 
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::nation_key;
+use scc_engine::Operator as _;
 use scc_engine::{AggExpr, Batch, Expr, HashAggregate, HashJoin, JoinKind, Project, Select};
 
 /// Columns scanned.
@@ -45,10 +46,11 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let mut rows: Vec<(i64, f64)> =
             keys.iter().zip(vals).filter(|(_, &v)| v > threshold).map(|(&k, &v)| (k, v)).collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        Batch::new(vec![
+        let batch = Batch::new(vec![
             scc_engine::Vector::I64(rows.iter().map(|r| r.0).collect()),
             scc_engine::Vector::F64(rows.iter().map(|r| r.1).collect()),
-        ])
+        ]);
+        (batch, agg.explain())
     })
 }
 

@@ -4,6 +4,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, OrderBy, Project, Select, SortKey,
 };
@@ -63,7 +64,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![AggExpr::Sum(Expr::col(1)), AggExpr::Sum(Expr::col(2))],
         );
         let mut plan = OrderBy::new(agg, vec![SortKey::asc(0)]);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

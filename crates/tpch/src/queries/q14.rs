@@ -3,6 +3,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select};
 
 /// Columns scanned.
@@ -47,7 +48,9 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let sums = scc_engine::ops::collect(&mut agg);
         let promo_sum = sums.col(0).as_f64()[0];
         let total = sums.col(1).as_f64()[0];
-        scc_engine::Batch::new(vec![scc_engine::Vector::F64(vec![100.0 * promo_sum / total])])
+        let batch =
+            scc_engine::Batch::new(vec![scc_engine::Vector::F64(vec![100.0 * promo_sum / total])]);
+        (batch, agg.explain())
     })
 }
 

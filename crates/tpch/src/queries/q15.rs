@@ -3,6 +3,7 @@
 
 use crate::dates::date;
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select};
 
 /// Columns scanned.
@@ -39,6 +40,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![AggExpr::Sum(Expr::col(1))],
         );
         let view = scc_engine::ops::collect(&mut agg);
+        let phase1 = agg.explain();
         // max(total_revenue): the scalar subquery, evaluated here.
         let max_rev = view.col(1).as_f64().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let src = scc_engine::MemSource::new(view.columns.clone(), cfg.vector_size);
@@ -50,7 +52,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let reorder = Project::new(Box::new(joined), vec![Expr::col(0), Expr::col(2)]);
         let mut plan =
             scc_engine::OrderBy::new(Box::new(reorder), vec![scc_engine::SortKey::asc(0)]);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, scc_engine::ExplainNode::phases("Q15", vec![phase1, plan.explain()]))
     })
 }
 

@@ -4,6 +4,7 @@
 //! back. Not part of the paper's Table 2 set.
 
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Batch, Expr, HashAggregate, HashJoin, JoinKind, Project, Select, Vector,
 };
@@ -42,7 +43,7 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         let mut li = HashJoin::new(li, part, vec![0], vec![0], JoinKind::LeftSemi);
         let li_all = scc_engine::ops::collect(&mut li);
         if li_all.columns.is_empty() {
-            return Batch::new(vec![Vector::F64(vec![0.0])]);
+            return (Batch::new(vec![Vector::F64(vec![0.0])]), li.explain());
         }
         // avg qty per part.
         let src = scc_engine::MemSource::new(li_all.columns.clone(), cfg.vector_size);
@@ -67,7 +68,12 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             Vector::F64(v) => v[0],
             _ => unreachable!("sum of extendedprice is numeric"),
         };
-        Batch::new(vec![Vector::F64(vec![sum / 7.0])])
+        let batch = Batch::new(vec![Vector::F64(vec![sum / 7.0])]);
+        let explain = scc_engine::ExplainNode::phases(
+            "Q17",
+            vec![li.explain(), avg.explain(), total.explain()],
+        );
+        (batch, explain)
     })
 }
 

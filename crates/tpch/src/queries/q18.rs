@@ -2,6 +2,7 @@
 //! exceeds 300, joined back to orders and customers.
 
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select, SortKey, TopN,
 };
@@ -57,7 +58,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             vec![SortKey::desc(3), SortKey::asc(2), SortKey::asc(1)],
             100,
         );
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, plan.explain())
     })
 }
 

@@ -4,6 +4,7 @@
 //! paper's Table 2 set.
 
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
+use scc_engine::Operator as _;
 use scc_engine::{AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Select};
 use std::collections::HashSet;
 
@@ -79,7 +80,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             .mul(Expr::col(2).to_f64())
             .mul(Expr::lit_f64(0.01));
         let mut agg = HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(revenue)]);
-        scc_engine::ops::collect(&mut agg)
+        let batch = scc_engine::ops::collect(&mut agg);
+        (batch, agg.explain())
     })
 }
 

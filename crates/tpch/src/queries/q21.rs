@@ -9,6 +9,7 @@
 
 use crate::db::{run_query as timed, QueryConfig, QueryRun, TpchDb};
 use crate::queries::{code_set, nation_key};
+use scc_engine::Operator as _;
 use scc_engine::{
     AggExpr, Expr, HashAggregate, HashJoin, JoinKind, Project, Select, SortKey, TopN,
 };
@@ -53,11 +54,12 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
         );
         // Materialize once; reuse for both the per-order count and the
         // candidate pair stream.
-        let late_batch = scc_engine::ops::collect(&mut HashAggregate::new(
+        let mut late_agg = HashAggregate::new(
             Box::new(late_pairs),
             vec![Expr::col(0), Expr::col(1)],
             vec![AggExpr::Count],
-        ));
+        );
+        let late_batch = scc_engine::ops::collect(&mut late_agg);
         let late_src = || {
             Box::new(scc_engine::MemSource::new(late_batch.columns[..2].to_vec(), cfg.vector_size))
         };
@@ -94,7 +96,8 @@ pub fn run(db: &TpchDb, cfg: &QueryConfig) -> QueryRun {
             HashJoin::new(Box::new(cand), Box::new(supp), vec![1], vec![0], JoinKind::Inner);
         let agg = HashAggregate::new(Box::new(joined), vec![Expr::col(1)], vec![AggExpr::Count]);
         let mut plan = TopN::new(Box::new(agg), vec![SortKey::desc(1), SortKey::asc(0)], 100);
-        scc_engine::ops::collect(&mut plan)
+        let batch = scc_engine::ops::collect(&mut plan);
+        (batch, scc_engine::ExplainNode::phases("Q21", vec![late_agg.explain(), plan.explain()]))
     })
 }
 

@@ -6,6 +6,7 @@
 //! scc decompress <in.scc>  <out.bin>
 //! scc inspect    <in.scc>
 //! scc verify     <in.scc>
+//! scc explain    [--queries 1,6] [--sf 0.01] [--metrics-json <out.json>]
 //! ```
 //!
 //! File format: `SCCF` magic, a type tag, a segment count, then
@@ -40,7 +41,8 @@ fn die(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  scc analyze    <in.bin> [--type T]\n  scc compress   <in.bin> <out.scc> \
          [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
-         <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  \
+         <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  scc explain    \
+         [--queries 1,6] [--sf 0.01] [--metrics-json <out.json>]\n  \
          (T = u32|i32|u64|i64, default u32)"
     );
     ExitCode::FAILURE
@@ -260,8 +262,80 @@ fn cmd_inspect<V: Value>(bytes: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
+/// `scc explain`: EXPLAIN ANALYZE over TPC-H queries against a freshly
+/// generated database. Prints one annotated operator tree per query with
+/// per-operator rows, vectors, calls and wall time, plus the scan-level
+/// I/O counters. `--metrics-json` additionally dumps the full telemetry
+/// registry (schema v1).
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut sf = 0.01f64;
+    let mut queries: Vec<u32> = vec![1, 6];
+    let mut metrics_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                sf = args
+                    .get(i + 1)
+                    .ok_or("--sf needs a value")?
+                    .parse()
+                    .map_err(|_| "--sf must be a number")?;
+                i += 2;
+            }
+            "--queries" => {
+                queries = args
+                    .get(i + 1)
+                    .ok_or("--queries needs a comma-separated list")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u32>().map_err(|_| format!("bad query number {s}")))
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            "--metrics-json" => {
+                metrics_path = Some(args.get(i + 1).ok_or("--metrics-json needs a path")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown explain option {other}")),
+        }
+    }
+    use scc::tpch::queries::{EXTENDED_QUERIES, PAPER_QUERIES};
+    for &q in &queries {
+        if !PAPER_QUERIES.contains(&q) && !EXTENDED_QUERIES.contains(&q) {
+            return Err(format!(
+                "query {q} is not implemented (available: {PAPER_QUERIES:?} + {EXTENDED_QUERIES:?})"
+            ));
+        }
+    }
+
+    scc::obs::set_enabled(true);
+    let db = scc::tpch::TpchDb::generate(sf, 20_060_703);
+    let cfg = scc::tpch::QueryConfig::default();
+    for &q in &queries {
+        let run = scc::tpch::queries::run_query(&db, &cfg, q);
+        println!(
+            "Q{q} — {} row(s), cpu {:.2} ms, modeled total {:.2} ms",
+            run.batch.len(),
+            run.cpu_seconds * 1e3,
+            run.total_seconds() * 1e3
+        );
+        print!("{}", run.explain.render());
+        println!("  [{}]", run.stats);
+        println!();
+    }
+    if let Some(path) = metrics_path {
+        scc::core::telemetry::publish_derived();
+        scc::obs::export::write_file(scc::obs::global(), std::path::Path::new(&path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args[0].as_str();
+    if cmd == "explain" {
+        return cmd_explain(&args[1..]);
+    }
     let mut ty = "u32".to_string();
     let mut scheme = "auto".to_string();
     let mut bits: Option<u32> = None;

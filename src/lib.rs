@@ -30,6 +30,9 @@
 /// Bit-packing and bit-stream kernels.
 pub use scc_bitpack as bitpack;
 
+/// Metrics registry, timer spans and JSON export.
+pub use scc_obs as obs;
+
 /// The paper's contribution: PFOR, PFOR-DELTA, PDICT.
 pub use scc_core as core;
 

@@ -166,6 +166,38 @@ fn truncated_files_fail_cleanly_not_panic() {
 }
 
 #[test]
+fn explain_prints_annotated_operator_trees() {
+    let metrics = tmp("explain_metrics.json");
+    let st = scc()
+        .args(["explain", "--queries", "1,6", "--sf", "0.002", "--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    // One tree per query, with per-operator counters and wall time.
+    assert!(stdout.contains("Q1 —"), "{stdout}");
+    assert!(stdout.contains("Q6 —"), "{stdout}");
+    assert!(stdout.contains("Scan(lineitem:"), "{stdout}");
+    assert!(stdout.contains("HashAggregate"), "{stdout}");
+    assert!(stdout.contains("rows="), "{stdout}");
+    assert!(stdout.contains("total="), "{stdout}");
+    // The metrics dump is a schema-v1 JSON document with compression
+    // telemetry populated by the queries' decode path.
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    assert!(json.contains("core.decode.pfor.ns_per_value"), "{json}");
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn explain_rejects_unknown_query() {
+    let st = scc().args(["explain", "--queries", "2"]).output().unwrap();
+    assert!(!st.status.success());
+    assert!(String::from_utf8_lossy(&st.stderr).contains("not implemented"));
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let st = scc().args(["frobnicate", "/nonexistent"]).output().unwrap();
