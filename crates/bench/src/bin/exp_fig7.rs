@@ -49,13 +49,13 @@ fn main() {
             let mut per_run = scc_storage::ScanStats::default();
             let t = time_median(3, || {
                 let mut scan =
-                    Scan::new(Arc::clone(&table), &["x"], opts, std::rc::Rc::clone(&stats), None);
+                    Scan::new(Arc::clone(&table), &["x"], opts, Arc::clone(&stats), None);
                 // Consume every vector (the query side of the pipeline).
                 total = 0;
                 while let Some(batch) = scan.next() {
                     total += batch.len();
                 }
-                per_run = stats.borrow_mut().take();
+                per_run = stats.lock().unwrap().take();
             });
             assert_eq!(total, rows);
             (t, per_run.ram_traffic_bytes)

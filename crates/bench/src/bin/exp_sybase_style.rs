@@ -68,13 +68,13 @@ fn main() {
                     disk: Disk::low_end(),
                     layout: Layout::Dsm,
                 },
-                std::rc::Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             );
             let filtered = Select::new(scan, Expr::col(0).lt(Expr::lit_i64(41_000)));
             let mut agg = HashAggregate::new(filtered, vec![], vec![AggExpr::Sum(Expr::col(0))]);
             result = agg.next().expect("one group").col(0).as_i64()[0];
-            per_run = stats.borrow_mut().take();
+            per_run = stats.lock().unwrap().take();
         });
         let io = per_run.io_seconds;
         let total = cpu + (io - cpu).max(0.0);

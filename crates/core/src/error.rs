@@ -60,6 +60,19 @@ pub enum Error {
         /// Read attempts consumed before quarantining.
         attempts: u32,
     },
+    /// A PDICT fine-grained access found a code outside the dictionary at
+    /// a position the patch walk did not mark as an exception. Oversized
+    /// codes are legal only at patched positions (they encode the gap to
+    /// the next exception), so one anywhere else means the segment's code
+    /// or entry-point section is corrupt.
+    CorruptDictCode {
+        /// Position within the segment at which the bad code sits.
+        index: usize,
+        /// The decoded (out-of-range) code.
+        code: u64,
+        /// Size of the segment's dictionary.
+        dict_len: usize,
+    },
     /// A container file (e.g. the CLI's `.scc` format) ended before the
     /// structure it promised.
     Truncated {
@@ -94,6 +107,11 @@ impl fmt::Display for Error {
                 f,
                 "chunk (table {}, column {}, segment {}) quarantined after {attempts} corrupt read(s)",
                 chunk.0, chunk.1, chunk.2
+            ),
+            Error::CorruptDictCode { index, code, dict_len } => write!(
+                f,
+                "corrupt PDICT segment: code {code} at position {index} exceeds dictionary of \
+                 {dict_len} at a non-exception position"
             ),
             Error::Truncated { offset, need, have } => {
                 write!(f, "file truncated at offset {offset}: need {need} bytes, have {have}")
@@ -130,6 +148,7 @@ mod tests {
             (Error::IndexOutOfBounds { index: 9, n: 3 }, "index 9"),
             (Error::ReadFailed { chunk: (1, 2, 3), attempts: 4 }, "4 attempt"),
             (Error::ChunkQuarantined { chunk: (1, 2, 3), attempts: 3 }, "quarantined"),
+            (Error::CorruptDictCode { index: 7, code: 9, dict_len: 5 }, "corrupt PDICT"),
             (Error::Truncated { offset: 9, need: 4, have: 1 }, "offset 9"),
         ];
         for (err, needle) in cases {

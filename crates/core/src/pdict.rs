@@ -253,6 +253,36 @@ mod tests {
     }
 
     #[test]
+    fn oversized_code_at_non_exception_position_is_corruption() {
+        use crate::error::Error;
+        // A 5-entry dictionary at b=3 leaves codes 5..=7 unaddressed, and
+        // none of these values is an exception, so every stored code must
+        // be < 5.
+        let values: Vec<u32> = (0..640u32).map(|i| [3, 9, 27, 81, 243][i as usize % 5]).collect();
+        let dict = Dictionary::new(vec![3, 9, 27, 81, 243]);
+        let mut seg = compress(&values, &dict);
+        assert_eq!(seg.exception_count(), 0);
+        assert_eq!(seg.try_get(7), Ok(values[7]));
+        // Plant an out-of-range dictionary index at position 7.
+        let mut codes = scc_bitpack::unpack_vec(&seg.codes, seg.b, seg.n);
+        codes[7] = 6;
+        seg.codes = scc_bitpack::pack_vec(&codes, seg.b);
+        match seg.try_get(7) {
+            Err(Error::CorruptDictCode { index: 7, code: 6, dict_len: 5 }) => {}
+            other => panic!("expected CorruptDictCode, got {other:?}"),
+        }
+        // Neighbouring positions are unaffected.
+        assert_eq!(seg.try_get(6), Ok(values[6]));
+        assert_eq!(seg.try_get(8), Ok(values[8]));
+        // LOOP1 of the block decode still clamps: pre-patch gap codes
+        // legitimately exceed the dictionary there, so the bulk path
+        // cannot distinguish this corruption and must not panic on it.
+        let mut out = vec![0u32; seg.len()];
+        assert!(seg.try_decode_range(0, &mut out).is_ok());
+        assert_eq!(out[7], 243);
+    }
+
+    #[test]
     fn single_entry_dictionary_b0() {
         let values = vec![77u32; 300];
         let dict = Dictionary::new(vec![77u32]);

@@ -93,6 +93,21 @@ pub struct Segment<V: Value> {
     pub(crate) integrity: Integrity,
 }
 
+// Compile-time proof that segments cross threads: the parallel scan in
+// `scc-storage` shares `Arc`-held column stores (and the segments inside
+// them) across worker threads, which is sound because [`Value`] requires
+// `Send + Sync` and a segment is plain owned data on top of it.
+const _: () = {
+    const fn check<T: Send + Sync>() {}
+    const fn every_segment_is_send_sync<V: Value>() {
+        check::<Segment<V>>();
+    }
+    every_segment_is_send_sync::<u32>();
+    every_segment_is_send_sync::<i32>();
+    every_segment_is_send_sync::<u64>();
+    every_segment_is_send_sync::<i64>();
+};
+
 /// Equality compares the logical contents only — two segments with the
 /// same values are equal regardless of whether one came off disk
 /// [`Integrity::Unverified`].
@@ -355,10 +370,12 @@ impl<V: Value> Segment<V> {
     /// Fine-grained random access: the value at position `x`, without
     /// decompressing the rest of the block (except for PFOR-DELTA, which
     /// must reconstruct the running sum of its block — §3.1 "Fine-Grained
-    /// Access"). Returns [`Error::IndexOutOfBounds`] for `x >= len`.
+    /// Access"). Returns [`Error::IndexOutOfBounds`] for `x >= len` and
+    /// [`Error::CorruptDictCode`] when a PDICT code exceeds the
+    /// dictionary at a position the patch walk ruled out as an exception.
     pub fn try_get(&self, x: usize) -> Result<V, Error> {
         if x < self.n {
-            Ok(self.get_unchecked_pos(x))
+            self.get_checked_pos(x)
         } else {
             Err(Error::IndexOutOfBounds { index: x, n: self.n })
         }
@@ -374,13 +391,13 @@ impl<V: Value> Segment<V> {
     }
 
     /// The fine-grained access kernel; `x` must already be bounds-checked.
-    fn get_unchecked_pos(&self, x: usize) -> V {
+    fn get_checked_pos(&self, x: usize) -> Result<V, Error> {
         debug_assert!(x < self.n);
         let blk = x / BLOCK;
         if self.scheme == SchemeKind::PforDelta {
             let mut buf = [V::default(); BLOCK];
             self.decode_block(blk, &mut buf);
-            return buf[x % BLOCK];
+            return Ok(buf[x % BLOCK]);
         }
         let local = (x % BLOCK) as u32;
         let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
@@ -394,12 +411,24 @@ impl<V: Value> Segment<V> {
             k += 1;
         }
         if k < exc_count && i == local {
-            self.exceptions[exc_start + k]
+            Ok(self.exceptions[exc_start + k])
         } else {
             let c = code_at(local);
             match self.scheme {
-                SchemeKind::Pfor => V::apply_offset(self.base, c),
-                SchemeKind::Pdict => self.dict[(c as usize).min(self.dict.len() - 1)],
+                SchemeKind::Pfor => Ok(V::apply_offset(self.base, c)),
+                // Unlike LOOP1 (where pre-patch positions legitimately
+                // hold oversized gap codes and are clamped before being
+                // overwritten), the patch walk above has already ruled
+                // this position out as an exception — an oversized code
+                // here is corruption, not a gap.
+                SchemeKind::Pdict => match self.dict.get(c as usize) {
+                    Some(&v) => Ok(v),
+                    None => Err(Error::CorruptDictCode {
+                        index: x,
+                        code: c as u64,
+                        dict_len: self.dict.len(),
+                    }),
+                },
                 SchemeKind::PforDelta => unreachable!("handled above"),
             }
         }

@@ -40,6 +40,7 @@ pub use batch::{Batch, ColType, Vector};
 pub use explain::{ExplainNode, OpProfile};
 pub use expr::Expr;
 pub use ops::aggregate::{AggExpr, HashAggregate};
+pub use ops::exchange::{Exchange, Partition};
 pub use ops::join::{HashJoin, JoinKind};
 pub use ops::merge_join::MergeJoin;
 pub use ops::project::Project;

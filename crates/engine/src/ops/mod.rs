@@ -5,6 +5,7 @@ use crate::explain::{ExplainNode, OpProfile};
 use scc_core::Error;
 
 pub mod aggregate;
+pub mod exchange;
 pub mod join;
 pub mod merge_join;
 pub mod project;

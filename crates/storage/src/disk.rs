@@ -17,9 +17,8 @@
 //! fast.
 
 use crate::pool::ChunkId;
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A bandwidth-modeled disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -258,7 +257,7 @@ pub struct ScanStats {
 impl ScanStats {
     /// Takes the accumulated counters, leaving zeros behind. Benches
     /// that reuse one [`StatsHandle`] across timed runs call
-    /// `stats.borrow_mut().take()` at the start of each run so every
+    /// `stats.lock().unwrap().take()` at the start of each run so every
     /// run observes a true per-run delta instead of a running total.
     pub fn take(&mut self) -> ScanStats {
         std::mem::take(self)
@@ -271,9 +270,8 @@ impl ScanStats {
     }
 
     /// Folds another stats block into this one. Parallel scans give
-    /// each partition its own [`StatsHandle`] and merge them at the
-    /// end instead of sharing one `Rc<RefCell<_>>` across threads
-    /// (which `Rc` forbids anyway).
+    /// each worker its own [`StatsHandle`] and merge them at the end
+    /// instead of contending on one shared lock inside the hot loop.
     pub fn merge(&mut self, other: &ScanStats) {
         self.io_bytes += other.io_bytes;
         self.io_seconds += other.io_seconds;
@@ -328,12 +326,22 @@ impl std::fmt::Display for ScanStats {
     }
 }
 
-/// Shared mutable handle to a scan's stats (single-threaded pipelines).
-pub type StatsHandle = Rc<RefCell<ScanStats>>;
+/// Shared handle to a fault-injecting disk. `Send` is part of the
+/// trait-object type so scans holding the handle can move to worker
+/// threads; the mutex keeps the quarantine set and fault draws
+/// consistent across concurrent scans of the same disk.
+pub type DiskHandle = std::sync::Arc<Mutex<dyn DiskRead + Send>>;
+
+/// Shared mutable handle to a scan's stats. `Arc<Mutex<_>>` so scans —
+/// and the operators holding the other end of the handle — are `Send`
+/// and can run on worker threads; parallel scans still keep a private
+/// handle per worker and [`ScanStats::merge`] the results, so the lock
+/// is uncontended in practice.
+pub type StatsHandle = Arc<Mutex<ScanStats>>;
 
 /// Creates a fresh stats handle.
 pub fn stats_handle() -> StatsHandle {
-    Rc::new(RefCell::new(ScanStats::default()))
+    Arc::new(Mutex::new(ScanStats::default()))
 }
 
 #[cfg(test)]
@@ -439,22 +447,22 @@ mod tests {
     #[test]
     fn take_resets_and_returns_delta() {
         let handle = stats_handle();
-        *handle.borrow_mut() = sample_stats(2);
-        let delta = handle.borrow_mut().take();
+        *handle.lock().unwrap() = sample_stats(2);
+        let delta = handle.lock().unwrap().take();
         assert_eq!(delta, sample_stats(2));
-        assert_eq!(*handle.borrow(), ScanStats::default());
+        assert_eq!(*handle.lock().unwrap(), ScanStats::default());
         // A second take observes only what accumulated since.
-        handle.borrow_mut().io_bytes = 7;
-        assert_eq!(handle.borrow_mut().take().io_bytes, 7);
+        handle.lock().unwrap().io_bytes = 7;
+        assert_eq!(handle.lock().unwrap().take().io_bytes, 7);
     }
 
     #[test]
     fn snapshot_does_not_disturb() {
         let handle = stats_handle();
-        *handle.borrow_mut() = sample_stats(1);
-        let snap = handle.borrow().snapshot();
+        *handle.lock().unwrap() = sample_stats(1);
+        let snap = handle.lock().unwrap().snapshot();
         assert_eq!(snap, sample_stats(1));
-        assert_eq!(*handle.borrow(), sample_stats(1));
+        assert_eq!(*handle.lock().unwrap(), sample_stats(1));
     }
 
     #[test]

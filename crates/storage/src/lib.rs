@@ -21,12 +21,17 @@
 //! compressed segment into a cache-resident vector. The *page-wise* mode
 //! (decompress a whole segment into RAM first, then read vectors from it)
 //! exists to reproduce the paper's Figure 7 / Table 3 comparison.
+//! [`ParallelScan`] fans the same scan out across worker threads —
+//! morsel-stealing over segment ids — and merges the partitions back
+//! into exact serial order through `scc_engine`'s `Exchange` (§6
+//! outlook; DESIGN.md §8).
 
 #![warn(missing_docs)]
 
 pub mod column;
 pub mod delta;
 pub mod disk;
+pub mod parallel;
 pub mod pool;
 pub mod scan;
 pub mod table;
@@ -34,10 +39,11 @@ pub mod table;
 pub use column::{Column, ColumnStore, Compression, NumColumn, StoredSegment, StrColumn};
 pub use delta::{materialize, Cell, MergingScan, TableDeltas};
 pub use disk::{
-    stats_handle, Disk, DiskRead, FaultPlan, FaultyDisk, ReadOutcome, RetryPolicy, ScanStats,
-    StatsHandle,
+    stats_handle, Disk, DiskHandle, DiskRead, FaultPlan, FaultyDisk, ReadOutcome, RetryPolicy,
+    ScanStats, StatsHandle,
 };
-pub use pool::{BufferPool, ChunkId};
+pub use parallel::ParallelScan;
+pub use pool::{pool_handle, BufferPool, ChunkId, PoolHandle};
 pub use scan::{DecompressionGranularity, Scan, ScanMode, ScanOptions};
 pub use table::{Layout, Table, TableBuilder};
 

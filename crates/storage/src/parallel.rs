@@ -1,0 +1,371 @@
+//! Thread-parallel segment scans (§6 outlook: "our high-performance
+//! (de-)compression routines can already improve this bandwidth on
+//! parallel architectures").
+//!
+//! A [`ParallelScan`] partitions a table's segments across a pool of
+//! worker threads by *morsel stealing*: workers claim the next
+//! unclaimed segment from a shared atomic counter, so a worker that
+//! lands on cheap segments simply claims more of them. Each worker runs
+//! an ordinary [`Scan`] restricted to its claimed segment
+//! ([`Scan::with_segment_range`]) with a **private** [`StatsHandle`] —
+//! the hot decode loop never contends on a shared lock — and ships the
+//! segment's batches to an engine-side [`Exchange`], which reorders
+//! them into exact serial order. On exit every worker folds its private
+//! stats into the shared handle via [`ScanStats::merge`], so the caller
+//! observes the same totals a serial scan would have produced.
+//!
+//! The buffer pool and the fault-injecting disk *are* shared
+//! (`Arc<Mutex<_>>`): residency and quarantine decisions must stay
+//! globally consistent, and both are touched once per segment, not per
+//! vector, so the locks are cold.
+
+use crate::disk::{stats_handle, DiskHandle, RetryPolicy, StatsHandle};
+use crate::pool::PoolHandle;
+use crate::scan::{Scan, ScanOptions};
+use crate::table::Table;
+use scc_core::Error;
+use scc_engine::{Batch, Exchange, ExplainNode, OpProfile, Operator, Partition};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+/// A scan that decodes a table's segments on `threads` worker threads
+/// and yields the exact serial stream (same batches, same order, same
+/// first error).
+pub struct ParallelScan {
+    exchange: Exchange,
+    table_name: String,
+    col_names: String,
+    threads: usize,
+}
+
+// A parallel scan is itself an operator that can cross threads.
+const _: () = {
+    const fn check<T: Send>() {}
+    check::<ParallelScan>();
+};
+
+impl ParallelScan {
+    /// Builds a parallel scan over `cols` of `table`, reporting merged
+    /// stats into `stats`. Panics like [`Scan::new`] on invalid columns
+    /// or options, and if `threads == 0`.
+    pub fn new(
+        table: Arc<Table>,
+        cols: &[&str],
+        opts: ScanOptions,
+        stats: StatsHandle,
+        pool: Option<PoolHandle>,
+        threads: usize,
+    ) -> Self {
+        Self::build(table, cols, opts, stats, pool, None, threads)
+    }
+
+    /// Like [`ParallelScan::new`], with every worker's chunk reads
+    /// routed through a shared fault-injecting disk (see
+    /// [`Scan::with_fault_injection`]).
+    #[allow(clippy::too_many_arguments)] // Scan::new's five plus the fault pair
+    pub fn with_fault_injection(
+        table: Arc<Table>,
+        cols: &[&str],
+        opts: ScanOptions,
+        stats: StatsHandle,
+        pool: Option<PoolHandle>,
+        disk: DiskHandle,
+        policy: RetryPolicy,
+        threads: usize,
+    ) -> Self {
+        Self::build(table, cols, opts, stats, pool, Some((disk, policy)), threads)
+    }
+
+    fn build(
+        table: Arc<Table>,
+        cols: &[&str],
+        opts: ScanOptions,
+        stats: StatsHandle,
+        pool: Option<PoolHandle>,
+        faulty: Option<(DiskHandle, RetryPolicy)>,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "parallel scan needs at least one worker");
+        // Validate columns and options on the caller's thread — the
+        // same panics Scan::new raises, instead of a worker dying later.
+        drop(Scan::new(Arc::clone(&table), cols, opts, stats_handle(), None));
+        let table_name = table.name.clone();
+        let col_names = cols.join(", ");
+        let owned_cols: Arc<Vec<String>> = Arc::new(cols.iter().map(|c| c.to_string()).collect());
+        let n_segments = table.n_segments();
+        let next_segment = Arc::new(AtomicUsize::new(0));
+        // Bounded: a fast worker can run at most a couple of segments
+        // ahead of the consumer before it parks.
+        let (tx, rx) = sync_channel::<Partition>(threads * 2);
+        scc_obs::gauge_set!("storage.parallel.threads", threads as f64);
+        let workers = (0..threads.min(n_segments.max(1)))
+            .map(|w| {
+                let table = Arc::clone(&table);
+                let cols = Arc::clone(&owned_cols);
+                let pool = pool.clone();
+                let faulty = faulty.clone();
+                let stats = Arc::clone(&stats);
+                let next_segment = Arc::clone(&next_segment);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("scc-scan-{w}"))
+                    .spawn(move || {
+                        let local = stats_handle();
+                        let col_refs: Vec<&str> = cols.iter().map(|c| c.as_str()).collect();
+                        let mut claimed = 0u64;
+                        loop {
+                            let seg = next_segment.fetch_add(1, Ordering::Relaxed);
+                            if seg >= n_segments {
+                                break;
+                            }
+                            claimed += 1;
+                            let mut scan = Scan::new(
+                                Arc::clone(&table),
+                                &col_refs,
+                                opts,
+                                Arc::clone(&local),
+                                pool.clone(),
+                            )
+                            .with_segment_range(seg..seg + 1);
+                            if let Some((disk, policy)) = &faulty {
+                                scan = scan.with_fault_injection(Arc::clone(disk), *policy);
+                            }
+                            let result = drain(&mut scan);
+                            if tx.send((seg as u64, result)).is_err() {
+                                // The exchange dropped the receiver
+                                // (consumer went away); stop producing.
+                                break;
+                            }
+                        }
+                        let delta = local.lock().unwrap().take();
+                        if scc_obs::enabled() {
+                            let reg = scc_obs::global();
+                            reg.counter(&format!("storage.parallel.worker.{w}.segments"))
+                                .add(claimed);
+                            reg.counter(&format!("storage.parallel.worker.{w}.decompress_ns"))
+                                .add((delta.decompress_seconds * 1e9) as u64);
+                            reg.counter(&format!("storage.parallel.worker.{w}.output_bytes"))
+                                .add(delta.output_bytes);
+                        }
+                        stats.lock().unwrap().merge(&delta);
+                    })
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        drop(tx);
+        Self {
+            exchange: Exchange::new(n_segments as u64, rx, workers),
+            table_name,
+            col_names,
+            threads,
+        }
+    }
+
+    /// Worker threads actually spawned (at most one per segment).
+    pub fn workers(&self) -> usize {
+        self.exchange.workers()
+    }
+}
+
+/// Drains one worker's per-segment scan into its partition payload.
+fn drain(scan: &mut Scan) -> Result<Vec<Batch>, Error> {
+    let mut batches = Vec::new();
+    loop {
+        match scan.try_next() {
+            Ok(Some(b)) => batches.push(b),
+            Ok(None) => return Ok(batches),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl Operator for ParallelScan {
+    fn try_next(&mut self) -> Result<Option<Batch>, Error> {
+        self.exchange.try_next()
+    }
+
+    fn label(&self) -> String {
+        format!("ParallelScan({}: {}, threads={})", self.table_name, self.col_names, self.threads)
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.exchange.profile()
+    }
+
+    fn explain(&self) -> ExplainNode {
+        ExplainNode::new(self.label(), self.profile(), vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{Disk, FaultPlan, FaultyDisk, ScanStats};
+    use crate::pool::BufferPool;
+    use crate::scan::ScanMode;
+    use crate::table::TableBuilder;
+    use scc_engine::ops::{collect, try_collect};
+    use std::sync::Mutex;
+
+    fn test_table(rows: usize) -> Arc<Table> {
+        TableBuilder::new("pt")
+            .seg_rows(2048)
+            .add_i64("key", (0..rows as i64).collect())
+            .add_i32("val", (0..rows).map(|i| (i % 97) as i32).collect())
+            .add_str("flag", (0..rows).map(|i| ["A", "B", "C"][i % 3].to_string()).collect())
+            .build()
+    }
+
+    fn serial_reference(t: &Arc<Table>, cols: &[&str]) -> (Batch, ScanStats) {
+        let stats = stats_handle();
+        let mut scan = Scan::new(
+            Arc::clone(t),
+            cols,
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            Arc::clone(&stats),
+            None,
+        );
+        let out = collect(&mut scan);
+        let s = *stats.lock().unwrap();
+        (out, s)
+    }
+
+    #[test]
+    fn every_thread_count_matches_serial_output_and_stats() {
+        let t = test_table(10_000); // 5 segments, one partial
+        let cols = ["key", "val", "flag"];
+        let (serial, serial_stats) = serial_reference(&t, &cols);
+        for threads in 1..=4 {
+            let stats = stats_handle();
+            let mut scan = ParallelScan::new(
+                Arc::clone(&t),
+                &cols,
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                Arc::clone(&stats),
+                None,
+                threads,
+            );
+            let out = collect(&mut scan);
+            assert_eq!(out, serial, "threads={threads}");
+            let s = *stats.lock().unwrap();
+            // Integer counters merge exactly; float seconds are summed in
+            // worker-completion order and measured per run, so only the
+            // integers are compared bit-for-bit.
+            assert_eq!(s.io_bytes, serial_stats.io_bytes, "threads={threads}");
+            assert_eq!(s.output_bytes, serial_stats.output_bytes, "threads={threads}");
+            assert_eq!(s.ram_traffic_bytes, serial_stats.ram_traffic_bytes);
+            assert_eq!(
+                s.pool_hits + s.pool_misses,
+                serial_stats.pool_hits + serial_stats.pool_misses
+            );
+            assert!(s.io_seconds > 0.0 && s.decompress_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_pool_absorbs_a_parallel_rescan() {
+        let t = test_table(8192);
+        let pool = Arc::new(Mutex::new(BufferPool::unbounded()));
+        let stats = stats_handle();
+        for _ in 0..2 {
+            let mut scan = ParallelScan::new(
+                Arc::clone(&t),
+                &["key"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                Arc::clone(&stats),
+                Some(Arc::clone(&pool)),
+                3,
+            );
+            collect(&mut scan);
+        }
+        let s = stats.lock().unwrap();
+        assert_eq!(s.pool_hits, s.pool_misses, "second pass served from pool");
+    }
+
+    #[test]
+    fn more_workers_than_segments_is_fine() {
+        let t = test_table(3000); // 2 segments
+        let stats = stats_handle();
+        let mut scan = ParallelScan::new(
+            Arc::clone(&t),
+            &["key"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            stats,
+            None,
+            8,
+        );
+        assert!(scan.workers() <= 2);
+        let out = collect(&mut scan);
+        assert_eq!(out.len(), 3000);
+        assert_eq!(out.col(0).as_i64()[2999], 2999);
+    }
+
+    #[test]
+    fn quarantine_error_surfaces_in_serial_position() {
+        let t = test_table(10_000);
+        let plan = FaultPlan { seed: 3, bit_flip: 1.0, truncate: 0.0, transient_fail: 0.0 };
+        let disk: DiskHandle = Arc::new(Mutex::new(FaultyDisk::new(Disk::middle_end(), plan)));
+        let serial_err = {
+            let mut scan = Scan::new(
+                Arc::clone(&t),
+                &["key"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                stats_handle(),
+                None,
+            )
+            .with_fault_injection(Arc::clone(&disk), RetryPolicy::default());
+            try_collect(&mut scan).expect_err("every delivery corrupt")
+        };
+        for threads in [1usize, 3] {
+            let fresh: DiskHandle = Arc::new(Mutex::new(FaultyDisk::new(Disk::middle_end(), plan)));
+            let mut scan = ParallelScan::with_fault_injection(
+                Arc::clone(&t),
+                &["key"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                stats_handle(),
+                None,
+                fresh,
+                RetryPolicy::default(),
+                threads,
+            );
+            let err = try_collect(&mut scan).expect_err("every delivery corrupt");
+            assert_eq!(err, serial_err, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uncompressed_mode_parallelizes_too() {
+        let t = test_table(6000);
+        let cols = ["key", "val"];
+        let opts =
+            ScanOptions { mode: ScanMode::Uncompressed, vector_size: 1024, ..Default::default() };
+        let serial = {
+            let mut scan = Scan::new(Arc::clone(&t), &cols, opts, stats_handle(), None);
+            collect(&mut scan)
+        };
+        let mut scan = ParallelScan::new(Arc::clone(&t), &cols, opts, stats_handle(), None, 2);
+        assert_eq!(collect(&mut scan), serial);
+    }
+
+    #[test]
+    fn label_names_threads() {
+        let t = test_table(2048);
+        let scan = ParallelScan::new(
+            Arc::clone(&t),
+            &["key", "val"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            stats_handle(),
+            None,
+            2,
+        );
+        assert_eq!(scan.label(), "ParallelScan(pt: key, val, threads=2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let t = test_table(2048);
+        ParallelScan::new(t, &["key"], ScanOptions::default(), stats_handle(), None, 0);
+    }
+}

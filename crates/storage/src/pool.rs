@@ -5,12 +5,27 @@
 //! more often than an uncompressed-caching design. The pool tracks
 //! residency and sizes only — actual bytes live in the column stores —
 //! which is all the I/O accounting needs.
+//!
+//! Eviction is O(log residents) per victim: a tick-ordered
+//! [`BTreeMap`] mirrors the resident set so the least-recently-used
+//! chunk is `pop_first`, not a full scan of the residency map (which
+//! made cold sweeps through a small pool quadratic).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifies one cached unit: `(table_id, column_id, segment)`; PAX
 /// chunks use `column_id = u32::MAX`.
 pub type ChunkId = (u32, u32, u32);
+
+/// Shared handle to a pool. `Arc<Mutex<_>>` so concurrent scan workers
+/// can share one pool: residency decisions stay globally consistent
+/// (a chunk cached by one worker is a hit for every other).
+pub type PoolHandle = std::sync::Arc<std::sync::Mutex<BufferPool>>;
+
+/// Creates a shared handle to a pool with the given byte budget.
+pub fn pool_handle(capacity: u64) -> PoolHandle {
+    std::sync::Arc::new(std::sync::Mutex::new(BufferPool::new(capacity)))
+}
 
 /// LRU pool with a byte budget.
 #[derive(Debug)]
@@ -19,13 +34,27 @@ pub struct BufferPool {
     used: u64,
     /// chunk -> (bytes, last-use tick)
     resident: HashMap<ChunkId, (u64, u64)>,
+    /// last-use tick -> chunk, mirroring `resident`. Ticks are unique
+    /// (one per `access`), so this is a total recency order and the
+    /// first entry is always the LRU victim.
+    lru: BTreeMap<u64, ChunkId>,
     tick: u64,
+    evictions: u64,
+    victim_probes: u64,
 }
 
 impl BufferPool {
     /// Creates a pool with the given byte budget.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, resident: HashMap::new(), tick: 0 }
+        Self {
+            capacity,
+            used: 0,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            evictions: 0,
+            victim_probes: 0,
+        }
     }
 
     /// An effectively infinite pool (no eviction): every access after the
@@ -40,25 +69,26 @@ impl BufferPool {
     pub fn access(&mut self, id: ChunkId, bytes: u64) -> bool {
         self.tick += 1;
         if let Some(entry) = self.resident.get_mut(&id) {
+            self.lru.remove(&entry.1);
             entry.1 = self.tick;
+            self.lru.insert(self.tick, id);
             scc_obs::counter_add!("storage.pool.hits", 1);
             return true;
         }
         scc_obs::counter_add!("storage.pool.misses", 1);
         if bytes <= self.capacity {
             while self.used + bytes > self.capacity {
-                // Evict the least recently used chunk.
-                let victim = *self
-                    .resident
-                    .iter()
-                    .min_by_key(|(_, &(_, t))| t)
-                    .map(|(id, _)| id)
-                    .expect("over budget implies residents");
+                // Evict the least recently used chunk: the first entry
+                // of the tick-ordered mirror.
+                let (_, victim) = self.lru.pop_first().expect("over budget implies residents");
+                self.victim_probes += 1;
                 let (vb, _) = self.resident.remove(&victim).expect("victim resident");
                 self.used -= vb;
+                self.evictions += 1;
                 scc_obs::counter_add!("storage.pool.evictions", 1);
             }
             self.resident.insert(id, (bytes, self.tick));
+            self.lru.insert(self.tick, id);
             self.used += bytes;
         }
         false
@@ -74,10 +104,25 @@ impl BufferPool {
         self.resident.len()
     }
 
+    /// Chunks evicted over the pool's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Victim-selection probes over the pool's lifetime. With the
+    /// ordered LRU index this equals [`Self::evictions`] — exactly one
+    /// probe per victim — whereas the old full-scan selection did
+    /// O(residents) probes per victim. The cold-sweep regression test
+    /// pins this invariant.
+    pub fn victim_probes(&self) -> u64 {
+        self.victim_probes
+    }
+
     /// Drops one chunk if resident (used when a read of it later proves
     /// corrupt: a quarantined chunk must not be served from cache).
     pub fn evict(&mut self, id: ChunkId) {
-        if let Some((bytes, _)) = self.resident.remove(&id) {
+        if let Some((bytes, tick)) = self.resident.remove(&id) {
+            self.lru.remove(&tick);
             self.used -= bytes;
         }
     }
@@ -85,6 +130,7 @@ impl BufferPool {
     /// Drops all residents (e.g. between experiment runs).
     pub fn clear(&mut self) {
         self.resident.clear();
+        self.lru.clear();
         self.used = 0;
     }
 }
@@ -154,5 +200,45 @@ mod tests {
             pool.access((0, 0, i), 1 << 20);
         }
         assert_eq!(pool.resident_chunks(), 1000);
+        assert_eq!(pool.evictions(), 0);
+    }
+
+    #[test]
+    fn cold_sweep_does_constant_work_per_miss() {
+        // Regression for the quadratic eviction path: streaming 10k
+        // distinct chunks through a 4-chunk pool must select exactly one
+        // victim per eviction, not rescan the resident set. The old
+        // `min_by_key` selection performed `residents` probes per
+        // victim; the ordered index performs one.
+        let mut pool = BufferPool::new(4 * 100);
+        for i in 0..10_000u32 {
+            assert!(!pool.access((0, 0, i), 100), "cold sweep never hits");
+        }
+        assert_eq!(pool.resident_chunks(), 4);
+        assert_eq!(pool.evictions(), 10_000 - 4);
+        assert_eq!(
+            pool.victim_probes(),
+            pool.evictions(),
+            "victim selection must be O(1) probes per eviction"
+        );
+    }
+
+    #[test]
+    fn lru_index_stays_consistent_through_evict_and_clear() {
+        let mut pool = BufferPool::new(1000);
+        pool.access((0, 0, 0), 400);
+        pool.access((0, 0, 1), 400);
+        pool.evict((0, 0, 0));
+        // Chunk 1 is now the sole resident; filling the pool evicts it
+        // rather than tripping over a stale index entry for chunk 0.
+        pool.access((0, 0, 2), 400);
+        pool.access((0, 0, 3), 400); // over budget: evicts chunk 1
+        assert!(!pool.access((0, 0, 1), 400), "chunk 1 was evicted");
+        pool.clear();
+        assert_eq!(pool.used_bytes(), 0);
+        assert_eq!(pool.resident_chunks(), 0);
+        // After clear, accesses start from a clean index.
+        assert!(!pool.access((0, 0, 7), 400));
+        assert!(pool.access((0, 0, 7), 400));
     }
 }

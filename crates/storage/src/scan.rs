@@ -16,15 +16,18 @@
 //! codes in every mode (predicates arrive pre-translated); uncompressed
 //! mode charges the raw string bytes that a non-dictionary store would
 //! read, keeping the I/O accounting faithful to the paper's baseline.
+//!
+//! Every handle a scan holds (`stats`, `pool`, fault disk) is
+//! `Arc<Mutex<_>>`, so a `Scan` is `Send` and [`crate::ParallelScan`]
+//! can run one per worker thread over disjoint segment ranges
+//! ([`Scan::with_segment_range`]).
 
 use crate::column::{Column, NumColumn};
-use crate::disk::{Disk, DiskRead, ReadOutcome, RetryPolicy, StatsHandle};
-use crate::pool::{BufferPool, ChunkId};
+use crate::disk::{Disk, DiskHandle, ReadOutcome, RetryPolicy, StatsHandle};
+use crate::pool::{ChunkId, PoolHandle};
 use crate::table::{Layout, Table};
 use scc_core::Error;
 use scc_engine::{Batch, ExplainNode, OpProfile, Operator, Vector};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,15 +88,24 @@ pub struct Scan {
     cols: Vec<usize>,
     opts: ScanOptions,
     stats: StatsHandle,
-    pool: Option<Rc<RefCell<BufferPool>>>,
+    pool: Option<PoolHandle>,
     pos: usize,
+    /// Exclusive row bound; `n_rows` for a full-table scan, tighter when
+    /// [`Scan::with_segment_range`] restricted the scan to a slice.
+    end: usize,
     cur_segment: Option<usize>,
     pages: Vec<Option<PageBuf>>,
     /// Fault-injecting disk + retry policy; `None` scans the clean
     /// modeled disk with no per-chunk validation.
-    faulty: Option<(Rc<RefCell<dyn DiskRead>>, RetryPolicy)>,
+    faulty: Option<(DiskHandle, RetryPolicy)>,
     profile: OpProfile,
 }
+
+// The parallel scan moves whole `Scan`s onto worker threads.
+const _: () = {
+    const fn check<T: Send>() {}
+    check::<Scan>();
+};
 
 impl Scan {
     /// Builds a scan over `cols` of `table`, reporting into `stats`.
@@ -102,7 +114,7 @@ impl Scan {
         cols: &[&str],
         opts: ScanOptions,
         stats: StatsHandle,
-        pool: Option<Rc<RefCell<BufferPool>>>,
+        pool: Option<PoolHandle>,
     ) -> Self {
         assert!(
             opts.vector_size > 0 && table.seg_rows().is_multiple_of(opts.vector_size),
@@ -116,6 +128,7 @@ impl Scan {
             );
         }
         let n_cols = cols.len();
+        let end = table.n_rows();
         Self {
             table,
             cols,
@@ -123,6 +136,7 @@ impl Scan {
             stats,
             pool,
             pos: 0,
+            end,
             cur_segment: None,
             pages: (0..n_cols).map(|_| None).collect(),
             faulty: None,
@@ -135,13 +149,24 @@ impl Scan {
     /// doubling backoff, corrupt deliveries are rejected by wire
     /// checksum, and chunks still corrupt after the retry budget are
     /// quarantined (evicted from the pool, every later read fails fast).
-    pub fn with_fault_injection(
-        mut self,
-        disk: Rc<RefCell<dyn DiskRead>>,
-        policy: RetryPolicy,
-    ) -> Self {
+    pub fn with_fault_injection(mut self, disk: DiskHandle, policy: RetryPolicy) -> Self {
         assert!(policy.max_attempts >= 1, "retry policy needs at least one attempt");
         self.faulty = Some((disk, policy));
+        self
+    }
+
+    /// Restricts the scan to the segments in `range` (segment indices,
+    /// end-exclusive). The parallel scan hands each worker one such
+    /// slice; a full-table scan is `0..table.n_segments()`.
+    pub fn with_segment_range(mut self, range: std::ops::Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.table.n_segments(),
+            "segment range {range:?} out of bounds for {} segments",
+            self.table.n_segments()
+        );
+        let seg_rows = self.table.seg_rows();
+        self.pos = range.start * seg_rows;
+        self.end = (range.end * seg_rows).min(self.table.n_rows());
         self
     }
 
@@ -165,12 +190,12 @@ impl Scan {
     /// copy was validated when it was first read).
     fn charge_chunk(&self, id: ChunkId, bytes: u64, payload: Option<&[u8]>) -> Result<(), Error> {
         if let Some((disk, policy)) = &self.faulty {
-            if disk.borrow().is_quarantined(id) {
+            if disk.lock().unwrap().is_quarantined(id) {
                 return Err(Error::ChunkQuarantined { chunk: id, attempts: policy.max_attempts });
             }
         }
-        let hit = self.pool.as_ref().is_some_and(|p| p.borrow_mut().access(id, bytes));
-        let mut stats = self.stats.borrow_mut();
+        let hit = self.pool.as_ref().is_some_and(|p| p.lock().unwrap().access(id, bytes));
+        let mut stats = self.stats.lock().unwrap();
         // Compressed (or plain) bytes stream through RAM either way.
         stats.ram_traffic_bytes += bytes;
         scc_obs::counter_add!("storage.scan.ram_traffic_bytes", bytes);
@@ -187,7 +212,7 @@ impl Scan {
             scc_obs::counter_add!("storage.scan.io_ns", (secs * 1e9) as u64);
             return Ok(());
         };
-        let mut disk = disk.borrow_mut();
+        let mut disk = disk.lock().unwrap();
         let mut saw_corruption = false;
         for attempt in 1..=policy.max_attempts {
             let secs = disk.read_seconds(bytes) + policy.backoff_before(attempt);
@@ -216,7 +241,7 @@ impl Scan {
         }
         // Retry budget exhausted: the pool must not serve this chunk.
         if let Some(p) = &self.pool {
-            p.borrow_mut().evict(id);
+            p.lock().unwrap().evict(id);
         }
         if saw_corruption {
             disk.quarantine(id);
@@ -284,7 +309,7 @@ impl Scan {
         take: usize,
     ) -> Vector {
         let c = self.cols[slot];
-        let stats = Rc::clone(&self.stats);
+        let stats = Arc::clone(&self.stats);
         let col = match &self.table.columns()[c].1 {
             Column::Num(nc) => nc.clone_ref(),
             Column::Str(sc) => NumColRef::U32(&sc.codes),
@@ -301,7 +326,7 @@ impl Scan {
                         let t0 = Instant::now();
                         $store.decode_segment_range(seg, offset, &mut out);
                         let dt = t0.elapsed();
-                        stats.borrow_mut().decompress_seconds += dt.as_secs_f64();
+                        stats.lock().unwrap().decompress_seconds += dt.as_secs_f64();
                         scc_obs::counter_add!("storage.scan.decompress_ns", dt.as_nanos() as u64);
                     }
                     (ScanMode::Compressed, DecompressionGranularity::PageWise) => {
@@ -316,7 +341,7 @@ impl Scan {
                                 "storage.scan.decompress_ns",
                                 dt.as_nanos() as u64
                             );
-                            let mut st = stats.borrow_mut();
+                            let mut st = stats.lock().unwrap();
                             st.decompress_seconds += dt.as_secs_f64();
                             // The page is written to RAM and read back.
                             st.ram_traffic_bytes +=
@@ -331,7 +356,7 @@ impl Scan {
                     }
                 }
                 let produced = (take * std::mem::size_of::<$ty>()) as u64;
-                stats.borrow_mut().output_bytes += produced;
+                stats.lock().unwrap().output_bytes += produced;
                 scc_obs::counter_add!("storage.scan.output_bytes", produced);
                 $ctor(out)
             }};
@@ -363,7 +388,7 @@ impl NumColumn {
 
 impl Scan {
     fn produce(&mut self) -> Result<Option<Batch>, Error> {
-        if self.pos >= self.table.n_rows() {
+        if self.pos >= self.end {
             return Ok(None);
         }
         let seg_rows = self.table.seg_rows();
@@ -376,7 +401,7 @@ impl Scan {
             }
         }
         let offset = self.pos % seg_rows;
-        let seg_end = ((seg + 1) * seg_rows).min(self.table.n_rows());
+        let seg_end = ((seg + 1) * seg_rows).min(self.end);
         let take = self.opts.vector_size.min(seg_end - self.pos);
         let columns: Vec<Vector> = (0..self.cols.len())
             .map(|slot| self.read_column_vector(slot, seg, offset, take))
@@ -413,8 +438,10 @@ impl Operator for Scan {
 mod tests {
     use super::*;
     use crate::disk::stats_handle;
+    use crate::pool::BufferPool;
     use crate::table::TableBuilder;
     use scc_engine::ops::collect;
+    use std::sync::Mutex;
 
     fn test_table() -> Arc<Table> {
         TableBuilder::new("t")
@@ -434,7 +461,7 @@ mod tests {
             Arc::clone(&t),
             &["key", "val", "flag"],
             ScanOptions { vector_size: 1024, ..Default::default() },
-            Rc::clone(&stats),
+            Arc::clone(&stats),
             None,
         );
         let out = collect(&mut scan);
@@ -444,10 +471,51 @@ mod tests {
         // String column arrives as codes.
         let code = out.col(2).as_u32()[4];
         assert_eq!(t.str_col("flag").dict[code as usize], "B");
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         assert!(s.io_bytes > 0);
         assert!(s.decompress_seconds >= 0.0);
         assert!(s.output_bytes > 0);
+    }
+
+    #[test]
+    fn segment_range_scan_matches_full_scan_slice() {
+        let t = test_table();
+        let full = {
+            let mut scan = Scan::new(
+                Arc::clone(&t),
+                &["key", "val"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                stats_handle(),
+                None,
+            );
+            collect(&mut scan)
+        };
+        // Segments 1..3 cover rows 2048..6144.
+        let stats = stats_handle();
+        let mut scan = Scan::new(
+            Arc::clone(&t),
+            &["key", "val"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            Arc::clone(&stats),
+            None,
+        )
+        .with_segment_range(1..3);
+        let part = collect(&mut scan);
+        assert_eq!(part.len(), 4096);
+        assert_eq!(part.col(0).as_i64(), &full.col(0).as_i64()[2048..6144]);
+        assert_eq!(part.col(1).as_i32(), &full.col(1).as_i32()[2048..6144]);
+        // Only the two in-range segments were charged.
+        assert_eq!(stats.lock().unwrap().pool_misses, 4, "2 segments x 2 columns");
+        // An empty range yields nothing.
+        let mut empty = Scan::new(
+            Arc::clone(&t),
+            &["key"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            stats_handle(),
+            None,
+        )
+        .with_segment_range(2..2);
+        assert_eq!(collect(&mut empty).len(), 0);
     }
 
     #[test]
@@ -459,12 +527,12 @@ mod tests {
                 Arc::clone(&t),
                 &["key", "val"],
                 ScanOptions { mode, vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             );
             let out = collect(&mut scan);
             assert_eq!(out.len(), 10_000);
-            let b = stats.borrow().io_bytes;
+            let b = stats.lock().unwrap().io_bytes;
             b
         };
         let comp = run(ScanMode::Compressed);
@@ -481,11 +549,11 @@ mod tests {
                 Arc::clone(&t),
                 &["key"],
                 ScanOptions { layout, vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             );
             collect(&mut scan);
-            let b = stats.borrow().io_bytes;
+            let b = stats.lock().unwrap().io_bytes;
             b
         };
         let dsm = run(Layout::Dsm);
@@ -503,11 +571,11 @@ mod tests {
                 Arc::clone(&t),
                 &["key", "val"],
                 ScanOptions { granularity, vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             );
             let out = collect(&mut scan);
-            let ram = stats.borrow().ram_traffic_bytes;
+            let ram = stats.lock().unwrap().ram_traffic_bytes;
             (out, ram)
         };
         let (v_out, v_ram) = run(DecompressionGranularity::VectorWise);
@@ -520,19 +588,19 @@ mod tests {
     #[test]
     fn buffer_pool_absorbs_rescans() {
         let t = test_table();
-        let pool = Rc::new(RefCell::new(BufferPool::unbounded()));
+        let pool = Arc::new(Mutex::new(BufferPool::unbounded()));
         let stats = stats_handle();
         for _ in 0..2 {
             let mut scan = Scan::new(
                 Arc::clone(&t),
                 &["key"],
                 ScanOptions { vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
-                Some(Rc::clone(&pool)),
+                Arc::clone(&stats),
+                Some(Arc::clone(&pool)),
             );
             collect(&mut scan);
         }
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         assert_eq!(s.pool_hits, s.pool_misses, "second scan all hits");
     }
 
@@ -543,8 +611,8 @@ mod tests {
         Scan::new(t, &["comment"], ScanOptions::default(), stats_handle(), None);
     }
 
-    fn faulty(plan: crate::disk::FaultPlan) -> Rc<RefCell<dyn DiskRead>> {
-        Rc::new(RefCell::new(crate::disk::FaultyDisk::new(Disk::middle_end(), plan)))
+    fn faulty(plan: crate::disk::FaultPlan) -> DiskHandle {
+        Arc::new(Mutex::new(crate::disk::FaultyDisk::new(Disk::middle_end(), plan)))
     }
 
     #[test]
@@ -555,13 +623,13 @@ mod tests {
             Arc::clone(&t),
             &["key", "val"],
             ScanOptions { vector_size: 1024, ..Default::default() },
-            Rc::clone(&stats),
+            Arc::clone(&stats),
             None,
         )
         .with_fault_injection(faulty(crate::disk::FaultPlan::none(1)), RetryPolicy::default());
         let out = collect(&mut scan);
         assert_eq!(out.len(), 10_000);
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         assert_eq!((s.retries, s.checksum_failures, s.quarantined_chunks), (0, 0, 0));
     }
 
@@ -580,11 +648,11 @@ mod tests {
                 Arc::clone(&t),
                 &["key", "val", "flag"],
                 ScanOptions { vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             );
             collect(&mut scan);
-            let b = stats.borrow().io_bytes;
+            let b = stats.lock().unwrap().io_bytes;
             b
         };
         let mut recovered_with_faults = false;
@@ -596,7 +664,7 @@ mod tests {
                 Arc::clone(&t),
                 &["key", "val", "flag"],
                 ScanOptions { vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             )
             .with_fault_injection(
@@ -606,7 +674,7 @@ mod tests {
             let out = scc_engine::ops::try_collect(&mut scan).expect("20 attempts recover");
             assert_eq!(out.len(), 10_000, "retries recover the full scan");
             assert_eq!(out.col(0).as_i64()[5000], 5000);
-            let s = stats.borrow();
+            let s = stats.lock().unwrap();
             assert_eq!(s.quarantined_chunks, 0);
             if s.retries > 0 && s.checksum_failures > 0 {
                 // Each retry re-charged full chunk I/O.
@@ -624,32 +692,32 @@ mod tests {
         let plan =
             crate::disk::FaultPlan { seed: 3, bit_flip: 1.0, truncate: 0.0, transient_fail: 0.0 };
         let disk = faulty(plan);
-        let pool = Rc::new(RefCell::new(BufferPool::unbounded()));
+        let pool = Arc::new(Mutex::new(BufferPool::unbounded()));
         let stats = stats_handle();
         let mut scan = Scan::new(
             Arc::clone(&t),
             &["key"],
             ScanOptions { vector_size: 1024, ..Default::default() },
-            Rc::clone(&stats),
-            Some(Rc::clone(&pool)),
+            Arc::clone(&stats),
+            Some(Arc::clone(&pool)),
         )
-        .with_fault_injection(Rc::clone(&disk), RetryPolicy::default());
+        .with_fault_injection(Arc::clone(&disk), RetryPolicy::default());
         let err = scan.try_next().expect_err("every delivery is corrupt");
         let scc_core::Error::ChunkQuarantined { chunk, attempts } = err else {
             panic!("expected quarantine, got {err}");
         };
         assert_eq!(attempts, 3);
-        let s = *stats.borrow();
+        let s = *stats.lock().unwrap();
         assert_eq!(s.checksum_failures, 3);
         assert_eq!(s.retries, 2);
         assert_eq!(s.quarantined_chunks, 1);
-        assert!(disk.borrow().is_quarantined(chunk));
-        assert_eq!(pool.borrow().resident_chunks(), 0, "corrupt chunk evicted");
+        assert!(disk.lock().unwrap().is_quarantined(chunk));
+        assert_eq!(pool.lock().unwrap().resident_chunks(), 0, "corrupt chunk evicted");
         // Later reads of the quarantined chunk fail fast: no extra I/O.
         let io_before = s.io_bytes;
         let err2 = scan.try_next().expect_err("quarantined chunk fails fast");
         assert!(matches!(err2, scc_core::Error::ChunkQuarantined { .. }));
-        assert_eq!(stats.borrow().io_bytes, io_before);
+        assert_eq!(stats.lock().unwrap().io_bytes, io_before);
     }
 
     #[test]
@@ -663,17 +731,20 @@ mod tests {
             Arc::clone(&t),
             &["key"],
             ScanOptions { vector_size: 1024, ..Default::default() },
-            Rc::clone(&stats),
+            Arc::clone(&stats),
             None,
         )
-        .with_fault_injection(Rc::clone(&disk), RetryPolicy::default());
+        .with_fault_injection(Arc::clone(&disk), RetryPolicy::default());
         let err = scan.try_next().expect_err("every read fails");
         let scc_core::Error::ReadFailed { chunk, attempts } = err else {
             panic!("expected ReadFailed, got {err}");
         };
         assert_eq!(attempts, 3);
-        assert!(!disk.borrow().is_quarantined(chunk), "transient failures do not quarantine");
-        assert_eq!(stats.borrow().quarantined_chunks, 0);
+        assert!(
+            !disk.lock().unwrap().is_quarantined(chunk),
+            "transient failures do not quarantine"
+        );
+        assert_eq!(stats.lock().unwrap().quarantined_chunks, 0);
     }
 
     #[test]
@@ -691,7 +762,7 @@ mod tests {
                 Arc::clone(&t),
                 &["key", "val"],
                 ScanOptions { vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
+                Arc::clone(&stats),
                 None,
             )
             .with_fault_injection(
@@ -699,7 +770,7 @@ mod tests {
                 RetryPolicy { max_attempts: 8, backoff_seconds: 0.001 },
             );
             let rows = collect(&mut scan).len();
-            let s = *stats.borrow();
+            let s = *stats.lock().unwrap();
             (rows, s.io_bytes, s.retries, s.checksum_failures, s.quarantined_chunks, s.pool_misses)
         };
         assert_eq!(run(), run(), "same seed, same fault sequence, same stats");
@@ -713,20 +784,20 @@ mod tests {
         // keyed per attempt; instead verify hits don't touch the disk.
         let plan = crate::disk::FaultPlan::none(0);
         let disk = faulty(plan);
-        let pool = Rc::new(RefCell::new(BufferPool::unbounded()));
+        let pool = Arc::new(Mutex::new(BufferPool::unbounded()));
         let stats = stats_handle();
         for _ in 0..2 {
             let mut scan = Scan::new(
                 Arc::clone(&t),
                 &["key"],
                 ScanOptions { vector_size: 1024, ..Default::default() },
-                Rc::clone(&stats),
-                Some(Rc::clone(&pool)),
+                Arc::clone(&stats),
+                Some(Arc::clone(&pool)),
             )
-            .with_fault_injection(Rc::clone(&disk), RetryPolicy::default());
+            .with_fault_injection(Arc::clone(&disk), RetryPolicy::default());
             collect(&mut scan);
         }
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         assert_eq!(s.pool_hits, s.pool_misses, "second scan served from pool");
     }
 

@@ -1,0 +1,136 @@
+//! Brute-force multithreaded scan correctness: N workers over disjoint
+//! segment ranges must reproduce the serial scan byte for byte, and
+//! their merged [`ScanStats`] must equal the serial totals.
+
+use scc_engine::Operator;
+use scc_storage::disk::{stats_handle, ScanStats};
+use scc_storage::{pool_handle, ParallelScan, Scan, ScanOptions, Table, TableBuilder};
+use std::sync::Arc;
+use std::thread;
+
+const ROWS: usize = 10_000;
+const SEG_ROWS: usize = 1024;
+
+fn build_table() -> Arc<Table> {
+    let key: Vec<i64> = (0..ROWS as i64).map(|i| i * 7 % 5000).collect();
+    let val: Vec<i64> = (0..ROWS as i64).map(|i| i * i % 100_000).collect();
+    TableBuilder::new("bf").seg_rows(SEG_ROWS).add_i64("key", key).add_i64("val", val).build()
+}
+
+fn drain_cols(scan: &mut dyn Operator) -> (Vec<i64>, Vec<i64>) {
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    while let Some(batch) = scan.next() {
+        a.extend_from_slice(batch.col(0).as_i64());
+        b.extend_from_slice(batch.col(1).as_i64());
+    }
+    (a, b)
+}
+
+fn serial_run(table: &Arc<Table>) -> (Vec<i64>, Vec<i64>, ScanStats) {
+    let stats = stats_handle();
+    let mut scan = Scan::new(
+        Arc::clone(table),
+        &["key", "val"],
+        ScanOptions::default(),
+        Arc::clone(&stats),
+        None,
+    );
+    let (a, b) = drain_cols(&mut scan);
+    let s = *stats.lock().unwrap();
+    (a, b, s)
+}
+
+/// Splits `0..n_segments` into `workers` contiguous disjoint ranges.
+fn partition(n_segments: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let per = n_segments.div_ceil(workers);
+    (0..workers).map(|w| (w * per).min(n_segments)..((w + 1) * per).min(n_segments)).collect()
+}
+
+#[test]
+fn disjoint_ranges_across_real_threads_match_serial() {
+    let table = build_table();
+    let (base_a, base_b, base_stats) = serial_run(&table);
+    assert_eq!(table.n_segments(), 10);
+    for workers in [2, 3, 4, 7] {
+        let ranges = partition(table.n_segments(), workers);
+        let mut results: Vec<(Vec<i64>, Vec<i64>, ScanStats)> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let table = Arc::clone(&table);
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        let stats = stats_handle();
+                        let mut scan = Scan::new(
+                            table,
+                            &["key", "val"],
+                            ScanOptions::default(),
+                            Arc::clone(&stats),
+                            None,
+                        )
+                        .with_segment_range(range);
+                        let (a, b) = drain_cols(&mut scan);
+                        let s = *stats.lock().unwrap();
+                        (a, b, s)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("worker panicked"));
+            }
+        });
+        let mut merged = ScanStats::default();
+        let (mut all_a, mut all_b) = (Vec::new(), Vec::new());
+        for (a, b, s) in &results {
+            all_a.extend_from_slice(a);
+            all_b.extend_from_slice(b);
+            merged.merge(s);
+        }
+        assert_eq!(all_a, base_a, "{workers} workers: col 0 diverged");
+        assert_eq!(all_b, base_b, "{workers} workers: col 1 diverged");
+        // Disjoint ranges partition the work exactly, so every integer
+        // counter must add up to the serial totals. (Float timings merge
+        // in nondeterministic order and are only sanity-checked.)
+        assert_eq!(merged.io_bytes, base_stats.io_bytes, "{workers} workers");
+        assert_eq!(merged.output_bytes, base_stats.output_bytes, "{workers} workers");
+        assert_eq!(merged.ram_traffic_bytes, base_stats.ram_traffic_bytes, "{workers} workers");
+        assert_eq!(
+            merged.pool_hits + merged.pool_misses,
+            base_stats.pool_hits + base_stats.pool_misses,
+            "{workers} workers"
+        );
+        assert_eq!(merged.retries, 0);
+        assert_eq!(merged.checksum_failures, 0);
+        assert!(merged.io_seconds > 0.0);
+    }
+}
+
+#[test]
+fn parallel_scan_operator_merges_stats_like_serial() {
+    let table = build_table();
+    let (base_a, base_b, base_stats) = serial_run(&table);
+    for threads in 1..=4 {
+        let stats = stats_handle();
+        let pool = pool_handle(1 << 20);
+        let mut scan = ParallelScan::new(
+            Arc::clone(&table),
+            &["key", "val"],
+            ScanOptions::default(),
+            Arc::clone(&stats),
+            Some(pool),
+            threads,
+        );
+        let (a, b) = drain_cols(&mut scan);
+        let s = *stats.lock().unwrap();
+        assert_eq!(a, base_a, "threads={threads}");
+        assert_eq!(b, base_b, "threads={threads}");
+        assert_eq!(s.io_bytes, base_stats.io_bytes, "threads={threads}");
+        assert_eq!(s.output_bytes, base_stats.output_bytes, "threads={threads}");
+        assert_eq!(
+            s.pool_hits + s.pool_misses,
+            base_stats.pool_hits + base_stats.pool_misses,
+            "threads={threads}"
+        );
+    }
+}

@@ -7,7 +7,6 @@ use scc_storage::{
     Cell, Compression, DecompressionGranularity, Disk, Layout, MergingScan, Scan, ScanMode,
     ScanOptions, TableBuilder, TableDeltas,
 };
-use std::rc::Rc;
 use std::sync::Arc;
 
 fn collect_col0_i64(scan: &mut dyn Operator) -> Vec<i64> {
@@ -60,11 +59,11 @@ proptest! {
             Arc::clone(&table),
             &["x"],
             ScanOptions::default(),
-            Rc::clone(&stats),
+            Arc::clone(&stats),
             None,
         );
         while scan.next().is_some() {}
-        let s = *stats.borrow();
+        let s = *stats.lock().unwrap();
         // Exactly the column's compressed bytes are charged, once.
         prop_assert_eq!(s.io_bytes, table.col("x").compressed_bytes());
         prop_assert_eq!(s.output_bytes, (values.len() * 8) as u64);

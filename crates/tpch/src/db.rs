@@ -6,11 +6,9 @@ use crate::gen::RawTables;
 use scc_engine::{Batch, ExplainNode};
 use scc_storage::disk::{stats_handle, ScanStats, StatsHandle};
 use scc_storage::{
-    BufferPool, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions, Table,
-    TableBuilder,
+    DecompressionGranularity, Disk, Layout, ParallelScan, PoolHandle, Scan, ScanMode, ScanOptions,
+    Table, TableBuilder,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -161,7 +159,11 @@ pub struct QueryConfig {
     /// Tuples per vector.
     pub vector_size: usize,
     /// Optional shared buffer pool.
-    pub pool: Option<Rc<RefCell<BufferPool>>>,
+    pub pool: Option<PoolHandle>,
+    /// Scan worker threads. `1` runs the serial [`Scan`]; higher counts
+    /// run every table scan as a [`ParallelScan`] over that many
+    /// workers (the rest of the pipeline stays on the calling thread).
+    pub threads: usize,
 }
 
 impl Default for QueryConfig {
@@ -173,6 +175,7 @@ impl Default for QueryConfig {
             disk: Disk::middle_end(),
             vector_size: scc_engine::VECTOR_SIZE,
             pool: None,
+            threads: 1,
         }
     }
 }
@@ -193,7 +196,18 @@ impl QueryConfig {
             disk: self.disk,
             layout: self.layout,
         };
-        Box::new(Scan::new(Arc::clone(table), cols, opts, Rc::clone(stats), self.pool.clone()))
+        if self.threads > 1 {
+            Box::new(ParallelScan::new(
+                Arc::clone(table),
+                cols,
+                opts,
+                Arc::clone(stats),
+                self.pool.clone(),
+                self.threads,
+            ))
+        } else {
+            Box::new(Scan::new(Arc::clone(table), cols, opts, Arc::clone(stats), self.pool.clone()))
+        }
     }
 }
 
@@ -231,7 +245,7 @@ pub fn run_query(f: impl FnOnce(&StatsHandle) -> (Batch, ExplainNode)) -> QueryR
     let t0 = Instant::now();
     let (batch, explain) = f(&stats);
     let cpu_seconds = t0.elapsed().as_secs_f64();
-    let stats = *stats.borrow();
+    let stats = *stats.lock().unwrap();
     QueryRun { batch, stats, cpu_seconds, explain }
 }
 

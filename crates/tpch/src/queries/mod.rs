@@ -142,7 +142,8 @@ pub(crate) mod testkit {
     }
 
     /// Runs a query under every scan mode / layout / granularity combo
-    /// and asserts identical results.
+    /// (plus a 2-thread parallel-scan pass) and asserts identical
+    /// results.
     pub fn assert_config_invariant(q: u32) {
         use scc_storage::{DecompressionGranularity, Layout, ScanMode};
         let db = small_db();
@@ -169,6 +170,9 @@ pub(crate) mod testkit {
                 }
             }
         }
+        // Parallel scans must be invisible to query results.
+        let cfg = crate::QueryConfig { threads: 2, ..Default::default() };
+        assert_eq!(run_query(db, &cfg, q).batch, base, "q{q} differs under threads=2");
     }
 }
 

@@ -12,9 +12,7 @@ use scc::storage::{
     BufferPool, Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
     TableBuilder,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     // A sensor-log style table: timestamps (monotone), device ids (low
@@ -48,7 +46,7 @@ fn main() {
         Arc::clone(&table),
         &["ts", "status"],
         ScanOptions { disk: Disk::low_end(), ..Default::default() },
-        Rc::clone(&stats),
+        Arc::clone(&stats),
         None,
     );
     let mut filtered = Select::new(scan, Expr::col(1).in_set(fail));
@@ -58,28 +56,28 @@ fn main() {
     }
     println!(
         "\nFAIL rows: {fails} — scan read {:.2} MB compressed, modeled {:.1} ms of I/O",
-        stats.borrow().io_bytes as f64 / 1e6,
-        stats.borrow().io_seconds * 1000.0
+        stats.lock().unwrap().io_bytes as f64 / 1e6,
+        stats.lock().unwrap().io_seconds * 1000.0
     );
 
     // Buffer pool: the compressed cache holds the whole table; a second
     // scan does no I/O at all.
-    let pool = Rc::new(RefCell::new(BufferPool::new(table.compressed_bytes() + 1024)));
+    let pool = Arc::new(Mutex::new(BufferPool::new(table.compressed_bytes() + 1024)));
     for pass in 1..=2 {
         let stats = stats_handle();
         let mut scan = Scan::new(
             Arc::clone(&table),
             &["reading"],
             ScanOptions { disk: Disk::low_end(), ..Default::default() },
-            Rc::clone(&stats),
-            Some(Rc::clone(&pool)),
+            Arc::clone(&stats),
+            Some(Arc::clone(&pool)),
         );
         while scan.next().is_some() {}
         println!(
             "pass {pass}: {} pool hits, {} misses, {:.2} MB charged to disk",
-            stats.borrow().pool_hits,
-            stats.borrow().pool_misses,
-            stats.borrow().io_bytes as f64 / 1e6
+            stats.lock().unwrap().pool_hits,
+            stats.lock().unwrap().pool_misses,
+            stats.lock().unwrap().io_bytes as f64 / 1e6
         );
     }
 
@@ -99,10 +97,13 @@ fn main() {
                 disk: Disk::middle_end(),
                 layout: Layout::Dsm,
             },
-            Rc::clone(&stats),
+            Arc::clone(&stats),
             None,
         );
         while scan.next().is_some() {}
-        println!("{label}: {:.1} MB of RAM traffic", stats.borrow().ram_traffic_bytes as f64 / 1e6);
+        println!(
+            "{label}: {:.1} MB of RAM traffic",
+            stats.lock().unwrap().ram_traffic_bytes as f64 / 1e6
+        );
     }
 }

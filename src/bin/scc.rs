@@ -6,7 +6,7 @@
 //! scc decompress <in.scc>  <out.bin>
 //! scc inspect    <in.scc>
 //! scc verify     <in.scc>
-//! scc explain    [--queries 1,6] [--sf 0.01] [--metrics-json <out.json>]
+//! scc explain    [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]
 //! ```
 //!
 //! File format: `SCCF` magic, a type tag, a segment count, then
@@ -42,7 +42,7 @@ fn die(msg: &str) -> ExitCode {
         "usage:\n  scc analyze    <in.bin> [--type T]\n  scc compress   <in.bin> <out.scc> \
          [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
          <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  scc explain    \
-         [--queries 1,6] [--sf 0.01] [--metrics-json <out.json>]\n  \
+         [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]\n  \
          (T = u32|i32|u64|i64, default u32)"
     );
     ExitCode::FAILURE
@@ -271,9 +271,21 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let mut sf = 0.01f64;
     let mut queries: Vec<u32> = vec![1, 6];
     let mut metrics_path: Option<String> = None;
+    let mut threads = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                i += 2;
+            }
             "--sf" => {
                 sf = args
                     .get(i + 1)
@@ -309,14 +321,15 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
 
     scc::obs::set_enabled(true);
     let db = scc::tpch::TpchDb::generate(sf, 20_060_703);
-    let cfg = scc::tpch::QueryConfig::default();
+    let cfg = scc::tpch::QueryConfig { threads, ..Default::default() };
     for &q in &queries {
         let run = scc::tpch::queries::run_query(&db, &cfg, q);
         println!(
-            "Q{q} — {} row(s), cpu {:.2} ms, modeled total {:.2} ms",
+            "Q{q} — {} row(s), {thr} scan thread(s), cpu {:.2} ms, modeled total {:.2} ms",
             run.batch.len(),
             run.cpu_seconds * 1e3,
-            run.total_seconds() * 1e3
+            run.total_seconds() * 1e3,
+            thr = threads,
         );
         print!("{}", run.explain.render());
         println!("  [{}]", run.stats);

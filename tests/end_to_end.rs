@@ -7,9 +7,7 @@ use scc::storage::{
     BufferPool, Compression, DecompressionGranularity, Disk, Layout, Scan, ScanMode, ScanOptions,
     Table, TableBuilder,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 fn build_table() -> Arc<Table> {
     let n = 50_000usize;
@@ -71,11 +69,11 @@ fn compressed_scan_beats_uncompressed_on_io() {
             Arc::clone(&table),
             &["id", "amount", "day"],
             ScanOptions { mode, ..Default::default() },
-            Rc::clone(&stats),
+            Arc::clone(&stats),
             None,
         );
         while scan.next().is_some() {}
-        let bytes = stats.borrow().io_bytes;
+        let bytes = stats.lock().unwrap().io_bytes;
         bytes
     };
     let compressed = io_of(ScanMode::Compressed);
@@ -95,19 +93,19 @@ fn buffer_pool_compressed_caching_beats_uncompressed_budget() {
     let budget = table.compressed_bytes() + 4096;
     assert!(budget < table.plain_bytes(), "test premise: budget between sizes");
     let run = |mode| {
-        let pool = Rc::new(RefCell::new(BufferPool::new(budget)));
+        let pool = Arc::new(Mutex::new(BufferPool::new(budget)));
         let stats = stats_handle();
         for _ in 0..2 {
             let mut scan = Scan::new(
                 Arc::clone(&table),
                 &["id", "amount", "day", "kind"],
                 ScanOptions { mode, ..Default::default() },
-                Rc::clone(&stats),
-                Some(Rc::clone(&pool)),
+                Arc::clone(&stats),
+                Some(Arc::clone(&pool)),
             );
             while scan.next().is_some() {}
         }
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         (s.pool_hits, s.pool_misses)
     };
     let (hits_c, _misses_c) = run(ScanMode::Compressed);
