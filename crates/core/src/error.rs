@@ -83,6 +83,19 @@ pub enum Error {
         /// Bytes actually available from that offset.
         have: usize,
     },
+    /// A checksummed stream frame was torn, oversized or corrupt (see
+    /// [`crate::frame`]).
+    Frame(crate::frame::FrameError),
+    /// A scan was restricted to a segment range that does not exist in
+    /// the table.
+    SegmentRangeOutOfBounds {
+        /// Requested first segment (inclusive).
+        start: usize,
+        /// Requested end segment (exclusive).
+        end: usize,
+        /// Segments actually in the table.
+        n_segments: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -93,7 +106,10 @@ impl fmt::Display for Error {
                 write!(f, "range start {start} is not aligned to the 128-value block")
             }
             Error::RangeOutOfBounds { start, len, n } => {
-                write!(f, "range [{start}, {}) out of bounds for segment of {n}", start + len)
+                // Saturate: the variant also reports ranges whose very
+                // problem is that start + len overflows usize.
+                let end = start.saturating_add(*len);
+                write!(f, "range [{start}, {end}) out of bounds for segment of {n}")
             }
             Error::IndexOutOfBounds { index, n } => {
                 write!(f, "index {index} out of bounds for segment of {n}")
@@ -116,6 +132,10 @@ impl fmt::Display for Error {
             Error::Truncated { offset, need, have } => {
                 write!(f, "file truncated at offset {offset}: need {need} bytes, have {have}")
             }
+            Error::Frame(e) => write!(f, "{e}"),
+            Error::SegmentRangeOutOfBounds { start, end, n_segments } => {
+                write!(f, "segment range [{start}, {end}) out of bounds for {n_segments} segments")
+            }
         }
     }
 }
@@ -124,6 +144,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Wire(e) => Some(e),
+            Error::Frame(e) => Some(e),
             _ => None,
         }
     }
@@ -132,6 +153,12 @@ impl std::error::Error for Error {
 impl From<WireError> for Error {
     fn from(e: WireError) -> Self {
         Error::Wire(e)
+    }
+}
+
+impl From<crate::frame::FrameError> for Error {
+    fn from(e: crate::frame::FrameError) -> Self {
+        Error::Frame(e)
     }
 }
 
@@ -150,6 +177,11 @@ mod tests {
             (Error::ChunkQuarantined { chunk: (1, 2, 3), attempts: 3 }, "quarantined"),
             (Error::CorruptDictCode { index: 7, code: 9, dict_len: 5 }, "corrupt PDICT"),
             (Error::Truncated { offset: 9, need: 4, have: 1 }, "offset 9"),
+            (
+                Error::Frame(crate::frame::FrameError::Checksum { stored: 1, computed: 2 }),
+                "checksum",
+            ),
+            (Error::SegmentRangeOutOfBounds { start: 2, end: 9, n_segments: 5 }, "[2, 9)"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -1,0 +1,260 @@
+//! Checksummed length-prefixed framing, shared by the on-disk container
+//! and the network server.
+//!
+//! One checked implementation serves both consumers:
+//!
+//! * **Stream frames** — `[u32 LE len][payload][u32 LE CRC32C(payload)]`
+//!   read and written over any `io::Read`/`io::Write` ([`read_frame`],
+//!   [`write_frame`]). This is the unit of the `scc-server` protocol:
+//!   a flipped bit anywhere in the payload fails the trailing checksum
+//!   and surfaces as a typed [`FrameError`], never a panic or a
+//!   misparse.
+//! * **Buffer prefixes** — plain `[u32 LE len][payload]` records inside
+//!   an in-memory byte buffer ([`put_len_prefixed`],
+//!   [`take_len_prefixed`]), the walk the CLI's `SCCF` container uses.
+//!   Structural defects report [`Error::Truncated`] with the same
+//!   offsets the container historically produced. (Per-record
+//!   integrity there comes from the segment wire format's own v2
+//!   checksums, so the prefix itself carries no CRC.)
+//!
+//! Both paths share the length-prefix arithmetic and the hand-rolled
+//! [`crate::crc`] implementation; neither trusts a length field before
+//! bounding it.
+
+use crate::crc::crc32c;
+use crate::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Bytes of the `u32` length prefix.
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Fixed per-frame overhead: length prefix plus trailing CRC32C.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Default ceiling on a single frame's payload. Callers reading from
+/// untrusted peers pass their own bound; this is a sane upper limit for
+/// cooperating processes (64 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A defect in one checksummed stream frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream ended cleanly at a frame boundary (zero bytes of the
+    /// next frame had arrived). For a network connection this is the
+    /// peer hanging up, not corruption.
+    Eof,
+    /// The declared payload length exceeds the caller's bound. The
+    /// frame is rejected before any allocation.
+    TooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The caller's ceiling.
+        max: usize,
+    },
+    /// The payload failed its trailing CRC32C.
+    Checksum {
+        /// Checksum carried by the frame.
+        stored: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// The underlying reader or writer failed (includes a stream that
+    /// ended *mid*-frame, which arrives as
+    /// [`std::io::ErrorKind::UnexpectedEof`]).
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "stream ended at a frame boundary"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Checksum { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::Io(kind) => write!(f, "frame i/o failed: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.kind())
+    }
+}
+
+/// Encodes one checksummed frame into a fresh buffer.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out
+}
+
+/// Writes one checksummed frame to `w`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&encode(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one checksummed frame from `r`, bounding the declared payload
+/// length by `max_len` *before* allocating. A stream that ends cleanly
+/// before the first byte reports [`FrameError::Eof`]; one that ends
+/// mid-frame reports [`FrameError::Io`] with
+/// [`std::io::ErrorKind::UnexpectedEof`].
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; LEN_PREFIX_BYTES];
+    // Distinguish a clean hang-up (zero bytes) from a torn frame.
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Eof),
+            Ok(0) => return Err(FrameError::Io(std::io::ErrorKind::UnexpectedEof)),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32c(&payload);
+    if stored != computed {
+        return Err(FrameError::Checksum { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Appends one `[u32 LE len][payload]` record to `out` (no CRC — see
+/// the module docs for when that is appropriate).
+pub fn put_len_prefixed(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Takes the next `[u32 LE len][payload]` record from `bytes` starting
+/// at `*pos`, advancing `*pos` past it. A prefix or payload running
+/// past the end of the buffer reports [`Error::Truncated`] at the
+/// offset where the missing data was expected.
+pub fn take_len_prefixed<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], Error> {
+    if *pos + LEN_PREFIX_BYTES > bytes.len() {
+        return Err(Error::Truncated {
+            offset: *pos,
+            need: LEN_PREFIX_BYTES,
+            have: bytes.len().saturating_sub(*pos),
+        });
+    }
+    let len = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap()) as usize;
+    let start = *pos + LEN_PREFIX_BYTES;
+    if start + len > bytes.len() {
+        return Err(Error::Truncated { offset: start, need: len, have: bytes.len() - start });
+    }
+    *pos = start + len;
+    Ok(&bytes[start..start + len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = b"hello, columnar world";
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        assert_eq!(buf.len(), payload.len() + FRAME_OVERHEAD);
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), payload);
+        // The stream now ends cleanly at a frame boundary.
+        assert_eq!(read_frame(&mut r, 1024), Err(FrameError::Eof));
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut r = Cursor::new(encode(b""));
+        assert_eq!(read_frame(&mut r, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        let clean = encode(&payload);
+        // Flips in the payload or CRC must fail the checksum; flips in
+        // the length prefix either fail the checksum, truncate, or trip
+        // the size bound — never succeed.
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                let res = read_frame(&mut Cursor::new(&bad), clean.len());
+                assert!(res.is_err(), "flip at byte {byte} bit {bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bad), 1024).unwrap_err();
+        assert_eq!(err, FrameError::TooLarge { len: u32::MAX as usize, max: 1024 });
+    }
+
+    #[test]
+    fn torn_frame_is_unexpected_eof_not_clean_eof() {
+        let full = encode(b"abcdef");
+        for cut in 1..full.len() {
+            let err = read_frame(&mut Cursor::new(&full[..cut]), 1024).unwrap_err();
+            assert_eq!(err, FrameError::Io(std::io::ErrorKind::UnexpectedEof), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn len_prefixed_records_roundtrip_with_typed_truncation() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"one");
+        put_len_prefixed(&mut buf, b"");
+        put_len_prefixed(&mut buf, b"three");
+        let mut pos = 0;
+        assert_eq!(take_len_prefixed(&buf, &mut pos).unwrap(), b"one");
+        assert_eq!(take_len_prefixed(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(take_len_prefixed(&buf, &mut pos).unwrap(), b"three");
+        assert_eq!(pos, buf.len());
+        let err = take_len_prefixed(&buf, &mut pos).unwrap_err();
+        assert_eq!(err, Error::Truncated { offset: buf.len(), need: 4, have: 0 });
+        // A length that promises more than the buffer holds.
+        let mut short = Vec::new();
+        put_len_prefixed(&mut short, b"payload");
+        short.truncate(short.len() - 2);
+        let mut pos = 0;
+        let err = take_len_prefixed(&short, &mut pos).unwrap_err();
+        assert_eq!(err, Error::Truncated { offset: 4, need: 7, have: 5 });
+    }
+
+    #[test]
+    fn display_is_informative() {
+        for (err, needle) in [
+            (FrameError::Eof, "boundary"),
+            (FrameError::TooLarge { len: 9, max: 4 }, "limit"),
+            (FrameError::Checksum { stored: 1, computed: 2 }, "mismatch"),
+            (FrameError::Io(std::io::ErrorKind::UnexpectedEof), "i/o"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

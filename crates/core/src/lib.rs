@@ -45,6 +45,7 @@
 //! | [`analyze`] | §3.1 | `PFOR_ANALYZE_BITS`, histogram analysis, auto choice |
 //! | [`wire`] | Fig. 3 | Byte serialization (v2: per-section CRC32C checksums) |
 //! | [`crc`] | — | Hand-rolled CRC32C (slicing-by-8) |
+//! | [`frame`] | — | Checksummed length-prefixed framing (container + server) |
 //! | [`error`] | — | Unified [`Error`] type for the fallible decode path |
 //! | [`telemetry`] | — | Per-scheme encode/decode metrics (`scc-obs` registry) |
 
@@ -54,6 +55,7 @@ pub mod analyze;
 pub mod crc;
 pub mod error;
 pub mod float;
+pub mod frame;
 pub mod naive;
 pub mod patch;
 pub mod pdict;
@@ -70,6 +72,7 @@ pub use analyze::{
 pub use crc::{crc32c, crc32c_append};
 pub use error::{ChunkRef, Error};
 pub use float::{compress_f64_auto, FloatPlan, FloatSegment};
+pub use frame::FrameError;
 pub use naive::NaiveSegment;
 pub use patch::{EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
 pub use pdict::Dictionary;

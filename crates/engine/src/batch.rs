@@ -13,6 +13,29 @@ pub enum ColType {
     F64,
 }
 
+impl ColType {
+    /// Stable one-byte wire tag (see [`Vector::write_wire`]).
+    pub fn tag(self) -> u8 {
+        match self {
+            ColType::I32 => 1,
+            ColType::I64 => 2,
+            ColType::U32 => 3,
+            ColType::F64 => 4,
+        }
+    }
+
+    /// Inverse of [`Self::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<ColType> {
+        match tag {
+            1 => Some(ColType::I32),
+            2 => Some(ColType::I64),
+            3 => Some(ColType::U32),
+            4 => Some(ColType::F64),
+            _ => None,
+        }
+    }
+}
+
 /// A typed column vector.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Vector {
@@ -154,6 +177,71 @@ impl Vector {
             ColType::F64 => Vector::F64(Vec::new()),
         }
     }
+
+    /// Appends the wire form — `[u8 type tag][u32 LE count][count
+    /// little-endian values]` — to `out`. The unit the server's value
+    /// and batch response frames are built from.
+    ///
+    /// # Panics
+    /// Panics on [`Vector::Mask`] (masks are transient predicate
+    /// results, never materialized column data).
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        out.push(self.col_type().tag());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        match self {
+            Vector::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Vector::I64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Vector::U32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Vector::F64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Vector::Mask(_) => unreachable!("col_type rejected masks"),
+        }
+    }
+
+    /// Reads one [`Self::write_wire`] record from `bytes` starting at
+    /// `*pos`, advancing `*pos` past it. Unknown type tags and short
+    /// buffers come back as typed errors — network peers are not
+    /// trusted to frame vectors correctly.
+    pub fn read_wire(bytes: &[u8], pos: &mut usize) -> Result<Vector, scc_core::Error> {
+        use scc_core::{Error, WireError};
+        let need =
+            |at: usize, need: usize, have: usize| Error::Truncated { offset: at, need, have };
+        if *pos + 5 > bytes.len() {
+            return Err(need(*pos, 5, bytes.len() - *pos));
+        }
+        let ty = ColType::from_tag(bytes[*pos])
+            .ok_or(Error::Wire(WireError::Corrupt("unknown vector type tag")))?;
+        let count = u32::from_le_bytes(bytes[*pos + 1..*pos + 5].try_into().unwrap()) as usize;
+        let mut at = *pos + 5;
+        let width = match ty {
+            ColType::I32 | ColType::U32 => 4,
+            ColType::I64 | ColType::F64 => 8,
+        };
+        // The count is untrusted: bound it by the bytes actually present
+        // before any allocation.
+        let body = count.checked_mul(width).filter(|&b| at + b <= bytes.len()).ok_or(need(
+            at,
+            count.saturating_mul(width),
+            bytes.len() - at,
+        ))?;
+        macro_rules! read {
+            ($ctor:path, $ty:ty) => {{
+                let mut v = Vec::with_capacity(count);
+                for chunk in bytes[at..at + body].chunks_exact(width) {
+                    v.push(<$ty>::from_le_bytes(chunk.try_into().unwrap()));
+                }
+                $ctor(v)
+            }};
+        }
+        let out = match ty {
+            ColType::I32 => read!(Vector::I32, i32),
+            ColType::I64 => read!(Vector::I64, i64),
+            ColType::U32 => read!(Vector::U32, u32),
+            ColType::F64 => read!(Vector::F64, f64),
+        };
+        at += body;
+        *pos = at;
+        Ok(out)
+    }
 }
 
 /// A batch of rows: equal-length column vectors.
@@ -238,5 +326,52 @@ mod tests {
         let b = Batch::new(vec![]);
         assert_eq!(b.len(), 0);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn vector_wire_roundtrips_every_type() {
+        let vectors = vec![
+            Vector::I32(vec![i32::MIN, -1, 0, 7, i32::MAX]),
+            Vector::I64(vec![i64::MIN, -1, 0, 7, i64::MAX]),
+            Vector::U32(vec![0, 1, u32::MAX]),
+            Vector::F64(vec![-0.5, 0.0, f64::MAX]),
+            Vector::U32(Vec::new()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vectors {
+            v.write_wire(&mut buf);
+        }
+        let mut pos = 0;
+        for v in &vectors {
+            assert_eq!(&Vector::read_wire(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn vector_wire_rejects_bad_tags_and_short_buffers() {
+        let mut buf = Vec::new();
+        Vector::I64(vec![1, 2, 3]).write_wire(&mut buf);
+        // Unknown type tag.
+        let mut bad = buf.clone();
+        bad[0] = 99;
+        assert!(Vector::read_wire(&bad, &mut 0).is_err());
+        // Every truncation point fails typed, never panics.
+        for cut in 0..buf.len() {
+            assert!(Vector::read_wire(&buf[..cut], &mut 0).is_err(), "cut at {cut}");
+        }
+        // A count promising more data than the buffer holds.
+        let mut lying = buf.clone();
+        lying[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Vector::read_wire(&lying, &mut 0).is_err());
+    }
+
+    #[test]
+    fn col_type_tags_are_stable_and_invertible() {
+        for ty in [ColType::I32, ColType::I64, ColType::U32, ColType::F64] {
+            assert_eq!(ColType::from_tag(ty.tag()), Some(ty));
+        }
+        assert_eq!(ColType::from_tag(0), None);
+        assert_eq!(ColType::from_tag(5), None);
     }
 }

@@ -191,6 +191,36 @@ impl Histogram {
         self.buckets[i].load(Ordering::Relaxed)
     }
 
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) from the log₂
+    /// buckets: the upper bound of the bucket holding the `q`-th
+    /// sample, clamped to the exact observed `[min, max]`. The
+    /// power-of-two buckets bound the error at 2× — enough for the
+    /// server's p50/p95/p99 service-time reporting, where the decade
+    /// matters and the digit does not. `None` when empty or `q` is out
+    /// of range.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cum += self.bucket(i);
+            if cum >= rank {
+                let upper = match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return Some(upper.clamp(self.min()?, self.max()?));
+            }
+        }
+        // Racing recorders can leave the bucket sum momentarily behind
+        // the count; the max is the honest answer for the tail.
+        self.max()
+    }
+
     /// `(bucket_index, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         (0..HISTOGRAM_BUCKETS)
@@ -570,6 +600,31 @@ mod tests {
         counter_add!("obs.test.flagged", 10);
         assert_eq!(c.get(), before + 10);
         set_enabled(false);
+    }
+
+    #[test]
+    fn percentile_lands_in_the_right_bucket_decade() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        // 90 fast samples around 100, 10 slow ones around 100_000.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((100..200).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile(0.99).unwrap();
+        assert_eq!(p99, 100_000, "clamped to the observed max, got {p99}");
+        let p0 = h.percentile(0.0).unwrap();
+        assert!((100..200).contains(&p0), "p0 {p0} bounded below by the observed min");
+        assert_eq!(h.percentile(1.0).unwrap(), 100_000);
+        assert_eq!(h.percentile(1.5), None);
+        // A single sample is every percentile.
+        let one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.percentile(0.5), Some(7));
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! Client half of the protocol, plus the closed-loop load generator.
+//!
+//! [`Client`] is a thin blocking wrapper over one TCP connection: it
+//! frames requests, verifies response checksums (via
+//! `scc_core::frame`), and decodes responses — including *raw*
+//! segment-range responses, which it decompresses locally with the
+//! same `Segment` decode path the server would have used. That is the
+//! paper's RAM–CPU boundary stretched over a network: the compressed
+//! form travels, and decompression happens next to the consumer.
+//!
+//! [`run_loadgen`] drives a server with a deterministic closed-loop
+//! mix of segment-range and scan requests from N client threads,
+//! byte-verifies every response against a local replica table, and
+//! reports exact latency percentiles and throughput.
+
+use crate::protocol::{self, ErrorCode, PredOp, Predicate, RawSegment, Request, Response};
+use scc_core::frame::{self, FrameError};
+use scc_core::{Error, Segment, Value, BLOCK};
+use scc_engine::{ops, Batch, ColType, Expr, Select, Vector};
+use scc_storage::{stats_handle, Column, NumColumn, Scan, ScanOptions, Table};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Largest response frame a client will accept.
+pub const CLIENT_MAX_FRAME: usize = 64 << 20;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure (checksum, torn frame, I/O).
+    Frame(FrameError),
+    /// The response frame arrived intact but didn't decode.
+    Decode(Error),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Decode(e) => write!(f, "bad response payload: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<Error> for ClientError {
+    fn from(e: Error) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying for up to `patience` (a just-spawned server
+    /// may not be listening yet).
+    pub fn connect_retry(addr: &str, patience: Duration) -> std::io::Result<Client> {
+        let give_up = Instant::now() + patience;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= give_up => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        Ok(frame::write_frame(&mut self.stream, &protocol::encode_request(req))?)
+    }
+
+    /// Reads one response frame (typed server errors come back as
+    /// `Ok(Response::Error { .. })`, not `Err` — streaming callers
+    /// need to see them in-band).
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = frame::read_frame(&mut self.stream, CLIENT_MAX_FRAME)?;
+        Ok(protocol::decode_response(&payload)?)
+    }
+
+    /// One request → one response, with server errors lifted to `Err`.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Fetches rows `[row_start, row_start + row_len)` of a column as
+    /// decoded values. With `raw`, the server is asked for compressed
+    /// segments and the slice is decoded *client-side*; either way the
+    /// caller sees a plain [`Vector`].
+    pub fn segment_range(
+        &mut self,
+        table: &str,
+        column: &str,
+        row_start: u64,
+        row_len: u32,
+        raw: bool,
+    ) -> Result<Vector, ClientError> {
+        let req = Request::SegmentRange {
+            table: table.to_string(),
+            column: column.to_string(),
+            row_start,
+            row_len,
+            raw,
+        };
+        match self.call(&req)? {
+            Response::Values(v) => Ok(v),
+            Response::RawSegments { vtype, row_start, row_len, segments } => {
+                decode_raw(vtype, row_start, row_len, &segments)
+            }
+            _ => Err(ClientError::Unexpected("wanted Values or RawSegments")),
+        }
+    }
+
+    /// Runs a scan and accumulates the streamed batches into one
+    /// [`Batch`]. Also returns the server's end-of-stream row count.
+    pub fn scan(
+        &mut self,
+        table: &str,
+        columns: &[&str],
+        predicate: Option<Predicate>,
+        threads: u8,
+    ) -> Result<(Batch, u64), ClientError> {
+        let req = Request::Scan {
+            table: table.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            predicate,
+            threads,
+        };
+        self.send(&req)?;
+        let mut acc: Option<Batch> = None;
+        loop {
+            match self.recv()? {
+                Response::Batch(b) => match &mut acc {
+                    None => acc = Some(b),
+                    Some(acc) => {
+                        for (dst, src) in acc.columns.iter_mut().zip(&b.columns) {
+                            dst.append(src);
+                        }
+                    }
+                },
+                Response::ScanDone { rows, .. } => {
+                    return Ok((acc.unwrap_or_else(|| Batch::new(vec![])), rows));
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message });
+                }
+                _ => return Err(ClientError::Unexpected("wanted Batch or ScanDone")),
+            }
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (schema-v1 JSON).
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsJson(json) => Ok(json),
+            _ => Err(ClientError::Unexpected("wanted StatsJson")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+
+    /// Fault injection: frames `req` correctly, then flips one payload
+    /// bit *after* the checksum was computed, and returns the server's
+    /// answer — which must be a [`ErrorCode::BadFrame`] error frame.
+    /// The server closes the connection afterwards, so this consumes
+    /// the client.
+    pub fn send_corrupt(mut self, req: &Request, flip_bit: usize) -> Result<Response, ClientError> {
+        let mut framed = frame::encode(&protocol::encode_request(req));
+        let payload_bits = (framed.len() - frame::FRAME_OVERHEAD) * 8;
+        let bit = flip_bit % payload_bits.max(1);
+        framed[frame::LEN_PREFIX_BYTES + bit / 8] ^= 1 << (bit % 8);
+        use std::io::Write;
+        self.stream.write_all(&framed).map_err(|e| ClientError::Frame(e.into()))?;
+        self.stream.flush().map_err(|e| ClientError::Frame(e.into()))?;
+        self.recv()
+    }
+}
+
+/// Decodes a raw segment-range response: for each shipped compressed
+/// segment, decode from the 128-block boundary at or below the
+/// requested offset and copy out the overlap — exactly the
+/// slice-granular access the storage layer performs, run client-side.
+fn decode_raw(
+    vtype: u8,
+    row_start: u64,
+    row_len: u32,
+    segments: &[RawSegment],
+) -> Result<Vector, ClientError> {
+    fn fill<V: Value>(
+        row_start: usize,
+        row_len: usize,
+        segments: &[RawSegment],
+    ) -> Result<Vec<V>, ClientError> {
+        let mut out = vec![V::default(); row_len];
+        let mut covered = 0usize;
+        for raw in segments {
+            let seg = Segment::<V>::from_bytes(&raw.bytes).map_err(Error::Wire)?;
+            let first = raw.first_row as usize;
+            let lo = row_start.max(first);
+            let hi = (row_start + row_len).min(first + seg.len());
+            if lo >= hi {
+                continue;
+            }
+            let offset = lo - first;
+            let aligned = offset - offset % BLOCK;
+            let mut scratch = vec![V::default(); hi - first - aligned];
+            seg.try_decode_range(aligned, &mut scratch)?;
+            out[lo - row_start..hi - row_start].copy_from_slice(&scratch[offset - aligned..]);
+            covered += hi - lo;
+        }
+        if covered != row_len {
+            return Err(ClientError::Decode(Error::Truncated {
+                offset: covered,
+                need: row_len,
+                have: covered,
+            }));
+        }
+        Ok(out)
+    }
+    let (start, len) = (row_start as usize, row_len as usize);
+    match ColType::from_tag(vtype) {
+        Some(ColType::I32) => Ok(Vector::I32(fill::<i32>(start, len, segments)?)),
+        Some(ColType::I64) => Ok(Vector::I64(fill::<i64>(start, len, segments)?)),
+        Some(ColType::U32) => Ok(Vector::U32(fill::<u32>(start, len, segments)?)),
+        _ => Err(ClientError::Unexpected("undecodable raw segment value type")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total requests across all threads.
+    pub requests: usize,
+    /// Closed-loop client threads.
+    pub threads: usize,
+    /// Scan-request `threads` field (server-side decode parallelism).
+    pub scan_threads: u8,
+    /// Inject a deliberately corrupt frame every ~25 requests per
+    /// thread and verify it is refused with a typed error.
+    pub corrupt: bool,
+    /// Deterministic seed for the request mix.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7644".to_string(),
+            requests: 500,
+            threads: 4,
+            scan_threads: 2,
+            corrupt: false,
+            seed: 1,
+        }
+    }
+}
+
+/// What the load generator measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests attempted (excluding injected-corruption probes).
+    pub requests: usize,
+    /// Requests that succeeded and verified byte-exact.
+    pub ok: usize,
+    /// Requests that failed (transport or server error).
+    pub errors: usize,
+    /// Responses that succeeded but did not match the local replica.
+    pub verify_failures: usize,
+    /// Deliberately corrupt frames sent.
+    pub corrupt_sent: usize,
+    /// Corrupt frames the server refused with a typed
+    /// [`ErrorCode::BadFrame`] answer (must equal `corrupt_sent`).
+    pub corrupt_rejected: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Exact latency percentiles over all verified requests, in
+    /// microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+}
+
+impl LoadgenReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests in {:.2}s ({:.0} req/s) | ok {} error {} verify-fail {} | \
+             corrupt {}/{} rejected | p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps,
+            self.ok,
+            self.errors,
+            self.verify_failures,
+            self.corrupt_rejected,
+            self.corrupt_sent,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+        )
+    }
+
+    /// Structured form for `results/BENCH_server.json`.
+    pub fn to_json(&self) -> scc_obs::json::Json {
+        use scc_obs::json::Json;
+        Json::Obj(vec![
+            ("requests".into(), Json::U64(self.requests as u64)),
+            ("ok".into(), Json::U64(self.ok as u64)),
+            ("errors".into(), Json::U64(self.errors as u64)),
+            ("verify_failures".into(), Json::U64(self.verify_failures as u64)),
+            ("corrupt_sent".into(), Json::U64(self.corrupt_sent as u64)),
+            ("corrupt_rejected".into(), Json::U64(self.corrupt_rejected as u64)),
+            ("elapsed_s".into(), Json::F64(self.elapsed.as_secs_f64())),
+            ("throughput_rps".into(), Json::F64(self.throughput_rps)),
+            ("p50_us".into(), Json::F64(self.p50_us)),
+            ("p95_us".into(), Json::F64(self.p95_us)),
+            ("p99_us".into(), Json::F64(self.p99_us)),
+        ])
+    }
+}
+
+/// Nearest-rank percentile over sorted nanosecond samples.
+fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// The canonical verification scans: the plain projection and the
+/// filtered one, precomputed once against the local replica.
+struct Expected {
+    full: Batch,
+    filtered: Batch,
+}
+
+fn expected_scans(table: &Arc<Table>) -> Expected {
+    let opts = ScanOptions::default();
+    let mut full_scan = Scan::new(Arc::clone(table), &["key", "val"], opts, stats_handle(), None);
+    let full = ops::collect(&mut full_scan);
+    let scan = Scan::new(Arc::clone(table), &["key", "val"], opts, stats_handle(), None);
+    let mut filtered_scan = Select::new(scan, Expr::col(1).lt(Expr::lit_i32(500)));
+    let filtered = ops::collect(&mut filtered_scan);
+    Expected { full, filtered }
+}
+
+/// The plain-representation slice of a column, as the typed vector the
+/// server should return — the byte-exactness oracle.
+fn expected_slice(table: &Table, column: &str, start: usize, len: usize) -> Vector {
+    match table.col(column) {
+        Column::Num(NumColumn::I32(c)) => Vector::I32(c.values()[start..start + len].to_vec()),
+        Column::Num(NumColumn::I64(c)) => Vector::I64(c.values()[start..start + len].to_vec()),
+        Column::Num(NumColumn::U32(c)) => Vector::U32(c.values()[start..start + len].to_vec()),
+        Column::Str(s) => Vector::U32(s.codes.values()[start..start + len].to_vec()),
+        Column::Blob(_) => panic!("blob columns are not loadgen targets"),
+    }
+}
+
+struct ThreadTally {
+    ok: usize,
+    errors: usize,
+    verify_failures: usize,
+    corrupt_sent: usize,
+    corrupt_rejected: usize,
+    latencies_ns: Vec<u64>,
+}
+
+/// Drives the server at `cfg.addr` with a closed-loop mix of
+/// segment-range (decoded and raw), scan (serial and parallel,
+/// filtered and not) and stats requests, verifying every payload
+/// against `replica` — which must be built identically to the table
+/// the server is serving (same name, same rows).
+pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenReport, String> {
+    assert!(cfg.threads >= 1, "loadgen needs at least one thread");
+    let expected = Arc::new(expected_scans(replica));
+    let n_rows = replica.n_rows();
+    let table_name = replica.name.clone();
+    let columns = ["key", "val", "flag"];
+    let started = Instant::now();
+
+    let tallies: Vec<Result<ThreadTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let expected = Arc::clone(&expected);
+                let table_name = table_name.as_str();
+                scope.spawn(move || {
+                    run_thread(cfg, replica, &expected, table_name, &columns, n_rows, t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen thread panicked")).collect()
+    });
+
+    let elapsed = started.elapsed();
+    let mut tally = ThreadTally {
+        ok: 0,
+        errors: 0,
+        verify_failures: 0,
+        corrupt_sent: 0,
+        corrupt_rejected: 0,
+        latencies_ns: Vec::new(),
+    };
+    for t in tallies {
+        let t = t?;
+        tally.ok += t.ok;
+        tally.errors += t.errors;
+        tally.verify_failures += t.verify_failures;
+        tally.corrupt_sent += t.corrupt_sent;
+        tally.corrupt_rejected += t.corrupt_rejected;
+        tally.latencies_ns.extend(t.latencies_ns);
+    }
+    tally.latencies_ns.sort_unstable();
+    let requests = tally.ok + tally.errors + tally.verify_failures;
+    Ok(LoadgenReport {
+        requests,
+        ok: tally.ok,
+        errors: tally.errors,
+        verify_failures: tally.verify_failures,
+        corrupt_sent: tally.corrupt_sent,
+        corrupt_rejected: tally.corrupt_rejected,
+        elapsed,
+        p50_us: percentile_ns(&tally.latencies_ns, 0.50) / 1_000.0,
+        p95_us: percentile_ns(&tally.latencies_ns, 0.95) / 1_000.0,
+        p99_us: percentile_ns(&tally.latencies_ns, 0.99) / 1_000.0,
+        throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
+}
+
+#[allow(clippy::too_many_arguments)] // internal fan-out helper
+fn run_thread(
+    cfg: &LoadgenConfig,
+    replica: &Arc<Table>,
+    expected: &Expected,
+    table: &str,
+    columns: &[&str; 3],
+    n_rows: usize,
+    thread_idx: usize,
+) -> Result<ThreadTally, String> {
+    let mut tally = ThreadTally {
+        ok: 0,
+        errors: 0,
+        verify_failures: 0,
+        corrupt_sent: 0,
+        corrupt_rejected: 0,
+        latencies_ns: Vec::new(),
+    };
+    let my_requests =
+        cfg.requests / cfg.threads + usize::from(thread_idx < cfg.requests % cfg.threads);
+    let mut rng = cfg.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(thread_idx as u64 | 1);
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng >> 16
+    };
+    let mut client = Client::connect_retry(&cfg.addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    for i in 0..my_requests {
+        if cfg.corrupt && i % 25 == 24 {
+            // A sacrificial connection carries the corrupt frame; the
+            // server must refuse it with BadFrame and close only that
+            // connection. Hand our worker back first — the server pool
+            // serves one connection per worker, so holding the main
+            // connection open while probing would leave the probe
+            // queued behind every persistent connection.
+            drop(client);
+            tally.corrupt_sent += 1;
+            let probe = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
+                .map_err(|e| format!("probe connect: {e}"))?;
+            match probe.send_corrupt(&Request::Stats, next() as usize) {
+                Ok(Response::Error { code: ErrorCode::BadFrame, .. }) => {
+                    tally.corrupt_rejected += 1;
+                }
+                other => {
+                    return Err(format!("corrupt frame was not refused: {other:?}"));
+                }
+            }
+            client = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
+                .map_err(|e| format!("reconnect: {e}"))?;
+        }
+        let t0 = Instant::now();
+        let outcome = match i % 4 {
+            0 | 1 => {
+                // Slice-granular random access; odd iterations ask for
+                // the raw compressed segments and decode client-side.
+                let raw = i % 4 == 1;
+                let column = columns[next() as usize % columns.len()];
+                let start = next() as usize % n_rows;
+                let len = (1 + next() as usize % 4096).min(n_rows - start);
+                match client.segment_range(table, column, start as u64, len as u32, raw) {
+                    Err(e) => Err(e.to_string()),
+                    Ok(v) => Ok(v == expected_slice(replica, column, start, len)),
+                }
+            }
+            2 => match client.scan(table, &["key", "val"], None, cfg.scan_threads) {
+                Err(e) => Err(e.to_string()),
+                Ok((batch, rows)) => Ok(rows as usize == n_rows && batch == expected.full),
+            },
+            _ => {
+                let pred = Predicate { column: "val".to_string(), op: PredOp::Lt, literal: 500 };
+                match client.scan(table, &["key", "val"], Some(pred), cfg.scan_threads) {
+                    Err(e) => Err(e.to_string()),
+                    Ok((batch, _)) => Ok(batch == expected.filtered),
+                }
+            }
+        };
+        tally.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        match outcome {
+            Ok(true) => tally.ok += 1,
+            Ok(false) => tally.verify_failures += 1,
+            Err(_) => {
+                // Count the failure and restore the connection — a
+                // transport error leaves the old one unusable and
+                // would otherwise cascade into every later request.
+                tally.errors += 1;
+                client = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
+                    .map_err(|e| format!("reconnect after error: {e}"))?;
+            }
+        }
+    }
+    Ok(tally)
+}

@@ -1,0 +1,678 @@
+//! The scc-server wire protocol.
+//!
+//! Every message — request or response — travels as one checksummed
+//! frame from `scc_core::frame`:
+//!
+//! ```text
+//! [u32 LE payload len][payload bytes][u32 LE CRC32C(payload)]
+//! ```
+//!
+//! The payload's first byte is the message *kind*; the rest is a
+//! kind-specific body of little-endian fixed-width fields and
+//! `[u16 LE len][utf-8]` strings. Decoding is strict: every field is
+//! bounds-checked before it is read, untrusted counts are bounded
+//! before anything is allocated, and trailing bytes after a complete
+//! message are an error (the same exact-length discipline as the v2
+//! segment wire format). A frame that fails its CRC never reaches this
+//! module — `read_frame` rejects it first — so decode errors here mean
+//! a *well-checksummed but malformed* payload, which servers answer
+//! with [`ErrorCode::BadRequest`] rather than by closing the
+//! connection.
+//!
+//! Scan responses are *streamed*: one [`Response::Batch`] frame per
+//! engine vector, terminated by [`Response::ScanDone`] (or an error
+//! frame, which also ends the stream). Everything else is strictly one
+//! request frame → one response frame.
+
+use scc_core::{Error, WireError};
+use scc_engine::{Batch, Vector};
+
+/// Request kind byte: entry-point random access to a row range.
+pub const REQ_SEGMENT_RANGE: u8 = 0x01;
+/// Request kind byte: a (possibly parallel, possibly filtered) scan.
+pub const REQ_SCAN: u8 = 0x02;
+/// Request kind byte: metrics snapshot.
+pub const REQ_STATS: u8 = 0x03;
+/// Request kind byte: graceful server shutdown.
+pub const REQ_SHUTDOWN: u8 = 0x7F;
+
+/// Response kind byte: decompressed values for a `SegmentRange`.
+pub const RESP_VALUES: u8 = 0x81;
+/// Response kind byte: raw compressed segments for client-side decode.
+pub const RESP_RAW_SEGMENTS: u8 = 0x82;
+/// Response kind byte: one streamed scan batch.
+pub const RESP_BATCH: u8 = 0x83;
+/// Response kind byte: end-of-scan summary.
+pub const RESP_SCAN_DONE: u8 = 0x84;
+/// Response kind byte: metrics snapshot JSON.
+pub const RESP_STATS_JSON: u8 = 0x85;
+/// Response kind byte: shutdown acknowledged.
+pub const RESP_SHUTDOWN_ACK: u8 = 0x86;
+/// Response kind byte: typed error.
+pub const RESP_ERROR: u8 = 0xEE;
+
+/// Comparison operator of a scan predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// `=`
+    Eq = 1,
+    /// `<>`
+    Ne = 2,
+    /// `<`
+    Lt = 3,
+    /// `<=`
+    Le = 4,
+    /// `>`
+    Gt = 5,
+    /// `>=`
+    Ge = 6,
+}
+
+impl PredOp {
+    /// Wire tag → operator.
+    pub fn from_tag(tag: u8) -> Option<PredOp> {
+        Some(match tag {
+            1 => PredOp::Eq,
+            2 => PredOp::Ne,
+            3 => PredOp::Lt,
+            4 => PredOp::Le,
+            5 => PredOp::Gt,
+            6 => PredOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// A single-column comparison pushed into a scan. The literal is
+/// carried as `i64` and narrowed server-side to the column's value
+/// type (string columns compare against a dictionary *code*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Column the predicate applies to (must be in the request's
+    /// column list).
+    pub column: String,
+    /// Comparison operator.
+    pub op: PredOp,
+    /// Literal to compare against.
+    pub literal: i64,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Slice-granular random access: rows
+    /// `[row_start, row_start + row_len)` of one column. With `raw`
+    /// set, the server ships the *compressed* segments covering the
+    /// range and the client decodes locally (the RAM–CPU boundary of
+    /// the paper, moved across the network).
+    SegmentRange {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// First row (global index).
+        row_start: u64,
+        /// Number of rows.
+        row_len: u32,
+        /// Prefer raw compressed segments over decoded values.
+        raw: bool,
+    },
+    /// A scan over `columns`, optionally filtered, decoded on
+    /// `threads` server workers and streamed back batch by batch.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Columns to return, in order.
+        columns: Vec<String>,
+        /// Optional filter.
+        predicate: Option<Predicate>,
+        /// Decode threads (clamped by server config; 0 and 1 both
+        /// mean serial).
+        threads: u8,
+    },
+    /// Metrics snapshot (schema-v1 JSON).
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// One raw compressed segment in a [`Response::RawSegments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawSegment {
+    /// Global row index of the segment's first row.
+    pub first_row: u64,
+    /// Checksummed v2 wire bytes (`Segment::to_bytes`).
+    pub bytes: Vec<u8>,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Decoded values for a `SegmentRange` request.
+    Values(Vector),
+    /// Raw compressed segments covering a requested range; the client
+    /// decodes the slice itself.
+    RawSegments {
+        /// `ColType` tag of the decoded values.
+        vtype: u8,
+        /// Echo of the requested first row.
+        row_start: u64,
+        /// Echo of the requested row count.
+        row_len: u32,
+        /// The segments the range touches, in row order.
+        segments: Vec<RawSegment>,
+    },
+    /// One streamed scan batch.
+    Batch(Batch),
+    /// End of a scan stream.
+    ScanDone {
+        /// Total rows streamed.
+        rows: u64,
+        /// Total batch frames streamed.
+        batches: u32,
+    },
+    /// Metrics snapshot.
+    StatsJson(String),
+    /// Shutdown acknowledged; the server exits once in-flight
+    /// connections drain.
+    ShutdownAck,
+    /// Typed failure.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail (the `Display` of the underlying
+        /// typed error, where there is one).
+        message: String,
+    },
+}
+
+/// Machine-readable error codes carried in [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself was bad: checksum mismatch, over-long, or
+    /// torn. The server closes the connection after sending this —
+    /// the stream can no longer be trusted to be in frame sync.
+    BadFrame = 1,
+    /// The frame was sound but the payload didn't decode as a
+    /// request. Connection stays open.
+    BadRequest = 2,
+    /// Unknown table name.
+    UnknownTable = 3,
+    /// Unknown column name (or a blob column, which has no values).
+    UnknownColumn = 4,
+    /// Requested rows fall outside the column/table.
+    RangeOutOfBounds = 5,
+    /// Server's accept queue is full; retry later.
+    Busy = 6,
+    /// The request exceeded its service deadline.
+    Timeout = 7,
+    /// Stored data failed integrity checks during decode.
+    Corrupt = 8,
+    /// Anything else.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Wire tag → code.
+    pub fn from_tag(tag: u8) -> Option<ErrorCode> {
+        Some(match tag {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::UnknownTable,
+            4 => ErrorCode::UnknownColumn,
+            5 => ErrorCode::RangeOutOfBounds,
+            6 => ErrorCode::Busy,
+            7 => ErrorCode::Timeout,
+            8 => ErrorCode::Corrupt,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case name (metric label / log token).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownTable => "unknown_table",
+            ErrorCode::UnknownColumn => "unknown_column",
+            ErrorCode::RangeOutOfBounds => "range_out_of_bounds",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Corrupt => "corrupt",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cursor: strict bounds-checked reads over an untrusted payload.
+// ---------------------------------------------------------------------
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.buf.len() - self.pos < n {
+            return Err(Error::Truncated {
+                offset: self.pos,
+                need: n,
+                have: self.buf.len() - self.pos,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, Error> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, Error> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, Error> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Wire(WireError::Corrupt("invalid utf-8 in protocol string")))
+    }
+
+    /// Rejects payloads with bytes after the message — a framing layer
+    /// must not smuggle extra data past the decoder.
+    fn done(&self) -> Result<(), Error> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Wire(WireError::Corrupt("trailing bytes after message")));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "protocol string too long");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Serializes a request payload (framing is the caller's job).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::SegmentRange { table, column, row_start, row_len, raw } => {
+            out.push(REQ_SEGMENT_RANGE);
+            put_str(&mut out, table);
+            put_str(&mut out, column);
+            put_u64(&mut out, *row_start);
+            put_u32(&mut out, *row_len);
+            out.push(u8::from(*raw));
+        }
+        Request::Scan { table, columns, predicate, threads } => {
+            out.push(REQ_SCAN);
+            put_str(&mut out, table);
+            assert!(columns.len() <= u8::MAX as usize, "too many scan columns");
+            out.push(columns.len() as u8);
+            for c in columns {
+                put_str(&mut out, c);
+            }
+            match predicate {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    put_str(&mut out, &p.column);
+                    out.push(p.op as u8);
+                    put_u64(&mut out, p.literal as u64);
+                }
+            }
+            out.push(*threads);
+        }
+        Request::Stats => out.push(REQ_STATS),
+        Request::Shutdown => out.push(REQ_SHUTDOWN),
+    }
+    out
+}
+
+/// Parses a request payload. Errors are typed `scc_core` errors —
+/// servers map them to [`ErrorCode::BadRequest`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, Error> {
+    let mut c = Cur::new(payload);
+    let req = match c.u8()? {
+        REQ_SEGMENT_RANGE => {
+            let table = c.str()?;
+            let column = c.str()?;
+            let row_start = c.u64()?;
+            let row_len = c.u32()?;
+            let raw = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(Error::Wire(WireError::Corrupt("bad raw flag"))),
+            };
+            Request::SegmentRange { table, column, row_start, row_len, raw }
+        }
+        REQ_SCAN => {
+            let table = c.str()?;
+            let n_cols = c.u8()? as usize;
+            let mut columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                columns.push(c.str()?);
+            }
+            let predicate = match c.u8()? {
+                0 => None,
+                1 => {
+                    let column = c.str()?;
+                    let op = PredOp::from_tag(c.u8()?)
+                        .ok_or(Error::Wire(WireError::Corrupt("unknown predicate op")))?;
+                    let literal = c.i64()?;
+                    Some(Predicate { column, op, literal })
+                }
+                _ => return Err(Error::Wire(WireError::Corrupt("bad predicate flag"))),
+            };
+            let threads = c.u8()?;
+            Request::Scan { table, columns, predicate, threads }
+        }
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        _ => return Err(Error::Wire(WireError::Corrupt("unknown request kind"))),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Serializes a response payload (framing is the caller's job).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Values(v) => {
+            out.push(RESP_VALUES);
+            v.write_wire(&mut out);
+        }
+        Response::RawSegments { vtype, row_start, row_len, segments } => {
+            out.push(RESP_RAW_SEGMENTS);
+            out.push(*vtype);
+            put_u64(&mut out, *row_start);
+            put_u32(&mut out, *row_len);
+            assert!(segments.len() <= u16::MAX as usize, "too many raw segments");
+            put_u16(&mut out, segments.len() as u16);
+            for seg in segments {
+                put_u64(&mut out, seg.first_row);
+                scc_core::frame::put_len_prefixed(&mut out, &seg.bytes);
+            }
+        }
+        Response::Batch(batch) => {
+            out.push(RESP_BATCH);
+            assert!(batch.columns.len() <= u8::MAX as usize, "too many batch columns");
+            out.push(batch.columns.len() as u8);
+            for col in &batch.columns {
+                col.write_wire(&mut out);
+            }
+        }
+        Response::ScanDone { rows, batches } => {
+            out.push(RESP_SCAN_DONE);
+            put_u64(&mut out, *rows);
+            put_u32(&mut out, *batches);
+        }
+        Response::StatsJson(json) => {
+            out.push(RESP_STATS_JSON);
+            put_u32(&mut out, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+        Response::Error { code, message } => {
+            out.push(RESP_ERROR);
+            out.push(*code as u8);
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Parses a response payload (the client half of the protocol; also
+/// strict, so a buggy or hostile server cannot make the client read
+/// out of bounds).
+pub fn decode_response(payload: &[u8]) -> Result<Response, Error> {
+    let mut c = Cur::new(payload);
+    let resp = match c.u8()? {
+        RESP_VALUES => {
+            let mut pos = c.pos;
+            let v = Vector::read_wire(c.buf, &mut pos)?;
+            c.pos = pos;
+            Response::Values(v)
+        }
+        RESP_RAW_SEGMENTS => {
+            let vtype = c.u8()?;
+            let row_start = c.u64()?;
+            let row_len = c.u32()?;
+            let n = c.u16()? as usize;
+            let mut segments = Vec::new();
+            for _ in 0..n {
+                let first_row = c.u64()?;
+                let mut pos = c.pos;
+                let bytes = scc_core::frame::take_len_prefixed(c.buf, &mut pos)?.to_vec();
+                c.pos = pos;
+                segments.push(RawSegment { first_row, bytes });
+            }
+            Response::RawSegments { vtype, row_start, row_len, segments }
+        }
+        RESP_BATCH => {
+            let n_cols = c.u8()? as usize;
+            let mut columns = Vec::with_capacity(n_cols);
+            let mut pos = c.pos;
+            for _ in 0..n_cols {
+                columns.push(Vector::read_wire(c.buf, &mut pos)?);
+            }
+            c.pos = pos;
+            Response::Batch(Batch::new(columns))
+        }
+        RESP_SCAN_DONE => {
+            let rows = c.u64()?;
+            let batches = c.u32()?;
+            Response::ScanDone { rows, batches }
+        }
+        RESP_STATS_JSON => {
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?;
+            let json = String::from_utf8(bytes.to_vec())
+                .map_err(|_| Error::Wire(WireError::Corrupt("invalid utf-8 in stats json")))?;
+            Response::StatsJson(json)
+        }
+        RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+        RESP_ERROR => {
+            let code = ErrorCode::from_tag(c.u8()?)
+                .ok_or(Error::Wire(WireError::Corrupt("unknown error code")))?;
+            let message = c.str()?;
+            Response::Error { code, message }
+        }
+        _ => return Err(Error::Wire(WireError::Corrupt("unknown response kind"))),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::SegmentRange {
+            table: "demo".into(),
+            column: "val".into(),
+            row_start: 123_456_789,
+            row_len: 4096,
+            raw: true,
+        });
+        roundtrip_request(Request::Scan {
+            table: "demo".into(),
+            columns: vec!["key".into(), "val".into()],
+            predicate: Some(Predicate { column: "val".into(), op: PredOp::Lt, literal: -7 }),
+            threads: 4,
+        });
+        roundtrip_request(Request::Scan {
+            table: "t".into(),
+            columns: vec![],
+            predicate: None,
+            threads: 0,
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Values(Vector::I64(vec![1, -2, 3])),
+            Response::RawSegments {
+                vtype: 2,
+                row_start: 100,
+                row_len: 50,
+                segments: vec![
+                    RawSegment { first_row: 0, bytes: vec![1, 2, 3] },
+                    RawSegment { first_row: 8192, bytes: vec![] },
+                ],
+            },
+            Response::Batch(Batch::new(vec![Vector::I64(vec![1, 2]), Vector::U32(vec![9, 10])])),
+            Response::ScanDone { rows: 1_000_000, batches: 977 },
+            Response::StatsJson("{\"schema\":1}".into()),
+            Response::ShutdownAck,
+            Response::Error { code: ErrorCode::Busy, message: "queue full".into() },
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_every_message_is_a_typed_error() {
+        let messages: Vec<Vec<u8>> = vec![
+            encode_request(&Request::SegmentRange {
+                table: "demo".into(),
+                column: "val".into(),
+                row_start: 7,
+                row_len: 8,
+                raw: false,
+            }),
+            encode_request(&Request::Scan {
+                table: "demo".into(),
+                columns: vec!["key".into()],
+                predicate: Some(Predicate { column: "key".into(), op: PredOp::Ge, literal: 5 }),
+                threads: 2,
+            }),
+            encode_response(&Response::Values(Vector::I32(vec![5, 6, 7]))),
+            encode_response(&Response::RawSegments {
+                vtype: 1,
+                row_start: 0,
+                row_len: 1,
+                segments: vec![RawSegment { first_row: 0, bytes: vec![0xAB; 9] }],
+            }),
+            encode_response(&Response::Error {
+                code: ErrorCode::Timeout,
+                message: "too slow".into(),
+            }),
+        ];
+        for msg in &messages {
+            for cut in 0..msg.len() {
+                let torn = &msg[..cut];
+                assert!(
+                    decode_request(torn).is_err() && decode_response(torn).is_err(),
+                    "cut at {cut} of {} decoded",
+                    msg.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_tags_are_rejected() {
+        let mut bytes = encode_request(&Request::Stats);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+
+        assert!(decode_request(&[0x42]).is_err());
+        assert!(decode_response(&[0x42]).is_err());
+
+        // Error frame with an unknown code tag.
+        let mut err =
+            encode_response(&Response::Error { code: ErrorCode::Internal, message: "x".into() });
+        err[1] = 0xFF;
+        assert!(decode_response(&err).is_err());
+
+        // Predicate op tag outside 1..=6.
+        let mut scan = encode_request(&Request::Scan {
+            table: "t".into(),
+            columns: vec!["c".into()],
+            predicate: Some(Predicate { column: "c".into(), op: PredOp::Eq, literal: 0 }),
+            threads: 1,
+        });
+        let op_at = scan.len() - 1 - 8 - 1;
+        assert_eq!(scan[op_at], PredOp::Eq as u8);
+        scan[op_at] = 99;
+        assert!(decode_request(&scan).is_err());
+    }
+
+    #[test]
+    fn negative_literals_survive_the_u64_carrier() {
+        let req = Request::Scan {
+            table: "t".into(),
+            columns: vec!["c".into()],
+            predicate: Some(Predicate {
+                column: "c".into(),
+                op: PredOp::Le,
+                literal: i64::MIN + 1,
+            }),
+            threads: 1,
+        };
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(decoded, req);
+    }
+}

@@ -1,0 +1,563 @@
+//! The scc-server runtime: acceptor, bounded worker pool, request
+//! dispatch, deadlines, telemetry and graceful shutdown.
+//!
+//! The threading model is deliberately plain `std::net`/`std::thread`:
+//! one acceptor thread pushes accepted connections into a *bounded*
+//! queue; `workers` threads pull connections off it and serve each one
+//! to completion (requests on a connection are sequential, like
+//! classic one-connection-per-worker database listeners). When the
+//! queue is full the acceptor answers the new connection with a typed
+//! [`ErrorCode::Busy`] frame and drops it — overload produces a fast,
+//! machine-readable refusal, never an unbounded backlog.
+//!
+//! Integrity failures are graded by trust in the stream: a frame whose
+//! *checksum* fails (or that is over-long or torn) gets a
+//! [`ErrorCode::BadFrame`] answer and the connection is closed, since
+//! frame sync can no longer be assumed; a frame that checksums cleanly
+//! but decodes to nonsense gets [`ErrorCode::BadRequest`] and the
+//! connection stays usable. Nothing an untrusted peer sends can panic
+//! the server — worker bodies are additionally wrapped in
+//! `catch_unwind` as a last line of defense, so a bug serving one
+//! connection costs that connection, not the process.
+
+use crate::protocol::{self, ErrorCode, PredOp, Predicate, RawSegment, Request, Response};
+use crate::Catalog;
+use scc_core::frame::{self, FrameError};
+use scc_core::Error;
+use scc_engine::{ColType, Expr, Operator, Select, VECTOR_SIZE};
+use scc_storage::{stats_handle, Column, NumColumn, ParallelScan, Scan, ScanOptions, Table};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before new arrivals
+    /// are refused with [`ErrorCode::Busy`]. Must be at least 1.
+    pub queue_depth: usize,
+    /// Largest request frame accepted, in payload bytes.
+    pub max_request_frame: usize,
+    /// Upper bound on per-request scan threads, whatever the client
+    /// asks for.
+    pub max_scan_threads: usize,
+    /// Per-request service deadline; exceeding it yields
+    /// [`ErrorCode::Timeout`].
+    pub deadline: Duration,
+    /// How long a connection may sit idle between requests before the
+    /// server closes it (also bounds shutdown latency).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 32,
+            max_request_frame: 1 << 20,
+            max_scan_threads: 8,
+            deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+// Dynamic-name metric helpers (the `counter_add!`-style macros need
+// literal names; error-code counters are keyed by the code).
+fn m_counter(name: &str, delta: u64) {
+    if scc_obs::enabled() {
+        scc_obs::global().counter(name).add(delta);
+    }
+}
+
+fn m_gauge(name: &str, value: f64) {
+    if scc_obs::enabled() {
+        scc_obs::global().gauge(name).set(value);
+    }
+}
+
+fn m_histogram(name: &str, value: u64) {
+    if scc_obs::enabled() {
+        scc_obs::global().histogram(name).record(value);
+    }
+}
+
+/// Maps a storage/decode error onto a wire error code. Range errors
+/// are the client's fault; integrity errors mean the *server's* data
+/// is bad; everything else is internal.
+fn error_response(e: &Error) -> Response {
+    let code = match e {
+        Error::RangeOutOfBounds { .. }
+        | Error::SegmentRangeOutOfBounds { .. }
+        | Error::IndexOutOfBounds { .. }
+        | Error::UnalignedRange { .. } => ErrorCode::RangeOutOfBounds,
+        Error::Wire(_)
+        | Error::Frame(_)
+        | Error::Truncated { .. }
+        | Error::CorruptDictCode { .. }
+        | Error::ChunkQuarantined { .. } => ErrorCode::Corrupt,
+        Error::ReadFailed { .. } => ErrorCode::Internal,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error { code, message: message.into() }
+}
+
+struct Shared {
+    config: ServerConfig,
+    catalog: Catalog,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    queued: AtomicI64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Sets the shutdown flag and pokes the acceptor awake with a
+    /// throwaway connection so it notices without waiting for a real
+    /// client.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        drop(TcpStream::connect(self.addr));
+    }
+
+    /// Writes one response frame, maintaining the outcome and byte
+    /// counters. Returns false when the peer is gone.
+    fn send(&self, stream: &mut TcpStream, resp: &Response) -> bool {
+        let payload = protocol::encode_response(resp);
+        m_counter("server.bytes_out", (payload.len() + frame::FRAME_OVERHEAD) as u64);
+        match resp {
+            Response::Error { code, .. } => {
+                m_counter("server.responses.error", 1);
+                m_counter(&format!("server.errors.{}", code.name()), 1);
+            }
+            _ => m_counter("server.responses.ok", 1),
+        }
+        frame::write_frame(stream, &payload).is_ok()
+    }
+
+    fn expired(&self, started: Instant) -> bool {
+        started.elapsed() >= self.config.deadline
+    }
+
+    // -----------------------------------------------------------------
+    // Request handlers
+    // -----------------------------------------------------------------
+
+    fn handle_segment_range(
+        &self,
+        table: &str,
+        column: &str,
+        row_start: u64,
+        row_len: u32,
+        raw: bool,
+        started: Instant,
+    ) -> Response {
+        if self.expired(started) {
+            return err(ErrorCode::Timeout, "deadline exceeded before service");
+        }
+        let Some(t) = self.catalog.get(table) else {
+            return err(ErrorCode::UnknownTable, format!("no table {table}"));
+        };
+        let Some(ci) = t.find_col(column) else {
+            return err(ErrorCode::UnknownColumn, format!("no column {column} in {table}"));
+        };
+        if matches!(t.columns()[ci].1, Column::Blob(_)) {
+            return err(ErrorCode::UnknownColumn, format!("column {column} is a blob"));
+        }
+        let (start, len) = (row_start as usize, row_len as usize);
+        let in_bounds = start.checked_add(len).is_some_and(|end| end <= t.n_rows());
+        if !in_bounds {
+            return error_response(&Error::RangeOutOfBounds { start, len, n: t.n_rows() });
+        }
+        if raw && len > 0 {
+            if let Some(resp) = raw_segments(t, ci, start, len) {
+                return resp;
+            }
+            // Some touched segment is stored plain or as an LZRW1 page
+            // — no checksummed wire form exists, so serve values.
+        }
+        match t.try_read_rows(ci, start, len) {
+            Ok(v) => Response::Values(v),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn handle_scan(
+        &self,
+        stream: &mut TcpStream,
+        table: &str,
+        columns: &[String],
+        predicate: Option<&Predicate>,
+        threads: u8,
+        started: Instant,
+    ) {
+        let resp = self.build_scan(table, columns, predicate, threads, started);
+        let mut op = match resp {
+            Ok(op) => op,
+            Err(e) => {
+                self.send(stream, &e);
+                return;
+            }
+        };
+        let (mut rows, mut batches) = (0u64, 0u32);
+        loop {
+            if self.expired(started) {
+                self.send(stream, &err(ErrorCode::Timeout, "scan exceeded its deadline"));
+                return;
+            }
+            match op.try_next() {
+                Ok(Some(b)) => {
+                    rows += b.len() as u64;
+                    batches += 1;
+                    if !self.send(stream, &Response::Batch(b)) {
+                        return; // client hung up mid-stream
+                    }
+                }
+                Ok(None) => {
+                    self.send(stream, &Response::ScanDone { rows, batches });
+                    return;
+                }
+                Err(e) => {
+                    self.send(stream, &error_response(&e));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn build_scan(
+        &self,
+        table: &str,
+        columns: &[String],
+        predicate: Option<&Predicate>,
+        threads: u8,
+        started: Instant,
+    ) -> Result<Box<dyn Operator>, Response> {
+        if self.expired(started) {
+            return Err(err(ErrorCode::Timeout, "deadline exceeded before service"));
+        }
+        let Some(t) = self.catalog.get(table) else {
+            return Err(err(ErrorCode::UnknownTable, format!("no table {table}")));
+        };
+        if columns.is_empty() {
+            return Err(err(ErrorCode::BadRequest, "scan needs at least one column"));
+        }
+        for c in columns {
+            match t.find_col(c) {
+                None => {
+                    return Err(err(ErrorCode::UnknownColumn, format!("no column {c} in {table}")))
+                }
+                Some(ci) if matches!(t.columns()[ci].1, Column::Blob(_)) => {
+                    return Err(err(ErrorCode::UnknownColumn, format!("column {c} is a blob")))
+                }
+                Some(_) => {}
+            }
+        }
+        let expr = match predicate {
+            None => None,
+            Some(p) => Some(build_predicate(t, columns, p)?),
+        };
+        // 1024-tuple vectors when the segment size allows, otherwise
+        // fall back to the 128-value compression block (which always
+        // divides seg_rows).
+        let vector_size =
+            if t.seg_rows().is_multiple_of(VECTOR_SIZE) { VECTOR_SIZE } else { scc_core::BLOCK };
+        let opts = ScanOptions { vector_size, ..ScanOptions::default() };
+        let col_refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+        let threads = (threads as usize).clamp(1, self.config.max_scan_threads.max(1));
+        let t = Arc::clone(t);
+        let mut op: Box<dyn Operator> = if threads > 1 {
+            Box::new(ParallelScan::new(t, &col_refs, opts, stats_handle(), None, threads))
+        } else {
+            Box::new(Scan::new(t, &col_refs, opts, stats_handle(), None))
+        };
+        if let Some(expr) = expr {
+            op = Box::new(Select::new(op, expr));
+        }
+        Ok(op)
+    }
+}
+
+/// Raw compressed wire bytes of the column's segments covering
+/// `[start, start + len)`, or `None` when any touched segment has no
+/// checksummed representation.
+fn raw_segments(t: &Table, ci: usize, start: usize, len: usize) -> Option<Response> {
+    let (col_name, column) = &t.columns()[ci];
+    let (store_wire, vtype): (&dyn Fn(usize) -> Option<Vec<u8>>, ColType) = match column {
+        Column::Num(NumColumn::I32(c)) => (&|s| c.segment_wire_bytes(s), ColType::I32),
+        Column::Num(NumColumn::I64(c)) => (&|s| c.segment_wire_bytes(s), ColType::I64),
+        Column::Num(NumColumn::U32(c)) => (&|s| c.segment_wire_bytes(s), ColType::U32),
+        Column::Str(s) => (&|i| s.codes.segment_wire_bytes(i), ColType::U32),
+        Column::Blob(_) => unreachable!("blob {col_name} rejected before raw_segments"),
+    };
+    let seg_rows = t.seg_rows();
+    let (seg_lo, seg_hi) = (start / seg_rows, (start + len - 1) / seg_rows);
+    let mut segments = Vec::with_capacity(seg_hi - seg_lo + 1);
+    for seg in seg_lo..=seg_hi {
+        let bytes = store_wire(seg)?;
+        segments.push(RawSegment { first_row: (seg * seg_rows) as u64, bytes });
+    }
+    Some(Response::RawSegments {
+        vtype: vtype.tag(),
+        row_start: start as u64,
+        row_len: len as u32,
+        segments,
+    })
+}
+
+/// Builds the engine expression for a pushed-down predicate, typing
+/// the `i64` wire literal to the column's value type (the engine's
+/// comparison primitives are monomorphic and panic on mismatch).
+fn build_predicate(t: &Table, columns: &[String], p: &Predicate) -> Result<Expr, Response> {
+    let Some(batch_idx) = columns.iter().position(|c| *c == p.column) else {
+        return Err(err(
+            ErrorCode::BadRequest,
+            format!("predicate column {} is not in the requested column list", p.column),
+        ));
+    };
+    let ci = t.find_col(&p.column).expect("predicate column resolved above");
+    let lit = match &t.columns()[ci].1 {
+        Column::Num(NumColumn::I32(_)) => Expr::lit_i32(p.literal as i32),
+        Column::Num(NumColumn::I64(_)) => Expr::lit_i64(p.literal),
+        Column::Num(NumColumn::U32(_)) | Column::Str(_) => Expr::lit_u32(p.literal as u32),
+        Column::Blob(_) => unreachable!("blob columns rejected before predicates"),
+    };
+    let lhs = Expr::col(batch_idx);
+    Ok(match p.op {
+        PredOp::Eq => lhs.eq(lit),
+        PredOp::Ne => lhs.ne(lit),
+        PredOp::Lt => lhs.lt(lit),
+        PredOp::Le => lhs.le(lit),
+        PredOp::Gt => lhs.gt(lit),
+        PredOp::Ge => lhs.ge(lit),
+    })
+}
+
+/// Serves one connection until EOF, idle timeout, a bad frame, or
+/// shutdown.
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let payload = match frame::read_frame(&mut stream, shared.config.max_request_frame) {
+            Ok(p) => p,
+            Err(FrameError::Eof) => return,
+            Err(FrameError::Io(k)) if k == ErrorKind::WouldBlock || k == ErrorKind::TimedOut => {
+                return; // idle too long
+            }
+            Err(e) => {
+                // Checksum mismatch, over-long frame, or a torn read:
+                // the stream may be out of frame sync, so answer and
+                // close rather than trying to resynchronize.
+                shared.send(&mut stream, &err(ErrorCode::BadFrame, e.to_string()));
+                return;
+            }
+        };
+        m_counter("server.bytes_in", (payload.len() + frame::FRAME_OVERHEAD) as u64);
+        let started = Instant::now();
+        let req = match protocol::decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.send(&mut stream, &err(ErrorCode::BadRequest, e.to_string()));
+                continue;
+            }
+        };
+        match req {
+            Request::SegmentRange { table, column, row_start, row_len, raw } => {
+                m_counter("server.requests.segment_range", 1);
+                let resp =
+                    shared.handle_segment_range(&table, &column, row_start, row_len, raw, started);
+                shared.send(&mut stream, &resp);
+                m_histogram("server.service_ns.segment_range", started.elapsed().as_nanos() as u64);
+            }
+            Request::Scan { table, columns, predicate, threads } => {
+                m_counter("server.requests.scan", 1);
+                shared.handle_scan(
+                    &mut stream,
+                    &table,
+                    &columns,
+                    predicate.as_ref(),
+                    threads,
+                    started,
+                );
+                m_histogram("server.service_ns.scan", started.elapsed().as_nanos() as u64);
+            }
+            Request::Stats => {
+                m_counter("server.requests.stats", 1);
+                let json = scc_obs::export::to_json(scc_obs::global()).pretty();
+                shared.send(&mut stream, &Response::StatsJson(json));
+                m_histogram("server.service_ns.stats", started.elapsed().as_nanos() as u64);
+            }
+            Request::Shutdown => {
+                m_counter("server.requests.shutdown", 1);
+                shared.send(&mut stream, &Response::ShutdownAck);
+                shared.trigger_shutdown();
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let stream = {
+            let Ok(guard) = rx.lock() else { return };
+            match guard.recv() {
+                Ok(s) => s,
+                Err(_) => return, // acceptor gone and queue drained
+            }
+        };
+        let depth = shared.queued.fetch_sub(1, Ordering::Relaxed) - 1;
+        m_gauge("server.queue_depth", depth.max(0) as f64);
+        // A panic while serving one connection (an engine bug, say)
+        // must cost that connection only, never the worker or process.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_conn(&shared, stream);
+        }));
+        if outcome.is_err() {
+            m_counter("server.errors.panic", 1);
+        }
+    }
+}
+
+/// A running scc-server. Dropping it shuts it down and joins every
+/// thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns. Also
+    /// switches metrics collection on — a server without its
+    /// telemetry cannot answer `Stats`.
+    pub fn start(config: ServerConfig, catalog: Catalog) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "server needs at least one worker");
+        assert!(config.queue_depth >= 1, "queue depth must be at least 1");
+        scc_obs::set_enabled(true);
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            catalog,
+            addr,
+            shutdown: AtomicBool::new(false),
+            queued: AtomicI64::new(0),
+        });
+        let (tx, rx) = sync_channel::<TcpStream>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("scc-serve-{w}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("scc-accept".to_string())
+                .spawn(move || acceptor_loop(shared, listener, tx))
+                .expect("spawn acceptor")
+        };
+        Ok(Server { shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates shutdown and joins all threads.
+    pub fn stop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join();
+    }
+
+    /// Blocks until the server shuts down (via a protocol `Shutdown`
+    /// request or [`Server::stop`] from another thread).
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn acceptor_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down() {
+                    return; // drops tx; workers drain the queue and exit
+                }
+                m_counter("server.connections", 1);
+                match tx.try_send(stream) {
+                    Ok(()) => {
+                        let depth = shared.queued.fetch_add(1, Ordering::Relaxed) + 1;
+                        m_gauge("server.queue_depth", depth as f64);
+                    }
+                    Err(TrySendError::Full(mut stream)) => {
+                        shared.send(
+                            &mut stream,
+                            &err(
+                                ErrorCode::Busy,
+                                format!(
+                                    "all {} workers busy and {} connections queued",
+                                    shared.config.workers, shared.config.queue_depth
+                                ),
+                            ),
+                        );
+                        // Dropping the stream closes the connection.
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                // Transient accept error (e.g. EMFILE churn): keep going.
+            }
+        }
+    }
+}

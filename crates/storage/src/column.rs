@@ -1,7 +1,7 @@
 //! Column stores: segmented, per-segment auto-compressed columns.
 
 use scc_baselines::ByteCodec;
-use scc_core::{analyze, compress_with_plan, AnalyzeOpts, Plan, Segment, Value};
+use scc_core::{analyze, compress_with_plan, AnalyzeOpts, Error, Plan, Segment, Value, BLOCK};
 
 /// How a column should be compressed at build time.
 #[derive(Debug, Clone, Default)]
@@ -139,6 +139,76 @@ impl<V: Value> ColumnStore<V> {
                 }
             }
         }
+    }
+
+    /// Fallible [`Self::decode_segment_range`]: a segment index past
+    /// the column, an unaligned offset, or a range past the segment's
+    /// end all come back as typed errors instead of panics, uniformly
+    /// across compressed, plain and LZRW1-page segments (the analyzer's
+    /// per-segment storage choice must not change which requests fail).
+    pub fn try_decode_segment_range(
+        &self,
+        seg: usize,
+        offset: usize,
+        out: &mut [V],
+    ) -> Result<(), Error> {
+        if seg >= self.segments.len() {
+            return Err(Error::SegmentRangeOutOfBounds {
+                start: seg,
+                end: seg + 1,
+                n_segments: self.segments.len(),
+            });
+        }
+        let rows_in_seg = match &self.segments[seg] {
+            StoredSegment::Compressed(s, _) => s.len(),
+            StoredSegment::Plain(n) | StoredSegment::Lz(_, n) => *n,
+        };
+        if !offset.is_multiple_of(BLOCK) {
+            return Err(Error::UnalignedRange { start: offset });
+        }
+        if offset + out.len() > rows_in_seg {
+            return Err(Error::RangeOutOfBounds { start: offset, len: out.len(), n: rows_in_seg });
+        }
+        match &self.segments[seg] {
+            StoredSegment::Compressed(s, _) => s.try_decode_range(offset, out),
+            StoredSegment::Plain(_) | StoredSegment::Lz(..) => {
+                self.decode_segment_range(seg, offset, out);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads `out.len()` values starting at global row `row_start` from
+    /// the *compressed* representation — the slice-granular access path
+    /// (§4.3): only the 128-value blocks covering the requested rows
+    /// are decoded, across however many segments the range touches.
+    /// Out-of-bounds ranges report [`Error::RangeOutOfBounds`] against
+    /// the column's row count.
+    pub fn try_read_rows(&self, row_start: usize, out: &mut [V]) -> Result<(), Error> {
+        let row_len = out.len();
+        let oob = Error::RangeOutOfBounds { start: row_start, len: row_len, n: self.plain.len() };
+        let end = row_start.checked_add(row_len).ok_or(oob.clone())?;
+        if end > self.plain.len() {
+            return Err(oob);
+        }
+        let mut filled = 0usize;
+        let mut scratch: Vec<V> = Vec::new();
+        while filled < row_len {
+            let pos = row_start + filled;
+            let seg = pos / self.seg_rows;
+            let offset = pos % self.seg_rows;
+            let seg_len = self.seg_rows.min(self.plain.len() - seg * self.seg_rows);
+            let take = (seg_len - offset).min(row_len - filled);
+            // Decode from the block boundary at or below the offset and
+            // copy out the requested tail of the scratch block.
+            let aligned = offset - offset % BLOCK;
+            scratch.clear();
+            scratch.resize(offset + take - aligned, V::default());
+            self.try_decode_segment_range(seg, aligned, &mut scratch)?;
+            out[filled..filled + take].copy_from_slice(&scratch[offset - aligned..]);
+            filled += take;
+        }
+        Ok(())
     }
 
     /// Serialized (checksummed v2) wire bytes of one segment, when it
@@ -425,6 +495,51 @@ mod tests {
             .collect();
         let col2 = ColumnStore::build(noise, 8192, &Compression::Lzrw1Pages);
         assert!(matches!(col2.segments[0], StoredSegment::Plain(_)));
+    }
+
+    #[test]
+    fn try_read_rows_is_slice_granular_across_segments() {
+        let values: Vec<i64> = (0..20_000).map(|i| 7 * i % 4096).collect();
+        for compression in [Compression::Auto, Compression::None, Compression::Lzrw1Pages] {
+            let col = ColumnStore::build(values.clone(), 4096, &compression);
+            // Unaligned starts, segment-crossing spans, empty and
+            // full-column reads all match the plain representation.
+            for (start, len) in
+                [(0, 1), (5, 300), (4000, 200), (4095, 2), (9000, 9000), (0, 20_000), (777, 0)]
+            {
+                let mut out = vec![0i64; len];
+                col.try_read_rows(start, &mut out).unwrap();
+                assert_eq!(out, &values[start..start + len], "{compression:?} [{start};{len}]");
+            }
+            // Past-the-end and overflowing ranges are typed errors.
+            let mut out = vec![0i64; 2];
+            assert_eq!(
+                col.try_read_rows(19_999, &mut out),
+                Err(Error::RangeOutOfBounds { start: 19_999, len: 2, n: 20_000 }),
+                "{compression:?}"
+            );
+            assert!(col.try_read_rows(usize::MAX, &mut out).is_err());
+        }
+    }
+
+    #[test]
+    fn try_decode_segment_range_reports_typed_errors() {
+        let col = ColumnStore::build((0..10_000i32).collect(), 4096, &Compression::Auto);
+        let mut out = vec![0i32; 128];
+        assert!(col.try_decode_segment_range(0, 128, &mut out).is_ok());
+        assert_eq!(
+            col.try_decode_segment_range(7, 0, &mut out),
+            Err(Error::SegmentRangeOutOfBounds { start: 7, end: 8, n_segments: 3 })
+        );
+        assert_eq!(
+            col.try_decode_segment_range(0, 77, &mut out),
+            Err(Error::UnalignedRange { start: 77 })
+        );
+        // The tail segment holds 10_000 - 2 * 4096 = 1808 rows.
+        assert_eq!(
+            col.try_decode_segment_range(2, 1792, &mut out),
+            Err(Error::RangeOutOfBounds { start: 1792, len: 128, n: 1808 })
+        );
     }
 
     #[test]

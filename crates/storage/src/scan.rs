@@ -157,17 +157,29 @@ impl Scan {
 
     /// Restricts the scan to the segments in `range` (segment indices,
     /// end-exclusive). The parallel scan hands each worker one such
-    /// slice; a full-table scan is `0..table.n_segments()`.
-    pub fn with_segment_range(mut self, range: std::ops::Range<usize>) -> Self {
-        assert!(
-            range.start <= range.end && range.end <= self.table.n_segments(),
-            "segment range {range:?} out of bounds for {} segments",
-            self.table.n_segments()
-        );
+    /// slice; a full-table scan is `0..table.n_segments()`. An inverted
+    /// or out-of-bounds range reports
+    /// [`scc_core::Error::SegmentRangeOutOfBounds`] — the server maps
+    /// bad client ranges onto this instead of dying in an assert.
+    pub fn try_with_segment_range(mut self, range: std::ops::Range<usize>) -> Result<Self, Error> {
+        let n_segments = self.table.n_segments();
+        if range.start > range.end || range.end > n_segments {
+            return Err(Error::SegmentRangeOutOfBounds {
+                start: range.start,
+                end: range.end,
+                n_segments,
+            });
+        }
         let seg_rows = self.table.seg_rows();
         self.pos = range.start * seg_rows;
         self.end = (range.end * seg_rows).min(self.table.n_rows());
-        self
+        Ok(self)
+    }
+
+    /// Infallible [`Self::try_with_segment_range`]; panics on an invalid
+    /// range (the trusted-caller path used by [`crate::ParallelScan`]).
+    pub fn with_segment_range(self, range: std::ops::Range<usize>) -> Self {
+        self.try_with_segment_range(range).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Serialized checksummed bytes of column `c`'s part of segment
@@ -519,6 +531,43 @@ mod tests {
     }
 
     #[test]
+    fn bad_segment_range_is_a_typed_error_not_a_clamp() {
+        let t = test_table(); // 5 segments of 2048 rows
+        let make = || {
+            Scan::new(
+                Arc::clone(&t),
+                &["key"],
+                ScanOptions { vector_size: 1024, ..Default::default() },
+                stats_handle(),
+                None,
+            )
+        };
+        let err = make().try_with_segment_range(3..9).map(|_| ()).unwrap_err();
+        assert_eq!(err, Error::SegmentRangeOutOfBounds { start: 3, end: 9, n_segments: 5 });
+        // A reversed (empty) range is rejected, not silently skipped.
+        let reversed = std::ops::Range { start: 4, end: 2 };
+        let err = make().try_with_segment_range(reversed).map(|_| ()).unwrap_err();
+        assert_eq!(err, Error::SegmentRangeOutOfBounds { start: 4, end: 2, n_segments: 5 });
+        // The full range and an empty in-bounds range are both fine.
+        assert!(make().try_with_segment_range(0..5).is_ok());
+        assert!(make().try_with_segment_range(5..5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn infallible_wrapper_panics_with_the_typed_message() {
+        let t = test_table();
+        let _ = Scan::new(
+            t,
+            &["key"],
+            ScanOptions { vector_size: 1024, ..Default::default() },
+            stats_handle(),
+            None,
+        )
+        .with_segment_range(0..99);
+    }
+
+    #[test]
     fn uncompressed_scan_charges_more_io() {
         let t = test_table();
         let run = |mode| {
@@ -769,9 +818,20 @@ mod tests {
                 faulty(plan),
                 RetryPolicy { max_attempts: 8, backoff_seconds: 0.001 },
             );
-            let rows = collect(&mut scan).len();
+            // Fault draws hash the globally allocated table id, so
+            // whether this seed recovers or quarantines depends on test
+            // ordering — determinism of the *outcome* (rows or typed
+            // error) is what this test pins down.
+            let outcome = scc_engine::ops::try_collect(&mut scan).map(|b| b.len());
             let s = *stats.lock().unwrap();
-            (rows, s.io_bytes, s.retries, s.checksum_failures, s.quarantined_chunks, s.pool_misses)
+            (
+                outcome,
+                s.io_bytes,
+                s.retries,
+                s.checksum_failures,
+                s.quarantined_chunks,
+                s.pool_misses,
+            )
         };
         assert_eq!(run(), run(), "same seed, same fault sequence, same stats");
     }

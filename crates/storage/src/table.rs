@@ -45,12 +45,16 @@ impl Table {
         self.n_rows.div_ceil(self.seg_rows)
     }
 
+    /// Index of a column by name, or `None` when no such column exists
+    /// (the non-panicking lookup for untrusted names, e.g. from network
+    /// requests).
+    pub fn find_col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
     /// Index of a column by name.
     pub fn col_index(&self, name: &str) -> usize {
-        self.columns
-            .iter()
-            .position(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("no column {name} in table {}", self.name))
+        self.find_col(name).unwrap_or_else(|| panic!("no column {name} in table {}", self.name))
     }
 
     /// Column by name.
@@ -107,6 +111,43 @@ impl Table {
     /// Infallible [`Self::try_get_cell`]; panics on out-of-bounds rows.
     pub fn get_cell(&self, col: &str, row: usize) -> i64 {
         self.try_get_cell(col, row).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads rows `[row_start, row_start + row_len)` of column `col`
+    /// (by index) from the compressed representation into a typed
+    /// vector, decoding only the 128-value blocks the range touches —
+    /// the entry-point random access a [`SegmentRange`-style] slice
+    /// request is served from. String columns yield their dictionary
+    /// codes. Ranges past the end of the table report
+    /// [`scc_core::Error::RangeOutOfBounds`].
+    ///
+    /// [`SegmentRange`-style]: crate::ColumnStore::try_read_rows
+    ///
+    /// # Panics
+    /// Panics on a blob column (blobs have no cell values — callers
+    /// serving untrusted requests must reject them up front, as they
+    /// already must for [`Self::find_col`] misses).
+    pub fn try_read_rows(
+        &self,
+        col: usize,
+        row_start: usize,
+        row_len: usize,
+    ) -> Result<scc_engine::Vector, scc_core::Error> {
+        use scc_engine::Vector;
+        macro_rules! read {
+            ($store:expr, $ctor:path, $ty:ty) => {{
+                let mut out = vec![<$ty>::default(); row_len];
+                $store.try_read_rows(row_start, &mut out)?;
+                Ok($ctor(out))
+            }};
+        }
+        match &self.columns[col].1 {
+            Column::Num(NumColumn::I32(c)) => read!(c, Vector::I32, i32),
+            Column::Num(NumColumn::I64(c)) => read!(c, Vector::I64, i64),
+            Column::Num(NumColumn::U32(c)) => read!(c, Vector::U32, u32),
+            Column::Str(s) => read!(s.codes, Vector::U32, u32),
+            Column::Blob(_) => panic!("blob columns have no cells"),
+        }
     }
 
     /// Compression ratio over a subset of columns (the per-query ratios
@@ -259,5 +300,39 @@ mod tests {
     fn unknown_column_panics() {
         let t = TableBuilder::new("t").add_i64("a", vec![1]).build();
         t.col_index("missing");
+    }
+
+    #[test]
+    fn find_col_is_the_non_panicking_lookup() {
+        let t = TableBuilder::new("t").add_i64("a", vec![1, 2]).add_i32("b", vec![3, 4]).build();
+        assert_eq!(t.find_col("b"), Some(1));
+        assert_eq!(t.find_col("missing"), None);
+    }
+
+    #[test]
+    fn try_read_rows_matches_plain_values_and_types_errors() {
+        use scc_engine::Vector;
+        let t = TableBuilder::new("t")
+            .seg_rows(1024)
+            .add_i64("k", (0..5000).collect())
+            .add_str("s", (0..5000).map(|i| ["X", "Y"][i % 2].to_string()).collect())
+            .build();
+        // Unaligned, segment-crossing slice of an i64 column.
+        let v = t.try_read_rows(0, 1000, 2000).unwrap();
+        assert_eq!(v.as_i64(), &(1000..3000).collect::<Vec<i64>>()[..]);
+        // String columns come back as dictionary codes.
+        let Vector::U32(codes) = t.try_read_rows(1, 7, 3).unwrap() else {
+            panic!("expected codes")
+        };
+        let dict = &t.str_col("s").dict;
+        assert_eq!(
+            codes.iter().map(|&c| dict[c as usize].as_str()).collect::<Vec<_>>(),
+            ["Y", "X", "Y"]
+        );
+        // Out-of-bounds rows are typed, not clamped.
+        assert_eq!(
+            t.try_read_rows(0, 4999, 2),
+            Err(scc_core::Error::RangeOutOfBounds { start: 4999, len: 2, n: 5000 })
+        );
     }
 }

@@ -7,6 +7,9 @@
 //! scc inspect    <in.scc>
 //! scc verify     <in.scc>
 //! scc explain    [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]
+//! scc serve      [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D]
+//! scc loadgen    [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt]
+//!                [--stats-json <out.json>] [--report-json <out.json>] [--shutdown]
 //! ```
 //!
 //! File format: `SCCF` magic, a type tag, a segment count, then
@@ -18,7 +21,7 @@
 //! decompressing and reports the first corrupt byte offset.
 
 use scc::core::{
-    analyze, compress_with_plan, wire, AnalyzeOpts, Error, Integrity, Plan, Segment, Value,
+    analyze, compress_with_plan, frame, wire, AnalyzeOpts, Error, Integrity, Plan, Segment, Value,
 };
 use std::fs;
 use std::process::ExitCode;
@@ -42,8 +45,10 @@ fn die(msg: &str) -> ExitCode {
         "usage:\n  scc analyze    <in.bin> [--type T]\n  scc compress   <in.bin> <out.scc> \
          [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
          <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  scc explain    \
-         [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]\n  \
-         (T = u32|i32|u64|i64, default u32)"
+         [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]\n  scc serve      \
+         [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D]\n  scc loadgen    \
+         [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt] [--stats-json J] \
+         [--report-json J] [--shutdown]\n  (T = u32|i32|u64|i64, default u32)"
     );
     ExitCode::FAILURE
 }
@@ -120,8 +125,7 @@ fn cmd_compress<V: Value>(
         let seg = compress_with_plan(chunk, &plan);
         let bytes = seg.to_bytes();
         total_comp += bytes.len();
-        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&bytes);
+        frame::put_len_prefixed(&mut out, &bytes);
     }
     fs::write(out_path, &out).map_err(|e| format!("writing {out_path}: {e}"))?;
     let raw = values.len() * V::byte_width();
@@ -150,16 +154,8 @@ fn read_segments<V: Value>(bytes: &[u8]) -> Result<Vec<Segment<V>>, Error> {
     // pre-reserving an attacker-chosen capacity.
     let mut segs = Vec::new();
     for _ in 0..n_segs {
-        if pos + 4 > bytes.len() {
-            return Err(Error::Truncated { offset: pos, need: 4, have: bytes.len() - pos });
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if pos + len > bytes.len() {
-            return Err(Error::Truncated { offset: pos, need: len, have: bytes.len() - pos });
-        }
-        segs.push(Segment::<V>::try_from_bytes(&bytes[pos..pos + len])?);
-        pos += len;
+        let seg_bytes = frame::take_len_prefixed(bytes, &mut pos)?;
+        segs.push(Segment::<V>::try_from_bytes(seg_bytes)?);
     }
     Ok(segs)
 }
@@ -191,25 +187,16 @@ fn cmd_verify(bytes: &[u8]) -> Result<(), String> {
     let mut unverified = 0usize;
     let mut verified = 0usize;
     for i in 0..n_segs {
-        if pos + 4 > bytes.len() {
-            println!(
-                "  seg {i}: CORRUPT at file offset {pos}: {}",
-                Error::Truncated { offset: pos, need: 4, have: bytes.len() - pos }
-            );
-            corrupt += 1;
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if pos + len > bytes.len() {
-            println!(
-                "  seg {i}: CORRUPT at file offset {pos}: {}",
-                Error::Truncated { offset: pos, need: len, have: bytes.len() - pos }
-            );
-            corrupt += 1;
-            break;
-        }
-        match wire::verify(&bytes[pos..pos + len]) {
+        let data_at = pos + frame::LEN_PREFIX_BYTES;
+        let seg_bytes = match frame::take_len_prefixed(bytes, &mut pos) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("  seg {i}: CORRUPT: {e}");
+                corrupt += 1;
+                break;
+            }
+        };
+        match wire::verify(seg_bytes) {
             Ok(r) => {
                 let tag = match r.integrity {
                     Integrity::Verified => {
@@ -227,11 +214,10 @@ fn cmd_verify(bytes: &[u8]) -> Result<(), String> {
                 );
             }
             Err(f) => {
-                println!("  seg {i}: CORRUPT at file offset {}: {}", pos + f.offset, f.error);
+                println!("  seg {i}: CORRUPT at file offset {}: {}", data_at + f.offset, f.error);
                 corrupt += 1;
             }
         }
-        pos += len;
     }
     println!(
         "{n_segs} segment(s): {verified} verified, {unverified} unverified, {corrupt} corrupt"
@@ -344,10 +330,160 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Pulls `--flag value` pairs out of an option list with uniform
+/// error messages; used by the server subcommands.
+struct OptParser<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> OptParser<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Self { args, i: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let flag = self.args.get(self.i)?;
+        self.i += 1;
+        Some(flag.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        let v = self.args.get(self.i).ok_or(format!("{flag} needs a value"))?;
+        self.i += 1;
+        Ok(v.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        self.value(flag)?.parse().map_err(|_| format!("{flag}: bad value"))
+    }
+}
+
+/// `scc serve`: expose the deterministic demo table over TCP (see
+/// `docs/SERVER.md`). Blocks until a protocol `Shutdown` request
+/// arrives, then prints the service-time percentiles the run observed.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config =
+        scc::server::ServerConfig { addr: "127.0.0.1:7644".into(), ..Default::default() };
+    let mut rows = 50_000usize;
+    let mut p = OptParser::new(args);
+    while let Some(flag) = p.next_flag() {
+        match flag {
+            "--addr" => config.addr = p.value(flag)?.to_string(),
+            "--workers" => config.workers = p.parse(flag)?,
+            "--rows" => rows = p.parse(flag)?,
+            "--queue-depth" => config.queue_depth = p.parse(flag)?,
+            "--deadline-ms" => config.deadline = std::time::Duration::from_millis(p.parse(flag)?),
+            "--max-scan-threads" => config.max_scan_threads = p.parse(flag)?,
+            other => return Err(format!("unknown serve option {other}")),
+        }
+    }
+    if rows == 0 || config.workers == 0 {
+        return Err("--rows and --workers must be positive".into());
+    }
+    let mut catalog = scc::server::Catalog::new();
+    catalog.add(scc::server::demo_table(rows));
+    let workers = config.workers;
+    let server =
+        scc::server::Server::start(config, catalog).map_err(|e| format!("binding server: {e}"))?;
+    println!(
+        "scc-server listening on {} ({} worker(s), table demo x {rows} rows)",
+        server.local_addr(),
+        workers
+    );
+    server.wait();
+    println!("scc-server: shut down cleanly");
+    for kind in ["segment_range", "scan", "stats"] {
+        let hist = scc::obs::global().histogram(&format!("server.service_ns.{kind}"));
+        if hist.count() == 0 {
+            continue;
+        }
+        let p = |q| hist.percentile(q).unwrap_or(0) as f64 / 1_000.0;
+        println!(
+            "  {kind}: {} request(s), service time p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+            hist.count(),
+            p(0.50),
+            p(0.95),
+            p(0.99)
+        );
+    }
+    Ok(())
+}
+
+/// `scc loadgen`: closed-loop load against a running `scc serve`,
+/// verifying every response byte-exactly against a local replica of
+/// the demo table (`--rows` must match the server's).
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut cfg = scc::server::LoadgenConfig::default();
+    let mut rows = 50_000usize;
+    let mut stats_json: Option<String> = None;
+    let mut report_json: Option<String> = None;
+    let mut shutdown = false;
+    let mut p = OptParser::new(args);
+    while let Some(flag) = p.next_flag() {
+        match flag {
+            "--addr" => cfg.addr = p.value(flag)?.to_string(),
+            "--requests" => cfg.requests = p.parse(flag)?,
+            "--threads" => cfg.threads = p.parse(flag)?,
+            "--scan-threads" => cfg.scan_threads = p.parse(flag)?,
+            "--rows" => rows = p.parse(flag)?,
+            "--seed" => cfg.seed = p.parse(flag)?,
+            "--corrupt" => cfg.corrupt = true,
+            "--stats-json" => stats_json = Some(p.value(flag)?.to_string()),
+            "--report-json" => report_json = Some(p.value(flag)?.to_string()),
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown loadgen option {other}")),
+        }
+    }
+    if rows == 0 || cfg.threads == 0 {
+        return Err("--rows and --threads must be positive".into());
+    }
+    let replica = scc::server::demo_table(rows);
+    let report = scc::server::run_loadgen(&cfg, &replica)?;
+    println!("{}", report.summary());
+    if let Some(path) = report_json {
+        fs::write(&path, report.to_json().pretty() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = stats_json {
+        let mut client = scc::server::Client::connect(&cfg.addr)
+            .map_err(|e| format!("connecting for stats: {e}"))?;
+        let json = client.stats_json().map_err(|e| e.to_string())?;
+        fs::write(&path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("server metrics written to {path}");
+    }
+    if shutdown {
+        let mut client = scc::server::Client::connect(&cfg.addr)
+            .map_err(|e| format!("connecting for shutdown: {e}"))?;
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        println!("server acknowledged shutdown");
+    }
+    if report.errors > 0 || report.verify_failures > 0 {
+        return Err(format!(
+            "{} failed and {} unverified response(s)",
+            report.errors, report.verify_failures
+        ));
+    }
+    if report.corrupt_rejected != report.corrupt_sent {
+        return Err(format!(
+            "only {}/{} corrupt frames were refused with a typed error",
+            report.corrupt_rejected, report.corrupt_sent
+        ));
+    }
+    Ok(())
+}
+
 fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args[0].as_str();
     if cmd == "explain" {
         return cmd_explain(&args[1..]);
+    }
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    if cmd == "loadgen" {
+        return cmd_loadgen(&args[1..]);
     }
     let mut ty = "u32".to_string();
     let mut scheme = "auto".to_string();

@@ -45,6 +45,9 @@ pub use scc_engine as engine;
 /// ColumnBM-style storage manager.
 pub use scc_storage as storage;
 
+/// TCP segment/scan server, protocol client and load generator.
+pub use scc_server as server;
+
 /// TPC-H generator and the paper's eleven queries.
 pub use scc_tpch as tpch;
 
