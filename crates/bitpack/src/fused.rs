@@ -1,0 +1,260 @@
+//! Fused decode kernels: UNPACK combined with the frame-of-reference add
+//! and the PFOR-DELTA running sum in a single pass over each group.
+//!
+//! The paper's two-loop decoder (§3.1) unpacks codes and then transforms
+//! them (add the FOR base; for PFOR-DELTA, patch and prefix-sum). Done
+//! naively, that re-streams every vector through cache two or three
+//! times. The kernels here keep each 32-value group in registers between
+//! the unpack and the transform, so a 128-value block makes one trip
+//! through the cache hierarchy regardless of scheme.
+//!
+//! Every function dispatches through [`crate::kernel`]; the `_scalar`
+//! suffixed items in this module are the portable reference tier and the
+//! ground truth for the differential property tests. Semantics (all
+//! arithmetic wrapping):
+//!
+//! - `unpack_for*`:   `out[i] = base + code_i`
+//! - `unpack_delta*`: `out[i] = seed + Σ_{j<=i} (delta_base + code_j)`
+//! - `prefix_sum*`:   `out[i] = seed + Σ_{j<=i} out[j]` in place
+//!
+//! The 64-bit variants widen the unpacked 32-bit codes before the add,
+//! which is how the generic `Value` decode in `scc-core` maps `u64`/`i64`
+//! segments onto these kernels.
+
+use crate::{group, scalar, GROUP};
+
+/// Fused unpack + FOR add on 32-bit lanes (dispatched).
+///
+/// # Panics
+/// Panics if `b > 32` or `packed` is shorter than
+/// [`crate::packed_words`]`(out.len(), b)`.
+pub fn unpack_for32(packed: &[u32], b: u32, base: u32, out: &mut [u32]) {
+    crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+    (crate::kernel::driver().unpack_for32)(packed, b, base, out);
+}
+
+/// Fused unpack + FOR add with 64-bit widening (dispatched).
+///
+/// # Panics
+/// Same contract as [`unpack_for32`].
+pub fn unpack_for64(packed: &[u32], b: u32, base: u64, out: &mut [u64]) {
+    crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+    (crate::kernel::driver().unpack_for64)(packed, b, base, out);
+}
+
+/// Fused unpack + delta running sum on 32-bit lanes (dispatched).
+///
+/// # Panics
+/// Same contract as [`unpack_for32`].
+pub fn unpack_delta32(packed: &[u32], b: u32, delta_base: u32, seed: u32, out: &mut [u32]) {
+    crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+    (crate::kernel::driver().unpack_delta32)(packed, b, delta_base, seed, out);
+}
+
+/// Fused unpack + delta running sum with 64-bit accumulation (dispatched).
+///
+/// # Panics
+/// Same contract as [`unpack_for32`].
+pub fn unpack_delta64(packed: &[u32], b: u32, delta_base: u64, seed: u64, out: &mut [u64]) {
+    crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+    (crate::kernel::driver().unpack_delta64)(packed, b, delta_base, seed, out);
+}
+
+/// In-place inclusive wrapping prefix sum, 32-bit lanes (dispatched).
+pub fn prefix_sum32(out: &mut [u32], seed: u32) {
+    (crate::kernel::driver().prefix_sum32)(out, seed);
+}
+
+/// In-place inclusive wrapping prefix sum, 64-bit lanes (dispatched).
+pub fn prefix_sum64(out: &mut [u64], seed: u64) {
+    (crate::kernel::driver().prefix_sum64)(out, seed);
+}
+
+// ---------------------------------------------------------------------
+// Scalar tier (reference implementations).
+// ---------------------------------------------------------------------
+
+/// Scalar unpack over full groups + ragged tail; assumes validated args.
+/// This is the pre-dispatch body of [`crate::unpack`] and the fallback
+/// every SIMD driver uses for unpadded trailing groups.
+pub(crate) fn unpack_scalar(packed: &[u32], b: u32, out: &mut [u32]) {
+    if b == 0 {
+        out.fill(0);
+        return;
+    }
+    let kernel = group::UNPACK[b as usize];
+    let wpg = b as usize;
+    let full = out.len() / GROUP;
+    for g in 0..full {
+        let dst: &mut [u32; GROUP] = (&mut out[g * GROUP..(g + 1) * GROUP]).try_into().unwrap();
+        kernel(&packed[g * wpg..(g + 1) * wpg], dst);
+    }
+    let n = out.len();
+    let tail = &mut out[full * GROUP..n];
+    if !tail.is_empty() {
+        scalar::unpack_tail(&packed[full * wpg..], b, tail);
+    }
+}
+
+pub(crate) fn for32_scalar(packed: &[u32], b: u32, base: u32, out: &mut [u32]) {
+    unpack_scalar(packed, b, out);
+    for o in out.iter_mut() {
+        *o = base.wrapping_add(*o);
+    }
+}
+
+pub(crate) fn for64_scalar(packed: &[u32], b: u32, base: u64, out: &mut [u64]) {
+    if b == 0 {
+        out.fill(base);
+        return;
+    }
+    let kernel = group::UNPACK[b as usize];
+    let wpg = b as usize;
+    let full = out.len() / GROUP;
+    let mut tmp = [0u32; GROUP];
+    for g in 0..full {
+        kernel(&packed[g * wpg..(g + 1) * wpg], &mut tmp);
+        for (o, &c) in out[g * GROUP..(g + 1) * GROUP].iter_mut().zip(tmp.iter()) {
+            *o = base.wrapping_add(c as u64);
+        }
+    }
+    let tail_len = out.len() - full * GROUP;
+    if tail_len > 0 {
+        scalar::unpack_tail(&packed[full * wpg..], b, &mut tmp[..tail_len]);
+        for (o, &c) in out[full * GROUP..].iter_mut().zip(tmp.iter()) {
+            *o = base.wrapping_add(c as u64);
+        }
+    }
+}
+
+pub(crate) fn delta32_scalar(packed: &[u32], b: u32, delta_base: u32, seed: u32, out: &mut [u32]) {
+    unpack_scalar(packed, b, out);
+    let mut acc = seed;
+    for o in out.iter_mut() {
+        acc = acc.wrapping_add(delta_base.wrapping_add(*o));
+        *o = acc;
+    }
+}
+
+pub(crate) fn delta64_scalar(packed: &[u32], b: u32, delta_base: u64, seed: u64, out: &mut [u64]) {
+    let kernel = if b == 0 { None } else { Some(group::UNPACK[b as usize]) };
+    let wpg = b as usize;
+    let full = out.len() / GROUP;
+    let mut tmp = [0u32; GROUP];
+    let mut acc = seed;
+    for g in 0..full {
+        if let Some(k) = kernel {
+            k(&packed[g * wpg..(g + 1) * wpg], &mut tmp);
+        }
+        for (o, &c) in out[g * GROUP..(g + 1) * GROUP].iter_mut().zip(tmp.iter()) {
+            acc = acc.wrapping_add(delta_base.wrapping_add(c as u64));
+            *o = acc;
+        }
+    }
+    let tail_len = out.len() - full * GROUP;
+    if tail_len > 0 {
+        if let Some(k) = kernel {
+            let _ = k;
+            scalar::unpack_tail(&packed[full * wpg..], b, &mut tmp[..tail_len]);
+        }
+        for (o, &c) in out[full * GROUP..].iter_mut().zip(tmp.iter()) {
+            acc = acc.wrapping_add(delta_base.wrapping_add(c as u64));
+            *o = acc;
+        }
+    }
+}
+
+pub(crate) fn prefix_sum32_scalar(out: &mut [u32], seed: u32) {
+    let mut acc = seed;
+    for o in out.iter_mut() {
+        acc = acc.wrapping_add(*o);
+        *o = acc;
+    }
+}
+
+pub(crate) fn prefix_sum64_scalar(out: &mut [u64], seed: u64) {
+    let mut acc = seed;
+    for o in out.iter_mut() {
+        acc = acc.wrapping_add(*o);
+        *o = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mask, pack_vec};
+
+    fn codes(n: usize, b: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(0x9e37_79b9) & mask(b)).collect()
+    }
+
+    #[test]
+    fn fused_for32_matches_unpack_then_add() {
+        for b in 0..=32u32 {
+            for n in [0usize, 1, 31, 32, 100, 128, 257] {
+                let c = codes(n, b);
+                let packed = pack_vec(&c, b);
+                let mut fused = vec![0u32; n];
+                unpack_for32(&packed, b, 0xdead_beef, &mut fused);
+                let expect: Vec<u32> = c.iter().map(|&x| 0xdead_beefu32.wrapping_add(x)).collect();
+                assert_eq!(fused, expect, "b={b} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_for64_widens_codes() {
+        for b in [0u32, 1, 7, 16, 29, 32] {
+            let c = codes(200, b);
+            let packed = pack_vec(&c, b);
+            let base = u64::MAX - 5;
+            let mut fused = vec![0u64; 200];
+            unpack_for64(&packed, b, base, &mut fused);
+            let expect: Vec<u64> = c.iter().map(|&x| base.wrapping_add(x as u64)).collect();
+            assert_eq!(fused, expect, "b={b}");
+        }
+    }
+
+    #[test]
+    fn fused_delta_is_seeded_running_sum() {
+        for b in [0u32, 3, 8, 13, 28, 30, 32] {
+            let c = codes(300, b);
+            let packed = pack_vec(&c, b);
+            let (db, seed) = (3u32, 1000u32);
+            let mut fused = vec![0u32; 300];
+            unpack_delta32(&packed, b, db, seed, &mut fused);
+            let mut acc = seed;
+            let expect: Vec<u32> = c
+                .iter()
+                .map(|&x| {
+                    acc = acc.wrapping_add(db.wrapping_add(x));
+                    acc
+                })
+                .collect();
+            assert_eq!(fused, expect, "b={b}");
+
+            let mut fused64 = vec![0u64; 300];
+            unpack_delta64(&packed, b, db as u64, seed as u64, &mut fused64);
+            let mut acc64 = seed as u64;
+            let expect64: Vec<u64> = c
+                .iter()
+                .map(|&x| {
+                    acc64 = acc64.wrapping_add(db as u64).wrapping_add(x as u64);
+                    acc64
+                })
+                .collect();
+            assert_eq!(fused64, expect64, "b={b}");
+        }
+    }
+
+    #[test]
+    fn prefix_sums_wrap() {
+        let mut v = [u32::MAX, 1, 2];
+        prefix_sum32(&mut v, 1);
+        assert_eq!(v, [0, 1, 3]);
+        let mut w = [u64::MAX, 1, 2];
+        prefix_sum64(&mut w, 1);
+        assert_eq!(w, [0, 1, 3]);
+    }
+}

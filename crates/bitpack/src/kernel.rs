@@ -1,0 +1,322 @@
+//! Runtime kernel dispatch: scalar vs SSE4.1 vs AVX2.
+//!
+//! The unpack and fused-decode entry points of this crate route through a
+//! per-process dispatch table chosen once at first use. On x86-64 with the
+//! `simd` feature (default), the highest tier the CPU supports wins:
+//!
+//! | tier | unpack | fused post-passes (FOR add, delta prefix sum, 64-bit widening) |
+//! |---|---|---|
+//! | `avx2` | vectorized (8 lanes, variable shifts) | vectorized |
+//! | `sse4.1` | scalar | vectorized (`paddd`, `pmovzxdq`, shift-add prefix) |
+//! | `scalar` | scalar | scalar |
+//!
+//! SSE4.1 is the floor for a SIMD tier because the fused 64-bit decode
+//! leans on `pmovzxdq` (`_mm_cvtepu32_epi64`); pre-AVX2 x86 also lacks
+//! per-lane variable shifts, which is why the SSE4.1 tier keeps the
+//! scalar unpack and vectorizes only the fusion stages.
+//!
+//! Every tier is byte-identical: all arithmetic is wrapping and the
+//! dispatch only changes instruction selection, never results. The
+//! differential property tests in `tests/` assert this for every width,
+//! including ragged tails.
+//!
+//! Selection can be overridden: the `SCC_KERNEL` environment variable
+//! (`scalar`, `sse41`, `avx2`; read once at first dispatch) or [`force`]
+//! (used by `bench_kernels` to sweep tiers in-process). Overrides naming
+//! an unsupported tier are rejected, so a forced kernel never executes
+//! unsupported instructions.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel tier serves the dispatch table. See the module docs for
+/// what each tier vectorizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Portable scalar kernels; the only tier off x86-64 or with the
+    /// `simd` feature disabled.
+    Scalar,
+    /// Scalar unpack + SSE4.1-vectorized fusion stages.
+    Sse41,
+    /// AVX2-vectorized unpack and fusion stages.
+    Avx2,
+}
+
+impl KernelClass {
+    /// All classes, lowest tier first.
+    pub const ALL: [KernelClass; 3] = [KernelClass::Scalar, KernelClass::Sse41, KernelClass::Avx2];
+
+    /// Stable lower-case name used in metrics and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::Scalar => "scalar",
+            KernelClass::Sse41 => "sse41",
+            KernelClass::Avx2 => "avx2",
+        }
+    }
+
+    /// Stable numeric tag (0/1/2) used by the `core.decode.kernel_class`
+    /// gauge.
+    pub fn index(self) -> usize {
+        match self {
+            KernelClass::Scalar => 0,
+            KernelClass::Sse41 => 1,
+            KernelClass::Avx2 => 2,
+        }
+    }
+
+    fn from_index(i: u8) -> KernelClass {
+        match i {
+            0 => KernelClass::Scalar,
+            1 => KernelClass::Sse41,
+            _ => KernelClass::Avx2,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from [`force`]: the requested tier is not supported by this CPU
+/// or build (e.g. `simd` feature disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unavailable(pub KernelClass);
+
+impl std::fmt::Display for Unavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel class {} is not available on this CPU/build", self.0.name())
+    }
+}
+
+impl std::error::Error for Unavailable {}
+
+/// One tier's implementations. All functions assume the caller validated
+/// `b <= 32` and `packed.len() >= packed_words(out.len(), b)`; the public
+/// wrappers in the crate root and [`Kernels`] enforce that.
+pub(crate) struct Driver {
+    pub(crate) class: KernelClass,
+    pub(crate) unpack: fn(&[u32], u32, &mut [u32]),
+    pub(crate) unpack_for32: fn(&[u32], u32, u32, &mut [u32]),
+    pub(crate) unpack_for64: fn(&[u32], u32, u64, &mut [u64]),
+    pub(crate) unpack_delta32: fn(&[u32], u32, u32, u32, &mut [u32]),
+    pub(crate) unpack_delta64: fn(&[u32], u32, u64, u64, &mut [u64]),
+    pub(crate) prefix_sum32: fn(&mut [u32], u32),
+    pub(crate) prefix_sum64: fn(&mut [u64], u64),
+}
+
+static SCALAR: Driver = Driver {
+    class: KernelClass::Scalar,
+    unpack: crate::fused::unpack_scalar,
+    unpack_for32: crate::fused::for32_scalar,
+    unpack_for64: crate::fused::for64_scalar,
+    unpack_delta32: crate::fused::delta32_scalar,
+    unpack_delta64: crate::fused::delta64_scalar,
+    prefix_sum32: crate::fused::prefix_sum32_scalar,
+    prefix_sum64: crate::fused::prefix_sum64_scalar,
+};
+
+/// `0` = not yet detected; otherwise `KernelClass::index() + 1`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// True when the tier's instructions can execute on this CPU/build.
+pub fn available(class: KernelClass) -> bool {
+    match class {
+        KernelClass::Scalar => true,
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        KernelClass::Sse41 => is_x86_feature_detected!("sse4.1"),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        KernelClass::Avx2 => is_x86_feature_detected!("avx2"),
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        _ => false,
+    }
+}
+
+fn detect() -> KernelClass {
+    if let Ok(v) = std::env::var("SCC_KERNEL") {
+        let wanted = match v.as_str() {
+            "scalar" => Some(KernelClass::Scalar),
+            "sse41" | "sse4.1" => Some(KernelClass::Sse41),
+            "avx2" => Some(KernelClass::Avx2),
+            _ => None,
+        };
+        if let Some(c) = wanted {
+            if available(c) {
+                return c;
+            }
+        }
+        // Unknown or unsupported override: fall through to detection
+        // rather than silently running unsupported instructions.
+    }
+    if available(KernelClass::Avx2) {
+        KernelClass::Avx2
+    } else if available(KernelClass::Sse41) {
+        KernelClass::Sse41
+    } else {
+        KernelClass::Scalar
+    }
+}
+
+/// The kernel class currently serving dispatch. Detected once (CPUID +
+/// `SCC_KERNEL` override) and cached; [`force`] replaces the cache.
+pub fn active() -> KernelClass {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            let c = detect();
+            ACTIVE.store(c.index() as u8 + 1, Ordering::Relaxed);
+            c
+        }
+        v => KernelClass::from_index(v - 1),
+    }
+}
+
+/// Forces every later dispatch onto `class`. Fails (and changes nothing)
+/// when the tier is unavailable, so a forced kernel can never execute
+/// unsupported instructions. Used by benches and differential tests.
+pub fn force(class: KernelClass) -> Result<(), Unavailable> {
+    if !available(class) {
+        return Err(Unavailable(class));
+    }
+    ACTIVE.store(class.index() as u8 + 1, Ordering::Relaxed);
+    Ok(())
+}
+
+pub(crate) fn driver_for(class: KernelClass) -> Option<&'static Driver> {
+    match class {
+        KernelClass::Scalar => Some(&SCALAR),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        KernelClass::Sse41 => available(class).then_some(&crate::simd::SSE41),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        KernelClass::Avx2 => available(class).then_some(&crate::simd::AVX2),
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        _ => None,
+    }
+}
+
+pub(crate) fn driver() -> &'static Driver {
+    driver_for(active()).unwrap_or(&SCALAR)
+}
+
+/// A handle to one tier's kernels; obtained from [`kernels`] (the active
+/// tier) or [`kernels_for`] (a specific tier, for differential testing
+/// and per-tier benchmarking).
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    d: &'static Driver,
+}
+
+/// The active tier's kernels.
+pub fn kernels() -> Kernels {
+    Kernels { d: driver() }
+}
+
+/// The kernels of a specific tier, or `None` when the tier is
+/// unavailable on this CPU/build.
+pub fn kernels_for(class: KernelClass) -> Option<Kernels> {
+    driver_for(class).map(|d| Kernels { d })
+}
+
+impl Kernels {
+    /// The tier these kernels belong to.
+    pub fn class(self) -> KernelClass {
+        self.d.class
+    }
+
+    /// Per-tier [`crate::unpack`]; same contract and panics.
+    pub fn unpack(self, packed: &[u32], b: u32, out: &mut [u32]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.unpack)(packed, b, out);
+    }
+
+    /// Fused unpack + frame-of-reference add on 32-bit lanes:
+    /// `out[i] = base.wrapping_add(code_i)`.
+    pub fn unpack_for32(self, packed: &[u32], b: u32, base: u32, out: &mut [u32]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.unpack_for32)(packed, b, base, out);
+    }
+
+    /// Fused unpack + frame-of-reference add, codes widened to 64-bit:
+    /// `out[i] = base.wrapping_add(code_i as u64)`.
+    pub fn unpack_for64(self, packed: &[u32], b: u32, base: u64, out: &mut [u64]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.unpack_for64)(packed, b, base, out);
+    }
+
+    /// Fused unpack + delta decode on 32-bit lanes: the running sum
+    /// `out[i] = seed + Σ_{j<=i} (delta_base + code_j)` (wrapping).
+    pub fn unpack_delta32(
+        self,
+        packed: &[u32],
+        b: u32,
+        delta_base: u32,
+        seed: u32,
+        out: &mut [u32],
+    ) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.unpack_delta32)(packed, b, delta_base, seed, out);
+    }
+
+    /// Fused unpack + delta decode, 64-bit accumulation.
+    pub fn unpack_delta64(
+        self,
+        packed: &[u32],
+        b: u32,
+        delta_base: u64,
+        seed: u64,
+        out: &mut [u64],
+    ) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.unpack_delta64)(packed, b, delta_base, seed, out);
+    }
+
+    /// In-place inclusive wrapping prefix sum seeded with `seed`
+    /// (`out[i] = seed + Σ_{j<=i} out[j]`), 32-bit lanes.
+    pub fn prefix_sum32(self, out: &mut [u32], seed: u32) {
+        (self.d.prefix_sum32)(out, seed);
+    }
+
+    /// In-place inclusive wrapping prefix sum, 64-bit lanes.
+    pub fn prefix_sum64(self, out: &mut [u64], seed: u64) {
+        (self.d.prefix_sum64)(out, seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(available(KernelClass::Scalar));
+        assert!(kernels_for(KernelClass::Scalar).is_some());
+        assert_eq!(kernels_for(KernelClass::Scalar).unwrap().class(), KernelClass::Scalar);
+    }
+
+    #[test]
+    fn active_tier_is_available_and_stable() {
+        let a = active();
+        assert!(available(a), "active tier {a} must be executable");
+        assert_eq!(active(), a, "detection is cached");
+        assert_eq!(kernels().class(), a);
+    }
+
+    #[test]
+    fn names_and_indices_are_stable() {
+        assert_eq!(KernelClass::Scalar.name(), "scalar");
+        assert_eq!(KernelClass::Sse41.name(), "sse41");
+        assert_eq!(KernelClass::Avx2.name(), "avx2");
+        for (i, c) in KernelClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    #[test]
+    fn simd_tiers_unavailable_without_feature() {
+        assert!(!available(KernelClass::Sse41));
+        assert!(!available(KernelClass::Avx2));
+        assert_eq!(force(KernelClass::Avx2), Err(Unavailable(KernelClass::Avx2)));
+        assert_eq!(active(), KernelClass::Scalar);
+    }
+}

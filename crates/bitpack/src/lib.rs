@@ -19,11 +19,16 @@
 //! - [`delta`]: delta-encoding and running-sum kernels used by PFOR-DELTA.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitio;
 pub mod delta;
+pub mod fused;
 mod group;
+pub mod kernel;
 mod scalar;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
 
 pub use bitio::{BitReader, BitWriter};
 
@@ -87,35 +92,68 @@ pub fn pack_vec(values: &[u32], b: u32) -> Vec<u32> {
     out
 }
 
+/// Why an unpack request is malformed. Returned by [`try_unpack`]; the
+/// panicking entry points format the same messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnpackError {
+    /// `b > 32`.
+    WidthOutOfRange {
+        /// The rejected bit width.
+        b: u32,
+    },
+    /// `packed` has fewer words than [`packed_words`]`(n, b)` requires.
+    TooShort {
+        /// Words available in the packed buffer.
+        have: usize,
+        /// Words required for the requested value count and width.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            UnpackError::WidthOutOfRange { b } => write!(f, "bit width {b} out of range"),
+            UnpackError::TooShort { have, need } => {
+                write!(f, "packed buffer too short: have {have} words, need {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Validates an unpack request of `n` values at width `b` against a
+/// packed buffer of `packed_len` words.
+pub(crate) fn check_unpack(packed_len: usize, b: u32, n: usize) -> Result<(), UnpackError> {
+    if b > 32 {
+        return Err(UnpackError::WidthOutOfRange { b });
+    }
+    let need = packed_words(n, b);
+    if packed_len < need {
+        return Err(UnpackError::TooShort { have: packed_len, need });
+    }
+    Ok(())
+}
+
+/// Unpacks `n = out.len()` `b`-bit values from `packed` into `out`,
+/// returning an error instead of panicking on a malformed request. This
+/// is the entry point decoders use on untrusted (on-disk / on-wire)
+/// layouts, so a truncated section surfaces as a corruption error
+/// rather than a panic.
+pub fn try_unpack(packed: &[u32], b: u32, out: &mut [u32]) -> Result<(), UnpackError> {
+    check_unpack(packed.len(), b, out.len())?;
+    (kernel::driver().unpack)(packed, b, out);
+    Ok(())
+}
+
 /// Unpacks `n = out.len()` `b`-bit values from `packed` into `out`.
 ///
 /// # Panics
 /// Panics if `b > 32` or `packed` is shorter than
 /// [`packed_words`]`(out.len(), b)`.
 pub fn unpack(packed: &[u32], b: u32, out: &mut [u32]) {
-    assert!(b <= 32, "bit width {b} out of range");
-    let need = packed_words(out.len(), b);
-    assert!(
-        packed.len() >= need,
-        "packed buffer too short: have {} words, need {need}",
-        packed.len()
-    );
-    if b == 0 {
-        out.fill(0);
-        return;
-    }
-    let kernel = group::UNPACK[b as usize];
-    let words_per_group = b as usize;
-    let full = out.len() / GROUP;
-    for g in 0..full {
-        let dst: &mut [u32; GROUP] = (&mut out[g * GROUP..(g + 1) * GROUP]).try_into().unwrap();
-        kernel(&packed[g * words_per_group..(g + 1) * words_per_group], dst);
-    }
-    let n = out.len();
-    let tail = &mut out[full * GROUP..n];
-    if !tail.is_empty() {
-        scalar::unpack_tail(&packed[full * words_per_group..], b, tail);
-    }
+    try_unpack(packed, b, out).unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// Convenience wrapper around [`unpack`] that allocates the output buffer.
@@ -239,6 +277,28 @@ mod tests {
         let mut out = vec![7u32; 50];
         unpack(&[], 0, &mut out);
         assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn try_unpack_reports_malformed_requests() {
+        let mut out = [0u32; 64];
+        let err = try_unpack(&[0u32; 3], 8, &mut out).unwrap_err();
+        assert_eq!(err, UnpackError::TooShort { have: 3, need: 16 });
+        assert_eq!(err.to_string(), "packed buffer too short: have 3 words, need 16");
+        let err = try_unpack(&[0u32; 3], 33, &mut out).unwrap_err();
+        assert_eq!(err, UnpackError::WidthOutOfRange { b: 33 });
+        assert_eq!(err.to_string(), "bit width 33 out of range");
+        // A valid request succeeds and fills the buffer.
+        let packed = pack_vec(&[7u32; 64], 8);
+        try_unpack(&packed, 8, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed buffer too short")]
+    fn unpack_still_panics_on_short_buffer() {
+        let mut out = [0u32; 64];
+        unpack(&[0u32; 3], 8, &mut out);
     }
 
     #[test]

@@ -73,6 +73,19 @@ pub enum Error {
         /// Size of the segment's dictionary.
         dict_len: usize,
     },
+    /// A block decode found the segment's code section shorter than its
+    /// layout promises. The v2 wire format validates section lengths on
+    /// load, so this firing means the in-memory segment was corrupted (or
+    /// a v1 segment lied); the decode surfaces it instead of panicking so
+    /// a served scan can fail one request rather than a worker thread.
+    CorruptCodes {
+        /// The 128-value block whose codes are missing.
+        block: usize,
+        /// Words the block's unpack needs.
+        need: usize,
+        /// Words actually present from the block's offset.
+        have: usize,
+    },
     /// A container file (e.g. the CLI's `.scc` format) ended before the
     /// structure it promised.
     Truncated {
@@ -129,6 +142,10 @@ impl fmt::Display for Error {
                 "corrupt PDICT segment: code {code} at position {index} exceeds dictionary of \
                  {dict_len} at a non-exception position"
             ),
+            Error::CorruptCodes { block, need, have } => write!(
+                f,
+                "corrupt code section: block {block} needs {need} words, have {have}"
+            ),
             Error::Truncated { offset, need, have } => {
                 write!(f, "file truncated at offset {offset}: need {need} bytes, have {have}")
             }
@@ -176,6 +193,7 @@ mod tests {
             (Error::ReadFailed { chunk: (1, 2, 3), attempts: 4 }, "4 attempt"),
             (Error::ChunkQuarantined { chunk: (1, 2, 3), attempts: 3 }, "quarantined"),
             (Error::CorruptDictCode { index: 7, code: 9, dict_len: 5 }, "corrupt PDICT"),
+            (Error::CorruptCodes { block: 2, need: 32, have: 7 }, "block 2"),
             (Error::Truncated { offset: 9, need: 4, have: 1 }, "offset 9"),
             (
                 Error::Frame(crate::frame::FrameError::Checksum { stored: 1, computed: 2 }),

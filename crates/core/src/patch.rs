@@ -120,13 +120,32 @@ pub fn walk_patch_list(
     mut gap_at: impl FnMut(usize) -> u32,
     mut patch: impl FnMut(usize, usize),
 ) {
+    walk_patch_list_fused(patch_start, count, limit, |pos, k| {
+        let gap = gap_at(pos);
+        patch(pos, k);
+        gap
+    });
+}
+
+/// Single-closure [`walk_patch_list`]: `step(pos, k)` must read the gap
+/// code at `pos`, apply the patch, and return the gap. The combined
+/// closure exists for the fused decode path, which recovers gap codes
+/// from the already-FOR-shifted output (`out[pos] - base`) and patches
+/// the same slot — one `&mut` capture instead of two conflicting
+/// borrows. The gap is necessarily read *before* the patch lands.
+#[inline]
+pub fn walk_patch_list_fused(
+    patch_start: u32,
+    count: usize,
+    limit: usize,
+    mut step: impl FnMut(usize, usize) -> u32,
+) {
     let mut pos = patch_start as usize;
     for k in 0..count {
         if pos >= limit {
             break;
         }
-        patch(pos, k);
-        pos += gap_at(pos) as usize + 1;
+        pos += step(pos, k) as usize + 1;
     }
 }
 

@@ -14,7 +14,7 @@
 //! block of codes plus the output vector, both cache-resident.
 
 use crate::error::Error;
-use crate::patch::{walk_patch_list, EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
+use crate::patch::{walk_patch_list, walk_patch_list_fused, EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
 use crate::value::Value;
 use scc_bitpack::{get_one, packed_words, unpack};
 
@@ -220,48 +220,68 @@ impl<V: Value> Segment<V> {
         blk * 4 * self.b as usize
     }
 
-    /// Unpacks the codes of one block into `scratch[..len]`; returns `len`.
+    /// The code words available to block `blk`'s unpack, or the
+    /// [`Error::CorruptCodes`] describing the shortfall. The slice runs to
+    /// the end of the code section (not just this block's words): the
+    /// SIMD unpack kernels may read ahead within the section, and giving
+    /// them the full remainder lets every non-final block take the
+    /// vectorized path.
     #[inline]
-    pub(crate) fn unpack_block(&self, blk: usize, scratch: &mut [u32; BLOCK]) -> usize {
-        let len = self.block_len(blk);
+    fn block_codes(&self, blk: usize, len: usize) -> Result<&[u32], Error> {
         let off = self.block_word_offset(blk);
-        let words = packed_words(len, self.b);
-        unpack(&self.codes[off..off + words], self.b, &mut scratch[..len]);
-        len
+        let need = packed_words(len, self.b);
+        match self.codes.get(off..) {
+            Some(codes) if codes.len() >= need => Ok(codes),
+            other => {
+                Err(Error::CorruptCodes { block: blk, need, have: other.map_or(0, <[u32]>::len) })
+            }
+        }
     }
 
-    /// Decompresses block `blk` into `out[..len]`; returns `len`.
+    /// Decompresses block `blk` into `out[..len]`; returns `len`, or
+    /// [`Error::CorruptCodes`] when the code section is shorter than the
+    /// segment's own layout promises (possible only for corrupt v1
+    /// segments or in-memory corruption — v2 validates section lengths at
+    /// load). On error `out` may hold partially decoded garbage.
     ///
-    /// This is the two-loop patched decode of §3.1: LOOP1 decodes every
-    /// code unconditionally (no branches), LOOP2 walks the linked exception
-    /// list and patches the wrong values.
-    pub fn decode_block(&self, blk: usize, out: &mut [V]) -> usize {
-        let mut code = [0u32; BLOCK];
-        let len = self.unpack_block(blk, &mut code);
+    /// This is the two-loop patched decode of §3.1, fused: LOOP1 is a
+    /// single kernel pass that unpacks every code and applies the
+    /// frame-of-reference/delta arithmetic in registers; LOOP2 walks the
+    /// linked exception list and patches the wrong values in place,
+    /// recovering each gap code from the already-decoded output
+    /// (`out[pos] - base`) so the block's codes are never materialized.
+    pub fn try_decode_block(&self, blk: usize, out: &mut [V]) -> Result<usize, Error> {
+        let len = self.block_len(blk);
         debug_assert!(out.len() >= len);
         let out = &mut out[..len];
+        let codes = self.block_codes(blk, len)?;
         let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
         match self.scheme {
             SchemeKind::Pfor => {
-                // LOOP1: decode regardless.
-                for (o, &c) in out.iter_mut().zip(code[..len].iter()) {
-                    *o = V::apply_offset(self.base, c);
-                }
-                // LOOP2: patch it up.
-                walk_patch_list(
-                    patch_start,
-                    exc_count,
-                    len,
-                    |p| code[p],
-                    |pos, k| out[pos] = self.exceptions[exc_start + k],
-                );
+                // LOOP1: fused unpack + FOR add, no intermediate code buffer.
+                V::fused_unpack_for(codes, self.b, self.base, out);
+                // LOOP2: patch it up. A pre-patch exception slot holds
+                // `base + gap_code`, so the gap is recovered exactly by
+                // the wrapping inverse (gap codes are < 2^32).
+                walk_patch_list_fused(patch_start, exc_count, len, |pos, k| {
+                    let gap = out[pos].wrapping_offset(self.base) as u32;
+                    out[pos] = self.exceptions[exc_start + k];
+                    gap
+                });
             }
             SchemeKind::Pdict => {
-                // LOOP1: branch-free lookup; exception slots hold gap codes
-                // that may exceed the dictionary, so clamp (compiles to a
+                // Dictionary lookup cannot be fused into the unpack (the
+                // codes index a table, they don't feed arithmetic), so
+                // this scheme keeps a stack code buffer. LOOP1 is a
+                // branch-free lookup; exception slots hold gap codes that
+                // may exceed the dictionary, so clamp (compiles to a
                 // conditional move, not a branch).
+                let mut code = [0u32; BLOCK];
+                let code = &mut code[..len];
+                // Validated above; dispatches the same kernel tier.
+                unpack(codes, self.b, code);
                 let last = self.dict.len() - 1;
-                for (o, &c) in out.iter_mut().zip(code[..len].iter()) {
+                for (o, &c) in out.iter_mut().zip(code.iter()) {
                     *o = self.dict[(c as usize).min(last)];
                 }
                 walk_patch_list(
@@ -273,27 +293,40 @@ impl<V: Value> Segment<V> {
                 );
             }
             SchemeKind::PforDelta => {
-                // Patch before the running sum (footnote 3 of the paper):
-                // LOOP1 decodes deltas, LOOP2 patches exception deltas,
-                // LOOP3 turns deltas into values.
-                for (o, &c) in out.iter_mut().zip(code[..len].iter()) {
-                    *o = V::apply_offset(self.base, c);
-                }
-                walk_patch_list(
-                    patch_start,
-                    exc_count,
-                    len,
-                    |p| code[p],
-                    |pos, k| out[pos] = self.exceptions[exc_start + k],
-                );
-                let mut acc = self.delta_bases[blk];
-                for o in out.iter_mut() {
-                    acc = acc.wrapping_add_v(*o);
-                    *o = acc;
+                // Patch before the running sum (footnote 3 of the paper).
+                if exc_count == 0 {
+                    // Fully fused: unpack + delta-base add + running sum
+                    // in one kernel pass.
+                    V::fused_unpack_delta(codes, self.b, self.base, self.delta_bases[blk], out);
+                } else {
+                    // LOOP1 decodes deltas (fused unpack + base add),
+                    // LOOP2 patches exception deltas (gap codes recovered
+                    // from the decoded deltas, as for PFOR), LOOP3 is the
+                    // dispatched prefix-sum kernel.
+                    V::fused_unpack_for(codes, self.b, self.base, out);
+                    walk_patch_list_fused(patch_start, exc_count, len, |pos, k| {
+                        let gap = out[pos].wrapping_offset(self.base) as u32;
+                        out[pos] = self.exceptions[exc_start + k];
+                        gap
+                    });
+                    V::prefix_sum(out, self.delta_bases[blk]);
                 }
             }
         }
-        len
+        Ok(len)
+    }
+
+    /// Decompresses block `blk` into `out[..len]`; returns `len`.
+    ///
+    /// Infallible [`try_decode_block`](Self::try_decode_block): panics on
+    /// a corrupt code section. In-memory segments built by the encoders
+    /// always satisfy the layout, so this is the ergonomic entry point
+    /// for iterators and whole-segment decode.
+    pub fn decode_block(&self, blk: usize, out: &mut [V]) -> usize {
+        match self.try_decode_block(blk, out) {
+            Ok(len) => len,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Decompresses the whole segment, appending to `out`.
@@ -327,8 +360,10 @@ impl<V: Value> Segment<V> {
     /// mid-block. This is the vector-wise granularity used by the scan.
     ///
     /// Returns [`Error::UnalignedRange`] for a misaligned start and
-    /// [`Error::RangeOutOfBounds`] for a range past the end; on error
-    /// `out` is untouched.
+    /// [`Error::RangeOutOfBounds`] for a range past the end (in both
+    /// cases `out` is untouched), or [`Error::CorruptCodes`] when a
+    /// block's code section is truncated (blocks decoded before the
+    /// corrupt one remain in `out`).
     pub fn try_decode_range(&self, start: usize, out: &mut [V]) -> Result<(), Error> {
         if !start.is_multiple_of(BLOCK) {
             return Err(Error::UnalignedRange { start });
@@ -341,7 +376,7 @@ impl<V: Value> Segment<V> {
         let mut written = 0;
         let mut blk = start / BLOCK;
         while written < out.len() {
-            let len = self.decode_block(blk, &mut buf);
+            let len = self.try_decode_block(blk, &mut buf)?;
             let take = len.min(out.len() - written);
             out[written..written + take].copy_from_slice(&buf[..take]);
             written += take;
@@ -591,5 +626,39 @@ impl<'a, V: Value> SegmentAssembly<'a, V> {
             dict: self.dict,
             integrity: Integrity::Verified,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Truncating the code section out from under a segment must surface
+    /// [`Error::CorruptCodes`] from the fallible decode entry points, not
+    /// a panic — this is the server-worker safety contract. Only this
+    /// unit test can build such a segment: the wire loader validates
+    /// section lengths, so the truncation is done on the private field.
+    #[test]
+    fn truncated_codes_error_instead_of_panicking() {
+        let values: Vec<u32> = (0..300u32).map(|i| i * 3 + (i % 7) * 1000).collect();
+        let mut seg = crate::pfor::compress(&values, 0, 8);
+        assert!(seg.codes.len() > 2, "test needs a non-trivial code section");
+        seg.codes.truncate(seg.codes.len() / 2);
+
+        let mut out = vec![0u32; 300];
+        let err = seg.try_decode_range(0, &mut out).unwrap_err();
+        assert!(matches!(err, Error::CorruptCodes { .. }), "expected CorruptCodes, got {err:?}");
+        let mut block = [0u32; BLOCK];
+        let blk_err = seg.try_decode_block(seg.n_blocks() - 1, &mut block).unwrap_err();
+        match blk_err {
+            Error::CorruptCodes { block, need, have } => {
+                assert_eq!(block, seg.n_blocks() - 1);
+                assert!(have < need, "have {have} must fall short of need {need}");
+            }
+            other => panic!("expected CorruptCodes, got {other:?}"),
+        }
+        // Earlier, untruncated blocks still decode.
+        assert_eq!(seg.try_decode_block(0, &mut block).unwrap(), BLOCK);
+        assert_eq!(block[..5], values[..5]);
     }
 }

@@ -21,6 +21,8 @@
 //! | `core.decode.<scheme>.ns` | counter | wall time in decode entry points |
 //! | `core.decode.<scheme>.values` | counter | values decoded |
 //! | `core.decode.<scheme>.blocks` | counter | 128-value blocks decoded |
+//! | `core.decode.kernel.<class>.blocks` | counter | blocks decoded per kernel tier (scalar/sse41/avx2) |
+//! | `core.decode.kernel_class` | gauge | active kernel tier index (0=scalar, 1=sse41, 2=avx2) |
 //! | `core.analyze.compress` | counter | analyze runs choosing compression |
 //! | `core.analyze.plain` | counter | analyze runs keeping plain storage |
 //!
@@ -76,6 +78,11 @@ struct Handles {
     pdict: SchemeHandles,
     analyze_compress: Arc<Counter>,
     analyze_plain: Arc<Counter>,
+    /// Blocks decoded per kernel tier, indexed by
+    /// [`scc_bitpack::kernel::KernelClass::index`].
+    kernel_blocks: [Arc<Counter>; 3],
+    /// Active kernel tier index at the last decode.
+    kernel_class: Arc<Gauge>,
 }
 
 fn handles() -> &'static Handles {
@@ -88,6 +95,9 @@ fn handles() -> &'static Handles {
             pdict: SchemeHandles::resolve("pdict"),
             analyze_compress: r.counter("core.analyze.compress"),
             analyze_plain: r.counter("core.analyze.plain"),
+            kernel_blocks: scc_bitpack::kernel::KernelClass::ALL
+                .map(|c| r.counter(&format!("core.decode.kernel.{}.blocks", c.name()))),
+            kernel_class: r.gauge("core.decode.kernel_class"),
         }
     })
 }
@@ -124,6 +134,10 @@ pub fn record_decode(scheme: SchemeKind, values: u64, blocks: u64, ns: u64) {
     h.dec_ns.add(ns);
     h.dec_values.add(values);
     h.dec_blocks.add(blocks);
+    let class = scc_bitpack::kernel::active();
+    let hs = handles();
+    hs.kernel_blocks[class.index()].add(blocks);
+    hs.kernel_class.set(class.index() as f64);
 }
 
 /// Records one automatic scheme-selection decision.
@@ -192,6 +206,19 @@ mod tests {
         assert!(rate > 0.0 && rate <= 1.0, "exception rate {rate}");
         let npv = reg.gauge("core.decode.pfor.ns_per_value").get();
         assert!(npv > 0.0, "ns/value {npv}");
+        scc_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn decode_records_kernel_class() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        scc_obs::set_enabled(true);
+        let class = scc_bitpack::kernel::active();
+        let h = handles();
+        let before = h.kernel_blocks[class.index()].get();
+        record_decode(SchemeKind::Pfor, 256, 2, 1_000);
+        assert_eq!(h.kernel_blocks[class.index()].get() - before, 2);
+        assert_eq!(h.kernel_class.get(), class.index() as f64);
         scc_obs::set_enabled(false);
     }
 

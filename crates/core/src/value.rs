@@ -51,10 +51,46 @@ pub trait Value: Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'stati
     fn byte_width() -> usize {
         (Self::BITS / 8) as usize
     }
+
+    /// Fused unpack + frame-of-reference decode:
+    /// `out[i] = apply_offset(base, code_i)` for `out.len()` codes, in one
+    /// pass through the kernel dispatch of [`scc_bitpack::fused`].
+    ///
+    /// # Panics
+    /// Panics if `packed` is shorter than
+    /// `scc_bitpack::packed_words(out.len(), b)` or `b > 32`.
+    fn fused_unpack_for(packed: &[u32], b: u32, base: Self, out: &mut [Self]);
+
+    /// Fused unpack + delta running sum:
+    /// `out[i] = seed + Σ_{j<=i} (delta_base + code_j)` (wrapping), i.e. a
+    /// whole exception-free PFOR-DELTA block in one pass.
+    ///
+    /// # Panics
+    /// Same contract as [`fused_unpack_for`](Self::fused_unpack_for).
+    fn fused_unpack_delta(packed: &[u32], b: u32, delta_base: Self, seed: Self, out: &mut [Self]);
+
+    /// In-place inclusive wrapping prefix sum seeded with `seed`:
+    /// `out[i] = seed + Σ_{j<=i} out[j]`.
+    fn prefix_sum(out: &mut [Self], seed: Self);
+}
+
+/// Reinterprets a value slice as its unsigned-of-equal-width twin so the
+/// [`scc_bitpack::fused`] kernels (which operate on `u32`/`u64` lanes) can
+/// serve the signed types too. Sound because the types are guaranteed to
+/// have identical size, alignment and bit-validity, and all kernel
+/// arithmetic is wrapping (two's-complement-transparent).
+macro_rules! as_unsigned_mut {
+    ($out:expr, $ty:ty, $uns:ty) => {{
+        let out: &mut [$ty] = $out;
+        // SAFETY: `$ty` and `$uns` are the same-width integer types
+        // (identical layout, every bit pattern valid for both); the
+        // reborrow covers exactly the same memory for the same lifetime.
+        unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut $uns, out.len()) }
+    }};
 }
 
 macro_rules! impl_value {
-    ($ty:ty, $uns:ty, $bits:expr, $name:expr) => {
+    ($ty:ty, $uns:ty, $bits:expr, $name:expr, $for_fn:ident, $delta_fn:ident, $prefix_fn:ident) => {
         impl Value for $ty {
             const BITS: u32 = $bits;
             const NAME: &'static str = $name;
@@ -98,14 +134,46 @@ macro_rules! impl_value {
             fn to_u64_lossy(self) -> u64 {
                 self as $uns as u64
             }
+
+            #[inline]
+            fn fused_unpack_for(packed: &[u32], b: u32, base: Self, out: &mut [Self]) {
+                scc_bitpack::fused::$for_fn(
+                    packed,
+                    b,
+                    base as $uns,
+                    as_unsigned_mut!(out, $ty, $uns),
+                );
+            }
+
+            #[inline]
+            fn fused_unpack_delta(
+                packed: &[u32],
+                b: u32,
+                delta_base: Self,
+                seed: Self,
+                out: &mut [Self],
+            ) {
+                scc_bitpack::fused::$delta_fn(
+                    packed,
+                    b,
+                    delta_base as $uns,
+                    seed as $uns,
+                    as_unsigned_mut!(out, $ty, $uns),
+                );
+            }
+
+            #[inline]
+            fn prefix_sum(out: &mut [Self], seed: Self) {
+                scc_bitpack::fused::$prefix_fn(as_unsigned_mut!(out, $ty, $uns), seed as $uns);
+            }
         }
     };
 }
 
-impl_value!(u32, u32, 32, "u32");
-impl_value!(i32, u32, 32, "i32");
-impl_value!(u64, u64, 64, "u64");
-impl_value!(i64, u64, 64, "i64");
+impl_value!(u32, u32, 32, "u32", unpack_for32, unpack_delta32, prefix_sum32);
+impl_value!(i32, u32, 32, "i32", unpack_for32, unpack_delta32, prefix_sum32);
+impl_value!(u64, u64, 64, "u64", unpack_for64, unpack_delta64, prefix_sum64);
+impl_value!(i64, u64, 64, "i64", unpack_for64, unpack_delta64, prefix_sum64);
 
 #[cfg(test)]
 mod tests {
@@ -140,6 +208,30 @@ mod tests {
         let v2 = 5u64;
         let off = v2.wrapping_offset(base);
         assert_eq!(u64::apply_offset(base, off as u32), v2);
+    }
+
+    #[test]
+    fn fused_hooks_match_scalar_semantics_for_signed_types() {
+        let codes: Vec<u32> = (0..300u32).map(|i| (i.wrapping_mul(7)) & 0xff).collect();
+        let packed = scc_bitpack::pack_vec(&codes, 8);
+
+        let mut out = vec![0i32; 300];
+        i32::fused_unpack_for(&packed, 8, -1000, &mut out);
+        for (o, &c) in out.iter().zip(codes.iter()) {
+            assert_eq!(*o, i32::apply_offset(-1000, c));
+        }
+
+        let mut out64 = vec![0i64; 300];
+        i64::fused_unpack_delta(&packed, 8, -3, -50, &mut out64);
+        let mut acc = -50i64;
+        for (o, &c) in out64.iter().zip(codes.iter()) {
+            acc = acc.wrapping_add(-3).wrapping_add(c as i64);
+            assert_eq!(*o, acc);
+        }
+
+        let mut ps = vec![-2i32, 5, -9];
+        i32::prefix_sum(&mut ps, 100);
+        assert_eq!(ps, vec![98, 103, 94]);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Steady-state decode is allocation-free.
+//!
+//! The kernel rework replaced the per-block `vec![0u32; ..]` scratch
+//! buffers in the decode paths with stack buffers and fused kernels, and
+//! `decompress_into` / `try_decode_range` write into caller-owned
+//! storage. This test pins that property with a counting global
+//! allocator: after one warm-up pass (lazy telemetry handles, vector
+//! growth), repeated decodes of every scheme must perform zero
+//! allocations.
+
+use scc_core::{pdict, pfor, pfordelta, Dictionary, Segment, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Per-thread counter: the libtest harness allocates concurrently on its
+// own threads, so a global counter would make the assertion flaky.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` so allocations during TLS teardown don't abort.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        // SAFETY: same contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator's `alloc` with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        // SAFETY: same contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+fn assert_alloc_free<V: Value>(label: &str, seg: &Segment<V>, mut out: Vec<V>) {
+    // Warm-up: grows `out` to capacity and resolves any lazy statics
+    // (kernel dispatch, telemetry handles).
+    out.clear();
+    seg.decompress_into(&mut out);
+    let mut range = vec![V::default(); seg.len()];
+    seg.try_decode_range(0, &mut range).unwrap();
+
+    let before = allocs();
+    for _ in 0..5 {
+        out.clear();
+        seg.decompress_into(&mut out);
+        seg.try_decode_range(0, &mut range).unwrap();
+        let mut block = [V::default(); 128];
+        for blk in 0..seg.n_blocks() {
+            seg.try_decode_block(blk, &mut block).unwrap();
+        }
+    }
+    let delta = allocs() - before;
+    assert_eq!(delta, 0, "{label}: steady-state decode allocated {delta} time(s)");
+    assert_eq!(out.len(), seg.len());
+    assert_eq!(out, range, "{label}: entry points disagree");
+}
+
+#[test]
+fn steady_state_decode_performs_zero_allocations() {
+    let skewed: Vec<u32> = (0..4096).map(|i| if i % 11 == 0 { i << 18 } else { i % 97 }).collect();
+    assert_alloc_free("pfor/u32", &pfor::compress(&skewed, 0, 7), Vec::new());
+
+    let rising: Vec<i64> =
+        (0..4096).map(|i| i * 13 + if i % 19 == 0 { 100_000 } else { 0 }).collect();
+    assert_alloc_free("pfordelta/i64", &pfordelta::compress(&rising, 0, 13, 5), Vec::new());
+
+    let dict = Dictionary::new((0..32u32).map(|i| i * 1000).collect());
+    let coded: Vec<u32> =
+        (0..4096).map(|i| if i % 13 == 0 { 999_999 } else { (i % 32) * 1000 }).collect();
+    assert_alloc_free("pdict/u32", &pdict::compress(&coded, &dict), Vec::new());
+}

@@ -103,6 +103,7 @@ fn error_response(e: &Error) -> Response {
         | Error::Frame(_)
         | Error::Truncated { .. }
         | Error::CorruptDictCode { .. }
+        | Error::CorruptCodes { .. }
         | Error::ChunkQuarantined { .. } => ErrorCode::Corrupt,
         Error::ReadFailed { .. } => ErrorCode::Internal,
     };

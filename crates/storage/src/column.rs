@@ -178,6 +178,30 @@ impl<V: Value> ColumnStore<V> {
         }
     }
 
+    /// [`Self::decode_segment_range`] with a caller-owned byte buffer
+    /// for the LZRW1 page decompression, so repeated reads (a scan)
+    /// reuse one allocation instead of building a fresh page per call.
+    /// Compressed and plain segments never touch `lz_scratch`.
+    pub fn decode_segment_range_with(
+        &self,
+        seg: usize,
+        offset: usize,
+        out: &mut [V],
+        lz_scratch: &mut Vec<u8>,
+    ) {
+        match &self.segments[seg] {
+            StoredSegment::Lz(page, n) => {
+                let w = V::byte_width();
+                lz_scratch.clear();
+                scc_baselines::lzrw1::Lzrw1.decompress(page, *n * w, lz_scratch);
+                for (o, chunk) in out.iter_mut().zip(lz_scratch[offset * w..].chunks_exact(w)) {
+                    *o = V::read_le(chunk);
+                }
+            }
+            _ => self.decode_segment_range(seg, offset, out),
+        }
+    }
+
     /// Reads `out.len()` values starting at global row `row_start` from
     /// the *compressed* representation — the slice-granular access path
     /// (§4.3): only the 128-value blocks covering the requested rows
@@ -185,6 +209,22 @@ impl<V: Value> ColumnStore<V> {
     /// Out-of-bounds ranges report [`Error::RangeOutOfBounds`] against
     /// the column's row count.
     pub fn try_read_rows(&self, row_start: usize, out: &mut [V]) -> Result<(), Error> {
+        self.try_read_rows_with(row_start, out, &mut Vec::new())
+    }
+
+    /// [`Self::try_read_rows`] with a caller-owned LZRW1 page buffer.
+    ///
+    /// Steady-state reads allocate nothing: plain segments copy
+    /// directly, LZRW1 segments decompress their page once into
+    /// `lz_scratch`, and patched segments decode any misaligned head
+    /// block through a stack buffer and the aligned remainder straight
+    /// into `out`.
+    pub fn try_read_rows_with(
+        &self,
+        row_start: usize,
+        out: &mut [V],
+        lz_scratch: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let row_len = out.len();
         let oob = Error::RangeOutOfBounds { start: row_start, len: row_len, n: self.plain.len() };
         let end = row_start.checked_add(row_len).ok_or(oob.clone())?;
@@ -192,20 +232,52 @@ impl<V: Value> ColumnStore<V> {
             return Err(oob);
         }
         let mut filled = 0usize;
-        let mut scratch: Vec<V> = Vec::new();
         while filled < row_len {
             let pos = row_start + filled;
             let seg = pos / self.seg_rows;
             let offset = pos % self.seg_rows;
             let seg_len = self.seg_rows.min(self.plain.len() - seg * self.seg_rows);
             let take = (seg_len - offset).min(row_len - filled);
-            // Decode from the block boundary at or below the offset and
-            // copy out the requested tail of the scratch block.
-            let aligned = offset - offset % BLOCK;
-            scratch.clear();
-            scratch.resize(offset + take - aligned, V::default());
-            self.try_decode_segment_range(seg, aligned, &mut scratch)?;
-            out[filled..filled + take].copy_from_slice(&scratch[offset - aligned..]);
+            match &self.segments[seg] {
+                StoredSegment::Plain(_) => {
+                    let base = seg * self.seg_rows + offset;
+                    out[filled..filled + take].copy_from_slice(&self.plain[base..base + take]);
+                }
+                StoredSegment::Lz(page, n) => {
+                    // Raw little-endian values: no block alignment to
+                    // respect, one page decompression serves the span.
+                    let w = V::byte_width();
+                    lz_scratch.clear();
+                    scc_baselines::lzrw1::Lzrw1.decompress(page, *n * w, lz_scratch);
+                    for (o, chunk) in out[filled..filled + take]
+                        .iter_mut()
+                        .zip(lz_scratch[offset * w..].chunks_exact(w))
+                    {
+                        *o = V::read_le(chunk);
+                    }
+                }
+                StoredSegment::Compressed(s, _) => {
+                    // A misaligned head decodes its block into a stack
+                    // buffer; from the next block boundary on, decode
+                    // lands directly in `out` (ranges may end mid-block).
+                    let skip = offset % BLOCK;
+                    let mut taken = 0usize;
+                    if skip != 0 {
+                        let blk_start = offset - skip;
+                        let blk_len = BLOCK.min(s.len() - blk_start);
+                        let mut buf = [V::default(); BLOCK];
+                        s.try_decode_range(blk_start, &mut buf[..blk_len])?;
+                        taken = take.min(blk_len - skip);
+                        out[filled..filled + taken].copy_from_slice(&buf[skip..skip + taken]);
+                    }
+                    if taken < take {
+                        s.try_decode_range(
+                            offset + taken,
+                            &mut out[filled + taken..filled + take],
+                        )?;
+                    }
+                }
+            }
             filled += take;
         }
         Ok(())

@@ -95,6 +95,10 @@ pub struct Scan {
     end: usize,
     cur_segment: Option<usize>,
     pages: Vec<Option<PageBuf>>,
+    /// Reused LZRW1 page-decompression buffer: vector-wise reads of
+    /// `Lz` segments decompress the page per vector, and this keeps
+    /// that from allocating per call (patched segments never touch it).
+    lz_scratch: Vec<u8>,
     /// Fault-injecting disk + retry policy; `None` scans the clean
     /// modeled disk with no per-chunk validation.
     faulty: Option<(DiskHandle, RetryPolicy)>,
@@ -139,6 +143,7 @@ impl Scan {
             end,
             cur_segment: None,
             pages: (0..n_cols).map(|_| None).collect(),
+            lz_scratch: Vec::new(),
             faulty: None,
             profile: OpProfile::default(),
         }
@@ -336,7 +341,12 @@ impl Scan {
                     }
                     (ScanMode::Compressed, DecompressionGranularity::VectorWise) => {
                         let t0 = Instant::now();
-                        $store.decode_segment_range(seg, offset, &mut out);
+                        $store.decode_segment_range_with(
+                            seg,
+                            offset,
+                            &mut out,
+                            &mut self.lz_scratch,
+                        );
                         let dt = t0.elapsed();
                         stats.lock().unwrap().decompress_seconds += dt.as_secs_f64();
                         scc_obs::counter_add!("storage.scan.decompress_ns", dt.as_nanos() as u64);
@@ -347,7 +357,12 @@ impl Scan {
                             let rows = seg_rows.min(self.table.n_rows() - seg * seg_rows);
                             let mut page = vec![<$ty>::default(); rows];
                             let t0 = Instant::now();
-                            $store.decode_segment_range(seg, 0, &mut page);
+                            $store.decode_segment_range_with(
+                                seg,
+                                0,
+                                &mut page,
+                                &mut self.lz_scratch,
+                            );
                             let dt = t0.elapsed();
                             scc_obs::counter_add!(
                                 "storage.scan.decompress_ns",

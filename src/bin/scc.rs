@@ -306,6 +306,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     }
 
     scc::obs::set_enabled(true);
+    println!(
+        "decode kernel: {} (override with SCC_KERNEL=scalar|sse41|avx2)",
+        scc::bitpack::kernel::active()
+    );
     let db = scc::tpch::TpchDb::generate(sf, 20_060_703);
     let cfg = scc::tpch::QueryConfig { threads, ..Default::default() };
     for &q in &queries {

@@ -122,6 +122,51 @@ fn v1_flips_are_harmless_even_when_undetected() {
 }
 
 #[test]
+fn truncated_sections_surface_typed_errors_not_panics() {
+    // The kernel-dispatch rework routes every block decode through
+    // `bitpack::try_unpack`-style length validation, so a code section
+    // shorter than the layout promises yields `Error::CorruptCodes`
+    // instead of an index panic in a server worker.
+    use scc::bitpack::{self, UnpackError};
+
+    // Public bitpack surface: malformed requests are typed.
+    let packed = bitpack::pack_vec(&(0..256u32).collect::<Vec<_>>(), 9);
+    let mut out = vec![0u32; 256];
+    assert!(bitpack::try_unpack(&packed, 9, &mut out).is_ok());
+    assert!(matches!(
+        bitpack::try_unpack(&packed[..packed.len() / 2], 9, &mut out),
+        Err(UnpackError::TooShort { .. })
+    ));
+    assert!(matches!(
+        bitpack::try_unpack(&packed, 33, &mut out),
+        Err(UnpackError::WidthOutOfRange { .. })
+    ));
+
+    // Whole-pipeline sweep: truncate v1 and v2 byte streams at every
+    // length and drive any segment that still parses through the typed
+    // block/range decode entry points. Nothing may panic.
+    let mut streams = corpus_u32();
+    let values: Vec<u32> = (0..640).map(|i| if i % 9 == 0 { i << 20 } else { i % 32 }).collect();
+    streams.push(("pfor/u32/v1", pfor::compress(&values, 0, 5).to_bytes_v1()));
+    for (label, bytes) in streams {
+        for cut in 0..bytes.len() {
+            let owned = bytes[..cut].to_vec();
+            let outcome = std::panic::catch_unwind(move || {
+                if let Ok(seg) = Segment::<u32>::try_from_bytes(&owned) {
+                    let mut block = vec![0u32; 128];
+                    for blk in 0..seg.n_blocks() {
+                        let _ = seg.try_decode_block(blk, &mut block[..seg.block_len(blk)]);
+                    }
+                    let mut all = vec![0u32; seg.len()];
+                    let _ = seg.try_decode_range(0, &mut all);
+                }
+            });
+            assert!(outcome.is_ok(), "{label}: truncation to {cut} bytes panicked the decoder");
+        }
+    }
+}
+
+#[test]
 fn faulty_disk_corrupts_real_bytes_that_checksums_catch() {
     // End-to-end over the modeled disk: a corrupted copy of a real v2
     // segment must fail wire verification, and the injection must be
