@@ -98,9 +98,25 @@ pub fn encode(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Writes one checksummed frame to `w`.
+/// Writes one checksummed frame to `w`, looping on short writes
+/// explicitly: a writer that accepts only part of the buffer (a full
+/// socket send buffer, a throttled peer) gets the remainder on the
+/// next call, and `Interrupted` is retried. A write that makes no
+/// progress (`Ok(0)`) or times out (a blocking socket with a write
+/// timeout reports `WouldBlock`/`TimedOut`) surfaces as a typed
+/// [`FrameError::Io`] — a stalled reader can pin the writer only until
+/// its write timeout, never forever.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
-    w.write_all(&encode(payload))?;
+    let buf = encode(payload);
+    let mut written = 0usize;
+    while written < buf.len() {
+        match w.write(&buf[written..]) {
+            Ok(0) => return Err(FrameError::Io(std::io::ErrorKind::WriteZero)),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     w.flush()?;
     Ok(())
 }
@@ -244,6 +260,87 @@ mod tests {
         let mut pos = 0;
         let err = take_len_prefixed(&short, &mut pos).unwrap_err();
         assert_eq!(err, Error::Truncated { offset: 4, need: 7, have: 5 });
+    }
+
+    /// A writer that accepts at most one byte per call and reports
+    /// `Interrupted` on a fixed cadence — the worst legal behaviour of
+    /// a `Write` impl short of failing.
+    struct TrickleWriter {
+        buf: Vec<u8>,
+        calls: usize,
+    }
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(3) {
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            let n = data.len().min(1);
+            self.buf.extend_from_slice(&data[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_and_interrupted_writes_still_produce_one_whole_frame() {
+        let payload: Vec<u8> = (0..100u8).collect();
+        let mut w = TrickleWriter { buf: Vec::new(), calls: 0 };
+        write_frame(&mut w, &payload).unwrap();
+        assert_eq!(w.buf, encode(&payload));
+        assert_eq!(read_frame(&mut Cursor::new(&w.buf), 1024).unwrap(), payload);
+    }
+
+    /// A writer that dies after `accept` bytes, like a peer whose
+    /// receive window never reopens.
+    struct StallingWriter {
+        accept: usize,
+        taken: usize,
+    }
+
+    impl Write for StallingWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            if self.taken >= self.accept {
+                return Err(std::io::Error::from(std::io::ErrorKind::TimedOut));
+            }
+            let n = data.len().min(self.accept - self.taken);
+            self.taken += n;
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_timeout_surfaces_as_typed_io_error_at_every_cut() {
+        let payload: Vec<u8> = (0..32u8).collect();
+        let framed_len = payload.len() + FRAME_OVERHEAD;
+        for accept in 0..framed_len {
+            let mut w = StallingWriter { accept, taken: 0 };
+            let err = write_frame(&mut w, &payload).unwrap_err();
+            assert_eq!(err, FrameError::Io(std::io::ErrorKind::TimedOut), "accept {accept}");
+        }
+    }
+
+    #[test]
+    fn zero_progress_write_is_write_zero_not_a_spin() {
+        struct NullWriter;
+        impl Write for NullWriter {
+            fn write(&mut self, _data: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_frame(&mut NullWriter, b"abc").unwrap_err();
+        assert_eq!(err, FrameError::Io(std::io::ErrorKind::WriteZero));
     }
 
     #[test]

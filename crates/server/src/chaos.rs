@@ -1,0 +1,399 @@
+//! Deterministic network fault injection: [`ChaosStream`] wraps any
+//! transport and misbehaves on a seeded schedule.
+//!
+//! This is the network-layer sibling of `scc_storage::FaultyDisk`
+//! (DESIGN.md §11): every fault decision is a pure function of
+//! `(plan.seed, connection id, operation index)`, so a run with the
+//! same seed replays the exact same resets, truncations and stalls —
+//! which is what lets `scc loadgen --chaos` assert *zero* incorrect
+//! responses rather than "mostly fine". The injected faults are the
+//! ways real networks fail:
+//!
+//! * **reset** — the peer vanishes; the op fails with
+//!   `ConnectionReset` and every later op on the stream fails too.
+//! * **truncate** — a write delivers only a prefix and then the
+//!   connection dies: the receiver sees a *torn frame* (the framing
+//!   layer reports `UnexpectedEof`, never a misparse).
+//! * **short write** — a write honestly accepts only part of the
+//!   buffer (a full send buffer); correct callers loop, buggy callers
+//!   lose bytes. Exercises the explicit loop in `frame::write_frame`.
+//! * **delayed / throttled read** — bytes arrive late or a few at a
+//!   time, landing reads at arbitrary offsets inside a frame.
+//! * **stall** — a slow-loris pause long enough to trip the other
+//!   side's read/write timeout.
+//!
+//! Faults compose: one plan can carry nonzero rates for all of them,
+//! and each operation draws independently per fault with a distinct
+//! salt, exactly like `FaultPlan`'s per-(chunk, attempt) draws.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connection transport the protocol [`crate::Client`] can run over:
+/// either a bare [`TcpStream`] or a [`ChaosStream`] wrapping one.
+pub trait Transport: Read + Write + Send {
+    /// Per-call read timeout (`None` blocks forever).
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()>;
+    /// Per-call write timeout (`None` blocks forever).
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, d)
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, d)
+    }
+}
+
+/// Per-operation fault probabilities for a [`ChaosStream`], drawn
+/// deterministically from `seed` and the `(connection, op)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for the per-(connection, op) hash.
+    pub seed: u64,
+    /// Probability an operation finds the connection reset.
+    pub reset: f64,
+    /// Probability a write delivers a truncated prefix and then the
+    /// connection dies (a torn frame on the receiver).
+    pub truncate: f64,
+    /// Probability a write accepts only a prefix of the buffer
+    /// (honest short return; the caller must loop).
+    pub short_write: f64,
+    /// Probability a read is delayed by [`ChaosPlan::delay_ms`].
+    pub delay: f64,
+    /// Read delay, in milliseconds.
+    pub delay_ms: u64,
+    /// Probability a read is throttled to at most a few bytes.
+    pub throttle: f64,
+    /// Probability an operation stalls for [`ChaosPlan::stall_ms`]
+    /// first (slow-loris; meant to trip the peer's timeouts).
+    pub stall: f64,
+    /// Stall length, in milliseconds.
+    pub stall_ms: u64,
+    /// Deterministic override: the stream delivers exactly this many
+    /// bytes of written data, then dies. Lets tests place a torn frame
+    /// at *every* byte offset of a frame, not just random ones.
+    pub cut_write_at: Option<usize>,
+}
+
+impl ChaosPlan {
+    /// A plan that never faults (baseline; also what `--chaos` tests
+    /// compose single faults on top of).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            reset: 0.0,
+            truncate: 0.0,
+            short_write: 0.0,
+            delay: 0.0,
+            delay_ms: 1,
+            throttle: 0.0,
+            stall: 0.0,
+            stall_ms: 50,
+            cut_write_at: None,
+        }
+    }
+
+    /// The named single-fault plans the chaos harness sweeps, each at
+    /// rate `p`: `(name, plan)` pairs covering every injected fault
+    /// type.
+    pub fn matrix(seed: u64, p: f64) -> Vec<(&'static str, ChaosPlan)> {
+        let base = ChaosPlan::none(seed);
+        vec![
+            ("reset", ChaosPlan { reset: p, ..base }),
+            ("truncate", ChaosPlan { truncate: p, ..base }),
+            ("short_write", ChaosPlan { short_write: p.max(0.5), ..base }),
+            ("delay", ChaosPlan { delay: p.max(0.25), delay_ms: 2, ..base }),
+            ("throttle", ChaosPlan { throttle: p.max(0.25), ..base }),
+            ("stall", ChaosPlan { stall: p, stall_ms: 40, ..base }),
+        ]
+    }
+
+    /// Everything at once: the composite plan `scc loadgen --chaos`
+    /// runs by default. Lethal faults (reset, truncate, stall) are
+    /// rare *per operation* because a single request — a streamed scan
+    /// especially — spans on the order of a hundred reads and writes,
+    /// and the whole request must survive one attempt end-to-end;
+    /// benign faults (short writes, throttles, delays) are frequent
+    /// because correct code absorbs them without a retry. A few
+    /// hundred requests see every fault type repeatedly while staying
+    /// inside the default retry budget.
+    pub fn composite(seed: u64) -> Self {
+        ChaosPlan {
+            reset: 0.002,
+            truncate: 0.002,
+            short_write: 0.30,
+            delay: 0.05,
+            delay_ms: 1,
+            throttle: 0.05,
+            stall: 0.001,
+            stall_ms: 30,
+            ..ChaosPlan::none(seed)
+        }
+    }
+}
+
+/// SplitMix64 finalizer, the same mixer `FaultyDisk` uses.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault-injecting decorator over any transport.
+///
+/// Faults are a pure function of `(plan.seed, conn, op index)`; the
+/// `conn` id distinguishes connections sharing one plan (each retry
+/// attempt gets a fresh id, so a fault that killed attempt 1 does not
+/// deterministically kill attempt 2 — the behaviour bounded retry
+/// exploits, mirroring `FaultyDisk`'s per-attempt draws).
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    plan: ChaosPlan,
+    conn: u64,
+    op: u64,
+    delivered: usize,
+    dead: bool,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wraps `inner` with the given plan; `conn` salts the draws.
+    pub fn new(inner: S, plan: ChaosPlan, conn: u64) -> Self {
+        Self { inner, plan, conn, op: 0, delivered: 0, dead: false }
+    }
+
+    /// Operations performed so far (reads + writes, including faulted
+    /// ones).
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// Whether an injected reset or truncation has killed the stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn draw(&self, op: u64, salt: u64) -> f64 {
+        let h = mix(self.plan.seed ^ mix(self.conn) ^ mix(op << 8 | salt));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn draw_u64(&self, op: u64, salt: u64) -> u64 {
+        mix(self.plan.seed ^ mix(self.conn) ^ mix(op << 8 | salt))
+    }
+
+    fn reset_err() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionReset, "chaos: injected connection reset")
+    }
+
+    /// Common per-op preamble: bump the op counter, stall/reset draws.
+    fn begin_op(&mut self) -> io::Result<u64> {
+        if self.dead {
+            return Err(Self::reset_err());
+        }
+        self.op += 1;
+        let op = self.op;
+        if self.draw(op, 1) < self.plan.stall {
+            std::thread::sleep(Duration::from_millis(self.plan.stall_ms));
+        }
+        if self.draw(op, 2) < self.plan.reset {
+            self.dead = true;
+            return Err(Self::reset_err());
+        }
+        Ok(op)
+    }
+}
+
+impl<S: Read + Write> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let op = self.begin_op()?;
+        if self.draw(op, 3) < self.plan.delay {
+            std::thread::sleep(Duration::from_millis(self.plan.delay_ms));
+        }
+        let cap = if self.draw(op, 4) < self.plan.throttle {
+            // 1..=4 bytes: lands read boundaries inside length
+            // prefixes, payloads and trailing checksums alike.
+            (1 + self.draw_u64(op, 5) % 4) as usize
+        } else {
+            buf.len()
+        };
+        let cap = cap.min(buf.len());
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+impl<S: Read + Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let op = self.begin_op()?;
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        if let Some(cut) = self.plan.cut_write_at {
+            // Deterministic torn frame: deliver exactly `cut` bytes
+            // over the stream's lifetime, then die.
+            if self.delivered >= cut {
+                self.dead = true;
+                let _ = self.inner.flush();
+                return Err(Self::reset_err());
+            }
+            let n = buf.len().min(cut - self.delivered);
+            let w = self.inner.write(&buf[..n])?;
+            self.delivered += w;
+            return Ok(w);
+        }
+        if self.draw(op, 6) < self.plan.truncate {
+            // Deliver a proper prefix (possibly empty), then die. The
+            // receiver sees a torn frame, not a checksum failure.
+            let n = (self.draw_u64(op, 7) % buf.len() as u64) as usize;
+            if n > 0 {
+                let _ = self.inner.write(&buf[..n]);
+                let _ = self.inner.flush();
+            }
+            self.dead = true;
+            return Err(Self::reset_err());
+        }
+        if self.draw(op, 8) < self.plan.short_write && buf.len() > 1 {
+            // Honest short write: accept a nonempty proper prefix.
+            let n = 1 + (self.draw_u64(op, 9) % (buf.len() as u64 - 1)) as usize;
+            let w = self.inner.write(&buf[..n])?;
+            self.delivered += w;
+            return Ok(w);
+        }
+        let w = self.inner.write(buf)?;
+        self.delivered += w;
+        Ok(w)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::reset_err());
+        }
+        self.inner.flush()
+    }
+}
+
+impl<S: Transport> Transport for ChaosStream<S> {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(d)
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_core::frame;
+    use std::io::Cursor;
+
+    /// In-memory duplex stand-in: reads from `input`, writes to `out`.
+    struct Pipe {
+        input: Cursor<Vec<u8>>,
+        out: Vec<u8>,
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.out.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn pipe(input: Vec<u8>) -> Pipe {
+        Pipe { input: Cursor::new(input), out: Vec::new() }
+    }
+
+    #[test]
+    fn same_seed_same_faults_different_seed_different_faults() {
+        // Non-lethal faults only: a reset would freeze the trace into
+        // all-errors and hide the schedule being compared.
+        let plan = ChaosPlan { short_write: 0.5, throttle: 0.5, ..ChaosPlan::none(7) };
+        let trace = |plan: ChaosPlan, conn: u64| {
+            let mut s = ChaosStream::new(pipe(vec![0u8; 4096]), plan, conn);
+            let mut events = Vec::new();
+            for _ in 0..40 {
+                let mut buf = [0u8; 8];
+                events.push(s.read(&mut buf).unwrap_or(99));
+                events.push(s.write(&[1u8; 8]).unwrap_or(99));
+            }
+            events
+        };
+        // Same (seed, conn) → identical fault schedule.
+        assert_eq!(trace(plan, 11), trace(plan, 11));
+        // Different seeds and different connection ids both decorrelate.
+        assert_ne!(trace(plan, 11), trace(ChaosPlan { seed: 8, ..plan }, 11));
+        assert_ne!(trace(plan, 1), trace(plan, 2));
+    }
+
+    #[test]
+    fn reset_kills_the_stream_permanently() {
+        let plan = ChaosPlan { reset: 1.0, ..ChaosPlan::none(3) };
+        let mut s = ChaosStream::new(pipe(vec![0u8; 16]), plan, 0);
+        let mut buf = [0u8; 4];
+        for _ in 0..3 {
+            let err = s.read(&mut buf).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        }
+        assert!(s.is_dead());
+        assert_eq!(s.write(&[1]).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn cut_write_at_every_offset_tears_the_frame_exactly_there() {
+        let payload = b"fault injection at the network layer";
+        let framed = frame::encode(payload);
+        for cut in 0..framed.len() {
+            let plan = ChaosPlan { cut_write_at: Some(cut), ..ChaosPlan::none(1) };
+            let mut s = ChaosStream::new(pipe(Vec::new()), plan, cut as u64);
+            let err = frame::write_frame(&mut s, payload).unwrap_err();
+            assert_eq!(err, frame::FrameError::Io(io::ErrorKind::ConnectionReset), "cut {cut}");
+            assert_eq!(&s.inner.out[..], &framed[..cut], "cut {cut}");
+            // The receiving side of those bytes sees a torn frame (or,
+            // at cut 0, a clean EOF) — never a misparse.
+            let res = frame::read_frame(&mut Cursor::new(&s.inner.out), framed.len());
+            match res.unwrap_err() {
+                frame::FrameError::Eof => assert_eq!(cut, 0),
+                frame::FrameError::Io(k) => assert_eq!(k, io::ErrorKind::UnexpectedEof),
+                other => panic!("cut {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn short_writes_never_lose_bytes_through_the_frame_writer() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(2000).collect();
+        let plan = ChaosPlan { short_write: 1.0, ..ChaosPlan::none(9) };
+        let mut s = ChaosStream::new(pipe(Vec::new()), plan, 5);
+        frame::write_frame(&mut s, &payload).unwrap();
+        assert_eq!(
+            frame::read_frame(&mut Cursor::new(&s.inner.out), payload.len()).unwrap(),
+            payload
+        );
+    }
+
+    #[test]
+    fn throttled_reads_still_reassemble_whole_frames() {
+        let payload: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let plan = ChaosPlan { throttle: 1.0, ..ChaosPlan::none(21) };
+        let mut s = ChaosStream::new(pipe(frame::encode(&payload)), plan, 2);
+        assert_eq!(frame::read_frame(&mut s, payload.len()).unwrap(), payload);
+        assert!(s.ops() > (payload.len() / 4) as u64, "reads were not throttled");
+    }
+}

@@ -1,29 +1,71 @@
-//! Client half of the protocol, plus the closed-loop load generator.
+//! Client half of the protocol: one-connection [`Client`], the
+//! deadline-aware retry layer ([`RetryPolicy`]/[`RetryingClient`]),
+//! plus the closed-loop load generator.
 //!
-//! [`Client`] is a thin blocking wrapper over one TCP connection: it
-//! frames requests, verifies response checksums (via
+//! [`Client`] is a thin blocking wrapper over one transport (a bare
+//! `TcpStream`, or a fault-injecting [`ChaosStream`] in chaos runs):
+//! it frames requests, verifies response checksums (via
 //! `scc_core::frame`), and decodes responses — including *raw*
 //! segment-range responses, which it decompresses locally with the
 //! same `Segment` decode path the server would have used. That is the
 //! paper's RAM–CPU boundary stretched over a network: the compressed
 //! form travels, and decompression happens next to the consumer.
 //!
+//! [`RetryingClient`] wraps request issue in a bounded retry loop:
+//! exponential backoff with seeded jitter, a per-request deadline
+//! capping *cumulative* attempts, typed classification of retryable
+//! vs. fatal errors ([`ClientError::is_retryable`]), and server
+//! retry-after hints honoured up to the deadline. When the budget runs
+//! out the caller gets [`ClientError::RetryExhausted`] carrying the
+//! full attempt trace.
+//!
 //! [`run_loadgen`] drives a server with a deterministic closed-loop
 //! mix of segment-range and scan requests from N client threads,
 //! byte-verifies every response against a local replica table, and
-//! reports exact latency percentiles and throughput.
+//! reports exact latency percentiles, throughput and retry counts.
 
-use crate::protocol::{self, ErrorCode, PredOp, Predicate, RawSegment, Request, Response};
+use crate::chaos::{ChaosPlan, ChaosStream, Transport};
+use crate::protocol::{
+    self, ErrorCode, HealthState, PredOp, Predicate, RawSegment, Request, Response,
+};
 use scc_core::frame::{self, FrameError};
 use scc_core::{Error, Segment, Value, BLOCK};
 use scc_engine::{ops, Batch, ColType, Expr, Select, Vector};
 use scc_storage::{stats_handle, Column, NumColumn, Scan, ScanOptions, Table};
+use std::io::ErrorKind;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Largest response frame a client will accept.
 pub const CLIENT_MAX_FRAME: usize = 64 << 20;
+
+// Dynamic-name metric helpers mirroring the server's — client-side
+// retry behaviour lands in the same scc-obs registry under `client.*`.
+fn m_counter(name: &str, delta: u64) {
+    if scc_obs::enabled() {
+        scc_obs::global().counter(name).add(delta);
+    }
+}
+
+fn m_histogram(name: &str, value: u64) {
+    if scc_obs::enabled() {
+        scc_obs::global().histogram(name).record(value);
+    }
+}
+
+/// One failed try inside a retry loop — the trace
+/// [`ClientError::RetryExhausted`] carries.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// What the attempt failed with.
+    pub error: String,
+    /// How long the client backed off *after* this failure (zero for
+    /// the final attempt, which has no successor).
+    pub backed_off: Duration,
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -38,9 +80,50 @@ pub enum ClientError {
         code: ErrorCode,
         /// Server-side detail.
         message: String,
+        /// Suggested wait before retrying, in milliseconds (0 = no
+        /// hint). Set on load-shed `Busy`/`Draining` refusals.
+        retry_after_ms: u32,
     },
     /// The server answered with a response of the wrong kind.
     Unexpected(&'static str),
+    /// A retry loop ran out of budget (attempts or deadline); the
+    /// trace records what every attempt failed with.
+    RetryExhausted {
+        /// Every failed attempt, in order.
+        attempts: Vec<Attempt>,
+    },
+}
+
+impl ClientError {
+    /// Whether a fresh attempt could plausibly succeed. Transport
+    /// failures (resets, torn frames, timeouts, a response that failed
+    /// its checksum) and explicit server backpressure (`Busy`,
+    /// `Draining`, `Timeout`) are retryable; a request the server
+    /// *understood and refused* (`BadRequest`, unknown table), a
+    /// response that decoded to the wrong shape, and verification
+    /// failures are not — retrying would only repeat them.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Frame(FrameError::Eof) => true,
+            ClientError::Frame(FrameError::Checksum { .. }) => true,
+            ClientError::Frame(FrameError::TooLarge { .. }) => false,
+            ClientError::Frame(FrameError::Io(k)) => matches!(
+                k,
+                ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::ConnectionRefused
+                    | ErrorKind::BrokenPipe
+                    | ErrorKind::UnexpectedEof
+                    | ErrorKind::TimedOut
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::Interrupted
+            ),
+            ClientError::Server { code, .. } => code.is_retryable(),
+            ClientError::Decode(_)
+            | ClientError::Unexpected(_)
+            | ClientError::RetryExhausted { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -48,8 +131,20 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Frame(e) => write!(f, "transport: {e}"),
             ClientError::Decode(e) => write!(f, "bad response payload: {e}"),
-            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Server { code, message, retry_after_ms: 0 } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ClientError::Server { code, message, retry_after_ms } => {
+                write!(f, "server error [{code}]: {message} (retry after {retry_after_ms}ms)")
+            }
             ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+            ClientError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {} attempts", attempts.len())?;
+                if let Some(last) = attempts.last() {
+                    write!(f, " (last: {})", last.error)?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -68,17 +163,112 @@ impl From<Error> for ClientError {
     }
 }
 
-/// One blocking protocol connection.
+// ---------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------
+
+/// Exponential-backoff schedule with jitter, an attempt budget, and an
+/// overall deadline that caps *cumulative* time across attempts.
+///
+/// The schedule is monotone non-decreasing by construction (each step
+/// is clamped to at least the previous one), jitter-bounded
+/// (`raw * (1 + jitter)` at most, where `raw` caps at
+/// [`RetryPolicy::max_backoff`]), and never authorises a sleep that
+/// would cross the deadline — the properties `tests/backoff.rs`
+/// proptests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries allowed, first attempt included. 1 = no retries.
+    pub max_attempts: u32,
+    /// Backoff after the first failure.
+    pub base_backoff: Duration,
+    /// Cap on the un-jittered exponential term.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each step is stretched by up to
+    /// `jitter * raw`, never shrunk (monotonicity survives).
+    pub jitter: f64,
+    /// Budget for the whole request: all attempts *and* all backoffs
+    /// must fit inside it.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.5,
+            deadline: Duration::from_secs(15),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (attempt 1 is the only one).
+    pub fn no_retry() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// Decides the backoff after failed attempt number `attempt`
+    /// (1-based), or `None` when the budget is spent and the caller
+    /// must give up.
+    ///
+    /// `prev` is the previous backoff (zero before the first), `spent`
+    /// the time elapsed since the request began, and `unit` a jitter
+    /// draw in `[0, 1]` (callers supply their own randomness so the
+    /// schedule itself stays a pure function).
+    pub fn next_backoff(
+        &self,
+        attempt: u32,
+        prev: Duration,
+        spent: Duration,
+        unit: f64,
+    ) -> Option<Duration> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        // base · 2^(attempt-1), saturating, capped at max_backoff.
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self.base_backoff.saturating_mul(1u32 << exp).min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0);
+        let jittered = raw.saturating_add(raw.mul_f64(jitter));
+        let backoff = jittered.max(prev);
+        if spent.saturating_add(backoff) >= self.deadline {
+            return None;
+        }
+        Some(backoff)
+    }
+}
+
+// ---------------------------------------------------------------------
+// One-connection client
+// ---------------------------------------------------------------------
+
+/// One blocking protocol connection over any [`Transport`].
 pub struct Client {
-    stream: TcpStream,
+    stream: Box<dyn Transport>,
 }
 
 impl Client {
-    /// Connects.
+    /// Connects over plain TCP.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client { stream: Box::new(stream) })
+    }
+
+    /// Connects and wraps the connection in a fault-injecting
+    /// [`ChaosStream`]; `conn` salts the deterministic fault draws.
+    pub fn connect_chaos(addr: &str, plan: ChaosPlan, conn: u64) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream: Box::new(ChaosStream::new(stream, plan, conn)) })
+    }
+
+    /// Wraps an already-built transport (tests compose their own).
+    pub fn from_transport(stream: Box<dyn Transport>) -> Client {
+        Client { stream }
     }
 
     /// Connects, retrying for up to `patience` (a just-spawned server
@@ -92,6 +282,16 @@ impl Client {
                 Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
         }
+    }
+
+    /// Bounds how long one response read may block.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(d)
+    }
+
+    /// Bounds how long one request write may block.
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_write_timeout(d)
     }
 
     /// Sends one request frame.
@@ -111,7 +311,9 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.send(req)?;
         match self.recv()? {
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error { code, message, retry_after_ms } => {
+                Err(ClientError::Server { code, message, retry_after_ms })
+            }
             resp => Ok(resp),
         }
     }
@@ -174,8 +376,8 @@ impl Client {
                 Response::ScanDone { rows, .. } => {
                     return Ok((acc.unwrap_or_else(|| Batch::new(vec![])), rows));
                 }
-                Response::Error { code, message } => {
-                    return Err(ClientError::Server { code, message });
+                Response::Error { code, message, retry_after_ms } => {
+                    return Err(ClientError::Server { code, message, retry_after_ms });
                 }
                 _ => return Err(ClientError::Unexpected("wanted Batch or ScanDone")),
             }
@@ -190,9 +392,22 @@ impl Client {
         }
     }
 
-    /// Asks the server to shut down gracefully.
-    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        match self.call(&Request::Shutdown)? {
+    /// Probes server health: returns `(state, workers, queue_depth,
+    /// active_connections)`. Served in every lifecycle phase, so a
+    /// balancer can see `Draining` before the listener goes away.
+    pub fn health(&mut self) -> Result<(HealthState, u16, u32, u32), ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health { state, workers, queue_depth, active } => {
+                Ok((state, workers, queue_depth, active))
+            }
+            _ => Err(ClientError::Unexpected("wanted Health")),
+        }
+    }
+
+    /// Asks the server to shut down: gracefully (drain in-flight work
+    /// first) by default, or abruptly with `force`.
+    pub fn shutdown_server(&mut self, force: bool) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown { force })? {
             Response::ShutdownAck => Ok(()),
             _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
         }
@@ -212,6 +427,174 @@ impl Client {
         self.stream.write_all(&framed).map_err(|e| ClientError::Frame(e.into()))?;
         self.stream.flush().map_err(|e| ClientError::Frame(e.into()))?;
         self.recv()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retrying client
+// ---------------------------------------------------------------------
+
+/// A [`Client`] wrapped in the bounded retry loop: reconnects on
+/// transport failure, backs off per [`RetryPolicy`], honours server
+/// retry-after hints up to the deadline, and reports
+/// [`ClientError::RetryExhausted`] with the attempt trace when the
+/// budget runs out.
+///
+/// Each attempt opens a *fresh* connection with a fresh chaos
+/// connection id, so with deterministic fault injection a fault that
+/// killed attempt N does not automatically kill attempt N+1 — the
+/// independence bounded retry relies on (same shape as `FaultyDisk`'s
+/// per-attempt draws).
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    chaos: Option<ChaosPlan>,
+    conn_salt: u64,
+    conns: u64,
+    rng: u64,
+    conn: Option<Client>,
+    /// Retry sleeps performed across all requests.
+    pub retries: u64,
+    /// Requests that exhausted the retry budget.
+    pub exhausted: u64,
+}
+
+impl RetryingClient {
+    /// A retrying client for `addr`. With a chaos plan every
+    /// connection is wrapped in a [`ChaosStream`]; `salt` decorrelates
+    /// the fault schedules (and jitter draws) of clients sharing one
+    /// plan — e.g. loadgen threads.
+    pub fn new(addr: &str, policy: RetryPolicy, chaos: Option<ChaosPlan>, salt: u64) -> Self {
+        Self {
+            addr: addr.to_string(),
+            policy,
+            chaos,
+            conn_salt: salt,
+            conns: 0,
+            rng: salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            conn: None,
+            retries: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// Jitter draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.rng >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Drops the current connection; the next request reconnects.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn connection(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            self.conns += 1;
+            let conn_id = self.conn_salt.wrapping_add(self.conns);
+            let client = match &self.chaos {
+                None => Client::connect(&self.addr),
+                Some(plan) => Client::connect_chaos(&self.addr, *plan, conn_id),
+            }
+            .map_err(|e| ClientError::Frame(FrameError::Io(e.kind())))?;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// Runs `op` under the retry policy. `op` gets a connected
+    /// [`Client`] and must be idempotent — it may run several times.
+    pub fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let started = Instant::now();
+        let mut attempts: Vec<Attempt> = Vec::new();
+        let mut prev = Duration::ZERO;
+        loop {
+            let attempt_no = attempts.len() as u32 + 1;
+            let outcome = match self.connection() {
+                Ok(client) => op(client),
+                Err(e) => Err(e),
+            };
+            let e = match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_retryable() => {
+                    // Fatal errors mid-stream can leave the connection
+                    // out of frame sync; don't reuse it.
+                    if !matches!(e, ClientError::Server { .. }) {
+                        self.disconnect();
+                    }
+                    return Err(e);
+                }
+                Err(e) => e,
+            };
+            self.disconnect();
+            let hint = match &e {
+                ClientError::Server { retry_after_ms, .. } => {
+                    Duration::from_millis(*retry_after_ms as u64)
+                }
+                _ => Duration::ZERO,
+            };
+            let unit = self.unit();
+            let spent = started.elapsed();
+            let backoff = self.policy.next_backoff(attempt_no, prev, spent, unit);
+            // A server hint stretches the wait but never past the
+            // deadline — backpressure must not turn into a hang.
+            let wait = backoff.map(|b| b.max(hint)).filter(|w| spent + *w < self.policy.deadline);
+            let Some(wait) = wait else {
+                attempts.push(Attempt {
+                    attempt: attempt_no,
+                    error: e.to_string(),
+                    backed_off: Duration::ZERO,
+                });
+                self.exhausted += 1;
+                m_counter("client.retry_exhausted", 1);
+                return Err(ClientError::RetryExhausted { attempts });
+            };
+            attempts.push(Attempt { attempt: attempt_no, error: e.to_string(), backed_off: wait });
+            self.retries += 1;
+            m_counter("client.retries", 1);
+            m_histogram("client.backoff_ms", wait.as_millis() as u64);
+            std::thread::sleep(wait);
+            prev = backoff.expect("wait derived from this backoff");
+        }
+    }
+
+    /// [`Client::segment_range`] with retries.
+    pub fn segment_range(
+        &mut self,
+        table: &str,
+        column: &str,
+        row_start: u64,
+        row_len: u32,
+        raw: bool,
+    ) -> Result<Vector, ClientError> {
+        self.with_retry(|c| c.segment_range(table, column, row_start, row_len, raw))
+    }
+
+    /// [`Client::scan`] with retries (whole-scan granularity: a stream
+    /// that dies mid-way is re-run from the start on a fresh
+    /// connection).
+    pub fn scan(
+        &mut self,
+        table: &str,
+        columns: &[&str],
+        predicate: Option<&Predicate>,
+        threads: u8,
+    ) -> Result<(Batch, u64), ClientError> {
+        self.with_retry(|c| c.scan(table, columns, predicate.cloned(), threads))
+    }
+
+    /// [`Client::stats_json`] with retries.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        self.with_retry(|c| c.stats_json())
+    }
+
+    /// [`Client::health`] with retries.
+    pub fn health(&mut self) -> Result<(HealthState, u16, u32, u32), ClientError> {
+        self.with_retry(|c| c.health())
     }
 }
 
@@ -285,6 +668,11 @@ pub struct LoadgenConfig {
     pub corrupt: bool,
     /// Deterministic seed for the request mix.
     pub seed: u64,
+    /// Wrap every connection in a [`ChaosStream`] with this plan
+    /// (faults drawn from `seed` + the plan's own seed).
+    pub chaos: Option<ChaosPlan>,
+    /// Retry policy every request runs under.
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadgenConfig {
@@ -296,6 +684,14 @@ impl Default for LoadgenConfig {
             scan_threads: 2,
             corrupt: false,
             seed: 1,
+            chaos: None,
+            retry: RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(100),
+                jitter: 0.5,
+                deadline: Duration::from_secs(10),
+            },
         }
     }
 }
@@ -307,7 +703,8 @@ pub struct LoadgenReport {
     pub requests: usize,
     /// Requests that succeeded and verified byte-exact.
     pub ok: usize,
-    /// Requests that failed (transport or server error).
+    /// Requests that failed (transport or server error, after
+    /// exhausting their retry budget).
     pub errors: usize,
     /// Responses that succeeded but did not match the local replica.
     pub verify_failures: usize,
@@ -316,6 +713,10 @@ pub struct LoadgenReport {
     /// Corrupt frames the server refused with a typed
     /// [`ErrorCode::BadFrame`] answer (must equal `corrupt_sent`).
     pub corrupt_rejected: usize,
+    /// Retry sleeps performed across all threads.
+    pub retries: usize,
+    /// Requests that ran out of retry budget.
+    pub retry_exhausted: usize,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
     /// Exact latency percentiles over all verified requests, in
@@ -334,13 +735,16 @@ impl LoadgenReport {
     pub fn summary(&self) -> String {
         format!(
             "{} requests in {:.2}s ({:.0} req/s) | ok {} error {} verify-fail {} | \
-             corrupt {}/{} rejected | p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+             retries {} exhausted {} | corrupt {}/{} rejected | \
+             p50 {:.0}us p95 {:.0}us p99 {:.0}us",
             self.requests,
             self.elapsed.as_secs_f64(),
             self.throughput_rps,
             self.ok,
             self.errors,
             self.verify_failures,
+            self.retries,
+            self.retry_exhausted,
             self.corrupt_rejected,
             self.corrupt_sent,
             self.p50_us,
@@ -359,6 +763,8 @@ impl LoadgenReport {
             ("verify_failures".into(), Json::U64(self.verify_failures as u64)),
             ("corrupt_sent".into(), Json::U64(self.corrupt_sent as u64)),
             ("corrupt_rejected".into(), Json::U64(self.corrupt_rejected as u64)),
+            ("retries".into(), Json::U64(self.retries as u64)),
+            ("retry_exhausted".into(), Json::U64(self.retry_exhausted as u64)),
             ("elapsed_s".into(), Json::F64(self.elapsed.as_secs_f64())),
             ("throughput_rps".into(), Json::F64(self.throughput_rps)),
             ("p50_us".into(), Json::F64(self.p50_us)),
@@ -412,6 +818,8 @@ struct ThreadTally {
     verify_failures: usize,
     corrupt_sent: usize,
     corrupt_rejected: usize,
+    retries: usize,
+    retry_exhausted: usize,
     latencies_ns: Vec<u64>,
 }
 
@@ -419,9 +827,13 @@ struct ThreadTally {
 /// segment-range (decoded and raw), scan (serial and parallel,
 /// filtered and not) and stats requests, verifying every payload
 /// against `replica` — which must be built identically to the table
-/// the server is serving (same name, same rows).
+/// the server is serving (same name, same rows). With `cfg.chaos`,
+/// every connection misbehaves on the plan's deterministic schedule
+/// and requests ride the retry policy — correctness (byte-exact
+/// verification) must be unaffected.
 pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenReport, String> {
     assert!(cfg.threads >= 1, "loadgen needs at least one thread");
+    scc_obs::set_enabled(true);
     let expected = Arc::new(expected_scans(replica));
     let n_rows = replica.n_rows();
     let table_name = replica.name.clone();
@@ -448,6 +860,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenR
         verify_failures: 0,
         corrupt_sent: 0,
         corrupt_rejected: 0,
+        retries: 0,
+        retry_exhausted: 0,
         latencies_ns: Vec::new(),
     };
     for t in tallies {
@@ -457,6 +871,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenR
         tally.verify_failures += t.verify_failures;
         tally.corrupt_sent += t.corrupt_sent;
         tally.corrupt_rejected += t.corrupt_rejected;
+        tally.retries += t.retries;
+        tally.retry_exhausted += t.retry_exhausted;
         tally.latencies_ns.extend(t.latencies_ns);
     }
     tally.latencies_ns.sort_unstable();
@@ -468,6 +884,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenR
         verify_failures: tally.verify_failures,
         corrupt_sent: tally.corrupt_sent,
         corrupt_rejected: tally.corrupt_rejected,
+        retries: tally.retries,
+        retry_exhausted: tally.retry_exhausted,
         elapsed,
         p50_us: percentile_ns(&tally.latencies_ns, 0.50) / 1_000.0,
         p95_us: percentile_ns(&tally.latencies_ns, 0.95) / 1_000.0,
@@ -492,6 +910,8 @@ fn run_thread(
         verify_failures: 0,
         corrupt_sent: 0,
         corrupt_rejected: 0,
+        retries: 0,
+        retry_exhausted: 0,
         latencies_ns: Vec::new(),
     };
     let my_requests =
@@ -501,30 +921,54 @@ fn run_thread(
         rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         rng >> 16
     };
-    let mut client = Client::connect_retry(&cfg.addr, Duration::from_secs(30))
-        .map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    // Wait for the server to be listening before the clock starts,
+    // then hand the address to the retrying client.
+    drop(
+        Client::connect_retry(&cfg.addr, Duration::from_secs(30))
+            .map_err(|e| format!("connect {}: {e}", cfg.addr))?,
+    );
+    // Distinct conn-id ranges per thread keep the chaos fault
+    // schedules of concurrent clients decorrelated.
+    let salt = cfg.seed ^ ((thread_idx as u64 + 1) << 32);
+    let mut client = RetryingClient::new(&cfg.addr, cfg.retry, cfg.chaos, salt);
     for i in 0..my_requests {
         if cfg.corrupt && i % 25 == 24 {
             // A sacrificial connection carries the corrupt frame; the
             // server must refuse it with BadFrame and close only that
-            // connection. Hand our worker back first — the server pool
+            // connection. The probe runs over a *plain* transport even
+            // in chaos runs — its assertion needs the frame delivered
+            // intact. Hand our worker back first — the server pool
             // serves one connection per worker, so holding the main
             // connection open while probing would leave the probe
             // queued behind every persistent connection.
-            drop(client);
+            client.disconnect();
             tally.corrupt_sent += 1;
-            let probe = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
-                .map_err(|e| format!("probe connect: {e}"))?;
-            match probe.send_corrupt(&Request::Stats, next() as usize) {
-                Ok(Response::Error { code: ErrorCode::BadFrame, .. }) => {
-                    tally.corrupt_rejected += 1;
-                }
-                other => {
-                    return Err(format!("corrupt frame was not refused: {other:?}"));
+            // Backpressure (Busy/Draining) refuses the connection
+            // before the corrupt payload is even parsed — that is a
+            // legitimate answer, not a verdict on the frame, so the
+            // probe re-sends until the frame itself is judged.
+            let mut probes = 0u32;
+            loop {
+                let probe = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
+                    .map_err(|e| format!("probe connect: {e}"))?;
+                match probe.send_corrupt(&Request::Stats, next() as usize) {
+                    Ok(Response::Error { code: ErrorCode::BadFrame, .. }) => {
+                        tally.corrupt_rejected += 1;
+                        break;
+                    }
+                    Ok(Response::Error { code, retry_after_ms, .. })
+                        if code.is_retryable() && probes < 200 =>
+                    {
+                        probes += 1;
+                        std::thread::sleep(Duration::from_millis(
+                            u64::from(retry_after_ms).clamp(1, 100),
+                        ));
+                    }
+                    other => {
+                        return Err(format!("corrupt frame was not refused: {other:?}"));
+                    }
                 }
             }
-            client = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
-                .map_err(|e| format!("reconnect: {e}"))?;
         }
         let t0 = Instant::now();
         let outcome = match i % 4 {
@@ -536,18 +980,18 @@ fn run_thread(
                 let start = next() as usize % n_rows;
                 let len = (1 + next() as usize % 4096).min(n_rows - start);
                 match client.segment_range(table, column, start as u64, len as u32, raw) {
-                    Err(e) => Err(e.to_string()),
+                    Err(e) => Err(e),
                     Ok(v) => Ok(v == expected_slice(replica, column, start, len)),
                 }
             }
             2 => match client.scan(table, &["key", "val"], None, cfg.scan_threads) {
-                Err(e) => Err(e.to_string()),
+                Err(e) => Err(e),
                 Ok((batch, rows)) => Ok(rows as usize == n_rows && batch == expected.full),
             },
             _ => {
                 let pred = Predicate { column: "val".to_string(), op: PredOp::Lt, literal: 500 };
-                match client.scan(table, &["key", "val"], Some(pred), cfg.scan_threads) {
-                    Err(e) => Err(e.to_string()),
+                match client.scan(table, &["key", "val"], Some(&pred), cfg.scan_threads) {
+                    Err(e) => Err(e),
                     Ok((batch, _)) => Ok(batch == expected.filtered),
                 }
             }
@@ -556,15 +1000,17 @@ fn run_thread(
         match outcome {
             Ok(true) => tally.ok += 1,
             Ok(false) => tally.verify_failures += 1,
-            Err(_) => {
-                // Count the failure and restore the connection — a
-                // transport error leaves the old one unusable and
-                // would otherwise cascade into every later request.
+            Err(e) => {
+                // The retry layer already did the reconnecting and
+                // backing off; what reaches here is fatal or exhausted.
+                if matches!(e, ClientError::RetryExhausted { .. }) {
+                    tally.retry_exhausted += 1;
+                }
                 tally.errors += 1;
-                client = Client::connect_retry(&cfg.addr, Duration::from_secs(5))
-                    .map_err(|e| format!("reconnect after error: {e}"))?;
+                client.disconnect();
             }
         }
     }
+    tally.retries = client.retries as usize;
     Ok(tally)
 }

@@ -22,6 +22,16 @@
 //! error frame and never panics the server. See `docs/SERVER.md` for
 //! the byte-level layout.
 //!
+//! The serving path is built to degrade, not break: the acceptor
+//! sheds load with typed `Busy` refusals carrying retry-after hints,
+//! `Shutdown` drains in-flight work before closing (with a `force`
+//! escape hatch), a `Health` request reports readiness/draining, and
+//! the client side wraps every request in a deadline-aware
+//! [`RetryPolicy`]. The [`chaos`] module injects deterministic
+//! network faults (resets, torn frames, short writes, throttles,
+//! stalls) to prove all of it under fire — see docs/SERVER.md
+//! "Fault tolerance".
+//!
 //! ```no_run
 //! use scc_server::{demo_table, Catalog, Client, Server, ServerConfig};
 //!
@@ -38,12 +48,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{run_loadgen, Client, ClientError, LoadgenConfig, LoadgenReport};
-pub use protocol::{ErrorCode, PredOp, Predicate, RawSegment, Request, Response};
+pub use chaos::{ChaosPlan, ChaosStream, Transport};
+pub use client::{
+    run_loadgen, Attempt, Client, ClientError, LoadgenConfig, LoadgenReport, RetryPolicy,
+    RetryingClient,
+};
+pub use protocol::{ErrorCode, HealthState, PredOp, Predicate, RawSegment, Request, Response};
 pub use server::{Server, ServerConfig};
 
 use scc_storage::{Table, TableBuilder};

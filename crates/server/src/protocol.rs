@@ -33,7 +33,9 @@ pub const REQ_SEGMENT_RANGE: u8 = 0x01;
 pub const REQ_SCAN: u8 = 0x02;
 /// Request kind byte: metrics snapshot.
 pub const REQ_STATS: u8 = 0x03;
-/// Request kind byte: graceful server shutdown.
+/// Request kind byte: readiness/drain state probe.
+pub const REQ_HEALTH: u8 = 0x04;
+/// Request kind byte: graceful (drain) or forced server shutdown.
 pub const REQ_SHUTDOWN: u8 = 0x7F;
 
 /// Response kind byte: decompressed values for a `SegmentRange`.
@@ -48,6 +50,8 @@ pub const RESP_SCAN_DONE: u8 = 0x84;
 pub const RESP_STATS_JSON: u8 = 0x85;
 /// Response kind byte: shutdown acknowledged.
 pub const RESP_SHUTDOWN_ACK: u8 = 0x86;
+/// Response kind byte: readiness/drain state report.
+pub const RESP_HEALTH: u8 = 0x87;
 /// Response kind byte: typed error.
 pub const RESP_ERROR: u8 = 0xEE;
 
@@ -132,8 +136,17 @@ pub enum Request {
     },
     /// Metrics snapshot (schema-v1 JSON).
     Stats,
-    /// Ask the server to stop accepting connections and exit.
-    Shutdown,
+    /// Readiness probe: is the server accepting work, or draining?
+    /// Served in every state — a draining server still answers.
+    Health,
+    /// Ask the server to stop. Without `force` the server *drains*:
+    /// it stops accepting connections, finishes every in-flight
+    /// request under its drain deadline, then exits. With `force` it
+    /// aborts in-flight work and exits immediately.
+    Shutdown {
+        /// Abort in-flight requests instead of draining.
+        force: bool,
+    },
 }
 
 /// One raw compressed segment in a [`Response::RawSegments`].
@@ -176,6 +189,17 @@ pub enum Response {
     /// Shutdown acknowledged; the server exits once in-flight
     /// connections drain.
     ShutdownAck,
+    /// Readiness/drain state report.
+    Health {
+        /// Current lifecycle state.
+        state: HealthState,
+        /// Configured worker threads.
+        workers: u16,
+        /// Accepted connections waiting for a worker right now.
+        queue_depth: u32,
+        /// Connections currently being served by a worker.
+        active: u32,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable code.
@@ -183,7 +207,46 @@ pub enum Response {
         /// Human-readable detail (the `Display` of the underlying
         /// typed error, where there is one).
         message: String,
+        /// For load-shed refusals ([`ErrorCode::Busy`],
+        /// [`ErrorCode::Draining`]): how long the client should wait
+        /// before retrying, in milliseconds. `0` means no hint.
+        retry_after_ms: u32,
     },
+}
+
+/// Server lifecycle state carried in [`Response::Health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting and serving requests.
+    Ready = 0,
+    /// Draining: in-flight requests are being finished, new
+    /// connections are refused with [`ErrorCode::Draining`].
+    Draining = 1,
+}
+
+impl HealthState {
+    /// Wire tag → state.
+    pub fn from_tag(tag: u8) -> Option<HealthState> {
+        Some(match tag {
+            0 => HealthState::Ready,
+            1 => HealthState::Draining,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case name (metric label / log token).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Ready => "ready",
+            HealthState::Draining => "draining",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Machine-readable error codes carried in [`Response::Error`].
@@ -210,6 +273,9 @@ pub enum ErrorCode {
     Corrupt = 8,
     /// Anything else.
     Internal = 9,
+    /// The server is draining for shutdown; retry against another
+    /// replica (or after the hinted delay, if it is restarting).
+    Draining = 10,
 }
 
 impl ErrorCode {
@@ -225,6 +291,7 @@ impl ErrorCode {
             7 => ErrorCode::Timeout,
             8 => ErrorCode::Corrupt,
             9 => ErrorCode::Internal,
+            10 => ErrorCode::Draining,
             _ => return None,
         })
     }
@@ -241,7 +308,16 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::Corrupt => "corrupt",
             ErrorCode::Internal => "internal",
+            ErrorCode::Draining => "draining",
         }
+    }
+
+    /// Whether a client should retry after seeing this code. `Busy`,
+    /// `Draining` and `Timeout` are transient server states; everything
+    /// else means the request itself (or the server's data) is bad and
+    /// a retry would fail identically.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy | ErrorCode::Draining | ErrorCode::Timeout)
     }
 }
 
@@ -369,7 +445,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(*threads);
         }
         Request::Stats => out.push(REQ_STATS),
-        Request::Shutdown => out.push(REQ_SHUTDOWN),
+        Request::Health => out.push(REQ_HEALTH),
+        Request::Shutdown { force } => {
+            out.push(REQ_SHUTDOWN);
+            out.push(u8::from(*force));
+        }
     }
     out
 }
@@ -413,7 +493,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, Error> {
             Request::Scan { table, columns, predicate, threads }
         }
         REQ_STATS => Request::Stats,
-        REQ_SHUTDOWN => Request::Shutdown,
+        REQ_HEALTH => Request::Health,
+        REQ_SHUTDOWN => {
+            let force = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(Error::Wire(WireError::Corrupt("bad shutdown force flag"))),
+            };
+            Request::Shutdown { force }
+        }
         _ => return Err(Error::Wire(WireError::Corrupt("unknown request kind"))),
     };
     c.done()?;
@@ -463,10 +551,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(json.as_bytes());
         }
         Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
-        Response::Error { code, message } => {
+        Response::Health { state, workers, queue_depth, active } => {
+            out.push(RESP_HEALTH);
+            out.push(*state as u8);
+            put_u16(&mut out, *workers);
+            put_u32(&mut out, *queue_depth);
+            put_u32(&mut out, *active);
+        }
+        Response::Error { code, message, retry_after_ms } => {
             out.push(RESP_ERROR);
             out.push(*code as u8);
             put_str(&mut out, message);
+            put_u32(&mut out, *retry_after_ms);
         }
     }
     out
@@ -522,11 +618,20 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, Error> {
             Response::StatsJson(json)
         }
         RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+        RESP_HEALTH => {
+            let state = HealthState::from_tag(c.u8()?)
+                .ok_or(Error::Wire(WireError::Corrupt("unknown health state")))?;
+            let workers = c.u16()?;
+            let queue_depth = c.u32()?;
+            let active = c.u32()?;
+            Response::Health { state, workers, queue_depth, active }
+        }
         RESP_ERROR => {
             let code = ErrorCode::from_tag(c.u8()?)
                 .ok_or(Error::Wire(WireError::Corrupt("unknown error code")))?;
             let message = c.str()?;
-            Response::Error { code, message }
+            let retry_after_ms = c.u32()?;
+            Response::Error { code, message, retry_after_ms }
         }
         _ => return Err(Error::Wire(WireError::Corrupt("unknown response kind"))),
     };
@@ -565,7 +670,9 @@ mod tests {
             threads: 0,
         });
         roundtrip_request(Request::Stats);
-        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Health);
+        roundtrip_request(Request::Shutdown { force: false });
+        roundtrip_request(Request::Shutdown { force: true });
     }
 
     #[test]
@@ -585,7 +692,17 @@ mod tests {
             Response::ScanDone { rows: 1_000_000, batches: 977 },
             Response::StatsJson("{\"schema\":1}".into()),
             Response::ShutdownAck,
-            Response::Error { code: ErrorCode::Busy, message: "queue full".into() },
+            Response::Health {
+                state: HealthState::Draining,
+                workers: 4,
+                queue_depth: 7,
+                active: 3,
+            },
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "queue full".into(),
+                retry_after_ms: 250,
+            },
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp, "{resp:?}");
@@ -618,7 +735,15 @@ mod tests {
             encode_response(&Response::Error {
                 code: ErrorCode::Timeout,
                 message: "too slow".into(),
+                retry_after_ms: 0,
             }),
+            encode_response(&Response::Health {
+                state: HealthState::Ready,
+                workers: 2,
+                queue_depth: 0,
+                active: 1,
+            }),
+            encode_request(&Request::Shutdown { force: true }),
         ];
         for msg in &messages {
             for cut in 0..msg.len() {
@@ -642,10 +767,28 @@ mod tests {
         assert!(decode_response(&[0x42]).is_err());
 
         // Error frame with an unknown code tag.
-        let mut err =
-            encode_response(&Response::Error { code: ErrorCode::Internal, message: "x".into() });
+        let mut err = encode_response(&Response::Error {
+            code: ErrorCode::Internal,
+            message: "x".into(),
+            retry_after_ms: 0,
+        });
         err[1] = 0xFF;
         assert!(decode_response(&err).is_err());
+
+        // Health frame with an unknown state tag.
+        let mut health = encode_response(&Response::Health {
+            state: HealthState::Ready,
+            workers: 1,
+            queue_depth: 0,
+            active: 0,
+        });
+        health[1] = 0x7;
+        assert!(decode_response(&health).is_err());
+
+        // Shutdown with a force flag outside {0, 1}.
+        let mut shutdown = encode_request(&Request::Shutdown { force: false });
+        *shutdown.last_mut().unwrap() = 2;
+        assert!(decode_request(&shutdown).is_err());
 
         // Predicate op tag outside 1..=6.
         let mut scan = encode_request(&Request::Scan {

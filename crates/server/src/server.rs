@@ -1,26 +1,43 @@
 //! The scc-server runtime: acceptor, bounded worker pool, request
-//! dispatch, deadlines, telemetry and graceful shutdown.
+//! dispatch, deadlines, load shedding, graceful drain and telemetry.
 //!
 //! The threading model is deliberately plain `std::net`/`std::thread`:
 //! one acceptor thread pushes accepted connections into a *bounded*
 //! queue; `workers` threads pull connections off it and serve each one
 //! to completion (requests on a connection are sequential, like
 //! classic one-connection-per-worker database listeners). When the
-//! queue is full the acceptor answers the new connection with a typed
-//! [`ErrorCode::Busy`] frame and drops it — overload produces a fast,
-//! machine-readable refusal, never an unbounded backlog.
+//! queue is full the acceptor **sheds load**: the new connection is
+//! answered with a typed [`ErrorCode::Busy`] frame carrying a
+//! retry-after hint scaled by the backlog, and dropped — overload
+//! produces a fast, machine-readable refusal, never an unbounded
+//! backlog.
+//!
+//! The server has a three-state lifecycle: **running → draining →
+//! stopped**. A protocol `Shutdown { force: false }` begins a *drain*:
+//! the acceptor stops admitting work (new connections get
+//! [`ErrorCode::Draining`] refusals), workers finish every request
+//! already read off a socket, idle connections are closed, and the
+//! process exits once the queue and the active set are empty — or the
+//! drain deadline passes, whichever is first. `Shutdown { force: true }`
+//! (and [`Server::stop`]) skips the courtesy and stops immediately.
+//! [`Request::Health`] reports the current state in any phase, so a
+//! load balancer can stop routing to a draining node before its
+//! listener disappears.
 //!
 //! Integrity failures are graded by trust in the stream: a frame whose
 //! *checksum* fails (or that is over-long or torn) gets a
 //! [`ErrorCode::BadFrame`] answer and the connection is closed, since
 //! frame sync can no longer be assumed; a frame that checksums cleanly
 //! but decodes to nonsense gets [`ErrorCode::BadRequest`] and the
-//! connection stays usable. Nothing an untrusted peer sends can panic
-//! the server — worker bodies are additionally wrapped in
-//! `catch_unwind` as a last line of defense, so a bug serving one
-//! connection costs that connection, not the process.
+//! connection stays usable. Both read *and* write timeouts are set per
+//! connection — a stalled (slow-loris) peer can pin a worker only
+//! until the timeout, never forever. Nothing an untrusted peer sends
+//! can panic the server — worker bodies are additionally wrapped in
+//! `catch_unwind` as a last line of defense.
 
-use crate::protocol::{self, ErrorCode, PredOp, Predicate, RawSegment, Request, Response};
+use crate::protocol::{
+    self, ErrorCode, HealthState, PredOp, Predicate, RawSegment, Request, Response,
+};
 use crate::Catalog;
 use scc_core::frame::{self, FrameError};
 use scc_core::Error;
@@ -28,7 +45,7 @@ use scc_engine::{ColType, Expr, Operator, Select, VECTOR_SIZE};
 use scc_storage::{stats_handle, Column, NumColumn, ParallelScan, Scan, ScanOptions, Table};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -41,7 +58,7 @@ pub struct ServerConfig {
     /// Worker threads serving connections.
     pub workers: usize,
     /// Accepted connections waiting for a worker before new arrivals
-    /// are refused with [`ErrorCode::Busy`]. Must be at least 1.
+    /// are shed with [`ErrorCode::Busy`]. Must be at least 1.
     pub queue_depth: usize,
     /// Largest request frame accepted, in payload bytes.
     pub max_request_frame: usize,
@@ -54,6 +71,15 @@ pub struct ServerConfig {
     /// How long a connection may sit idle between requests before the
     /// server closes it (also bounds shutdown latency).
     pub idle_timeout: Duration,
+    /// How long one response write may block on a stalled reader
+    /// before the connection is abandoned.
+    pub write_timeout: Duration,
+    /// How long a graceful drain may take to finish in-flight requests
+    /// before the server stops anyway.
+    pub drain_deadline: Duration,
+    /// Base of the retry-after hint attached to [`ErrorCode::Busy`]
+    /// refusals; the hint scales with the current backlog.
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -66,9 +92,21 @@ impl Default for ServerConfig {
             max_scan_threads: 8,
             deadline: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+            busy_retry_after: Duration::from_millis(25),
         }
     }
 }
+
+/// Lifecycle states (the shed/drain state machine in docs/SERVER.md).
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_STOPPED: u8 = 2;
+
+/// How often a draining worker polls its connection for one more
+/// pending request before giving up and closing it.
+const DRAIN_POLL: Duration = Duration::from_millis(25);
 
 // Dynamic-name metric helpers (the `counter_add!`-style macros need
 // literal names; error-code counters are keyed by the code).
@@ -107,36 +145,84 @@ fn error_response(e: &Error) -> Response {
         | Error::ChunkQuarantined { .. } => ErrorCode::Corrupt,
         Error::ReadFailed { .. } => ErrorCode::Internal,
     };
-    Response::Error { code, message: e.to_string() }
+    Response::Error { code, message: e.to_string(), retry_after_ms: 0 }
 }
 
 fn err(code: ErrorCode, message: impl Into<String>) -> Response {
-    Response::Error { code, message: message.into() }
+    Response::Error { code, message: message.into(), retry_after_ms: 0 }
 }
 
 struct Shared {
     config: ServerConfig,
     catalog: Catalog,
     addr: SocketAddr,
-    shutdown: AtomicBool,
+    state: AtomicU8,
+    /// Millis since `started` at which the drain began (0 = never).
+    drain_started_ms: AtomicU64,
+    started: Instant,
     queued: AtomicI64,
+    /// Connections currently inside `handle_conn` on some worker.
+    active: AtomicI64,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::Acquire)
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
     }
 
-    /// Sets the shutdown flag and pokes the acceptor awake with a
-    /// throwaway connection so it notices without waiting for a real
-    /// client.
-    fn trigger_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Release);
+    fn stopped(&self) -> bool {
+        self.state() == STATE_STOPPED
+    }
+
+    /// Pokes the acceptor awake with a throwaway connection so it
+    /// notices a state change without waiting for a real client.
+    fn poke_acceptor(&self) {
         drop(TcpStream::connect(self.addr));
     }
 
+    /// Force-stop: abandon in-flight work and exit as fast as the
+    /// worker loops notice.
+    fn trigger_stop(&self) {
+        self.state.store(STATE_STOPPED, Ordering::Release);
+        self.poke_acceptor();
+    }
+
+    /// Graceful drain: stop admitting work, finish what was accepted,
+    /// then stop. Idempotent; a stop already in progress wins.
+    fn begin_drain(&self) {
+        if self
+            .state
+            .compare_exchange(STATE_RUNNING, STATE_DRAINING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let ms = self.started.elapsed().as_millis() as u64;
+            self.drain_started_ms.store(ms.max(1), Ordering::Release);
+            m_counter("server.drain.begin", 1);
+            self.poke_acceptor();
+        }
+    }
+
+    /// Time left before a drain in progress is forced down.
+    fn drain_remaining(&self) -> Duration {
+        let began = self.drain_started_ms.load(Ordering::Acquire);
+        if began == 0 {
+            return self.config.drain_deadline;
+        }
+        let drained_for = self.started.elapsed().saturating_sub(Duration::from_millis(began));
+        self.config.drain_deadline.saturating_sub(drained_for)
+    }
+
+    /// The retry-after hint for a shed connection: the busier the
+    /// queue, the longer the suggested wait (capped at 2 s).
+    fn retry_after_hint(&self) -> u32 {
+        let backlog = self.queued.load(Ordering::Relaxed).max(0) as u64 + 1;
+        (self.config.busy_retry_after.as_millis() as u64 * backlog).min(2_000) as u32
+    }
+
     /// Writes one response frame, maintaining the outcome and byte
-    /// counters. Returns false when the peer is gone.
+    /// counters. Returns false when the peer is gone (including a
+    /// write that timed out on a stalled reader, which is counted
+    /// separately).
     fn send(&self, stream: &mut TcpStream, resp: &Response) -> bool {
         let payload = protocol::encode_response(resp);
         m_counter("server.bytes_out", (payload.len() + frame::FRAME_OVERHEAD) as u64);
@@ -147,11 +233,31 @@ impl Shared {
             }
             _ => m_counter("server.responses.ok", 1),
         }
-        frame::write_frame(stream, &payload).is_ok()
+        match frame::write_frame(stream, &payload) {
+            Ok(()) => true,
+            Err(FrameError::Io(k)) if k == ErrorKind::WouldBlock || k == ErrorKind::TimedOut => {
+                m_counter("server.write_timeouts", 1);
+                false
+            }
+            Err(_) => false,
+        }
     }
 
     fn expired(&self, started: Instant) -> bool {
         started.elapsed() >= self.config.deadline
+    }
+
+    fn health(&self) -> Response {
+        let state = match self.state() {
+            STATE_RUNNING => HealthState::Ready,
+            _ => HealthState::Draining,
+        };
+        Response::Health {
+            state,
+            workers: self.config.workers.min(u16::MAX as usize) as u16,
+            queue_depth: self.queued.load(Ordering::Relaxed).max(0) as u32,
+            active: self.active.load(Ordering::Relaxed).max(0) as u32,
+        }
     }
 
     // -----------------------------------------------------------------
@@ -216,6 +322,12 @@ impl Shared {
         };
         let (mut rows, mut batches) = (0u64, 0u32);
         loop {
+            if self.stopped() {
+                // Forced shutdown aborts mid-stream; a graceful drain
+                // lets the scan finish (it was accepted work).
+                self.send(stream, &err(ErrorCode::Draining, "server stopped mid-scan"));
+                return;
+            }
             if self.expired(started) {
                 self.send(stream, &err(ErrorCode::Timeout, "scan exceeded its deadline"));
                 return;
@@ -349,19 +461,33 @@ fn build_predicate(t: &Table, columns: &[String], p: &Predicate) -> Result<Expr,
 }
 
 /// Serves one connection until EOF, idle timeout, a bad frame, or
-/// shutdown.
+/// shutdown. During a drain the connection is polled briefly for
+/// requests already in flight — anything the client has already sent
+/// is served — and closed once it goes quiet.
 fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     loop {
-        if shared.shutting_down() {
-            return;
+        match shared.state() {
+            STATE_STOPPED => return,
+            STATE_DRAINING => {
+                let remaining = shared.drain_remaining();
+                if remaining.is_zero() {
+                    return;
+                }
+                let _ = stream.set_read_timeout(Some(remaining.min(DRAIN_POLL)));
+            }
+            _ => {
+                let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+            }
         }
         let payload = match frame::read_frame(&mut stream, shared.config.max_request_frame) {
             Ok(p) => p,
             Err(FrameError::Eof) => return,
             Err(FrameError::Io(k)) if k == ErrorKind::WouldBlock || k == ErrorKind::TimedOut => {
-                return; // idle too long
+                // Idle too long — or, during a drain, no request was
+                // pending: either way the connection closes.
+                return;
             }
             Err(e) => {
                 // Checksum mismatch, over-long frame, or a torn read:
@@ -406,10 +532,19 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                 shared.send(&mut stream, &Response::StatsJson(json));
                 m_histogram("server.service_ns.stats", started.elapsed().as_nanos() as u64);
             }
-            Request::Shutdown => {
+            Request::Health => {
+                m_counter("server.requests.health", 1);
+                let resp = shared.health();
+                shared.send(&mut stream, &resp);
+            }
+            Request::Shutdown { force } => {
                 m_counter("server.requests.shutdown", 1);
                 shared.send(&mut stream, &Response::ShutdownAck);
-                shared.trigger_shutdown();
+                if force {
+                    shared.trigger_stop();
+                } else {
+                    shared.begin_drain();
+                }
                 return;
             }
         }
@@ -425,21 +560,33 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
                 Err(_) => return, // acceptor gone and queue drained
             }
         };
-        let depth = shared.queued.fetch_sub(1, Ordering::Relaxed) - 1;
+        // Order matters for the drain-completion check: the connection
+        // is visible as `active` before it stops being `queued`, so
+        // `queued + active` never momentarily hits zero while work
+        // exists.
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        let depth = shared.queued.fetch_sub(1, Ordering::AcqRel) - 1;
         m_gauge("server.queue_depth", depth.max(0) as f64);
+        if shared.stopped() {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            continue; // fast-drain the queue without serving
+        }
+        m_gauge("server.active_connections", shared.active.load(Ordering::Relaxed) as f64);
         // A panic while serving one connection (an engine bug, say)
         // must cost that connection only, never the worker or process.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handle_conn(&shared, stream);
         }));
+        let left = shared.active.fetch_sub(1, Ordering::AcqRel) - 1;
+        m_gauge("server.active_connections", left.max(0) as f64);
         if outcome.is_err() {
             m_counter("server.errors.panic", 1);
         }
     }
 }
 
-/// A running scc-server. Dropping it shuts it down and joins every
-/// thread.
+/// A running scc-server. Dropping it shuts it down (forced) and joins
+/// every thread.
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
@@ -460,8 +607,11 @@ impl Server {
             config,
             catalog,
             addr,
-            shutdown: AtomicBool::new(false),
+            state: AtomicU8::new(STATE_RUNNING),
+            drain_started_ms: AtomicU64::new(0),
+            started: Instant::now(),
             queued: AtomicI64::new(0),
+            active: AtomicI64::new(0),
         });
         let (tx, rx) = sync_channel::<TcpStream>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -490,14 +640,22 @@ impl Server {
         self.shared.addr
     }
 
-    /// Initiates shutdown and joins all threads.
+    /// Forced shutdown: abandons in-flight work and joins all threads.
     pub fn stop(&mut self) {
-        self.shared.trigger_shutdown();
+        self.shared.trigger_stop();
+        self.join();
+    }
+
+    /// Graceful shutdown: drains in-flight work (bounded by the
+    /// configured drain deadline), then joins all threads.
+    pub fn drain(&mut self) {
+        self.shared.begin_drain();
         self.join();
     }
 
     /// Blocks until the server shuts down (via a protocol `Shutdown`
-    /// request or [`Server::stop`] from another thread).
+    /// request or [`Server::stop`]/[`Server::drain`] from another
+    /// thread).
     pub fn wait(mut self) {
         self.join();
     }
@@ -526,27 +684,45 @@ fn acceptor_loop(
     tx: std::sync::mpsc::SyncSender<TcpStream>,
 ) {
     loop {
+        match shared.state() {
+            STATE_STOPPED => return,
+            STATE_DRAINING => return drain_loop(&shared, &listener),
+            _ => {}
+        }
         match listener.accept() {
             Ok((stream, _)) => {
-                if shared.shutting_down() {
-                    return; // drops tx; workers drain the queue and exit
+                match shared.state() {
+                    STATE_STOPPED => return,
+                    STATE_DRAINING => {
+                        // The drain poke itself, or a client racing
+                        // the drain: refuse it and enter drain mode.
+                        refuse_draining(&shared, stream);
+                        return drain_loop(&shared, &listener);
+                    }
+                    _ => {}
                 }
                 m_counter("server.connections", 1);
                 match tx.try_send(stream) {
                     Ok(()) => {
-                        let depth = shared.queued.fetch_add(1, Ordering::Relaxed) + 1;
+                        let depth = shared.queued.fetch_add(1, Ordering::AcqRel) + 1;
                         m_gauge("server.queue_depth", depth as f64);
                     }
                     Err(TrySendError::Full(mut stream)) => {
+                        // Load shed: a typed refusal with a hint beats
+                        // an unbounded backlog or a silent drop.
+                        m_counter("server.shed.busy", 1);
+                        let retry_after_ms = shared.retry_after_hint();
+                        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
                         shared.send(
                             &mut stream,
-                            &err(
-                                ErrorCode::Busy,
-                                format!(
+                            &Response::Error {
+                                code: ErrorCode::Busy,
+                                message: format!(
                                     "all {} workers busy and {} connections queued",
                                     shared.config.workers, shared.config.queue_depth
                                 ),
-                            ),
+                                retry_after_ms,
+                            },
                         );
                         // Dropping the stream closes the connection.
                     }
@@ -554,11 +730,61 @@ fn acceptor_loop(
                 }
             }
             Err(_) => {
-                if shared.shutting_down() {
+                if shared.stopped() {
                     return;
                 }
                 // Transient accept error (e.g. EMFILE churn): keep going.
             }
+        }
+    }
+}
+
+/// Refuses one connection that arrived during a drain. Best-effort:
+/// the poke connection is already closed and a real client may also
+/// hang up rather than read the refusal.
+fn refuse_draining(shared: &Shared, mut stream: TcpStream) {
+    m_counter("server.shed.draining", 1);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    shared.send(
+        &mut stream,
+        &Response::Error {
+            code: ErrorCode::Draining,
+            message: "server is draining for shutdown".to_string(),
+            retry_after_ms: shared.retry_after_hint(),
+        },
+    );
+}
+
+/// The acceptor's drain phase: refuse new arrivals with a typed
+/// [`ErrorCode::Draining`] answer while the workers finish everything
+/// already admitted. Exits — dropping the listener and, in the caller,
+/// the worker channel — once the queue and active set are empty, the
+/// drain deadline passes (the drain is then *forced*), or a stop is
+/// triggered.
+fn drain_loop(shared: &Shared, listener: &TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if shared.stopped() {
+            return;
+        }
+        if shared.drain_remaining().is_zero() {
+            m_counter("server.drain.forced", 1);
+            shared.state.store(STATE_STOPPED, Ordering::Release);
+            return;
+        }
+        let queued = shared.queued.load(Ordering::Acquire);
+        let active = shared.active.load(Ordering::Acquire);
+        if queued <= 0 && active <= 0 {
+            m_counter("server.drain.completed", 1);
+            shared.state.store(STATE_STOPPED, Ordering::Release);
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => refuse_draining(shared, stream),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
 }

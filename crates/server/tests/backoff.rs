@@ -1,0 +1,127 @@
+//! Property tests for the [`RetryPolicy`] backoff schedule.
+//!
+//! The three contractual properties (doc'd on `RetryPolicy` and relied
+//! on by the chaos harness): the schedule is monotone non-decreasing,
+//! jitter-bounded (never more than `(1 + jitter) ×` the capped
+//! exponential term), and never authorises a sleep that would cross
+//! the request deadline — whatever the policy parameters and whatever
+//! the jitter draws.
+
+use proptest::prelude::*;
+use scc_server::RetryPolicy;
+use std::time::Duration;
+
+/// Replays a whole retry schedule: walks attempts 1.. with the given
+/// unit-jitter draws, accumulating `spent` as a real retry loop would
+/// (each authorised backoff is slept in full), and returns every
+/// backoff the policy authorised.
+fn schedule(policy: &RetryPolicy, units: &[f64]) -> Vec<Duration> {
+    let mut out = Vec::new();
+    let mut prev = Duration::ZERO;
+    let mut spent = Duration::ZERO;
+    for (i, &unit) in units.iter().enumerate() {
+        let attempt = i as u32 + 1;
+        match policy.next_backoff(attempt, prev, spent, unit) {
+            None => break,
+            Some(b) => {
+                spent += b;
+                prev = b;
+                out.push(b);
+            }
+        }
+    }
+    out
+}
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..24, 0u64..2_000, 0u64..5_000, 0u32..=1_000, 1u64..120_000).prop_map(
+        |(max_attempts, base_ms, max_ms, jitter_milli, deadline_ms)| RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(max_ms),
+            jitter: jitter_milli as f64 / 1_000.0,
+            deadline: Duration::from_millis(deadline_ms),
+        },
+    )
+}
+
+fn units_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..=1_000).prop_map(|u| u as f64 / 1_000.0), 0..32)
+}
+
+proptest! {
+    /// Each authorised backoff is at least the previous one.
+    #[test]
+    fn backoff_is_monotone_non_decreasing(policy in policy_strategy(), units in units_strategy()) {
+        let s = schedule(&policy, &units);
+        for w in s.windows(2) {
+            prop_assert!(w[1] >= w[0], "schedule decreased: {:?}", s);
+        }
+    }
+
+    /// No backoff exceeds the jitter-stretched cap, and the count
+    /// never exceeds the attempt budget (first attempt included).
+    #[test]
+    fn backoff_is_jitter_bounded_and_budgeted(policy in policy_strategy(), units in units_strategy()) {
+        let s = schedule(&policy, &units);
+        let cap = policy.max_backoff.mul_f64(1.0 + policy.jitter);
+        for &b in &s {
+            prop_assert!(b <= cap, "backoff {b:?} above cap {cap:?}");
+        }
+        // max_attempts total tries means at most max_attempts - 1
+        // inter-attempt backoffs.
+        prop_assert!(s.len() < policy.max_attempts as usize || policy.max_attempts == 0);
+    }
+
+    /// The cumulative schedule always fits strictly inside the
+    /// deadline — a retry loop sleeping every authorised backoff can
+    /// never be *sent to sleep* past the request deadline.
+    #[test]
+    fn backoff_never_exceeds_the_deadline(policy in policy_strategy(), units in units_strategy()) {
+        let s = schedule(&policy, &units);
+        let total: Duration = s.iter().sum();
+        prop_assert!(
+            total < policy.deadline,
+            "slept {total:?} of a {:?} deadline",
+            policy.deadline
+        );
+    }
+
+    /// Zero jitter reproduces the pure clamped exponential:
+    /// min(base·2^(n-1), max_backoff), monotone by clamping alone.
+    #[test]
+    fn zero_jitter_is_the_pure_exponential(base_ms in 1u64..100, max_ms in 1u64..1_000) {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(max_ms),
+            jitter: 0.0,
+            deadline: Duration::from_secs(1_000_000),
+        };
+        let units = vec![1.0; 9];
+        let s = schedule(&policy, &units);
+        prop_assert_eq!(s.len(), 9);
+        let mut prev = Duration::ZERO;
+        for (i, &b) in s.iter().enumerate() {
+            let raw = Duration::from_millis(base_ms)
+                .saturating_mul(1u32 << i.min(20))
+                .min(Duration::from_millis(max_ms));
+            prop_assert_eq!(b, raw.max(prev), "attempt {}", i + 1);
+            prev = b;
+        }
+    }
+
+    /// Exhaustion is total: past the attempt budget or with no room
+    /// left before the deadline, the policy always answers `None`.
+    #[test]
+    fn exhaustion_is_definitive(policy in policy_strategy(), unit in (0u32..=1_000).prop_map(|u| u as f64 / 1_000.0)) {
+        // Attempt budget spent.
+        prop_assert!(policy
+            .next_backoff(policy.max_attempts, Duration::ZERO, Duration::ZERO, unit)
+            .is_none());
+        // Deadline already reached.
+        prop_assert!(policy
+            .next_backoff(1, Duration::ZERO, policy.deadline, unit)
+            .is_none());
+    }
+}

@@ -69,8 +69,15 @@ fn loadgen_closed_loop_with_corruption_probes() {
     const ROWS: usize = 16_384;
     let (server, addr) = start_demo_server(ROWS, ServerConfig::default());
     let replica = demo_table(ROWS);
-    let cfg =
-        LoadgenConfig { addr, requests: 120, threads: 3, scan_threads: 2, corrupt: true, seed: 42 };
+    let cfg = LoadgenConfig {
+        addr,
+        requests: 120,
+        threads: 3,
+        scan_threads: 2,
+        corrupt: true,
+        seed: 42,
+        ..LoadgenConfig::default()
+    };
     let report = run_loadgen(&cfg, &replica).expect("loadgen");
     assert_eq!(report.requests, 120);
     assert_eq!(report.ok, 120, "all requests verify: {}", report.summary());
@@ -256,7 +263,7 @@ fn protocol_shutdown_stops_the_server_cleanly() {
     let (server, addr) = start_demo_server(1024, ServerConfig::default());
     let mut client = Client::connect(&addr).expect("connect");
     client.segment_range("demo", "key", 0, 8, false).expect("serve before shutdown");
-    client.shutdown_server().expect("ack");
+    client.shutdown_server(false).expect("ack");
     drop(client);
     // wait() joins the acceptor and every worker; returning at all is
     // the assertion (the harness would time the test out otherwise).

@@ -58,8 +58,8 @@ fn main() {
         println!("  {name} = {value:?}");
     }
 
-    // --- Protocol-level shutdown ---
-    client.shutdown_server().expect("ack");
+    // --- Protocol-level shutdown (graceful drain) ---
+    client.shutdown_server(false).expect("ack");
     drop(client);
     server.wait();
     println!("server shut down cleanly");

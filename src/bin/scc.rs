@@ -8,8 +8,11 @@
 //! scc verify     <in.scc>
 //! scc explain    [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]
 //! scc serve      [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D]
+//!                [--drain-ms D] [--write-timeout-ms W]
 //! scc loadgen    [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt]
-//!                [--stats-json <out.json>] [--report-json <out.json>] [--shutdown]
+//!                [--chaos] [--chaos-seed S] [--retry-attempts N] [--retry-deadline-ms D]
+//!                [--stats-json <out.json>] [--client-metrics-json <out.json>]
+//!                [--report-json <out.json>] [--shutdown] [--force]
 //! ```
 //!
 //! File format: `SCCF` magic, a type tag, a segment count, then
@@ -46,9 +49,12 @@ fn die(msg: &str) -> ExitCode {
          [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
          <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  scc explain    \
          [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]\n  scc serve      \
-         [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D]\n  scc loadgen    \
-         [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt] [--stats-json J] \
-         [--report-json J] [--shutdown]\n  (T = u32|i32|u64|i64, default u32)"
+         [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D] [--drain-ms D] \
+         [--write-timeout-ms W]\n  scc loadgen    \
+         [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt] [--chaos] \
+         [--chaos-seed S] [--retry-attempts N] [--retry-deadline-ms D] \
+         [--stats-json J] [--client-metrics-json J] \
+         [--report-json J] [--shutdown] [--force]\n  (T = u32|i32|u64|i64, default u32)"
     );
     ExitCode::FAILURE
 }
@@ -378,6 +384,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--rows" => rows = p.parse(flag)?,
             "--queue-depth" => config.queue_depth = p.parse(flag)?,
             "--deadline-ms" => config.deadline = std::time::Duration::from_millis(p.parse(flag)?),
+            "--drain-ms" => {
+                config.drain_deadline = std::time::Duration::from_millis(p.parse(flag)?)
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout = std::time::Duration::from_millis(p.parse(flag)?)
+            }
             "--max-scan-threads" => config.max_scan_threads = p.parse(flag)?,
             other => return Err(format!("unknown serve option {other}")),
         }
@@ -421,8 +433,12 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let mut cfg = scc::server::LoadgenConfig::default();
     let mut rows = 50_000usize;
     let mut stats_json: Option<String> = None;
+    let mut client_metrics_json: Option<String> = None;
     let mut report_json: Option<String> = None;
     let mut shutdown = false;
+    let mut force = false;
+    let mut chaos = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut p = OptParser::new(args);
     while let Some(flag) = p.next_flag() {
         match flag {
@@ -433,11 +449,29 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             "--rows" => rows = p.parse(flag)?,
             "--seed" => cfg.seed = p.parse(flag)?,
             "--corrupt" => cfg.corrupt = true,
+            "--chaos" => chaos = true,
+            "--chaos-seed" => chaos_seed = Some(p.parse(flag)?),
+            "--retry-attempts" => cfg.retry.max_attempts = p.parse(flag)?,
+            "--retry-deadline-ms" => {
+                cfg.retry.deadline = std::time::Duration::from_millis(p.parse(flag)?)
+            }
             "--stats-json" => stats_json = Some(p.value(flag)?.to_string()),
+            "--client-metrics-json" => client_metrics_json = Some(p.value(flag)?.to_string()),
             "--report-json" => report_json = Some(p.value(flag)?.to_string()),
             "--shutdown" => shutdown = true,
+            "--force" => force = true,
             other => return Err(format!("unknown loadgen option {other}")),
         }
+    }
+    if chaos {
+        // The composite plan: every fault type at once, deterministic
+        // in the seed, with requests riding the default retry policy.
+        cfg.chaos = Some(scc::server::ChaosPlan::composite(chaos_seed.unwrap_or(cfg.seed)));
+    } else if chaos_seed.is_some() {
+        return Err("--chaos-seed needs --chaos".into());
+    }
+    if force && !shutdown {
+        return Err("--force needs --shutdown".into());
     }
     if rows == 0 || cfg.threads == 0 {
         return Err("--rows and --threads must be positive".into());
@@ -457,11 +491,21 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         fs::write(&path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
         println!("server metrics written to {path}");
     }
+    if let Some(path) = client_metrics_json {
+        // The loadgen process's own registry: client.retries,
+        // client.backoff_ms and friends live here, not on the server.
+        let json = scc::obs::export::to_json(scc::obs::global()).pretty();
+        fs::write(&path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("client metrics written to {path}");
+    }
     if shutdown {
         let mut client = scc::server::Client::connect(&cfg.addr)
             .map_err(|e| format!("connecting for shutdown: {e}"))?;
-        client.shutdown_server().map_err(|e| e.to_string())?;
-        println!("server acknowledged shutdown");
+        client.shutdown_server(force).map_err(|e| e.to_string())?;
+        println!(
+            "server acknowledged shutdown ({})",
+            if force { "forced" } else { "graceful drain" }
+        );
     }
     if report.errors > 0 || report.verify_failures > 0 {
         return Err(format!(
