@@ -11,6 +11,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use scc_bench::data::with_exception_rate;
 use scc_core::pfor;
+use scc_obs::trace::{self, TraceConfig};
+use std::time::Instant;
 
 const B: u32 = 8;
 const N: usize = 1 << 20;
@@ -40,5 +42,52 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overhead);
+/// Tracing overhead on the same hot loop, shaped like one server
+/// request: a sampled root, an execute span, the decode, a closed
+/// per-segment span, and a write span — the taxonomy the server emits
+/// per request (docs/OBSERVABILITY.md). Measured at 0%, 1% (the
+/// `scc serve` default, target < 3% over collection-off), and 100%
+/// head sampling; slow-capture stays off so unsampled requests take
+/// the inert-guard path, as in production.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let values = with_exception_rate(N, 0.05, B, 0x0B5);
+    let seg = pfor::compress(&values, 0, B);
+    let mut out: Vec<u64> = Vec::with_capacity(N);
+    let traced_request = |out: &mut Vec<u64>| {
+        let troot = trace::start_root("server.request");
+        troot.set_tag("kind", "scan");
+        {
+            let _ex = trace::span("server.execute");
+            let entered = Instant::now();
+            out.clear();
+            seg.decompress_into(out);
+            trace::record_closed(
+                "scan.segment",
+                entered,
+                &[("segment", 0), ("values", out.len() as u64)],
+                Some(("kernel", "bench")),
+            );
+        }
+        let _w = trace::span("server.write");
+    };
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+    group.sample_size(30);
+    trace::set_collect(false);
+    group.bench_function("pfor_decode_tracing_off", |b| {
+        b.iter(|| traced_request(black_box(&mut out)))
+    });
+    for (label, rate) in [("sampled_0pct", 0.0), ("sampled_1pct", 0.01), ("sampled_100pct", 1.0)] {
+        trace::set_collect(true);
+        trace::configure(TraceConfig { sample_rate: rate, slow_ns: 0 });
+        group.bench_function(format!("pfor_decode_tracing_{label}"), |b| {
+            b.iter(|| traced_request(black_box(&mut out)))
+        });
+        trace::set_collect(false);
+        trace::drain();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead, bench_trace_overhead);
 criterion_main!(benches);

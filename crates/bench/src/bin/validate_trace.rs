@@ -1,0 +1,189 @@
+//! Validates a Chrome trace-event JSON file produced by
+//! `scc serve --trace-out` / `scc loadgen --trace-json` (the
+//! `scc_obs::trace` exporter). Exit 0 = valid; nonzero with one line
+//! per violation otherwise. The CI trace-smoke job runs this over both
+//! sides of a chaos loadgen run, so a malformed or disconnected trace
+//! fails the build before it fails a human in Perfetto.
+//!
+//! Checks, per `docs/OBSERVABILITY.md` "Tracing":
+//!
+//! * the document is `{"traceEvents": [...], ...}` and every event is
+//!   a complete-duration event (`ph == "X"`) with `name`, `ts`, `dur`,
+//!   `pid`, `tid` and hex `trace_id`/`span_id`/`parent_id` args;
+//! * timestamps are monotone non-decreasing in file order (the
+//!   exporter sorts; an unsorted file breaks Perfetto's flow);
+//! * within each trace, every span's parent resolves to another span
+//!   of the same trace — except roots (`parent_id == 0x0`) and spans
+//!   whose parent lives in another process's file, which must be
+//!   marked `remote_parent` — i.e. **no orphans**;
+//! * `span_id`s are unique within their trace.
+//!
+//! Usage: `validate_trace <trace.json> [--require <span-name>]...
+//! [--min-spans N]`
+//!
+//! `--require` asserts at least one span with that name is present
+//! (e.g. `server.request`, `scan.segment`); `--min-spans` guards
+//! against a silently-empty capture.
+
+use scc_obs::json::{parse, Json};
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut min_spans = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => die("--require needs a span name"),
+                }
+            }
+            "--min-spans" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => min_spans = n,
+                    None => die("--min-spans needs a count"),
+                }
+            }
+            a if path.is_none() => path = Some(a.to_string()),
+            a => die(&format!("unexpected argument {a:?}")),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        die("usage: validate_trace <trace.json> [--require <span-name>]... [--min-spans N]");
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => die(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    let mut errors: Vec<String> = Vec::new();
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        die(&format!("{path}: no traceEvents array"));
+    };
+
+    // Pass 1: per-event shape, monotone timestamps, span table.
+    let mut last_ts = f64::NEG_INFINITY;
+    // (trace_id -> set of span_ids) and the parent edges to resolve.
+    let mut spans_by_trace: HashMap<u64, HashSet<u64>> = HashMap::new();
+    // (event index, name, trace, span, parent, remote_parent)
+    let mut edges: Vec<(usize, String, u64, u64, u64, bool)> = Vec::new();
+    let mut names_seen: HashSet<String> = HashSet::new();
+    for (idx, ev) in events.iter().enumerate() {
+        let name = match ev.get("name").and_then(Json::as_str) {
+            Some(n) if !n.is_empty() => n.to_string(),
+            _ => {
+                errors.push(format!("event {idx}: missing or empty name"));
+                continue;
+            }
+        };
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            errors.push(format!("event {idx} ({name}): ph is not \"X\""));
+        }
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Json::as_u64).is_none() {
+                errors.push(format!("event {idx} ({name}): missing {key}"));
+            }
+        }
+        let ts = ev.get("ts").and_then(Json::as_f64);
+        let dur = ev.get("dur").and_then(Json::as_f64);
+        match (ts, dur) {
+            (Some(ts), Some(dur)) => {
+                if ts < 0.0 || dur < 0.0 {
+                    errors.push(format!("event {idx} ({name}): negative ts or dur"));
+                }
+                if ts < last_ts {
+                    errors.push(format!(
+                        "event {idx} ({name}): ts {ts} decreases from {last_ts} — not sorted"
+                    ));
+                }
+                last_ts = ts.max(last_ts);
+            }
+            _ => errors.push(format!("event {idx} ({name}): ts/dur missing or non-numeric")),
+        }
+        let Some(args_obj) = ev.get("args") else {
+            errors.push(format!("event {idx} ({name}): missing args"));
+            continue;
+        };
+        let id = |key: &str| -> Option<u64> {
+            let s = args_obj.get(key)?.as_str()?;
+            u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+        };
+        let (Some(trace), Some(span), Some(parent)) =
+            (id("trace_id"), id("span_id"), id("parent_id"))
+        else {
+            errors.push(format!(
+                "event {idx} ({name}): trace_id/span_id/parent_id absent or not 0x-hex"
+            ));
+            continue;
+        };
+        if span == 0 {
+            errors.push(format!("event {idx} ({name}): span_id is zero"));
+        }
+        let remote = args_obj.get("remote_parent").and_then(Json::as_u64) == Some(1);
+        if !spans_by_trace.entry(trace).or_default().insert(span) {
+            errors.push(format!("event {idx} ({name}): duplicate span_id 0x{span:016x}"));
+        }
+        names_seen.insert(name.clone());
+        edges.push((idx, name, trace, span, parent, remote));
+    }
+
+    // Pass 2: parenting. A span is legitimate iff it is a root
+    // (parent 0), its parent exists in the same trace in this file, or
+    // its parent is explicitly remote (lives in the peer's file).
+    let mut orphans = 0usize;
+    for (idx, name, trace, _span, parent, remote) in &edges {
+        if *parent == 0 || *remote {
+            continue;
+        }
+        if !spans_by_trace[trace].contains(parent) {
+            orphans += 1;
+            errors.push(format!(
+                "event {idx} ({name}): orphan — parent 0x{parent:016x} not in trace \
+                 0x{trace:016x} and not marked remote_parent"
+            ));
+        }
+    }
+
+    if events.len() < min_spans {
+        errors.push(format!("only {} span(s), --min-spans {min_spans}", events.len()));
+    }
+    for name in &required {
+        if !names_seen.contains(name) {
+            errors.push(format!("required span {name:?} is missing"));
+        }
+    }
+
+    if errors.is_empty() {
+        println!(
+            "{path}: valid trace ({} span(s), {} trace(s), 0 orphans)",
+            events.len(),
+            spans_by_trace.len()
+        );
+    } else {
+        for e in errors.iter().take(50) {
+            eprintln!("{path}: {e}");
+        }
+        if errors.len() > 50 {
+            eprintln!("{path}: ... and {} more", errors.len() - 50);
+        }
+        let _ = orphans;
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("validate_trace: {msg}");
+    std::process::exit(2);
+}

@@ -24,6 +24,23 @@
 //! `[2^(i-1), 2^i)`). Consumers must ignore unknown top-level keys so
 //! the schema can grow additively; any breaking change bumps
 //! [`SCHEMA_VERSION`].
+//!
+//! Registries holding sliding-window histograms additionally export a
+//! `windows` section (one snapshot per window at export time):
+//!
+//! ```json
+//! "windows": {
+//!   "<name>": {
+//!     "window_s": <number>, "count": <u64>,
+//!     "p50": <u64>|null, "p95": <u64>|null, "p99": <u64>|null,
+//!     "mean": <number>|null, "rate_per_s": <number>
+//!   }, ...
+//! }
+//! ```
+//!
+//! The section is additive within schema version 1: absent when no
+//! windowed metric is registered, and pre-existing consumers ignore
+//! it.
 
 use crate::json::Json;
 use crate::{Metric, Registry};
@@ -36,10 +53,27 @@ pub fn to_json(registry: &Registry) -> Json {
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
+    let mut windows = Vec::new();
     for (name, metric) in registry.snapshot() {
         match metric {
             Metric::Counter(c) => counters.push((name, Json::U64(c.get()))),
             Metric::Gauge(g) => gauges.push((name, Json::F64(g.get()))),
+            Metric::Window(w) => {
+                let s = w.snapshot();
+                let pct = |q: f64| s.percentile(q).map_or(Json::Null, Json::U64);
+                windows.push((
+                    name,
+                    Json::Obj(vec![
+                        ("window_s".into(), Json::F64(s.window().as_secs_f64())),
+                        ("count".into(), Json::U64(s.count())),
+                        ("p50".into(), pct(0.5)),
+                        ("p95".into(), pct(0.95)),
+                        ("p99".into(), pct(0.99)),
+                        ("mean".into(), s.mean().map_or(Json::Null, Json::F64)),
+                        ("rate_per_s".into(), Json::F64(s.rate_per_sec())),
+                    ]),
+                ));
+            }
             Metric::Histogram(h) => {
                 let buckets = h
                     .nonzero_buckets()
@@ -60,13 +94,17 @@ pub fn to_json(registry: &Registry) -> Json {
             }
         }
     }
-    Json::Obj(vec![
+    let mut doc = vec![
         ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
         ("generator".into(), Json::Str("scc-obs".into())),
         ("counters".into(), Json::Obj(counters)),
         ("gauges".into(), Json::Obj(gauges)),
         ("histograms".into(), Json::Obj(histograms)),
-    ])
+    ];
+    if !windows.is_empty() {
+        doc.push(("windows".into(), Json::Obj(windows)));
+    }
+    Json::Obj(doc)
 }
 
 /// Serializes [`to_json`] of `registry` to `path` (pretty-printed).
@@ -154,6 +192,37 @@ pub fn validate(doc: &Json) -> Vec<String> {
             }
         }
     }
+
+    // `windows` is optional (additive); when present, check its shape.
+    if let Some(windows) = doc.get("windows") {
+        match windows.as_obj() {
+            None => fail("windows present but not an object".into()),
+            Some(pairs) => {
+                for (name, w) in pairs {
+                    if w.get("count").and_then(Json::as_u64).is_none() {
+                        fail(format!("window {name:?}: count missing or not a u64"));
+                    }
+                    for key in ["window_s", "rate_per_s"] {
+                        match w.get(key) {
+                            Some(v) if v.as_f64().is_some() => {}
+                            _ => fail(format!("window {name:?}: {key} missing or not a number")),
+                        }
+                    }
+                    for key in ["p50", "p95", "p99"] {
+                        match w.get(key) {
+                            Some(Json::Null) | Some(Json::U64(_)) => {}
+                            _ => fail(format!("window {name:?}: {key} must be u64 or null")),
+                        }
+                    }
+                    match w.get("mean") {
+                        Some(Json::Null) => {}
+                        Some(v) if v.as_f64().is_some() => {}
+                        _ => fail(format!("window {name:?}: mean must be a number or null")),
+                    }
+                }
+            }
+        }
+    }
     errors
 }
 
@@ -210,6 +279,33 @@ mod tests {
             })
             .collect();
         assert_eq!(pairs, vec![(0, 1), (1, 1), (3, 2), (20, 1)]);
+    }
+
+    #[test]
+    fn windows_section_exports_and_validates() {
+        let r = sample_registry();
+        // No windowed metric registered: the section stays absent.
+        assert!(to_json(&r).get("windows").is_none());
+        let w = r.windowed("d.win_ns");
+        for v in [100u64, 200, 400] {
+            w.record(v);
+        }
+        let doc = to_json(&r);
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+        let win = doc.get("windows").unwrap().get("d.win_ns").unwrap();
+        assert_eq!(win.get("count").and_then(Json::as_u64), Some(3));
+        assert!(win.get("p50").and_then(Json::as_u64).is_some());
+        assert_eq!(win.get("window_s").and_then(Json::as_f64), Some(10.0));
+        let text = doc.pretty();
+        let reparsed = parse(&text).unwrap();
+        assert!(validate(&reparsed).is_empty());
+
+        // Malformed windows are flagged.
+        let bad = parse(r#"{"windows": {"w": {"count": "x", "p50": -1}}}"#).unwrap();
+        let errors = validate(&bad);
+        assert!(errors.iter().any(|e| e.contains("count")));
+        assert!(errors.iter().any(|e| e.contains("p50")));
+        assert!(errors.iter().any(|e| e.contains("window_s")));
     }
 
     #[test]

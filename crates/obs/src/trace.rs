@@ -1,0 +1,847 @@
+//! # Request-lifecycle tracing — spans, sampling, Chrome export
+//!
+//! A zero-dependency span tracer sized for the server's request path:
+//!
+//! * **Trace/span IDs** — 64-bit, process-nonce-mixed so client and
+//!   server processes allocating independently don't collide when a
+//!   trace crosses the wire.
+//! * **RAII guards** — [`start_root`] / [`span`] return guards that
+//!   time the region and parent children on the enclosing span via a
+//!   thread-local stack; [`record_closed`] emits an already-finished
+//!   span (used where a region's lifetime doesn't nest cleanly in a
+//!   scope, e.g. per-segment scan spans that straddle operator calls).
+//! * **Per-thread collectors** — a span is recorded by pushing onto a
+//!   bounded thread-local buffer: no locks, no atomics, no sharing on
+//!   the record path. The global bounded ring ([`STORE`]) is touched
+//!   once per *trace*, at commit.
+//! * **Head sampling + always-sample-on-slow** — the keep/drop decision
+//!   is drawn once at the root ([`TraceConfig::sample_rate`]); unsampled
+//!   traces still buffer locally when [`TraceConfig::slow_ns`] is set,
+//!   and commit anyway if the root exceeds the threshold — so the p999
+//!   outlier is always in the trace file even at 1% sampling. The
+//!   threshold comes from the request deadline (server: half the
+//!   configured deadline).
+//! * **Wire propagation** — [`current_ctx`] exposes a 16-byte
+//!   [`TraceCtx`] (trace id + parent span id) for the binary protocol;
+//!   [`start_remote_root`] adopts it on the server so one trace spans
+//!   client attempt → server phases. Contexts are only propagated for
+//!   head-sampled traces: a slow-only trace commits client-side spans,
+//!   but does not force remote recording (keeping remote overhead
+//!   proportional to the sample rate).
+//!
+//! Everything is inert until [`set_collect`]`(true)` — one relaxed
+//! atomic load guards every entry point, mirroring the metrics
+//! registry's [`enabled()`](crate::enabled) gate.
+//!
+//! ## Export
+//!
+//! [`write_chrome_file`] drains the ring into Chrome trace-event JSON
+//! (`{"traceEvents": [...]}`, `ph: "X"` complete events, ts/dur in
+//! microseconds) — loadable in Perfetto / `chrome://tracing`. Span
+//! args carry `trace_id`/`span_id`/`parent_id` as hex strings plus
+//! numeric attributes, so tooling (and the `validate_trace` bin) can
+//! rebuild the tree.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Wire size of a [`TraceCtx`]: two little-endian `u64`s.
+pub const CTX_WIRE_BYTES: usize = 16;
+
+/// Maximum numeric attributes per span.
+pub const MAX_ATTRS: usize = 4;
+
+/// Maximum spans buffered per in-flight trace; extras are dropped and
+/// counted in [`Stats::pending_overflow`].
+pub const MAX_SPANS_PER_TRACE: usize = 4096;
+
+/// Maximum spans held in the committed ring; the oldest are evicted
+/// and counted in [`Stats::ring_evicted`].
+pub const STORE_CAPACITY: usize = 1 << 16;
+
+/// The 16-byte trace context propagated through the binary protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace the remote work belongs to.
+    pub trace_id: u64,
+    /// Span on the initiating side that remote root spans parent on.
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// Serializes to the wire layout: `[u64 LE trace_id][u64 LE parent_span]`.
+    pub fn to_wire(self) -> [u8; CTX_WIRE_BYTES] {
+        let mut b = [0u8; CTX_WIRE_BYTES];
+        b[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        b[8..].copy_from_slice(&self.parent_span.to_le_bytes());
+        b
+    }
+
+    /// Parses the wire layout.
+    pub fn from_wire(b: &[u8; CTX_WIRE_BYTES]) -> Self {
+        Self {
+            trace_id: u64::from_le_bytes(b[..8].try_into().unwrap()),
+            parent_span: u64::from_le_bytes(b[8..].try_into().unwrap()),
+        }
+    }
+}
+
+/// One recorded span. `start_ns` is relative to the process trace
+/// epoch (first tracer use), `parent_id == 0` means root.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (never 0).
+    pub span_id: u64,
+    /// Parent span id; 0 for a root.
+    pub parent_id: u64,
+    /// Whether `parent_id` lives in another process (came off the wire).
+    pub remote_parent: bool,
+    /// Span name (static taxonomy, e.g. `"server.execute"`).
+    pub name: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-thread id (Chrome `tid`).
+    pub tid: u32,
+    /// Numeric attributes (`attrs[..n_attrs]` are live).
+    pub attrs: [(&'static str, u64); MAX_ATTRS],
+    /// Live prefix of `attrs`.
+    pub n_attrs: u8,
+    /// Optional string attribute (e.g. kernel class).
+    pub tag: Option<(&'static str, &'static str)>,
+}
+
+impl Span {
+    fn push_attr(&mut self, name: &'static str, value: u64) {
+        let n = self.n_attrs as usize;
+        if n < MAX_ATTRS {
+            self.attrs[n] = (name, value);
+            self.n_attrs += 1;
+        }
+    }
+}
+
+/// Tracer configuration; see [`configure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Head-sampling probability in `[0, 1]` drawn once per root.
+    pub sample_rate: f64,
+    /// Commit an unsampled trace anyway when the root runs at least
+    /// this long; `0` disables slow-capture.
+    pub slow_ns: u64,
+}
+
+static SAMPLE_RATE_BITS: AtomicU64 = AtomicU64::new(0);
+static SLOW_NS: AtomicU64 = AtomicU64::new(0);
+static COLLECT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the sampling configuration (process-wide).
+pub fn configure(cfg: TraceConfig) {
+    SAMPLE_RATE_BITS.store(cfg.sample_rate.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    SLOW_NS.store(cfg.slow_ns, Ordering::Relaxed);
+}
+
+/// Current sampling configuration.
+pub fn config() -> TraceConfig {
+    TraceConfig {
+        sample_rate: f64::from_bits(SAMPLE_RATE_BITS.load(Ordering::Relaxed)),
+        slow_ns: SLOW_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Master switch: when off (the default) every tracing entry point is
+/// a single relaxed load and no state is touched.
+pub fn set_collect(on: bool) {
+    COLLECT.store(on, Ordering::Relaxed);
+}
+
+/// Whether span collection is on.
+#[inline]
+pub fn collecting() -> bool {
+    COLLECT.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the process trace epoch (anchored at first use).
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    crate::elapsed_ns(*EPOCH.get_or_init(Instant::now))
+}
+
+/// Instant → epoch-relative ns, saturating at 0 for pre-epoch instants.
+fn instant_ns(at: Instant) -> u64 {
+    now_ns().saturating_sub(crate::elapsed_ns(at))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Process-unique non-zero id: a counter mixed with a boot nonce, so
+/// independent processes joining one trace are unlikely to collide.
+fn next_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    let nonce = *NONCE.get_or_init(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xD1F_F00D);
+        splitmix64(t ^ (std::process::id() as u64) << 32)
+    });
+    splitmix64(nonce ^ COUNTER.fetch_add(1, Ordering::Relaxed)) | 1
+}
+
+fn thread_tid() -> u32 {
+    static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// When an in-flight trace commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommitRule {
+    /// Head-sampled (or adopted from the wire): always commit.
+    Always,
+    /// Unsampled: commit only if the root outlives `slow_ns`.
+    IfSlow,
+}
+
+/// The thread's in-flight trace: pending spans plus the open-guard
+/// stack used for parenting. Purely thread-local — the record path
+/// takes no locks.
+struct ActiveTrace {
+    trace_id: u64,
+    rule: CommitRule,
+    /// Parent stack; seeded with the remote parent for adopted scopes.
+    stack: Vec<u64>,
+    spans: Vec<Span>,
+    overflow: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Counters describing the tracer's own behaviour; see [`stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Traces committed to the ring.
+    pub committed: u64,
+    /// Traces discarded (unsampled, not slow).
+    pub discarded: u64,
+    /// Spans dropped because a trace exceeded [`MAX_SPANS_PER_TRACE`].
+    pub pending_overflow: u64,
+    /// Committed spans evicted because the ring exceeded [`STORE_CAPACITY`].
+    pub ring_evicted: u64,
+}
+
+struct Store {
+    spans: VecDeque<Span>,
+    stats: Stats,
+}
+
+static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+
+fn store() -> &'static Mutex<Store> {
+    STORE.get_or_init(|| Mutex::new(Store { spans: VecDeque::new(), stats: Stats::default() }))
+}
+
+/// Tracer self-stats (committed/discarded traces, overflow drops).
+pub fn stats() -> Stats {
+    store().lock().unwrap().stats
+}
+
+fn commit_pending(trace: ActiveTrace, slow_enough: bool) {
+    let keep = trace.rule == CommitRule::Always || slow_enough;
+    let mut s = store().lock().unwrap();
+    s.stats.pending_overflow += trace.overflow;
+    if !keep {
+        s.stats.discarded += 1;
+        return;
+    }
+    s.stats.committed += 1;
+    for span in trace.spans {
+        if s.spans.len() >= STORE_CAPACITY {
+            s.spans.pop_front();
+            s.stats.ring_evicted += 1;
+        }
+        s.spans.push_back(span);
+    }
+}
+
+/// RAII guard for a whole trace (returned by [`start_root`],
+/// [`start_remote_root`] and [`adopt_scope`]). Dropping it finalizes
+/// the root span (if any), applies the sampling decision, and either
+/// commits the buffered spans to the global ring or discards them.
+#[must_use = "dropping a TraceGuard immediately ends the trace"]
+#[derive(Debug)]
+pub struct TraceGuard {
+    /// Index of the root span in the pending buffer, if this guard
+    /// opened one (adopted scopes don't).
+    root_idx: Option<usize>,
+    started: Instant,
+    armed: bool,
+}
+
+impl TraceGuard {
+    fn inert() -> Self {
+        Self { root_idx: None, started: Instant::now(), armed: false }
+    }
+
+    /// Whether this guard actually opened a trace (collection on and
+    /// the trace is being buffered).
+    pub fn is_active(&self) -> bool {
+        self.armed
+    }
+
+    /// Adds a numeric attribute to the root span.
+    pub fn add_attr(&self, name: &'static str, value: u64) {
+        if let (true, Some(idx)) = (self.armed, self.root_idx) {
+            ACTIVE.with(|a| {
+                if let Some(t) = a.borrow_mut().as_mut() {
+                    t.spans[idx].push_attr(name, value);
+                }
+            });
+        }
+    }
+
+    /// Sets the root span's string attribute (last write wins).
+    pub fn set_tag(&self, key: &'static str, value: &'static str) {
+        if let (true, Some(idx)) = (self.armed, self.root_idx) {
+            ACTIVE.with(|a| {
+                if let Some(t) = a.borrow_mut().as_mut() {
+                    t.spans[idx].tag = Some((key, value));
+                }
+            });
+        }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let elapsed = crate::elapsed_ns(self.started);
+        let trace = ACTIVE.with(|a| a.borrow_mut().take());
+        let Some(mut trace) = trace else { return };
+        if let Some(idx) = self.root_idx {
+            trace.spans[idx].dur_ns = elapsed;
+        }
+        let slow_ns = SLOW_NS.load(Ordering::Relaxed);
+        commit_pending(trace, slow_ns != 0 && elapsed >= slow_ns);
+    }
+}
+
+/// RAII guard for one span inside an active trace (see [`span`]).
+#[must_use = "dropping a SpanGuard immediately closes the span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    idx: Option<usize>,
+    started: Instant,
+}
+
+impl SpanGuard {
+    fn inert() -> Self {
+        Self { idx: None, started: Instant::now() }
+    }
+
+    /// Adds a numeric attribute to this span.
+    pub fn add_attr(&self, name: &'static str, value: u64) {
+        if let Some(idx) = self.idx {
+            ACTIVE.with(|a| {
+                if let Some(t) = a.borrow_mut().as_mut() {
+                    t.spans[idx].push_attr(name, value);
+                }
+            });
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        let dur = crate::elapsed_ns(self.started);
+        ACTIVE.with(|a| {
+            if let Some(t) = a.borrow_mut().as_mut() {
+                t.spans[idx].dur_ns = dur;
+                // Guards are strict RAII, so this span is the top of
+                // the parent stack.
+                debug_assert_eq!(t.stack.last(), Some(&t.spans[idx].span_id));
+                t.stack.pop();
+            }
+        });
+    }
+}
+
+fn sample_draw() -> bool {
+    let rate = f64::from_bits(SAMPLE_RATE_BITS.load(Ordering::Relaxed));
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    thread_local! {
+        static RNG: RefCell<u64> = RefCell::new(next_id());
+    }
+    let draw = RNG.with(|r| {
+        let mut s = r.borrow_mut();
+        *s = splitmix64(*s);
+        *s
+    });
+    // Top 53 bits → uniform in [0, 1).
+    (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < rate
+}
+
+fn install(trace: ActiveTrace) -> bool {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        if slot.is_some() {
+            // Nested roots aren't part of the taxonomy; keep the outer
+            // trace and make the inner guard inert.
+            false
+        } else {
+            *slot = Some(trace);
+            true
+        }
+    })
+}
+
+fn push_span(trace: &mut ActiveTrace, mut span: Span, open: bool) -> Option<usize> {
+    if trace.spans.len() >= MAX_SPANS_PER_TRACE {
+        trace.overflow += 1;
+        return None;
+    }
+    span.trace_id = trace.trace_id;
+    if open {
+        trace.stack.push(span.span_id);
+    }
+    trace.spans.push(span);
+    Some(trace.spans.len() - 1)
+}
+
+fn blank_span(name: &'static str, parent_id: u64, start_ns: u64) -> Span {
+    Span {
+        trace_id: 0,
+        span_id: next_id(),
+        parent_id,
+        remote_parent: false,
+        name,
+        start_ns,
+        dur_ns: 0,
+        tid: thread_tid(),
+        attrs: [("", 0); MAX_ATTRS],
+        n_attrs: 0,
+        tag: None,
+    }
+}
+
+/// Starts a new locally-rooted trace (client request, or a server
+/// request with no wire context). Draws the head-sampling decision;
+/// unsampled traces still buffer if slow-capture is configured.
+/// Returns an inert guard when collection is off, when the draw says
+/// no and slow-capture is disabled, or when a trace is already active
+/// on this thread.
+pub fn start_root(name: &'static str) -> TraceGuard {
+    if !collecting() {
+        return TraceGuard::inert();
+    }
+    let sampled = sample_draw();
+    let slow_ns = SLOW_NS.load(Ordering::Relaxed);
+    if !sampled && slow_ns == 0 {
+        return TraceGuard::inert();
+    }
+    let trace_id = next_id();
+    let mut trace = ActiveTrace {
+        trace_id,
+        rule: if sampled { CommitRule::Always } else { CommitRule::IfSlow },
+        stack: Vec::with_capacity(8),
+        spans: Vec::with_capacity(16),
+        overflow: 0,
+    };
+    let root = blank_span(name, 0, now_ns());
+    let root_idx = push_span(&mut trace, root, true);
+    if install(trace) {
+        TraceGuard { root_idx, started: Instant::now(), armed: true }
+    } else {
+        TraceGuard::inert()
+    }
+}
+
+/// Starts a trace adopted from a wire context: the root span joins
+/// `ctx.trace_id`, parents on `ctx.parent_span` (marked remote), and
+/// always commits — the initiator already made the sampling decision.
+/// `started` backdates the root (e.g. to frame arrival).
+pub fn start_remote_root(name: &'static str, ctx: TraceCtx, started: Instant) -> TraceGuard {
+    if !collecting() {
+        return TraceGuard::inert();
+    }
+    let mut trace = ActiveTrace {
+        trace_id: ctx.trace_id,
+        rule: CommitRule::Always,
+        stack: Vec::with_capacity(8),
+        spans: Vec::with_capacity(16),
+        overflow: 0,
+    };
+    let mut root = blank_span(name, ctx.parent_span, instant_ns(started));
+    root.remote_parent = true;
+    let root_idx = push_span(&mut trace, root, true);
+    if install(trace) {
+        TraceGuard { root_idx, started, armed: true }
+    } else {
+        TraceGuard::inert()
+    }
+}
+
+/// Joins an existing trace from another thread of the *same* process
+/// (e.g. a parallel-scan worker): spans recorded in this scope parent
+/// on `ctx.parent_span` and always commit, but no root span is opened
+/// — the parent thread owns the request span. Commits at guard drop.
+pub fn adopt_scope(ctx: TraceCtx) -> TraceGuard {
+    if !collecting() {
+        return TraceGuard::inert();
+    }
+    let trace = ActiveTrace {
+        trace_id: ctx.trace_id,
+        rule: CommitRule::Always,
+        stack: vec![ctx.parent_span],
+        spans: Vec::new(),
+        overflow: 0,
+    };
+    if install(trace) {
+        TraceGuard { root_idx: None, started: Instant::now(), armed: true }
+    } else {
+        TraceGuard::inert()
+    }
+}
+
+/// Opens a child span of the innermost open span on this thread.
+/// Inert (near-free) when no trace is active.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !collecting() {
+        return SpanGuard::inert();
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(trace) = slot.as_mut() else { return SpanGuard::inert() };
+        let parent = trace.stack.last().copied().unwrap_or(0);
+        let span = blank_span(name, parent, now_ns());
+        match push_span(trace, span, true) {
+            Some(idx) => SpanGuard { idx: Some(idx), started: Instant::now() },
+            None => SpanGuard::inert(),
+        }
+    })
+}
+
+/// Records an already-finished span (started at `started`, ending now)
+/// as a child of the innermost open span. For regions whose lifetime
+/// doesn't nest in a lexical scope — e.g. a scan's per-segment work,
+/// which is closed when the *next* segment begins.
+pub fn record_closed(
+    name: &'static str,
+    started: Instant,
+    attrs: &[(&'static str, u64)],
+    tag: Option<(&'static str, &'static str)>,
+) {
+    if !collecting() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(trace) = slot.as_mut() else { return };
+        let parent = trace.stack.last().copied().unwrap_or(0);
+        let mut span = blank_span(name, parent, instant_ns(started));
+        span.dur_ns = crate::elapsed_ns(started);
+        for &(k, v) in attrs.iter().take(MAX_ATTRS) {
+            span.push_attr(k, v);
+        }
+        span.tag = tag;
+        push_span(trace, span, false);
+    });
+}
+
+/// The context to propagate to remote work started under the current
+/// span: `Some` only when a trace is active *and* head-sampled (slow-
+/// only traces don't force remote recording), with `parent_span` = the
+/// innermost open span.
+pub fn current_ctx() -> Option<TraceCtx> {
+    if !collecting() {
+        return None;
+    }
+    ACTIVE.with(|a| {
+        let slot = a.borrow();
+        let trace = slot.as_ref()?;
+        if trace.rule != CommitRule::Always {
+            return None;
+        }
+        Some(TraceCtx {
+            trace_id: trace.trace_id,
+            parent_span: trace.stack.last().copied().unwrap_or(0),
+        })
+    })
+}
+
+/// Takes every committed span out of the global ring.
+pub fn drain() -> Vec<Span> {
+    store().lock().unwrap().spans.drain(..).collect()
+}
+
+/// Committed spans currently in the ring (without draining).
+pub fn ring_len() -> usize {
+    store().lock().unwrap().spans.len()
+}
+
+fn hex_id(v: u64) -> String {
+    format!("0x{v:016x}")
+}
+
+/// Renders spans as a Chrome trace-event JSON document (Perfetto /
+/// `chrome://tracing` loadable). Events are sorted by start time;
+/// `ts`/`dur` are microseconds with nanosecond fractions.
+pub fn chrome_json(spans: &[Span]) -> Json {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_ns, s.span_id));
+    let pid = std::process::id() as u64;
+    let events: Vec<Json> = sorted
+        .iter()
+        .map(|s| {
+            let mut args = vec![
+                ("trace_id".to_string(), Json::Str(hex_id(s.trace_id))),
+                ("span_id".to_string(), Json::Str(hex_id(s.span_id))),
+                ("parent_id".to_string(), Json::Str(hex_id(s.parent_id))),
+            ];
+            if s.remote_parent {
+                args.push(("remote_parent".to_string(), Json::U64(1)));
+            }
+            for &(k, v) in &s.attrs[..s.n_attrs as usize] {
+                args.push((k.to_string(), Json::U64(v)));
+            }
+            if let Some((k, v)) = s.tag {
+                args.push((k.to_string(), Json::Str(v.to_string())));
+            }
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(s.name.to_string())),
+                ("cat".to_string(), Json::Str("scc".to_string())),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::F64(s.start_ns as f64 / 1e3)),
+                ("dur".to_string(), Json::F64(s.dur_ns as f64 / 1e3)),
+                ("pid".to_string(), Json::U64(pid)),
+                ("tid".to_string(), Json::U64(s.tid as u64)),
+                ("args".to_string(), Json::Obj(args)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ns".to_string())),
+    ])
+}
+
+/// Drains the ring and writes a Chrome trace-event JSON file. Returns
+/// the number of spans written.
+pub fn write_chrome_file(path: &std::path::Path) -> std::io::Result<usize> {
+    let spans = drain();
+    let doc = chrome_json(&spans);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.pretty().as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(spans.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Tracer state is process-global; tests serialize on this.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        let g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        drain();
+        set_collect(true);
+        configure(TraceConfig { sample_rate: 1.0, slow_ns: 0 });
+        g
+    }
+
+    #[test]
+    fn ctx_wire_roundtrip() {
+        let ctx = TraceCtx { trace_id: 0x0123_4567_89AB_CDEF, parent_span: 42 };
+        assert_eq!(TraceCtx::from_wire(&ctx.to_wire()), ctx);
+        assert_eq!(ctx.to_wire().len(), CTX_WIRE_BYTES);
+    }
+
+    #[test]
+    fn root_and_children_form_a_tree() {
+        let _g = lock();
+        {
+            let root = start_root("test.root");
+            root.add_attr("kind", 7);
+            {
+                let a = span("test.child_a");
+                a.add_attr("n", 1);
+                let _b = span("test.grandchild");
+            }
+            let _c = span("test.child_c");
+        }
+        set_collect(false);
+        let spans = drain();
+        assert_eq!(spans.len(), 4);
+        let root = spans.iter().find(|s| s.name == "test.root").unwrap();
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(root.attrs[0], ("kind", 7));
+        let a = spans.iter().find(|s| s.name == "test.child_a").unwrap();
+        let b = spans.iter().find(|s| s.name == "test.grandchild").unwrap();
+        let c = spans.iter().find(|s| s.name == "test.child_c").unwrap();
+        assert_eq!(a.parent_id, root.span_id);
+        assert_eq!(b.parent_id, a.span_id);
+        assert_eq!(c.parent_id, root.span_id);
+        assert!(spans.iter().all(|s| s.trace_id == root.trace_id));
+        assert!(root.dur_ns >= a.dur_ns);
+    }
+
+    #[test]
+    fn unsampled_traces_discard_unless_slow() {
+        let _g = lock();
+        configure(TraceConfig { sample_rate: 0.0, slow_ns: 0 });
+        {
+            let g = start_root("test.unsampled");
+            assert!(!g.is_active(), "rate 0 + no slow capture = inert");
+        }
+        // Slow-capture on: buffered, but a fast trace still discards.
+        configure(TraceConfig { sample_rate: 0.0, slow_ns: u64::MAX });
+        {
+            let g = start_root("test.fast");
+            assert!(g.is_active());
+            let _c = span("test.fast_child");
+        }
+        assert_eq!(ring_len(), 0, "fast unsampled trace must discard");
+        // A trace slower than the threshold commits despite rate 0.
+        configure(TraceConfig { sample_rate: 0.0, slow_ns: 1 });
+        {
+            let _gd = start_root("test.slow");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        set_collect(false);
+        let spans = drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "test.slow");
+    }
+
+    #[test]
+    fn remote_root_joins_the_wire_trace() {
+        let _g = lock();
+        let ctx = TraceCtx { trace_id: 99, parent_span: 123 };
+        {
+            let _r = start_remote_root("test.server", ctx, Instant::now());
+            let _c = span("test.server_child");
+        }
+        set_collect(false);
+        let spans = drain();
+        let root = spans.iter().find(|s| s.name == "test.server").unwrap();
+        assert_eq!(root.trace_id, 99);
+        assert_eq!(root.parent_id, 123);
+        assert!(root.remote_parent);
+        let child = spans.iter().find(|s| s.name == "test.server_child").unwrap();
+        assert_eq!(child.parent_id, root.span_id);
+        assert_eq!(child.trace_id, 99);
+        assert!(!child.remote_parent);
+    }
+
+    #[test]
+    fn adopt_scope_parents_on_the_given_span() {
+        let _g = lock();
+        let ctx = TraceCtx { trace_id: 7, parent_span: 70 };
+        {
+            let _a = adopt_scope(ctx);
+            record_closed("test.worker_seg", Instant::now(), &[("seg", 3)], Some(("k", "avx2")));
+        }
+        set_collect(false);
+        let spans = drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent_id, 70);
+        assert_eq!(spans[0].trace_id, 7);
+        assert_eq!(spans[0].attrs[0], ("seg", 3));
+        assert_eq!(spans[0].tag, Some(("k", "avx2")));
+    }
+
+    #[test]
+    fn ctx_propagates_only_for_head_sampled_traces() {
+        let _g = lock();
+        assert_eq!(current_ctx(), None, "no active trace");
+        {
+            let _r = start_root("test.sampled");
+            let inner = span("test.inner");
+            let ctx = current_ctx().expect("sampled trace propagates");
+            // Parent must be the innermost open span.
+            drop(inner);
+            let outer_ctx = current_ctx().unwrap();
+            assert_eq!(ctx.trace_id, outer_ctx.trace_id);
+            assert_ne!(ctx.parent_span, outer_ctx.parent_span);
+        }
+        configure(TraceConfig { sample_rate: 0.0, slow_ns: u64::MAX });
+        {
+            let g = start_root("test.slow_only");
+            assert!(g.is_active());
+            assert_eq!(current_ctx(), None, "slow-only traces don't propagate");
+        }
+        set_collect(false);
+        drain();
+    }
+
+    #[test]
+    fn collection_off_is_fully_inert() {
+        let _g = lock();
+        set_collect(false);
+        {
+            let r = start_root("test.off");
+            assert!(!r.is_active());
+            let _c = span("test.off_child");
+            record_closed("test.off_closed", Instant::now(), &[], None);
+        }
+        assert_eq!(ring_len(), 0);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let _g = lock();
+        {
+            let _r = start_root("test.export");
+            let _c = span("test.export_child");
+        }
+        set_collect(false);
+        let spans = drain();
+        let doc = chrome_json(&spans);
+        let text = doc.pretty();
+        let parsed = crate::json::parse(&text).expect("export must reparse");
+        let Json::Obj(top) = parsed else { panic!("top-level object") };
+        let events = top.iter().find(|(k, _)| k == "traceEvents").unwrap();
+        let Json::Arr(events) = &events.1 else { panic!("traceEvents array") };
+        assert_eq!(events.len(), 2);
+        // Sorted by ts, ph=X, args carry the ids.
+        let mut last_ts = f64::MIN;
+        for ev in events {
+            let Json::Obj(fields) = ev else { panic!("event object") };
+            let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+            assert_eq!(get("ph"), Some(Json::Str("X".to_string())));
+            let Some(Json::F64(ts)) = get("ts") else { panic!("ts") };
+            assert!(ts >= last_ts);
+            last_ts = ts;
+            let Some(Json::Obj(args)) = get("args") else { panic!("args") };
+            assert!(args.iter().any(|(k, _)| k == "span_id"));
+        }
+    }
+}

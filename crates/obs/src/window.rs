@@ -1,0 +1,392 @@
+//! # Sliding-window histograms — tail latency over the last N seconds
+//!
+//! A [`WindowedHistogram`] is a rotating ring of *epoch* histograms:
+//! time is cut into fixed epochs (default one second) and each sample
+//! lands in the slot for its epoch. A [`snapshot`](WindowedHistogram::snapshot)
+//! merges the slots covering the last `window_epochs` epochs (including
+//! the current partial one) into a single log₂-bucketed view, so
+//! p50/p95/p99 answer "over the last N seconds", not "since boot" —
+//! the difference between seeing a latency regression live and seeing
+//! it diluted by an hour of healthy history.
+//!
+//! ## Rotation correctness
+//!
+//! Each ring slot is guarded by its own [`Mutex`]; a recorder locks
+//! exactly one slot, reclaims it if it still holds an expired epoch,
+//! and merges its sample — so rotation can never lose or double-count
+//! a sample: the sample is in the slot's totals for exactly one epoch
+//! value, and a snapshot either includes that epoch or it doesn't.
+//! The ring holds `window_epochs + 1` slots, so the slot a new epoch
+//! reclaims always carries an epoch that has already fallen out of
+//! every possible window — reclaiming can't erase live data.
+//!
+//! The per-sample cost is one uncontended mutex (different epochs hit
+//! different slots; within an epoch, recorders contend only with each
+//! other and the rare snapshot). That is deliberate: windowed
+//! histograms instrument *request-level* events (thousands/sec), not
+//! per-value decode loops — the cumulative [`Histogram`](crate::Histogram)
+//! stays lock-free for those.
+//!
+//! Epoch numbering is relative to the histogram's creation instant.
+//! Tests drive rotation deterministically through
+//! [`record_at`](WindowedHistogram::record_at) /
+//! [`snapshot_at`](WindowedHistogram::snapshot_at) without sleeping.
+
+use crate::{bucket_index, percentile_from_buckets, HISTOGRAM_BUCKETS};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default epoch length: 1 second.
+pub const DEFAULT_EPOCH: Duration = Duration::from_secs(1);
+/// Default number of epochs merged into a snapshot: a 10-second window.
+pub const DEFAULT_WINDOW_EPOCHS: usize = 10;
+
+/// One epoch's worth of samples. Plain fields — the owning slot mutex
+/// is the synchronisation.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Which epoch these totals belong to. `u64::MAX` = never used.
+    epoch: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            epoch: u64::MAX,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn clear_for(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.buckets = [0; HISTOGRAM_BUCKETS];
+    }
+
+    fn merge_sample(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+/// A log₂-bucketed histogram over a sliding time window (see the
+/// [module docs](self) for the rotation design).
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    epoch_len: Duration,
+    window_epochs: usize,
+    origin: Instant,
+    slots: Box<[Mutex<Slot>]>,
+}
+
+impl WindowedHistogram {
+    /// A histogram with the default 1-second epoch and 10-epoch window.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_EPOCH, DEFAULT_WINDOW_EPOCHS)
+    }
+
+    /// A histogram with `window_epochs` epochs of `epoch_len` each.
+    /// Panics if either is zero.
+    pub fn with_config(epoch_len: Duration, window_epochs: usize) -> Self {
+        assert!(!epoch_len.is_zero(), "epoch length must be positive");
+        assert!(window_epochs >= 1, "window needs at least one epoch");
+        // +1 slot so reclaiming a slot for the newest epoch always
+        // evicts an epoch strictly older than any window can cover.
+        let slots = (0..window_epochs + 1).map(|_| Mutex::new(Slot::empty())).collect();
+        Self { epoch_len, window_epochs, origin: Instant::now(), slots }
+    }
+
+    /// Epoch length.
+    pub fn epoch_len(&self) -> Duration {
+        self.epoch_len
+    }
+
+    /// Epochs merged into a snapshot.
+    pub fn window_epochs(&self) -> usize {
+        self.window_epochs
+    }
+
+    /// The span of time a snapshot covers.
+    pub fn window(&self) -> Duration {
+        self.epoch_len * self.window_epochs as u32
+    }
+
+    /// The epoch the wall clock is currently in.
+    #[inline]
+    pub fn now_epoch(&self) -> u64 {
+        let elapsed = self.origin.elapsed();
+        (elapsed.as_nanos() / self.epoch_len.as_nanos().max(1)) as u64
+    }
+
+    /// Records one sample into the current epoch.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_at(self.now_epoch(), value);
+    }
+
+    /// Records one sample into epoch `epoch`. Public so tests can force
+    /// rotation deterministically; production code uses [`record`]
+    /// (which stamps the current epoch).
+    ///
+    /// [`record`]: WindowedHistogram::record
+    pub fn record_at(&self, epoch: u64, value: u64) {
+        let mut slot = self.slots[epoch as usize % self.slots.len()].lock().unwrap();
+        if slot.epoch != epoch {
+            // Either a never-used slot or one whose epoch has rotated
+            // out of every reachable window — reclaim it. A laggard
+            // recorder that computed an epoch already evicted lands in
+            // the freshly-claimed epoch instead: time-skewed by one
+            // ring revolution at worst, but counted exactly once.
+            if slot.epoch == u64::MAX || slot.epoch < epoch {
+                slot.clear_for(epoch);
+            }
+            // slot.epoch > epoch: a racing recorder already advanced
+            // this slot; fold the sample into the newer epoch rather
+            // than resurrect the old one.
+        }
+        slot.merge_sample(value);
+    }
+
+    /// Merged view of the last `window_epochs` epochs, current partial
+    /// epoch included.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.now_epoch())
+    }
+
+    /// Merged view of epochs `(at - window_epochs, at]`. Public for
+    /// deterministic tests.
+    pub fn snapshot_at(&self, at: u64) -> WindowSnapshot {
+        let oldest = (at + 1).saturating_sub(self.window_epochs as u64);
+        let mut snap = WindowSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            window: self.window(),
+        };
+        for slot in self.slots.iter() {
+            let slot = slot.lock().unwrap();
+            if slot.epoch == u64::MAX || slot.epoch < oldest || slot.epoch > at {
+                continue;
+            }
+            snap.count += slot.count;
+            snap.sum = snap.sum.saturating_add(slot.sum);
+            snap.min = snap.min.min(slot.min);
+            snap.max = snap.max.max(slot.max);
+            for (acc, b) in snap.buckets.iter_mut().zip(slot.buckets.iter()) {
+                *acc += b;
+            }
+        }
+        snap
+    }
+
+    /// Clears every slot.
+    pub(crate) fn reset(&self) {
+        for slot in self.slots.iter() {
+            *slot.lock().unwrap() = Slot::empty();
+        }
+    }
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A merged, immutable view over one window. Quantiles interpolate
+/// within log₂ buckets exactly like [`Histogram::percentile`]
+/// (see [`crate::Histogram::percentile`]).
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    window: Duration,
+}
+
+impl WindowSnapshot {
+    /// Samples in the window.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples in the window.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if the window is empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if the window is empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` if the window is empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Occupancy of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The span of time this snapshot covers.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Samples per second over the window — turns a windowed histogram
+    /// of unit samples into a rate (shed/s, requests/s).
+    pub fn rate_per_sec(&self) -> f64 {
+        self.count as f64 / self.window.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Interpolated `q`-quantile over the window, clamped to the
+    /// observed `[min, max]`. `None` when empty or `q` out of range.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let v = percentile_from_buckets(self.count, |i| self.buckets[i], q)?;
+        Some(v.clamp(self.min()?, self.max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_slides_over_epochs() {
+        let w = WindowedHistogram::with_config(Duration::from_millis(10), 3);
+        w.record_at(0, 100);
+        w.record_at(1, 200);
+        w.record_at(2, 400);
+        // Window at epoch 2 covers epochs 0..=2.
+        let s = w.snapshot_at(2);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(100));
+        assert_eq!(s.max(), Some(400));
+        // At epoch 3 the window is 1..=3: epoch 0 has slid out.
+        let s = w.snapshot_at(3);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), Some(200));
+        // Far future: everything has expired.
+        assert_eq!(w.snapshot_at(100).count(), 0);
+        assert_eq!(w.snapshot_at(100).percentile(0.5), None);
+    }
+
+    #[test]
+    fn slot_reclaim_evicts_only_expired_epochs() {
+        let w = WindowedHistogram::with_config(Duration::from_millis(10), 2);
+        // 3 slots; epoch 3 reuses epoch 0's slot.
+        w.record_at(0, 1);
+        w.record_at(1, 2);
+        w.record_at(2, 4);
+        w.record_at(3, 8);
+        let s = w.snapshot_at(3); // covers 2..=3
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), 12);
+    }
+
+    #[test]
+    fn laggard_sample_lands_once() {
+        let w = WindowedHistogram::with_config(Duration::from_millis(10), 2);
+        w.record_at(0, 5);
+        w.record_at(3, 7); // reclaims slot 0
+                           // A laggard recording into the long-gone epoch 0 folds into the
+                           // slot's current epoch (3): counted once, never resurrected.
+        w.record_at(0, 9);
+        let s = w.snapshot_at(3);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), 16);
+        assert_eq!(w.snapshot_at(10).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_percentiles_interpolate() {
+        let w = WindowedHistogram::with_config(Duration::from_secs(1), 4);
+        for v in 1000..2000u64 {
+            w.record_at(1, v);
+        }
+        let s = w.snapshot_at(2);
+        let p50 = s.percentile(0.5).unwrap();
+        assert!(p50.abs_diff(1500) < 75, "p50 {p50}");
+        assert_eq!(s.percentile(1.0), Some(1999));
+        assert!((s.mean().unwrap() - 1499.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_counts_unit_samples() {
+        let w = WindowedHistogram::with_config(Duration::from_secs(1), 5);
+        for _ in 0..50 {
+            w.record_at(2, 1);
+        }
+        let s = w.snapshot_at(2);
+        assert_eq!(s.count(), 50);
+        assert!((s.rate_per_sec() - 10.0).abs() < 1e-9, "50 samples / 5s window");
+    }
+
+    #[test]
+    fn live_clock_record_lands_in_current_window() {
+        let w = WindowedHistogram::new();
+        w.record(42);
+        assert_eq!(w.snapshot().count(), 1);
+        assert_eq!(w.snapshot().percentile(0.5), Some(42));
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_double_count() {
+        use std::sync::Arc;
+        // 5 ms epochs force rotation-claims while 8 threads hammer;
+        // the window (60 s) is far wider than the test runs, so no
+        // epoch *expires* mid-test and afterwards every sample must be
+        // visible in a covering snapshot — exactly once.
+        let w = Arc::new(WindowedHistogram::with_config(Duration::from_millis(5), 12_000));
+        let threads = 8u64;
+        let per_thread = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Mix live-clock and forced-epoch records so
+                        // epoch claims race with recording constantly.
+                        if i % 2 == 0 {
+                            w.record(1);
+                        } else {
+                            w.record_at(w.now_epoch() + (t + i) % 3, 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = w.snapshot_at(w.now_epoch() + 3);
+        assert_eq!(s.count(), threads * per_thread);
+        assert_eq!(s.sum(), threads * per_thread);
+    }
+}

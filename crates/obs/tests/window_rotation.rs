@@ -1,0 +1,113 @@
+//! Property tests for [`WindowedHistogram`] epoch rotation.
+//!
+//! The contract the server's sliding-window percentiles lean on:
+//! rotation may *expire* samples (that's its job) but must never lose
+//! one early or count one twice — whatever order recorders advance
+//! epochs in, and however the ring's slots get reclaimed.
+
+use proptest::prelude::*;
+use scc_obs::WindowedHistogram;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WINDOW: usize = 4;
+
+/// Monotone epoch walk: (epoch_advance, value) ops. Advances up to 6
+/// force slot reclaim constantly (ring = WINDOW + 1 slots).
+fn monotone_ops() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..6, 0u64..10_000), 1..200)
+}
+
+/// Reference model: exact per-epoch totals, merged over the window.
+fn model_window(by_epoch: &BTreeMap<u64, Vec<u64>>, at: u64) -> (u64, u64, Option<u64>) {
+    let oldest = (at + 1).saturating_sub(WINDOW as u64);
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut max = None;
+    for (&e, vs) in by_epoch.range(oldest..=at) {
+        debug_assert!(e >= oldest);
+        count += vs.len() as u64;
+        sum += vs.iter().sum::<u64>();
+        max = max.max(vs.iter().copied().max());
+    }
+    (count, sum, max)
+}
+
+proptest! {
+    /// Forced rotation: record along a monotone epoch walk, then any
+    /// snapshot taken at-or-after the newest epoch must agree exactly
+    /// with a per-epoch reference model — every in-window sample
+    /// present once, every expired sample gone.
+    #[test]
+    fn forced_rotation_matches_reference_model(ops in monotone_ops(), probe in 0u64..(WINDOW as u64 + 2)) {
+        let w = WindowedHistogram::with_config(Duration::from_secs(1), WINDOW);
+        let mut by_epoch: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut epoch = 0u64;
+        for &(advance, value) in &ops {
+            epoch += advance;
+            w.record_at(epoch, value);
+            by_epoch.entry(epoch).or_default().push(value);
+        }
+        // Snapshots strictly before the newest epoch could miss slots
+        // already reclaimed by it; at-or-after, the ring guarantees
+        // every in-window epoch is still resident.
+        let at = epoch + probe;
+        let snap = w.snapshot_at(at);
+        let (count, sum, max) = model_window(&by_epoch, at);
+        prop_assert_eq!(snap.count(), count, "at epoch {}", at);
+        prop_assert_eq!(snap.sum(), sum);
+        prop_assert_eq!(snap.max(), max);
+        if count > 0 {
+            let p100 = snap.percentile(1.0).unwrap();
+            prop_assert_eq!(Some(p100), max, "p100 is the exact max");
+        } else {
+            prop_assert_eq!(snap.percentile(0.5), None);
+        }
+    }
+
+    /// Out-of-order recorders (bounded epoch jitter): as long as no
+    /// epoch expires, a covering snapshot holds *exactly* every sample
+    /// — laggards fold forward in time but are never dropped or
+    /// duplicated.
+    #[test]
+    fn jittered_epochs_conserve_every_sample(jitters in prop::collection::vec(0u64..8, 1..200)) {
+        // Window wider than any epoch reached: nothing can expire.
+        let w = WindowedHistogram::with_config(Duration::from_secs(1), 64);
+        let mut max_epoch = 0u64;
+        for (i, &j) in jitters.iter().enumerate() {
+            // A drifting base with per-recorder jitter, like threads
+            // computing `now_epoch()` at slightly different times.
+            let e = (i as u64 / 8) + j;
+            max_epoch = max_epoch.max(e);
+            w.record_at(e, 1);
+        }
+        let snap = w.snapshot_at(max_epoch);
+        prop_assert_eq!(snap.count(), jitters.len() as u64);
+        prop_assert_eq!(snap.sum(), jitters.len() as u64);
+    }
+}
+
+/// Concurrent writers racing real rotation: split a fixed sample
+/// budget across threads that interleave live-clock and forced-epoch
+/// records on 5 ms epochs, then verify the covering snapshot holds
+/// exactly the budget. (The proptests above pin sequential semantics;
+/// this pins the locking.)
+#[test]
+fn concurrent_forced_rotation_conserves_samples() {
+    let w = Arc::new(WindowedHistogram::with_config(Duration::from_millis(5), 12_000));
+    let threads = 4u64;
+    let per_thread = 2_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let w = Arc::clone(&w);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    w.record_at(w.now_epoch() + (t + i) % 4, i);
+                }
+            });
+        }
+    });
+    let snap = w.snapshot_at(w.now_epoch() + 4);
+    assert_eq!(snap.count(), threads * per_thread);
+}

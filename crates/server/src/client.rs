@@ -26,11 +26,12 @@
 
 use crate::chaos::{ChaosPlan, ChaosStream, Transport};
 use crate::protocol::{
-    self, ErrorCode, HealthState, PredOp, Predicate, RawSegment, Request, Response,
+    self, ErrorCode, HealthState, HealthWindow, PredOp, Predicate, RawSegment, Request, Response,
 };
 use scc_core::frame::{self, FrameError};
 use scc_core::{Error, Segment, Value, BLOCK};
 use scc_engine::{ops, Batch, ColType, Expr, Select, Vector};
+use scc_obs::trace;
 use scc_storage::{stats_handle, Column, NumColumn, Scan, ScanOptions, Table};
 use std::io::ErrorKind;
 use std::net::TcpStream;
@@ -294,9 +295,16 @@ impl Client {
         self.stream.set_write_timeout(d)
     }
 
-    /// Sends one request frame.
+    /// Sends one request frame. When a head-sampled trace is active on
+    /// this thread the request is wrapped in the [`protocol::REQ_TRACED`]
+    /// envelope, so the server's spans join the caller's trace; with no
+    /// active trace the bytes are identical to an untraced client's.
     pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
-        Ok(frame::write_frame(&mut self.stream, &protocol::encode_request(req))?)
+        let payload = match trace::current_ctx() {
+            Some(ctx) => protocol::encode_request_traced(req, ctx),
+            None => protocol::encode_request(req),
+        };
+        Ok(frame::write_frame(&mut self.stream, &payload)?)
     }
 
     /// Reads one response frame (typed server errors come back as
@@ -397,8 +405,22 @@ impl Client {
     /// balancer can see `Draining` before the listener goes away.
     pub fn health(&mut self) -> Result<(HealthState, u16, u32, u32), ClientError> {
         match self.call(&Request::Health)? {
-            Response::Health { state, workers, queue_depth, active } => {
+            Response::Health { state, workers, queue_depth, active, .. } => {
                 Ok((state, workers, queue_depth, active))
+            }
+            _ => Err(ClientError::Unexpected("wanted Health")),
+        }
+    }
+
+    /// Health plus the sliding-window tail-latency section: windowed
+    /// p50/p95/p99, queue-wait p50, request rate and shed rate. This is
+    /// what `scc top` polls.
+    pub fn health_window(
+        &mut self,
+    ) -> Result<(HealthState, u16, u32, u32, HealthWindow), ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health { state, workers, queue_depth, active, window } => {
+                Ok((state, workers, queue_depth, active, window))
             }
             _ => Err(ClientError::Unexpected("wanted Health")),
         }
@@ -510,16 +532,27 @@ impl RetryingClient {
         mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
         let started = Instant::now();
+        // One trace root per logical request; each try below becomes a
+        // sibling `client.attempt` child, so a retried request reads as
+        // attempt/backoff/attempt on the timeline. The server joins the
+        // trace through the context [`Client::send`] puts on the wire.
+        let troot = trace::start_root("client.request");
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut prev = Duration::ZERO;
         loop {
             let attempt_no = attempts.len() as u32 + 1;
+            let tattempt = trace::span("client.attempt");
+            tattempt.add_attr("attempt", attempt_no as u64);
             let outcome = match self.connection() {
                 Ok(client) => op(client),
                 Err(e) => Err(e),
             };
+            drop(tattempt);
             let e = match outcome {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    troot.add_attr("attempts", attempt_no as u64);
+                    return Ok(v);
+                }
                 Err(e) if !e.is_retryable() => {
                     // Fatal errors mid-stream can leave the connection
                     // out of frame sync; don't reuse it.
@@ -728,6 +761,18 @@ pub struct LoadgenReport {
     pub p99_us: f64,
     /// Completed requests per second.
     pub throughput_rps: f64,
+    /// Server-side accept-queue wait p50 (`server.queue_wait_ns`),
+    /// microseconds, fetched from the server's stats after the run.
+    /// Zero when the server was unreachable for the post-run fetch.
+    pub queue_wait_p50_us: f64,
+    /// Server-side accept-queue wait p99, microseconds.
+    pub queue_wait_p99_us: f64,
+    /// Client-observed p50 minus the server's queue-wait p50: the
+    /// latency attributable to service (and the wire) rather than to
+    /// waiting for a worker. Floored at zero.
+    pub service_p50_us: f64,
+    /// `p99_us` minus the queue-wait p99, floored at zero.
+    pub service_p99_us: f64,
 }
 
 impl LoadgenReport {
@@ -750,6 +795,12 @@ impl LoadgenReport {
             self.p50_us,
             self.p95_us,
             self.p99_us,
+        ) + &format!(
+            " | queue-wait p50 {:.0}us p99 {:.0}us (service p50 {:.0}us p99 {:.0}us)",
+            self.queue_wait_p50_us,
+            self.queue_wait_p99_us,
+            self.service_p50_us,
+            self.service_p99_us,
         )
     }
 
@@ -770,6 +821,10 @@ impl LoadgenReport {
             ("p50_us".into(), Json::F64(self.p50_us)),
             ("p95_us".into(), Json::F64(self.p95_us)),
             ("p99_us".into(), Json::F64(self.p99_us)),
+            ("queue_wait_p50_us".into(), Json::F64(self.queue_wait_p50_us)),
+            ("queue_wait_p99_us".into(), Json::F64(self.queue_wait_p99_us)),
+            ("service_p50_us".into(), Json::F64(self.service_p50_us)),
+            ("service_p99_us".into(), Json::F64(self.service_p99_us)),
         ])
     }
 }
@@ -877,6 +932,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenR
     }
     tally.latencies_ns.sort_unstable();
     let requests = tally.ok + tally.errors + tally.verify_failures;
+    // Pull the server's accept-queue wait distribution so the report
+    // can split client-observed latency into queueing vs. service.
+    let (queue_wait_p50_us, queue_wait_p99_us) =
+        fetch_queue_wait_us(&cfg.addr).unwrap_or((0.0, 0.0));
+    let p50_us = percentile_ns(&tally.latencies_ns, 0.50) / 1_000.0;
+    let p99_us = percentile_ns(&tally.latencies_ns, 0.99) / 1_000.0;
     Ok(LoadgenReport {
         requests,
         ok: tally.ok,
@@ -887,11 +948,36 @@ pub fn run_loadgen(cfg: &LoadgenConfig, replica: &Arc<Table>) -> Result<LoadgenR
         retries: tally.retries,
         retry_exhausted: tally.retry_exhausted,
         elapsed,
-        p50_us: percentile_ns(&tally.latencies_ns, 0.50) / 1_000.0,
+        p50_us,
         p95_us: percentile_ns(&tally.latencies_ns, 0.95) / 1_000.0,
-        p99_us: percentile_ns(&tally.latencies_ns, 0.99) / 1_000.0,
+        p99_us,
         throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        queue_wait_p50_us,
+        queue_wait_p99_us,
+        service_p50_us: (p50_us - queue_wait_p50_us).max(0.0),
+        service_p99_us: (p99_us - queue_wait_p99_us).max(0.0),
     })
+}
+
+/// Fetches the server's `server.queue_wait_ns` histogram and computes
+/// its p50/p99 in microseconds from the exported log2 buckets (the
+/// same interpolation the server itself uses). `None` when the server
+/// is gone, stats are malformed, or no request ever queued.
+fn fetch_queue_wait_us(addr: &str) -> Option<(f64, f64)> {
+    let mut client = Client::connect(addr).ok()?;
+    let doc = scc_obs::json::parse(&client.stats_json().ok()?).ok()?;
+    let hist = doc.get("histograms")?.get("server.queue_wait_ns")?;
+    let count = hist.get("count")?.as_u64()?;
+    let mut buckets = [0u64; scc_obs::HISTOGRAM_BUCKETS];
+    for entry in hist.get("buckets")?.as_arr()? {
+        let pair = entry.as_arr()?;
+        let i = pair.first()?.as_u64()? as usize;
+        *buckets.get_mut(i)? = pair.get(1)?.as_u64()?;
+    }
+    let pct = |q: f64| -> Option<f64> {
+        Some(scc_obs::percentile_from_buckets(count, |i| buckets[i], q)? as f64 / 1_000.0)
+    };
+    Some((pct(0.50)?, pct(0.99)?))
 }
 
 #[allow(clippy::too_many_arguments)] // internal fan-out helper

@@ -52,14 +52,18 @@ pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod top;
 
 pub use chaos::{ChaosPlan, ChaosStream, Transport};
 pub use client::{
     run_loadgen, Attempt, Client, ClientError, LoadgenConfig, LoadgenReport, RetryPolicy,
     RetryingClient,
 };
-pub use protocol::{ErrorCode, HealthState, PredOp, Predicate, RawSegment, Request, Response};
+pub use protocol::{
+    ErrorCode, HealthState, HealthWindow, PredOp, Predicate, RawSegment, Request, Response,
+};
 pub use server::{Server, ServerConfig};
+pub use top::{run_top, TopConfig, TopSample};
 
 use scc_storage::{Table, TableBuilder};
 use std::collections::HashMap;

@@ -26,9 +26,18 @@
 
 use scc_core::{Error, WireError};
 use scc_engine::{Batch, Vector};
+use scc_obs::trace::{TraceCtx, CTX_WIRE_BYTES};
 
 /// Request kind byte: entry-point random access to a row range.
 pub const REQ_SEGMENT_RANGE: u8 = 0x01;
+/// Request kind byte: a trace-context envelope. The payload is
+/// `[u64 LE trace_id][u64 LE parent_span_id]` followed by a complete
+/// inner request payload — 16 bytes of context, nothing else changes.
+/// Sent only by clients that traced the request (presence implies
+/// sampled); servers that predate tracing reject it as an unknown
+/// kind with [`ErrorCode::BadRequest`], and clients that never trace
+/// are wire-identical to before.
+pub const REQ_TRACED: u8 = 0x10;
 /// Request kind byte: a (possibly parallel, possibly filtered) scan.
 pub const REQ_SCAN: u8 = 0x02;
 /// Request kind byte: metrics snapshot.
@@ -199,6 +208,8 @@ pub enum Response {
         queue_depth: u32,
         /// Connections currently being served by a worker.
         active: u32,
+        /// Sliding-window load/latency summary.
+        window: HealthWindow,
     },
     /// Typed failure.
     Error {
@@ -212,6 +223,28 @@ pub enum Response {
         /// before retrying, in milliseconds. `0` means no hint.
         retry_after_ms: u32,
     },
+}
+
+/// Sliding-window summary carried in [`Response::Health`]: service
+/// latency percentiles, queue-wait median, completion and shed rates —
+/// all over the server's metrics window (10 s by default), so a
+/// dashboard polling `Health` sees load *now*, not since boot.
+/// Microsecond fields saturate at `u32::MAX` (~71 minutes); rates are
+/// fixed-point ×100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthWindow {
+    /// Windowed p50 service time, microseconds.
+    pub p50_us: u32,
+    /// Windowed p95 service time, microseconds.
+    pub p95_us: u32,
+    /// Windowed p99 service time, microseconds.
+    pub p99_us: u32,
+    /// Windowed p50 queue wait (accept → worker pickup), microseconds.
+    pub queue_wait_p50_us: u32,
+    /// Requests completed per second over the window, ×100.
+    pub rps_x100: u32,
+    /// Connections shed (busy + draining) per second over the window, ×100.
+    pub shed_per_s_x100: u32,
 }
 
 /// Server lifecycle state carried in [`Response::Health`].
@@ -454,6 +487,37 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out
 }
 
+/// Serializes a request wrapped in a [`REQ_TRACED`] trace-context
+/// envelope (framing is still the caller's job).
+pub fn encode_request_traced(req: &Request, ctx: TraceCtx) -> Vec<u8> {
+    let inner = encode_request(req);
+    let mut out = Vec::with_capacity(1 + CTX_WIRE_BYTES + inner.len());
+    out.push(REQ_TRACED);
+    out.extend_from_slice(&ctx.to_wire());
+    out.extend_from_slice(&inner);
+    out
+}
+
+/// Parses a request payload that may carry a [`REQ_TRACED`] envelope;
+/// returns the inner request plus the trace context, if any. This is
+/// what servers call — [`decode_request`] keeps the strict untraced
+/// grammar for callers that must not see envelopes.
+pub fn decode_request_any(payload: &[u8]) -> Result<(Request, Option<TraceCtx>), Error> {
+    if payload.first() == Some(&REQ_TRACED) {
+        let body = &payload[1..];
+        if body.len() < CTX_WIRE_BYTES {
+            return Err(Error::Truncated { offset: 1, need: CTX_WIRE_BYTES, have: body.len() });
+        }
+        let ctx = TraceCtx::from_wire(body[..CTX_WIRE_BYTES].try_into().unwrap());
+        // The inner payload is a complete request; a nested envelope is
+        // rejected by `decode_request` as an unknown kind.
+        let req = decode_request(&body[CTX_WIRE_BYTES..])?;
+        Ok((req, Some(ctx)))
+    } else {
+        Ok((decode_request(payload)?, None))
+    }
+}
+
 /// Parses a request payload. Errors are typed `scc_core` errors —
 /// servers map them to [`ErrorCode::BadRequest`].
 pub fn decode_request(payload: &[u8]) -> Result<Request, Error> {
@@ -551,12 +615,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(json.as_bytes());
         }
         Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
-        Response::Health { state, workers, queue_depth, active } => {
+        Response::Health { state, workers, queue_depth, active, window } => {
             out.push(RESP_HEALTH);
             out.push(*state as u8);
             put_u16(&mut out, *workers);
             put_u32(&mut out, *queue_depth);
             put_u32(&mut out, *active);
+            put_u32(&mut out, window.p50_us);
+            put_u32(&mut out, window.p95_us);
+            put_u32(&mut out, window.p99_us);
+            put_u32(&mut out, window.queue_wait_p50_us);
+            put_u32(&mut out, window.rps_x100);
+            put_u32(&mut out, window.shed_per_s_x100);
         }
         Response::Error { code, message, retry_after_ms } => {
             out.push(RESP_ERROR);
@@ -624,7 +694,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, Error> {
             let workers = c.u16()?;
             let queue_depth = c.u32()?;
             let active = c.u32()?;
-            Response::Health { state, workers, queue_depth, active }
+            let window = HealthWindow {
+                p50_us: c.u32()?,
+                p95_us: c.u32()?,
+                p99_us: c.u32()?,
+                queue_wait_p50_us: c.u32()?,
+                rps_x100: c.u32()?,
+                shed_per_s_x100: c.u32()?,
+            };
+            Response::Health { state, workers, queue_depth, active, window }
         }
         RESP_ERROR => {
             let code = ErrorCode::from_tag(c.u8()?)
@@ -697,6 +775,14 @@ mod tests {
                 workers: 4,
                 queue_depth: 7,
                 active: 3,
+                window: HealthWindow {
+                    p50_us: 1_200,
+                    p95_us: 9_500,
+                    p99_us: 120_000,
+                    queue_wait_p50_us: 340,
+                    rps_x100: 12_345,
+                    shed_per_s_x100: 50,
+                },
             },
             Response::Error {
                 code: ErrorCode::Busy,
@@ -707,6 +793,53 @@ mod tests {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_plain_requests_pass_through() {
+        let ctx = TraceCtx { trace_id: 0xDEAD_BEEF_CAFE_F00D, parent_span: 0x0123_4567_89AB_CDEF };
+        let req = Request::SegmentRange {
+            table: "demo".into(),
+            column: "val".into(),
+            row_start: 42,
+            row_len: 128,
+            raw: true,
+        };
+        let wrapped = encode_request_traced(&req, ctx);
+        assert_eq!(wrapped[0], REQ_TRACED);
+        assert_eq!(&wrapped[1 + CTX_WIRE_BYTES..], &encode_request(&req)[..]);
+        assert_eq!(decode_request_any(&wrapped).unwrap(), (req.clone(), Some(ctx)));
+        // Plain requests pass through with no context attached.
+        assert_eq!(decode_request_any(&encode_request(&req)).unwrap(), (req, None));
+        // A server predating the envelope rejects it as an unknown
+        // request tag — typed error, not a hang or a panic.
+        assert!(decode_request(&wrapped).is_err());
+    }
+
+    #[test]
+    fn traced_envelope_truncations_and_nesting_are_typed_errors() {
+        let ctx = TraceCtx { trace_id: 7, parent_span: 9 };
+        let wrapped = encode_request_traced(&Request::Stats, ctx);
+        for cut in 0..wrapped.len() {
+            assert!(decode_request_any(&wrapped[..cut]).is_err(), "cut at {cut}");
+        }
+        // A traced envelope inside a traced envelope is nonsense: the
+        // inner payload must be a bare request, and REQ_TRACED is not
+        // a request tag.
+        let mut nested = Vec::from([REQ_TRACED]);
+        nested.extend_from_slice(&ctx.to_wire());
+        nested.extend_from_slice(&wrapped);
+        assert!(decode_request_any(&nested).is_err());
+    }
+
+    #[test]
+    fn trace_ctx_wire_form_is_two_le_u64s() {
+        let ctx = TraceCtx { trace_id: u64::MAX - 1, parent_span: 1 };
+        let wire = ctx.to_wire();
+        assert_eq!(wire.len(), CTX_WIRE_BYTES);
+        assert_eq!(u64::from_le_bytes(wire[..8].try_into().unwrap()), u64::MAX - 1);
+        assert_eq!(u64::from_le_bytes(wire[8..].try_into().unwrap()), 1);
+        assert_eq!(TraceCtx::from_wire(&wire), ctx);
     }
 
     #[test]
@@ -742,6 +875,7 @@ mod tests {
                 workers: 2,
                 queue_depth: 0,
                 active: 1,
+                window: HealthWindow::default(),
             }),
             encode_request(&Request::Shutdown { force: true }),
         ];
@@ -781,6 +915,7 @@ mod tests {
             workers: 1,
             queue_depth: 0,
             active: 0,
+            window: HealthWindow::default(),
         });
         health[1] = 0x7;
         assert!(decode_response(&health).is_err());

@@ -36,12 +36,13 @@
 //! `catch_unwind` as a last line of defense.
 
 use crate::protocol::{
-    self, ErrorCode, HealthState, PredOp, Predicate, RawSegment, Request, Response,
+    self, ErrorCode, HealthState, HealthWindow, PredOp, Predicate, RawSegment, Request, Response,
 };
 use crate::Catalog;
 use scc_core::frame::{self, FrameError};
 use scc_core::Error;
 use scc_engine::{ColType, Expr, Operator, Select, VECTOR_SIZE};
+use scc_obs::trace;
 use scc_storage::{stats_handle, Column, NumColumn, ParallelScan, Scan, ScanOptions, Table};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -127,6 +128,20 @@ fn m_histogram(name: &str, value: u64) {
         scc_obs::global().histogram(name).record(value);
     }
 }
+
+fn m_window(name: &str, value: u64) {
+    if scc_obs::enabled() {
+        scc_obs::global().windowed(name).record(value);
+    }
+}
+
+// Sliding-window metric names: the server's tail-latency dashboard
+// (`scc top`) and the windowed section of `Response::Health` read
+// these. `request_ns` covers data-path requests only (segment-range
+// and scan) so health polling cannot dilute the percentiles.
+const WIN_REQUEST: &str = "server.win.request_ns";
+const WIN_QUEUE_WAIT: &str = "server.win.queue_wait_ns";
+const WIN_SHED: &str = "server.win.shed";
 
 /// Maps a storage/decode error onto a wire error code. Range errors
 /// are the client's fault; integrity errors mean the *server's* data
@@ -224,7 +239,10 @@ impl Shared {
     /// write that timed out on a stalled reader, which is counted
     /// separately).
     fn send(&self, stream: &mut TcpStream, resp: &Response) -> bool {
-        let payload = protocol::encode_response(resp);
+        let payload = {
+            let _s = trace::span("server.serialize");
+            protocol::encode_response(resp)
+        };
         m_counter("server.bytes_out", (payload.len() + frame::FRAME_OVERHEAD) as u64);
         match resp {
             Response::Error { code, .. } => {
@@ -233,6 +251,7 @@ impl Shared {
             }
             _ => m_counter("server.responses.ok", 1),
         }
+        let _w = trace::span("server.write");
         match frame::write_frame(stream, &payload) {
             Ok(()) => true,
             Err(FrameError::Io(k)) if k == ErrorKind::WouldBlock || k == ErrorKind::TimedOut => {
@@ -252,11 +271,24 @@ impl Shared {
             STATE_RUNNING => HealthState::Ready,
             _ => HealthState::Draining,
         };
+        let req = scc_obs::global().windowed(WIN_REQUEST).snapshot();
+        let qw = scc_obs::global().windowed(WIN_QUEUE_WAIT).snapshot();
+        let shed = scc_obs::global().windowed(WIN_SHED).snapshot();
+        let us = |v: Option<u64>| (v.unwrap_or(0) / 1_000).min(u32::MAX as u64) as u32;
+        let window = HealthWindow {
+            p50_us: us(req.percentile(0.50)),
+            p95_us: us(req.percentile(0.95)),
+            p99_us: us(req.percentile(0.99)),
+            queue_wait_p50_us: us(qw.percentile(0.50)),
+            rps_x100: (req.rate_per_sec() * 100.0).round() as u32,
+            shed_per_s_x100: (shed.rate_per_sec() * 100.0).round() as u32,
+        };
         Response::Health {
             state,
             workers: self.config.workers.min(u16::MAX as usize) as u16,
             queue_depth: self.queued.load(Ordering::Relaxed).max(0) as u32,
             active: self.active.load(Ordering::Relaxed).max(0) as u32,
+            window,
         }
     }
 
@@ -464,9 +496,14 @@ fn build_predicate(t: &Table, columns: &[String], p: &Predicate) -> Result<Expr,
 /// shutdown. During a drain the connection is polled briefly for
 /// requests already in flight — anything the client has already sent
 /// is served — and closed once it goes quiet.
-fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+///
+/// `queue_wait_ns` is how long the connection sat in the accept queue
+/// before a worker picked it up; it is attached to the first request's
+/// trace root (later requests on the connection never queued).
+fn handle_conn(shared: &Shared, mut stream: TcpStream, queue_wait_ns: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut first_request = true;
     loop {
         match shared.state() {
             STATE_STOPPED => return,
@@ -499,47 +536,91 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
         };
         m_counter("server.bytes_in", (payload.len() + frame::FRAME_OVERHEAD) as u64);
         let started = Instant::now();
-        let req = match protocol::decode_request(&payload) {
-            Ok(r) => r,
+        let (req, wire_ctx) = match protocol::decode_request_any(&payload) {
+            Ok(p) => p,
             Err(e) => {
                 shared.send(&mut stream, &err(ErrorCode::BadRequest, e.to_string()));
                 continue;
             }
         };
+        // One trace root per request. A wire context joins the client's
+        // trace; untraced requests get their own head-sampled (or
+        // slow-only) draw. The decode phase completed before the root
+        // could exist, so it is recorded as an already-closed child.
+        let troot = match wire_ctx {
+            Some(ctx) => trace::start_remote_root("server.request", ctx, started),
+            None => trace::start_root("server.request"),
+        };
+        trace::record_closed("server.decode", started, &[("bytes", payload.len() as u64)], None);
+        // Per-request queue-wait phase: only the connection's first
+        // request actually sat in the admission queue; later requests
+        // found their worker already dedicated. Recording the zeros
+        // keeps the distribution per-request, so subtracting its
+        // percentiles from end-to-end latency percentiles (as loadgen
+        // does) compares like with like.
+        let req_queue_wait = if first_request { queue_wait_ns } else { 0 };
+        if first_request {
+            troot.add_attr("queue_wait_ns", queue_wait_ns);
+            first_request = false;
+        }
         match req {
             Request::SegmentRange { table, column, row_start, row_len, raw } => {
                 m_counter("server.requests.segment_range", 1);
-                let resp =
-                    shared.handle_segment_range(&table, &column, row_start, row_len, raw, started);
-                shared.send(&mut stream, &resp);
-                m_histogram("server.service_ns.segment_range", started.elapsed().as_nanos() as u64);
+                troot.set_tag("kind", "segment_range");
+                {
+                    let _ex = trace::span("server.execute");
+                    let resp = shared
+                        .handle_segment_range(&table, &column, row_start, row_len, raw, started);
+                    shared.send(&mut stream, &resp);
+                }
+                let ns = started.elapsed().as_nanos() as u64;
+                m_histogram("server.service_ns.segment_range", ns);
+                m_histogram("server.queue_wait_ns", req_queue_wait);
+                m_window(WIN_REQUEST, ns);
+                m_window("server.win.segment_range_ns", ns);
+                m_window(WIN_QUEUE_WAIT, req_queue_wait);
             }
             Request::Scan { table, columns, predicate, threads } => {
                 m_counter("server.requests.scan", 1);
-                shared.handle_scan(
-                    &mut stream,
-                    &table,
-                    &columns,
-                    predicate.as_ref(),
-                    threads,
-                    started,
-                );
-                m_histogram("server.service_ns.scan", started.elapsed().as_nanos() as u64);
+                troot.set_tag("kind", "scan");
+                {
+                    let _ex = trace::span("server.execute");
+                    shared.handle_scan(
+                        &mut stream,
+                        &table,
+                        &columns,
+                        predicate.as_ref(),
+                        threads,
+                        started,
+                    );
+                }
+                let ns = started.elapsed().as_nanos() as u64;
+                m_histogram("server.service_ns.scan", ns);
+                m_histogram("server.queue_wait_ns", req_queue_wait);
+                m_window(WIN_REQUEST, ns);
+                m_window("server.win.scan_ns", ns);
+                m_window(WIN_QUEUE_WAIT, req_queue_wait);
             }
             Request::Stats => {
                 m_counter("server.requests.stats", 1);
+                troot.set_tag("kind", "stats");
+                let _ex = trace::span("server.execute");
                 let json = scc_obs::export::to_json(scc_obs::global()).pretty();
                 shared.send(&mut stream, &Response::StatsJson(json));
+                drop(_ex);
                 m_histogram("server.service_ns.stats", started.elapsed().as_nanos() as u64);
             }
             Request::Health => {
                 m_counter("server.requests.health", 1);
+                troot.set_tag("kind", "health");
                 let resp = shared.health();
                 shared.send(&mut stream, &resp);
             }
             Request::Shutdown { force } => {
                 m_counter("server.requests.shutdown", 1);
+                troot.set_tag("kind", "shutdown");
                 shared.send(&mut stream, &Response::ShutdownAck);
+                drop(troot);
                 if force {
                     shared.trigger_stop();
                 } else {
@@ -551,9 +632,9 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>) {
     loop {
-        let stream = {
+        let (stream, accepted) = {
             let Ok(guard) = rx.lock() else { return };
             match guard.recv() {
                 Ok(s) => s,
@@ -571,11 +652,16 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
             shared.active.fetch_sub(1, Ordering::AcqRel);
             continue; // fast-drain the queue without serving
         }
+        // Queue wait: accept-to-pickup. Recorded per data-path request
+        // inside handle_conn (first request carries it, later requests
+        // on the admitted connection waited zero) so its percentiles
+        // are comparable with per-request latency percentiles.
+        let queue_wait_ns = accepted.elapsed().as_nanos() as u64;
         m_gauge("server.active_connections", shared.active.load(Ordering::Relaxed) as f64);
         // A panic while serving one connection (an engine bug, say)
         // must cost that connection only, never the worker or process.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_conn(&shared, stream);
+            handle_conn(&shared, stream, queue_wait_ns);
         }));
         let left = shared.active.fetch_sub(1, Ordering::AcqRel) - 1;
         m_gauge("server.active_connections", left.max(0) as f64);
@@ -613,7 +699,17 @@ impl Server {
             queued: AtomicI64::new(0),
             active: AtomicI64::new(0),
         });
-        let (tx, rx) = sync_channel::<TcpStream>(shared.config.queue_depth);
+        // The server's slow-trace threshold defaults to half the
+        // request deadline: anything past it is worth a trace even
+        // when the head-sampling draw said no.
+        if trace::collecting() {
+            let mut tc = trace::config();
+            if tc.slow_ns == 0 {
+                tc.slow_ns = (shared.config.deadline.as_nanos() as u64) / 2;
+                trace::configure(tc);
+            }
+        }
+        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..shared.config.workers)
             .map(|w| {
@@ -681,7 +777,7 @@ impl Drop for Server {
 fn acceptor_loop(
     shared: Arc<Shared>,
     listener: TcpListener,
-    tx: std::sync::mpsc::SyncSender<TcpStream>,
+    tx: std::sync::mpsc::SyncSender<(TcpStream, Instant)>,
 ) {
     loop {
         match shared.state() {
@@ -702,15 +798,16 @@ fn acceptor_loop(
                     _ => {}
                 }
                 m_counter("server.connections", 1);
-                match tx.try_send(stream) {
+                match tx.try_send((stream, Instant::now())) {
                     Ok(()) => {
                         let depth = shared.queued.fetch_add(1, Ordering::AcqRel) + 1;
                         m_gauge("server.queue_depth", depth as f64);
                     }
-                    Err(TrySendError::Full(mut stream)) => {
+                    Err(TrySendError::Full((mut stream, _))) => {
                         // Load shed: a typed refusal with a hint beats
                         // an unbounded backlog or a silent drop.
                         m_counter("server.shed.busy", 1);
+                        m_window(WIN_SHED, 1);
                         let retry_after_ms = shared.retry_after_hint();
                         let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
                         shared.send(
@@ -744,6 +841,7 @@ fn acceptor_loop(
 /// hang up rather than read the refusal.
 fn refuse_draining(shared: &Shared, mut stream: TcpStream) {
     m_counter("server.shed.draining", 1);
+    m_window(WIN_SHED, 1);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     shared.send(
         &mut stream,

@@ -1,0 +1,213 @@
+//! The `scc top` live dashboard: polls a running server's `Health`
+//! (which carries the sliding-window tail-latency section, see
+//! [`crate::protocol::HealthWindow`]) and renders a refreshing
+//! terminal view — windowed p50/p95/p99, queue depth, request and
+//! shed rates, and a p99 trend sparkline.
+//!
+//! The rendering is pure (`&[TopSample] -> String`) so the layout is
+//! unit-testable; only [`run_top`] touches the network and the clock.
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{HealthState, HealthWindow};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// One poll of the server.
+#[derive(Debug, Clone)]
+pub struct TopSample {
+    /// Lifecycle state the server reported.
+    pub state: HealthState,
+    /// Worker threads serving connections.
+    pub workers: u16,
+    /// Connections waiting for a worker right now.
+    pub queue_depth: u32,
+    /// Connections currently being served.
+    pub active: u32,
+    /// The sliding-window latency/rate section.
+    pub window: HealthWindow,
+}
+
+/// `scc top` knobs.
+#[derive(Debug, Clone)]
+pub struct TopConfig {
+    /// Server address to poll.
+    pub addr: String,
+    /// Delay between polls.
+    pub interval: Duration,
+    /// Stop after this many polls (`None` = until the server goes
+    /// away or the process is killed).
+    pub iterations: Option<u64>,
+    /// Emit ANSI home+clear before each frame (off when piping).
+    pub clear_screen: bool,
+}
+
+impl Default for TopConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7644".to_string(),
+            interval: Duration::from_millis(500),
+            iterations: None,
+            clear_screen: true,
+        }
+    }
+}
+
+/// How many samples of history the trend sparkline keeps.
+pub const HISTORY: usize = 32;
+
+/// Renders `values` as a unicode sparkline, scaled to the slice's own
+/// max (an all-zero slice renders as all-minimum bars).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = (v / max * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Formats a microsecond value adaptively (`412us`, `1.2ms`, `3.4s`).
+pub fn fmt_us(us: u32) -> String {
+    match us {
+        0..=999 => format!("{us}us"),
+        1_000..=999_999 => format!("{:.1}ms", us as f64 / 1_000.0),
+        _ => format!("{:.2}s", us as f64 / 1_000_000.0),
+    }
+}
+
+/// Renders one dashboard frame from the poll history (`samples` holds
+/// the newest sample last; only the last [`HISTORY`] feed the trend).
+pub fn render(addr: &str, samples: &[TopSample]) -> String {
+    let cur = samples.last().expect("render needs at least one sample");
+    let state = match cur.state {
+        HealthState::Ready => "READY",
+        HealthState::Draining => "DRAINING",
+    };
+    let w = &cur.window;
+    let trend_start = samples.len().saturating_sub(HISTORY);
+    let p99_history: Vec<f64> =
+        samples[trend_start..].iter().map(|s| s.window.p99_us as f64).collect();
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!("scc top — {addr}   state {state}   polls {}\n", samples.len()));
+    out.push_str(&format!(
+        "workers {}   queue {}   active {}\n",
+        cur.workers, cur.queue_depth, cur.active
+    ));
+    out.push_str(&format!(
+        "rate {:.1} req/s   shed {:.1}/s\n",
+        w.rps_x100 as f64 / 100.0,
+        w.shed_per_s_x100 as f64 / 100.0
+    ));
+    out.push_str(&format!(
+        "latency (window)   p50 {}   p95 {}   p99 {}\n",
+        fmt_us(w.p50_us),
+        fmt_us(w.p95_us),
+        fmt_us(w.p99_us)
+    ));
+    out.push_str(&format!("queue-wait p50 {}\n", fmt_us(w.queue_wait_p50_us)));
+    out.push_str(&format!("p99 trend {}\n", sparkline(&p99_history)));
+    out
+}
+
+/// Polls `cfg.addr` once and converts the answer into a [`TopSample`].
+pub fn poll(client: &mut Client) -> Result<TopSample, ClientError> {
+    let (state, workers, queue_depth, active, window) = client.health_window()?;
+    Ok(TopSample { state, workers, queue_depth, active, window })
+}
+
+/// Runs the dashboard loop: poll, render, sleep — writing frames to
+/// `out` — until `cfg.iterations` polls have run or the server stops
+/// answering. Returns the number of frames rendered.
+pub fn run_top(cfg: &TopConfig, out: &mut impl Write) -> Result<u64, ClientError> {
+    let mut client = Client::connect_retry(&cfg.addr, Duration::from_secs(10))
+        .map_err(|e| ClientError::Frame(scc_core::frame::FrameError::Io(e.kind())))?;
+    let mut samples: Vec<TopSample> = Vec::new();
+    let mut frames = 0u64;
+    loop {
+        let t0 = Instant::now();
+        let sample = poll(&mut client)?;
+        let draining = sample.state == HealthState::Draining;
+        samples.push(sample);
+        if samples.len() > 4 * HISTORY {
+            samples.drain(..samples.len() - HISTORY);
+        }
+        if cfg.clear_screen {
+            let _ = out.write_all(b"\x1b[H\x1b[2J");
+        }
+        let _ = out.write_all(render(&cfg.addr, &samples).as_bytes());
+        let _ = out.flush();
+        frames += 1;
+        if cfg.iterations.is_some_and(|n| frames >= n) || draining {
+            return Ok(frames);
+        }
+        std::thread::sleep(cfg.interval.saturating_sub(t0.elapsed()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(p99_us: u32) -> TopSample {
+        TopSample {
+            state: HealthState::Ready,
+            workers: 4,
+            queue_depth: 3,
+            active: 2,
+            window: HealthWindow {
+                p50_us: 410,
+                p95_us: 1_250,
+                p99_us,
+                queue_wait_p50_us: 35,
+                rps_x100: 123_456,
+                shed_per_s_x100: 250,
+            },
+        }
+    }
+
+    #[test]
+    fn sparkline_scales_to_its_own_max() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 4.0, 8.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+    }
+
+    #[test]
+    fn fmt_us_picks_the_readable_unit() {
+        assert_eq!(fmt_us(412), "412us");
+        assert_eq!(fmt_us(1_250), "1.2ms");
+        assert_eq!(fmt_us(3_400_000), "3.40s");
+    }
+
+    #[test]
+    fn render_shows_every_windowed_field() {
+        let frame = render("127.0.0.1:7644", &[sample(3_400), sample(5_000)]);
+        for needle in [
+            "READY",
+            "workers 4",
+            "queue 3",
+            "active 2",
+            "1234.6 req/s",
+            "shed 2.5/s",
+            "p50 410us",
+            "p95 1.2ms",
+            "p99 5.0ms",
+            "queue-wait p50 35us",
+            "p99 trend",
+        ] {
+            assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+        }
+        // Two samples → two sparkline bars, rising.
+        let trend = frame.lines().last().unwrap();
+        assert!(trend.contains('█'), "{trend}");
+    }
+}

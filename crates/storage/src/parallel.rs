@@ -95,6 +95,10 @@ impl ParallelScan {
         let owned_cols: Arc<Vec<String>> = Arc::new(cols.iter().map(|c| c.to_string()).collect());
         let n_segments = table.n_segments();
         let next_segment = Arc::new(AtomicUsize::new(0));
+        // If the building thread is inside a sampled trace, its context
+        // travels to the workers so their per-segment spans land in the
+        // same trace (parented on the span that started the scan).
+        let trace_ctx = scc_obs::trace::current_ctx();
         // Bounded: a fast worker can run at most a couple of segments
         // ahead of the consumer before it parks.
         let (tx, rx) = sync_channel::<Partition>(threads * 2);
@@ -111,6 +115,7 @@ impl ParallelScan {
                 std::thread::Builder::new()
                     .name(format!("scc-scan-{w}"))
                     .spawn(move || {
+                        let _tscope = trace_ctx.map(scc_obs::trace::adopt_scope);
                         let local = stats_handle();
                         let col_refs: Vec<&str> = cols.iter().map(|c| c.as_str()).collect();
                         let mut claimed = 0u64;

@@ -103,6 +103,12 @@ pub struct Scan {
     /// modeled disk with no per-chunk validation.
     faulty: Option<(DiskHandle, RetryPolicy)>,
     profile: OpProfile,
+    /// Open per-segment trace region: (segment, entered-at, values
+    /// decoded so far). A segment's span can only close when the scan
+    /// *leaves* it — at the next segment's first vector, or at scan
+    /// drop — so it is recorded after the fact rather than held as an
+    /// RAII guard across `try_next` calls.
+    seg_trace: Option<(usize, Instant, u64)>,
 }
 
 // The parallel scan moves whole `Scan`s onto worker threads.
@@ -146,6 +152,7 @@ impl Scan {
             lz_scratch: Vec::new(),
             faulty: None,
             profile: OpProfile::default(),
+            seg_trace: None,
         }
     }
 
@@ -416,15 +423,20 @@ impl NumColumn {
 impl Scan {
     fn produce(&mut self) -> Result<Option<Batch>, Error> {
         if self.pos >= self.end {
+            self.flush_segment_span();
             return Ok(None);
         }
         let seg_rows = self.table.seg_rows();
         let seg = self.pos / seg_rows;
         if self.cur_segment != Some(seg) {
+            self.flush_segment_span();
             self.try_charge_segment_io(seg)?;
             self.cur_segment = Some(seg);
             for p in &mut self.pages {
                 *p = None;
+            }
+            if scc_obs::trace::collecting() {
+                self.seg_trace = Some((seg, Instant::now(), 0));
             }
         }
         let offset = self.pos % seg_rows;
@@ -434,7 +446,32 @@ impl Scan {
             .map(|slot| self.read_column_vector(slot, seg, offset, take))
             .collect();
         self.pos += take;
+        if let Some(t) = &mut self.seg_trace {
+            t.2 += (take * self.cols.len()) as u64;
+        }
         Ok(Some(Batch::new(columns)))
+    }
+
+    /// Records the in-progress segment's trace span, if any: one
+    /// `scan.segment` child per segment entered, tagged with the
+    /// bit-unpacking kernel class and the values it decoded.
+    fn flush_segment_span(&mut self) {
+        if let Some((seg, entered, values)) = self.seg_trace.take() {
+            scc_obs::trace::record_closed(
+                "scan.segment",
+                entered,
+                &[("segment", seg as u64), ("values", values)],
+                Some(("kernel", scc_bitpack::kernel::active().name())),
+            );
+        }
+    }
+}
+
+impl Drop for Scan {
+    fn drop(&mut self) {
+        // The final segment's span closes when the scan is dropped
+        // (early-terminated scans included).
+        self.flush_segment_span();
     }
 }
 

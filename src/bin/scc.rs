@@ -9,10 +9,13 @@
 //! scc explain    [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]
 //! scc serve      [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D]
 //!                [--drain-ms D] [--write-timeout-ms W]
+//!                [--trace-out <trace.json>] [--trace-sample R] [--trace-slow-ms M]
 //! scc loadgen    [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt]
 //!                [--chaos] [--chaos-seed S] [--retry-attempts N] [--retry-deadline-ms D]
 //!                [--stats-json <out.json>] [--client-metrics-json <out.json>]
 //!                [--report-json <out.json>] [--shutdown] [--force]
+//!                [--trace-json <trace.json>] [--trace-sample R]
+//! scc top        [--addr A] [--interval-ms I] [--iterations N] [--no-clear]
 //! ```
 //!
 //! File format: `SCCF` magic, a type tag, a segment count, then
@@ -50,11 +53,14 @@ fn die(msg: &str) -> ExitCode {
          <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  scc explain    \
          [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]\n  scc serve      \
          [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D] [--drain-ms D] \
-         [--write-timeout-ms W]\n  scc loadgen    \
+         [--write-timeout-ms W] [--trace-out J] [--trace-sample R] [--trace-slow-ms M]\n  \
+         scc loadgen    \
          [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt] [--chaos] \
          [--chaos-seed S] [--retry-attempts N] [--retry-deadline-ms D] \
          [--stats-json J] [--client-metrics-json J] \
-         [--report-json J] [--shutdown] [--force]\n  (T = u32|i32|u64|i64, default u32)"
+         [--report-json J] [--shutdown] [--force] [--trace-json J] [--trace-sample R]\n  \
+         scc top        [--addr A] [--interval-ms I] [--iterations N] [--no-clear]\n  \
+         (T = u32|i32|u64|i64, default u32)"
     );
     ExitCode::FAILURE
 }
@@ -376,6 +382,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config =
         scc::server::ServerConfig { addr: "127.0.0.1:7644".into(), ..Default::default() };
     let mut rows = 50_000usize;
+    let mut trace_out: Option<String> = None;
+    let mut trace_sample: f64 = 0.01;
+    let mut trace_slow_ms: Option<u64> = None;
     let mut p = OptParser::new(args);
     while let Some(flag) = p.next_flag() {
         match flag {
@@ -391,11 +400,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.write_timeout = std::time::Duration::from_millis(p.parse(flag)?)
             }
             "--max-scan-threads" => config.max_scan_threads = p.parse(flag)?,
+            "--trace-out" => trace_out = Some(p.value(flag)?.to_string()),
+            "--trace-sample" => trace_sample = p.parse(flag)?,
+            "--trace-slow-ms" => trace_slow_ms = Some(p.parse(flag)?),
             other => return Err(format!("unknown serve option {other}")),
         }
     }
     if rows == 0 || config.workers == 0 {
         return Err("--rows and --workers must be positive".into());
+    }
+    if let Some(path) = &trace_out {
+        if !(0.0..=1.0).contains(&trace_sample) {
+            return Err("--trace-sample must be in 0..=1".into());
+        }
+        scc::obs::trace::configure(scc::obs::trace::TraceConfig {
+            sample_rate: trace_sample,
+            // 0 = derive from the request deadline (Server::start).
+            slow_ns: trace_slow_ms.unwrap_or(0).saturating_mul(1_000_000),
+        });
+        scc::obs::trace::set_collect(true);
+        println!("tracing to {path} (sample {trace_sample}, slow-capture on)");
+    } else if trace_slow_ms.is_some() {
+        return Err("--trace-slow-ms needs --trace-out".into());
     }
     let mut catalog = scc::server::Catalog::new();
     catalog.add(scc::server::demo_table(rows));
@@ -409,6 +435,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     server.wait();
     println!("scc-server: shut down cleanly");
+    if let Some(path) = &trace_out {
+        let n = scc::obs::trace::write_chrome_file(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("{n} trace span(s) written to {path} (chrome://tracing / Perfetto)");
+    }
     for kind in ["segment_range", "scan", "stats"] {
         let hist = scc::obs::global().histogram(&format!("server.service_ns.{kind}"));
         if hist.count() == 0 {
@@ -439,6 +470,8 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let mut force = false;
     let mut chaos = false;
     let mut chaos_seed: Option<u64> = None;
+    let mut trace_json: Option<String> = None;
+    let mut trace_sample: f64 = 1.0;
     let mut p = OptParser::new(args);
     while let Some(flag) = p.next_flag() {
         match flag {
@@ -460,8 +493,22 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             "--report-json" => report_json = Some(p.value(flag)?.to_string()),
             "--shutdown" => shutdown = true,
             "--force" => force = true,
+            "--trace-json" => trace_json = Some(p.value(flag)?.to_string()),
+            "--trace-sample" => trace_sample = p.parse(flag)?,
             other => return Err(format!("unknown loadgen option {other}")),
         }
+    }
+    if let Some(_path) = &trace_json {
+        if !(0.0..=1.0).contains(&trace_sample) {
+            return Err("--trace-sample must be in 0..=1".into());
+        }
+        // Sampled client requests carry their context to the server,
+        // so one trace covers attempts, retries and server phases.
+        scc::obs::trace::configure(scc::obs::trace::TraceConfig {
+            sample_rate: trace_sample,
+            slow_ns: 0,
+        });
+        scc::obs::trace::set_collect(true);
     }
     if chaos {
         // The composite plan: every fault type at once, deterministic
@@ -479,6 +526,11 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let replica = scc::server::demo_table(rows);
     let report = scc::server::run_loadgen(&cfg, &replica)?;
     println!("{}", report.summary());
+    if let Some(path) = &trace_json {
+        let n = scc::obs::trace::write_chrome_file(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("{n} trace span(s) written to {path} (chrome://tracing / Perfetto)");
+    }
     if let Some(path) = report_json {
         fs::write(&path, report.to_json().pretty() + "\n")
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -522,6 +574,29 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `scc top`: a live terminal dashboard over a running server's
+/// windowed Health section — sliding-window p50/p95/p99, queue depth,
+/// request and shed rates, and a p99 trend sparkline.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut cfg = scc::server::TopConfig::default();
+    let mut p = OptParser::new(args);
+    while let Some(flag) = p.next_flag() {
+        match flag {
+            "--addr" => cfg.addr = p.value(flag)?.to_string(),
+            "--interval-ms" => {
+                cfg.interval = std::time::Duration::from_millis(p.parse(flag)?);
+            }
+            "--iterations" => cfg.iterations = Some(p.parse(flag)?),
+            "--no-clear" => cfg.clear_screen = false,
+            other => return Err(format!("unknown top option {other}")),
+        }
+    }
+    let mut out = std::io::stdout();
+    let frames = scc::server::run_top(&cfg, &mut out).map_err(|e| e.to_string())?;
+    println!("scc top: {frames} frame(s) rendered");
+    Ok(())
+}
+
 fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args[0].as_str();
     if cmd == "explain" {
@@ -532,6 +607,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
     if cmd == "loadgen" {
         return cmd_loadgen(&args[1..]);
+    }
+    if cmd == "top" {
+        return cmd_top(&args[1..]);
     }
     let mut ty = "u32".to_string();
     let mut scheme = "auto".to_string();
