@@ -32,6 +32,9 @@ fn bench_granularity(c: &mut Criterion) {
                     vector_size: 1024,
                     disk: Disk::middle_end(),
                     layout: Layout::Dsm,
+                    // Measures decode bandwidth: the drain loop consumes
+                    // no values, so the scan itself must decode.
+                    code_scan: false,
                 };
                 let mut scan = Scan::new(Arc::clone(&table), &["x"], opts, stats, None);
                 let mut total = 0usize;

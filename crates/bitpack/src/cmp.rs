@@ -1,0 +1,169 @@
+//! Packed-domain predicate kernels: compare `b`-bit codes against a
+//! re-encoded constant and emit a selection vector, without ever
+//! materializing the decoded values to memory.
+//!
+//! These are the scan primitives behind compressed-domain `Select`
+//! (ROADMAP item 1, after MorphStore): the caller re-encodes its literal
+//! into code space (see `scc-core`'s predicate compiler) and the kernel
+//! answers `lo <= code <= hi` (optionally negated) or `code ∈ set` for
+//! every slot. Codes are unpacked group-at-a-time into registers / a
+//! 32-slot stack buffer — never into a full output vector — so the
+//! memory traffic is the packed words in and one byte per slot out.
+//!
+//! Exception slots (PFOR patch positions) hold gap codes, not data; the
+//! caller patches their selection bits from the miss list afterwards, so
+//! whatever these kernels report for such slots is overwritten.
+//!
+//! Like the rest of the crate, every tier is byte-identical; the
+//! differential tests in `tests/kernel_differential.rs` cover these
+//! kernels across tiers, widths, and ragged tails.
+
+use crate::GROUP;
+
+/// `out[i] = (lo <= code_i && code_i <= hi) != negate` for every packed
+/// `b`-bit code. `negate` turns a band predicate into its complement
+/// (`Ne` is the negated single-point band `[c, c]`).
+///
+/// Requires `lo <= hi` (callers fold empty bands to a constant outcome
+/// before reaching a kernel) and panics, like [`crate::unpack`], when
+/// `b > 32` or `packed` is too short for `out.len()` codes.
+pub fn cmp_range(packed: &[u32], b: u32, lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+    crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+    (crate::kernel::driver().cmp_range)(packed, b, lo, hi, negate, out);
+}
+
+/// `out[i] = set contains code_i` for every packed `b`-bit code, where
+/// `bits` is a little-endian bitset (`bits[c >> 6] >> (c & 63) & 1`).
+/// Codes at or beyond `bits.len() * 64` report `false`; in the PDICT
+/// use the only such codes are exception gap codes, whose slots the
+/// caller patches afterwards.
+///
+/// Panics, like [`crate::unpack`], when `b > 32` or `packed` is too
+/// short for `out.len()` codes.
+pub fn cmp_in_set(packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
+    crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+    (crate::kernel::driver().cmp_in_set)(packed, b, bits, out);
+}
+
+/// Membership test against a little-endian `u64` bitset; out-of-range
+/// codes are not members.
+#[inline(always)]
+pub(crate) fn set_has(bits: &[u64], c: u32) -> bool {
+    match bits.get((c >> 6) as usize) {
+        Some(w) => (w >> (c & 63)) & 1 != 0,
+        None => false,
+    }
+}
+
+/// Scalar range-compare tier. Unpacks one 32-value group at a time into
+/// a stack buffer and tests branch-free.
+pub(crate) fn cmp_range_scalar(
+    packed: &[u32],
+    b: u32,
+    lo: u32,
+    hi: u32,
+    negate: bool,
+    out: &mut [bool],
+) {
+    if b == 0 {
+        // Every code is 0: inside the band iff lo == 0 (lo <= hi given).
+        out.fill((lo == 0) != negate);
+        return;
+    }
+    let wpg = b as usize;
+    let mut buf = [0u32; GROUP];
+    let n = out.len();
+    let mut i = 0usize;
+    let mut w = 0usize;
+    while i < n {
+        let len = GROUP.min(n - i);
+        crate::fused::unpack_scalar(&packed[w..], b, &mut buf[..len]);
+        for j in 0..len {
+            let c = buf[j];
+            out[i + j] = ((c >= lo) & (c <= hi)) != negate;
+        }
+        i += len;
+        w += wpg;
+    }
+}
+
+/// Scalar set-membership tier; same group-buffer structure as
+/// [`cmp_range_scalar`].
+pub(crate) fn cmp_in_set_scalar(packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
+    if b == 0 {
+        out.fill(set_has(bits, 0));
+        return;
+    }
+    let wpg = b as usize;
+    let mut buf = [0u32; GROUP];
+    let n = out.len();
+    let mut i = 0usize;
+    let mut w = 0usize;
+    while i < n {
+        let len = GROUP.min(n - i);
+        crate::fused::unpack_scalar(&packed[w..], b, &mut buf[..len]);
+        for j in 0..len {
+            out[i + j] = set_has(bits, buf[j]);
+        }
+        i += len;
+        w += wpg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mask, pack_vec};
+
+    fn codes(n: usize, b: u32) -> Vec<u32> {
+        (0..n).map(|i| (i as u32).wrapping_mul(0x9e37_79b9) & mask(b)).collect()
+    }
+
+    #[test]
+    fn scalar_range_matches_reference() {
+        for b in [0u32, 1, 3, 8, 17, 32] {
+            for n in [0usize, 1, 31, 32, 33, 100, 256] {
+                let vals = codes(n, b);
+                let packed = pack_vec(&vals, b);
+                for (lo, hi) in [(0u32, 0u32), (0, mask(b)), (5, 900), (7, 7)] {
+                    if lo > hi {
+                        continue;
+                    }
+                    for negate in [false, true] {
+                        let mut got = vec![false; n];
+                        cmp_range_scalar(&packed, b, lo, hi, negate, &mut got);
+                        let want: Vec<bool> =
+                            vals.iter().map(|&c| ((c >= lo) & (c <= hi)) != negate).collect();
+                        assert_eq!(got, want, "b={b} n={n} lo={lo} hi={hi} neg={negate}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_set_matches_reference() {
+        for b in [0u32, 1, 4, 8, 13, 32] {
+            for n in [0usize, 1, 32, 65, 200] {
+                let vals = codes(n, b);
+                let packed = pack_vec(&vals, b);
+                // Membership bitset over the low 128 code points.
+                let bits = [0xDEAD_BEEF_0123_4567u64, 0x8BAD_F00D_FEED_FACEu64];
+                let mut got = vec![false; n];
+                cmp_in_set_scalar(&packed, b, &bits, &mut got);
+                let want: Vec<bool> = vals.iter().map(|&c| set_has(&bits, c)).collect();
+                assert_eq!(got, want, "b={b} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn public_entry_validates() {
+        let packed = [0u32; 1];
+        let mut out = [false; 64];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cmp_range(&packed, 33, 0, 1, false, &mut out);
+        }));
+        assert!(r.is_err(), "b > 32 must panic like unpack does");
+    }
+}

@@ -104,6 +104,8 @@ pub(crate) struct Driver {
     pub(crate) unpack_delta64: fn(&[u32], u32, u64, u64, &mut [u64]),
     pub(crate) prefix_sum32: fn(&mut [u32], u32),
     pub(crate) prefix_sum64: fn(&mut [u64], u64),
+    pub(crate) cmp_range: fn(&[u32], u32, u32, u32, bool, &mut [bool]),
+    pub(crate) cmp_in_set: fn(&[u32], u32, &[u64], &mut [bool]),
 }
 
 static SCALAR: Driver = Driver {
@@ -115,6 +117,8 @@ static SCALAR: Driver = Driver {
     unpack_delta64: crate::fused::delta64_scalar,
     prefix_sum32: crate::fused::prefix_sum32_scalar,
     prefix_sum64: crate::fused::prefix_sum64_scalar,
+    cmp_range: crate::cmp::cmp_range_scalar,
+    cmp_in_set: crate::cmp::cmp_in_set_scalar,
 };
 
 /// `0` = not yet detected; otherwise `KernelClass::index() + 1`.
@@ -279,6 +283,26 @@ impl Kernels {
     /// In-place inclusive wrapping prefix sum, 64-bit lanes.
     pub fn prefix_sum64(self, out: &mut [u64], seed: u64) {
         (self.d.prefix_sum64)(out, seed);
+    }
+
+    /// Per-tier [`crate::cmp_range`]; same contract and panics.
+    pub fn cmp_range(
+        self,
+        packed: &[u32],
+        b: u32,
+        lo: u32,
+        hi: u32,
+        negate: bool,
+        out: &mut [bool],
+    ) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.cmp_range)(packed, b, lo, hi, negate, out);
+    }
+
+    /// Per-tier [`crate::cmp_in_set`]; same contract and panics.
+    pub fn cmp_in_set(self, packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.cmp_in_set)(packed, b, bits, out);
     }
 }
 

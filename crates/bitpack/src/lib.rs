@@ -22,6 +22,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitio;
+pub mod cmp;
 pub mod delta;
 pub mod fused;
 mod group;
@@ -31,6 +32,7 @@ mod scalar;
 mod simd;
 
 pub use bitio::{BitReader, BitWriter};
+pub use cmp::{cmp_in_set, cmp_range};
 
 /// Number of values in one packing group. Groups always start word-aligned.
 pub const GROUP: usize = 32;

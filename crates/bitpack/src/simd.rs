@@ -418,6 +418,140 @@ fn prefix_sum64_avx2_impl(out: &mut [u64], seed: u64) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Packed-domain compare kernels. Codes stream through a small stack
+// buffer (unpacked with the tier's unpack) and the band test runs
+// vectorized over it; results are byte-identical to the scalar tier by
+// construction since the output depends only on the code values.
+// ---------------------------------------------------------------------
+
+/// Codes per streaming chunk of the compare kernels. A multiple of
+/// [`GROUP`] so chunk starts stay group-aligned in the packed words.
+const CMP_CHUNK: usize = 1024;
+
+/// Vectorized `lo <= c <= hi` (optionally negated) over already-unpacked
+/// codes, writing one `bool` byte per code. Unsigned order via the
+/// sign-bit bias trick (`c ^ 0x8000_0000` makes signed compares act
+/// unsigned).
+#[target_feature(enable = "sse4.1")]
+fn cmp_band_sse(codes: &[u32], lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+    let bias = _mm_set1_epi32(i32::MIN);
+    let vlo = _mm_set1_epi32((lo ^ 0x8000_0000) as i32);
+    let vhi = _mm_set1_epi32((hi ^ 0x8000_0000) as i32);
+    // `outside ^ vneg`: all-ones flips "outside" into "inside" for the
+    // plain band; zero keeps "outside" for the negated band.
+    let vneg = if negate { _mm_setzero_si128() } else { _mm_set1_epi32(-1) };
+    let one = _mm_set1_epi8(1);
+    let chunks = codes.len() / 16;
+    for c in 0..chunks {
+        let base = codes.as_ptr().wrapping_add(16 * c).cast::<__m128i>();
+        let mut r = [_mm_setzero_si128(); 4];
+        for (j, rj) in r.iter_mut().enumerate() {
+            // SAFETY: lanes 16c+4j..16c+4j+4 are within `codes`.
+            let x = _mm_xor_si128(unsafe { _mm_loadu_si128(base.wrapping_add(j)) }, bias);
+            let outside = _mm_or_si128(_mm_cmpgt_epi32(vlo, x), _mm_cmpgt_epi32(x, vhi));
+            *rj = _mm_xor_si128(outside, vneg);
+        }
+        // i32 masks -> i16 -> i8 keeps element order on SSE.
+        let p01 = _mm_packs_epi32(r[0], r[1]);
+        let p23 = _mm_packs_epi32(r[2], r[3]);
+        let bytes = _mm_and_si128(_mm_packs_epi16(p01, p23), one);
+        // SAFETY: 16 bytes at out[16c..] are within `out`; 0/1 bytes are
+        // valid `bool` representations.
+        unsafe { _mm_storeu_si128(out.as_mut_ptr().add(16 * c).cast(), bytes) };
+    }
+    for j in 16 * chunks..codes.len() {
+        let c = codes[j];
+        out[j] = ((c >= lo) & (c <= hi)) != negate;
+    }
+}
+
+fn cmp_range_sse41(packed: &[u32], b: u32, lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+    if b == 0 {
+        return crate::cmp::cmp_range_scalar(packed, b, lo, hi, negate, out);
+    }
+    let n = out.len();
+    let mut buf = [0u32; CMP_CHUNK];
+    let mut i = 0usize;
+    while i < n {
+        let len = CMP_CHUNK.min(n - i);
+        crate::fused::unpack_scalar(&packed[i / GROUP * b as usize..], b, &mut buf[..len]);
+        // SAFETY: this driver is only installed when SSE4.1 is detected.
+        unsafe { cmp_band_sse(&buf[..len], lo, hi, negate, &mut out[i..i + len]) };
+        i += len;
+    }
+}
+
+/// AVX2 band test over unpacked codes; 32 codes per iteration, masks
+/// narrowed i32→i16→i8 with a `vpermd` to undo the 128-bit-lane
+/// interleave of the AVX2 pack instructions.
+#[target_feature(enable = "avx2")]
+fn cmp_band_avx2(codes: &[u32], lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+    let bias = _mm256_set1_epi32(i32::MIN);
+    let vlo = _mm256_set1_epi32((lo ^ 0x8000_0000) as i32);
+    let vhi = _mm256_set1_epi32((hi ^ 0x8000_0000) as i32);
+    let vneg = if negate { _mm256_setzero_si256() } else { _mm256_set1_epi32(-1) };
+    let one = _mm256_set1_epi8(1);
+    let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    let chunks = codes.len() / 32;
+    for c in 0..chunks {
+        let base = codes.as_ptr().wrapping_add(32 * c).cast::<__m256i>();
+        let mut r = [_mm256_setzero_si256(); 4];
+        for (j, rj) in r.iter_mut().enumerate() {
+            // SAFETY: lanes 32c+8j..32c+8j+8 are within `codes`.
+            let x = _mm256_xor_si256(unsafe { _mm256_loadu_si256(base.wrapping_add(j)) }, bias);
+            let outside = _mm256_or_si256(_mm256_cmpgt_epi32(vlo, x), _mm256_cmpgt_epi32(x, vhi));
+            *rj = _mm256_xor_si256(outside, vneg);
+        }
+        let p01 = _mm256_packs_epi32(r[0], r[1]);
+        let p23 = _mm256_packs_epi32(r[2], r[3]);
+        let interleaved = _mm256_packs_epi16(p01, p23);
+        let bytes = _mm256_and_si256(_mm256_permutevar8x32_epi32(interleaved, fix), one);
+        // SAFETY: 32 bytes at out[32c..] are within `out`; 0/1 bytes are
+        // valid `bool` representations.
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().add(32 * c).cast(), bytes) };
+    }
+    for j in 32 * chunks..codes.len() {
+        let c = codes[j];
+        out[j] = ((c >= lo) & (c <= hi)) != negate;
+    }
+}
+
+fn cmp_range_avx2(packed: &[u32], b: u32, lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+    if b == 0 {
+        return crate::cmp::cmp_range_scalar(packed, b, lo, hi, negate, out);
+    }
+    let n = out.len();
+    let mut buf = [0u32; CMP_CHUNK];
+    let mut i = 0usize;
+    while i < n {
+        let len = CMP_CHUNK.min(n - i);
+        unpack_avx2(&packed[i / GROUP * b as usize..], b, &mut buf[..len]);
+        // SAFETY: this driver is only installed when AVX2 is detected.
+        unsafe { cmp_band_avx2(&buf[..len], lo, hi, negate, &mut out[i..i + len]) };
+        i += len;
+    }
+}
+
+fn cmp_in_set_avx2(packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
+    if b == 0 {
+        return crate::cmp::cmp_in_set_scalar(packed, b, bits, out);
+    }
+    // Set membership is a per-lane table lookup, which does not
+    // vectorize profitably; the AVX2 tier still wins the unpack stage.
+    let n = out.len();
+    let mut buf = [0u32; CMP_CHUNK];
+    let mut i = 0usize;
+    while i < n {
+        let len = CMP_CHUNK.min(n - i);
+        unpack_avx2(&packed[i / GROUP * b as usize..], b, &mut buf[..len]);
+        for j in 0..len {
+            out[i + j] = crate::cmp::set_has(bits, buf[j]);
+        }
+        i += len;
+    }
+}
+
 pub(crate) static AVX2: Driver = Driver {
     class: KernelClass::Avx2,
     unpack: unpack_avx2,
@@ -427,6 +561,8 @@ pub(crate) static AVX2: Driver = Driver {
     unpack_delta64: delta64_avx2,
     prefix_sum32: prefix_sum32_avx2,
     prefix_sum64: prefix_sum64_avx2,
+    cmp_range: cmp_range_avx2,
+    cmp_in_set: cmp_in_set_avx2,
 };
 
 // ---------------------------------------------------------------------
@@ -625,6 +761,10 @@ pub(crate) static SSE41: Driver = Driver {
     unpack_delta64: delta64_sse41,
     prefix_sum32: prefix_sum32_sse41,
     prefix_sum64: prefix_sum64_sse41,
+    cmp_range: cmp_range_sse41,
+    // Scalar unpack + scalar membership: identical work to the scalar
+    // tier (SSE4.1 has no gather to speed the lookup).
+    cmp_in_set: crate::cmp::cmp_in_set_scalar,
 };
 
 #[cfg(test)]

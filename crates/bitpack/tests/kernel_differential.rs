@@ -119,6 +119,43 @@ proptest! {
             prop_assert_eq!(&got64, &want64, "{} prefix_sum64", k.class());
         }
     }
+
+    #[test]
+    fn cmp_range_matches_on_every_tier(
+        values in prop::collection::vec(any::<u32>(), 0..1500),
+        b in 0u32..=32,
+        bounds in (any::<u32>(), any::<u32>()),
+        negate in any::<bool>(),
+    ) {
+        let codes: Vec<u32> = values.iter().map(|&v| v & mask(b)).collect();
+        let packed = pack_vec(&codes, b);
+        // Bias the band towards the code domain so matches actually occur.
+        let (a, c) = (bounds.0 & mask(b), bounds.1);
+        let (lo, hi) = if a <= c { (a, c) } else { (c, a) };
+        let want: Vec<bool> = codes.iter().map(|&v| ((v >= lo) & (v <= hi)) != negate).collect();
+        for k in tiers() {
+            let mut out = vec![false; codes.len()];
+            k.cmp_range(&packed, b, lo, hi, negate, &mut out);
+            prop_assert_eq!(&out, &want, "{} cmp_range b={} lo={} hi={} neg={}", k.class(), b, lo, hi, negate);
+        }
+    }
+
+    #[test]
+    fn cmp_in_set_matches_on_every_tier(
+        values in prop::collection::vec(any::<u32>(), 0..1500),
+        b in 0u32..=32,
+        bits in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let codes: Vec<u32> = values.iter().map(|&v| v & mask(b)).collect();
+        let packed = pack_vec(&codes, b);
+        let has = |c: u32| bits.get((c >> 6) as usize).is_some_and(|w| (w >> (c & 63)) & 1 != 0);
+        let want: Vec<bool> = codes.iter().map(|&v| has(v)).collect();
+        for k in tiers() {
+            let mut out = vec![false; codes.len()];
+            k.cmp_in_set(&packed, b, &bits, &mut out);
+            prop_assert_eq!(&out, &want, "{} cmp_in_set b={}", k.class(), b);
+        }
+    }
 }
 
 /// Non-random sweep pinning the exact tail lengths the SIMD drivers

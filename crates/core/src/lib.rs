@@ -43,6 +43,7 @@
 //! | [`patch`] | §3.1 | Linked exception lists, compulsory exceptions |
 //! | [`segment`] | Fig. 3 | Segment layout, entry points, fine-grained access |
 //! | [`analyze`] | §3.1 | `PFOR_ANALYZE_BITS`, histogram analysis, auto choice |
+//! | [`predicate`] | — | Compressed-domain predicates: literal re-encoding, code-space select |
 //! | [`wire`] | Fig. 3 | Byte serialization (v2: per-section CRC32C checksums) |
 //! | [`crc`] | — | Hand-rolled CRC32C (slicing-by-8) |
 //! | [`frame`] | — | Checksummed length-prefixed framing (container + server) |
@@ -61,6 +62,7 @@ pub mod patch;
 pub mod pdict;
 pub mod pfor;
 pub mod pfordelta;
+pub mod predicate;
 pub mod segment;
 pub mod telemetry;
 pub mod value;
@@ -77,6 +79,7 @@ pub use naive::NaiveSegment;
 pub use patch::{EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
 pub use pdict::Dictionary;
 pub use pfor::CompressKernel;
+pub use predicate::{const_outcome, type_literal, CodePredicate, PredOp, TypedLit, ValuePred};
 pub use segment::{Integrity, SchemeKind, Segment, SegmentStats};
 pub use value::Value;
 pub use wire::WireError;

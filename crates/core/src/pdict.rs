@@ -12,6 +12,7 @@
 //! Fibonacci hashing and linear probing, which keeps the probe loop short
 //! and branch-light (documented substitution, see DESIGN.md §2).
 
+use crate::error::Error;
 use crate::pfor::CompressKernel;
 use crate::segment::{SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
@@ -92,10 +93,32 @@ impl<V: Value> Dictionary<V> {
         }
     }
 
+    /// The value for a code, or [`Error::CorruptDictCode`] when the code
+    /// does not address a dictionary entry. Codes reaching a decode path
+    /// come from bit-packed sections that can hold any `b`-bit pattern,
+    /// so an in-width but out-of-dictionary code is reachable from
+    /// corrupt input and must surface as a typed error (`index` is not
+    /// known at this layer and reports 0).
+    #[inline]
+    pub fn try_value_of(&self, code: u32) -> Result<V, Error> {
+        self.entries.get(code as usize).copied().ok_or(Error::CorruptDictCode {
+            index: 0,
+            code: code as u64,
+            dict_len: self.entries.len(),
+        })
+    }
+
     /// The value for a code.
+    ///
+    /// Infallible [`try_value_of`](Self::try_value_of): panics with the
+    /// typed error's message on an out-of-dictionary code. Call sites
+    /// that hold untrusted codes must use the fallible form.
     #[inline]
     pub fn value_of(&self, code: u32) -> V {
-        self.entries[code as usize]
+        match self.try_value_of(code) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The code array (consumed into the segment at compression time).

@@ -215,7 +215,7 @@ impl<V: Value> Segment<V> {
 
     /// Word offset of block `blk` in the code section.
     #[inline]
-    fn block_word_offset(&self, blk: usize) -> usize {
+    pub(crate) fn block_word_offset(&self, blk: usize) -> usize {
         // Full blocks are 128 values = 4 bit-pack groups = 4*b words.
         blk * 4 * self.b as usize
     }
@@ -227,7 +227,7 @@ impl<V: Value> Segment<V> {
     /// them the full remainder lets every non-final block take the
     /// vectorized path.
     #[inline]
-    fn block_codes(&self, blk: usize, len: usize) -> Result<&[u32], Error> {
+    pub(crate) fn block_codes(&self, blk: usize, len: usize) -> Result<&[u32], Error> {
         let off = self.block_word_offset(blk);
         let need = packed_words(len, self.b);
         match self.codes.get(off..) {

@@ -46,6 +46,16 @@ pub trait Value: Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'stati
     /// Lossy conversion used by histograms and reports.
     fn to_u64_lossy(self) -> u64;
 
+    /// Exact conversion from a wire literal (`i64` is the carrier type of
+    /// pushed-down predicates). `Err(below)` reports which side of the
+    /// type's domain the literal falls on: `Err(true)` when it is below
+    /// every representable value (a negative literal against an unsigned
+    /// column), `Err(false)` when above (e.g. `u64::MAX as i64`-overflow
+    /// territory for `i32`). The predicate compiler folds such literals
+    /// to constant outcomes instead of ever casting — see
+    /// [`crate::predicate::type_literal`].
+    fn try_from_i64(v: i64) -> Result<Self, bool>;
+
     /// Width of the type in bytes.
     #[inline]
     fn byte_width() -> usize {
@@ -133,6 +143,14 @@ macro_rules! impl_value {
             #[inline]
             fn to_u64_lossy(self) -> u64 {
                 self as $uns as u64
+            }
+
+            #[inline]
+            fn try_from_i64(v: i64) -> Result<Self, bool> {
+                // `v < 0` cleanly splits the two failure sides for every
+                // implementor: a too-small literal is negative, a
+                // too-large one positive.
+                <$ty>::try_from(v).map_err(|_| v < 0)
             }
 
             #[inline]

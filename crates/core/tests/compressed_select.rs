@@ -1,0 +1,273 @@
+//! Differential tests for compressed-domain predicate execution.
+//!
+//! The contract under test: for any segment, any predicate that
+//! [`Segment::compile_predicate`] accepts must produce — via
+//! [`Segment::try_select_range`], without decoding — exactly the
+//! selection vector that decoding the segment and testing every value
+//! produces. Covered axes: scheme (PFOR / PFOR-DELTA / PDICT) × width ×
+//! exception rate × all six `PredOp`s, plus pinned regressions for the
+//! window-boundary literals where a wrapping code comparison would
+//! misclassify whole blocks.
+
+use proptest::prelude::*;
+use scc_core::predicate::{PredOp, ValuePred};
+use scc_core::{pdict, pfor, pfordelta, Dictionary, Segment, Value};
+
+/// Decode-then-select reference.
+fn reference<V: Value>(seg: &Segment<V>, pred: &ValuePred<V>) -> Vec<bool> {
+    seg.decompress().iter().map(|&v| pred.test(v)).collect()
+}
+
+/// Asserts the compressed path (when compilable) agrees with the
+/// reference over the whole segment and over an unaligned-length tail
+/// range.
+fn assert_differential<V: Value>(seg: &Segment<V>, pred: &ValuePred<V>, ctx: &str) {
+    let Some(cp) = seg.compile_predicate(pred) else {
+        return;
+    };
+    let want = reference(seg, pred);
+    let mut got = vec![false; seg.len()];
+    seg.try_select_range(&cp, 0, &mut got).unwrap();
+    assert_eq!(got, want, "full-range select diverged: {ctx}");
+    // A block-aligned sub-range with a ragged end.
+    if seg.len() > 128 {
+        let start = 128;
+        let len = (seg.len() - start).min(300);
+        let mut sub = vec![false; len];
+        seg.try_select_range(&cp, start, &mut sub).unwrap();
+        assert_eq!(&sub[..], &want[start..start + len], "sub-range select diverged: {ctx}");
+    }
+}
+
+fn all_cmp_preds<V: Value>(lits: &[V]) -> Vec<ValuePred<V>> {
+    let mut out = Vec::new();
+    for &lit in lits {
+        for op in PredOp::ALL {
+            out.push(ValuePred::Cmp { op, lit });
+        }
+    }
+    out
+}
+
+/// Satellite regression: a literal just below `base` and just above
+/// `base + 2^b - 1` must classify every block correctly at widths
+/// {0, 1, 8, 32}. A `wrapping_offset`-based ordering compare would wrap
+/// the below-base literal to a huge code and invert the answer.
+#[test]
+fn window_boundary_literals_classify_every_block() {
+    for b in [0u32, 1, 8, 32] {
+        let base = 1000u32;
+        let span = scc_bitpack::mask(b);
+        // In-window data with enough values for several blocks, plus
+        // out-of-window values so exceptions exist at every width.
+        let values: Vec<u32> = (0..700u32)
+            .map(|i| {
+                if i % 37 == 0 {
+                    5 + i // below base: exception
+                } else {
+                    base + (i % (span.saturating_add(1)).max(1))
+                }
+            })
+            .collect();
+        let seg = pfor::compress(&values, base, b);
+        let below = base - 1;
+        let above_off = span as u64 + 1; // first value past the window
+        let above = (base as u64 + above_off).min(u32::MAX as u64) as u32;
+        for lit in [below, base, above] {
+            for op in PredOp::ALL {
+                let pred = ValuePred::Cmp { op, lit };
+                assert_differential(&seg, &pred, &format!("b={b} lit={lit} op={op:?}"));
+            }
+        }
+    }
+}
+
+/// Wrapped-window segments (base near the top of the domain) must never
+/// compile ordering ops — and the `Eq`/`Ne` membership translation must
+/// still be exact.
+#[test]
+fn wrapped_window_falls_back_for_ordering_ops() {
+    let base = u32::MAX - 100;
+    let values: Vec<u32> = (0..600u32).map(|i| base.wrapping_add(i % 200)).collect();
+    let seg = pfor::compress(&values, base, 8);
+    // The 8-bit window [MAX-100, MAX-100+255] wraps the domain top.
+    for op in [PredOp::Lt, PredOp::Le, PredOp::Gt, PredOp::Ge] {
+        let pred = ValuePred::Cmp { op, lit: 10u32 };
+        assert!(
+            seg.compile_predicate(&pred).is_none(),
+            "ordering op {op:?} must not compile against a wrapped window"
+        );
+    }
+    for lit in [0u32, 10, base, base + 50, u32::MAX] {
+        for op in [PredOp::Eq, PredOp::Ne] {
+            let pred = ValuePred::Cmp { op, lit };
+            let cp = seg.compile_predicate(&pred).expect("Eq/Ne always compile against PFOR");
+            let want = reference(&seg, &pred);
+            let mut got = vec![false; seg.len()];
+            seg.try_select_range(&cp, 0, &mut got).unwrap();
+            assert_eq!(got, want, "wrapped-window {op:?} lit={lit}");
+        }
+    }
+}
+
+/// Signed columns: windows spanning negative and positive values, and
+/// negative bases, order correctly in code space.
+#[test]
+fn signed_windows_order_correctly() {
+    let values: Vec<i64> = (0..500i64).map(|i| -200 + (i * 7) % 400).collect();
+    let seg = pfor::compress(&values, -200, 9);
+    for lit in [-201i64, -200, -1, 0, 1, 199, 200, i64::MIN, i64::MAX] {
+        for op in PredOp::ALL {
+            let pred = ValuePred::Cmp { op, lit };
+            assert_differential(&seg, &pred, &format!("i64 lit={lit} op={op:?}"));
+        }
+    }
+}
+
+/// PDICT: the predicate is evaluated once per dictionary entry and the
+/// scan is id-set membership; exception values (not in the dictionary)
+/// are re-tested by the patch walk.
+#[test]
+fn pdict_membership_and_exceptions() {
+    let dict = Dictionary::new(vec![10u32, 500, 7, 42, 99999]);
+    let values: Vec<u32> = (0..800u32)
+        .map(|i| match i % 11 {
+            0 => 123456 + i, // not in dict: exception
+            1 => 99999,
+            2..=4 => 500,
+            5 => 42,
+            6 => 7,
+            _ => 10,
+        })
+        .collect();
+    let seg = pdict::compress(&values, &dict);
+    for pred in all_cmp_preds(&[7u32, 10, 99, 500, 99999, 123460]) {
+        assert_differential(&seg, &pred, &format!("pdict {pred:?}"));
+    }
+    // Set predicates compile against PDICT too.
+    let set: std::collections::HashSet<u64> = [10u64, 42, 123460].into_iter().collect();
+    let pred = ValuePred::InSet(set);
+    assert_differential(&seg, &pred, "pdict in-set");
+}
+
+/// PFOR-DELTA never compiles: codes are first differences.
+#[test]
+fn pfordelta_never_compiles() {
+    let values: Vec<u32> = (0..400u32).map(|i| i * 3).collect();
+    let seg = pfordelta::compress(&values, 0, 0, 4);
+    for op in PredOp::ALL {
+        let pred = ValuePred::Cmp { op, lit: 100u32 };
+        assert!(seg.compile_predicate(&pred).is_none(), "{op:?}");
+    }
+}
+
+/// Satellite bugfix: an out-of-dictionary code surfaces
+/// `Error::CorruptDictCode` from `try_value_of`, and the infallible
+/// `value_of` panics with the same message instead of an index panic.
+#[test]
+fn dictionary_try_value_of_surfaces_typed_error() {
+    let dict = Dictionary::new(vec![1u32, 2, 3]);
+    assert_eq!(dict.try_value_of(2), Ok(3));
+    match dict.try_value_of(3) {
+        Err(scc_core::Error::CorruptDictCode { code: 3, dict_len: 3, .. }) => {}
+        other => panic!("expected CorruptDictCode, got {other:?}"),
+    }
+    let err = std::panic::catch_unwind(|| dict.value_of(17)).unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("corrupt PDICT"), "panic message should be the typed error: {msg}");
+}
+
+/// Exception-rate sweep generator: values mostly inside an 8-bit window
+/// from `base`, with a controllable fraction of outliers on both sides.
+fn pfor_values(len: usize, exc_permille: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1000 - exc_permille) => 1000u32..1256,
+            exc_permille.max(1) / 2 + 1 => 0u32..1000,
+            exc_permille.max(1) / 2 + 1 => 2000u32..u32::MAX,
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline differential: PFOR, every op, every width, swept
+    /// exception rates — compressed select equals decode-then-select.
+    #[test]
+    fn pfor_select_matches_decode_then_select(
+        values in pfor_values(900, 50),
+        b in 0u32..=32,
+        lit in prop_oneof![900u32..1400, any::<u32>()],
+        op_tag in 1u8..=6,
+    ) {
+        let op = PredOp::from_tag(op_tag).unwrap();
+        let seg = pfor::compress(&values, 1000, b);
+        let pred = ValuePred::Cmp { op, lit };
+        if let Some(cp) = seg.compile_predicate(&pred) {
+            let want = reference(&seg, &pred);
+            let mut got = vec![false; seg.len()];
+            seg.try_select_range(&cp, 0, &mut got).unwrap();
+            prop_assert_eq!(got, want, "b={} lit={} op={:?}", b, lit, op);
+        }
+    }
+
+    /// Heavy-exception PFOR: every block carries patches.
+    #[test]
+    fn pfor_select_matches_under_heavy_exceptions(
+        values in pfor_values(600, 400),
+        b in 0u32..=12,
+        lit in any::<u32>(),
+        op_tag in 1u8..=6,
+    ) {
+        let op = PredOp::from_tag(op_tag).unwrap();
+        let seg = pfor::compress(&values, 1000, b);
+        let pred = ValuePred::Cmp { op, lit };
+        if let Some(cp) = seg.compile_predicate(&pred) {
+            let want = reference(&seg, &pred);
+            let mut got = vec![false; seg.len()];
+            seg.try_select_range(&cp, 0, &mut got).unwrap();
+            prop_assert_eq!(got, want, "b={} lit={} op={:?}", b, lit, op);
+        }
+    }
+
+    /// PDICT differential across dictionary sizes and widths (including
+    /// widths below `min_width`, which force extra exceptions).
+    #[test]
+    fn pdict_select_matches_decode_then_select(
+        values in prop::collection::vec(0u32..40, 0..700),
+        dict_len in 1u32..40,
+        lit in 0u32..45,
+        op_tag in 1u8..=6,
+    ) {
+        let op = PredOp::from_tag(op_tag).unwrap();
+        let dict = Dictionary::new((0..dict_len).collect());
+        let seg = pdict::compress(&values, &dict);
+        let pred = ValuePred::Cmp { op, lit };
+        let cp = seg.compile_predicate(&pred).expect("PDICT cmp always compiles");
+        let want = reference(&seg, &pred);
+        let mut got = vec![false; seg.len()];
+        seg.try_select_range(&cp, 0, &mut got).unwrap();
+        prop_assert_eq!(got, want, "dict_len={} lit={} op={:?}", dict_len, lit, op);
+    }
+
+    /// Signed 32-bit PFOR differential with negative bases.
+    #[test]
+    fn signed_pfor_select_matches(
+        values in prop::collection::vec(-500i32..500, 0..600),
+        b in 0u32..=32,
+        lit in -600i32..600,
+        op_tag in 1u8..=6,
+    ) {
+        let op = PredOp::from_tag(op_tag).unwrap();
+        let seg = pfor::compress(&values, -500, b);
+        let pred = ValuePred::Cmp { op, lit };
+        if let Some(cp) = seg.compile_predicate(&pred) {
+            let want = reference(&seg, &pred);
+            let mut got = vec![false; seg.len()];
+            seg.try_select_range(&cp, 0, &mut got).unwrap();
+            prop_assert_eq!(got, want, "b={} lit={} op={:?}", b, lit, op);
+        }
+    }
+}

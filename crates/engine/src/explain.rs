@@ -25,6 +25,13 @@ pub struct OpProfile {
     /// Inclusive wall time spent in `try_next` (self + children), in
     /// nanoseconds. Zero unless telemetry was enabled during the run.
     pub wall_ns: u64,
+    /// Values this operator decoded from compressed columns (full
+    /// materializations plus block-granular survivor gathers).
+    pub values_decoded: u64,
+    /// Values this operator consumed *without* decoding: answered in
+    /// code space by a compressed-domain predicate, or pruned before
+    /// materialization. Zero for plans that never carry lazy columns.
+    pub values_skipped: u64,
 }
 
 impl OpProfile {
@@ -53,6 +60,8 @@ impl OpProfile {
         self.vectors += other.vectors;
         self.rows += other.rows;
         self.wall_ns += other.wall_ns;
+        self.values_decoded += other.values_decoded;
+        self.values_skipped += other.values_skipped;
     }
 }
 
@@ -85,6 +94,20 @@ impl ExplainNode {
     /// and renders without counters.
     pub fn phases(label: impl Into<String>, phases: Vec<ExplainNode>) -> Self {
         Self::new(label, OpProfile::default(), phases)
+    }
+
+    /// Compressed-domain accounting summed over the whole subtree:
+    /// `(values_decoded, values_skipped)`. Skipped values were consumed
+    /// without ever being decompressed — answered in code space by a
+    /// pushed-down predicate or pruned before materialization.
+    pub fn values_totals(&self) -> (u64, u64) {
+        self.children.iter().fold(
+            (self.profile.values_decoded, self.profile.values_skipped),
+            |(d, s), c| {
+                let (cd, cs) = c.values_totals();
+                (d + cd, s + cs)
+            },
+        )
     }
 
     /// Wall time excluding children, in nanoseconds.
@@ -122,6 +145,16 @@ impl ExplainNode {
                     fmt_ns(self.profile.wall_ns),
                     fmt_ns(self.self_ns())
                 );
+                // Compressed-domain accounting, shown only where a lazy
+                // column was in play (and only in the timed rendering,
+                // so structure goldens stay stable).
+                if self.profile.values_decoded + self.profile.values_skipped > 0 {
+                    let _ = write!(
+                        out,
+                        " values_decoded={} values_skipped={}",
+                        self.profile.values_decoded, self.profile.values_skipped
+                    );
+                }
             }
         }
         out.push('\n');
@@ -157,7 +190,25 @@ mod tests {
     use super::*;
 
     fn profile(rows: u64, vectors: u64, wall_ns: u64) -> OpProfile {
-        OpProfile { calls: vectors + 1, vectors, rows, wall_ns }
+        OpProfile { calls: vectors + 1, vectors, rows, wall_ns, ..Default::default() }
+    }
+
+    #[test]
+    fn decode_counters_render_only_when_timed_and_nonzero() {
+        let mut p = profile(10, 1, 500);
+        let node = ExplainNode::leaf("Select", p);
+        assert!(!node.render().contains("values_decoded"), "zero counters stay hidden");
+        p.values_decoded = 256;
+        p.values_skipped = 768;
+        let node = ExplainNode::leaf("Select", p);
+        assert!(node.render().contains(" values_decoded=256 values_skipped=768"));
+        // The structure rendering (golden-test surface) never shows them.
+        assert!(!node.render_structure().contains("values_decoded"));
+        // merge folds them like the other counters.
+        let mut acc = OpProfile::default();
+        acc.merge(&p);
+        acc.merge(&p);
+        assert_eq!((acc.values_decoded, acc.values_skipped), (512, 1536));
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub enum Expr {
     LitU32(u32),
     /// Literal f64.
     LitF64(f64),
+    /// Literal boolean mask — a constant-folded predicate. Produced when
+    /// a pushed-down literal falls outside its column's domain (e.g. a
+    /// negative literal against an unsigned column), where the answer is
+    /// known without looking at any value.
+    LitBool(bool),
     /// Addition.
     Add(Box<Expr>, Box<Expr>),
     /// Subtraction.
@@ -83,6 +88,11 @@ impl Expr {
     /// f64 literal.
     pub fn lit_f64(v: f64) -> Expr {
         Expr::LitF64(v)
+    }
+
+    /// Constant boolean mask (always-true / always-false predicate).
+    pub fn lit_bool(v: bool) -> Expr {
+        Expr::LitBool(v)
     }
 
     /// `self + rhs`.
@@ -180,6 +190,7 @@ impl Expr {
             Expr::LitI64(v) => Vector::I64(vec![*v; n]),
             Expr::LitU32(v) => Vector::U32(vec![*v; n]),
             Expr::LitF64(v) => Vector::F64(vec![*v; n]),
+            Expr::LitBool(v) => Vector::Mask(vec![*v; n]),
             Expr::Add(a, b) => arith(&a.eval(batch), &b.eval(batch), ArithOp::Add),
             Expr::Sub(a, b) => arith(&a.eval(batch), &b.eval(batch), ArithOp::Sub),
             Expr::Mul(a, b) => arith(&a.eval(batch), &b.eval(batch), ArithOp::Mul),
@@ -285,7 +296,7 @@ fn to_f64(a: &Vector) -> Vector {
         Vector::I64(x) => Vector::F64(x.iter().map(|&v| v as f64).collect()),
         Vector::U32(x) => Vector::F64(x.iter().map(|&v| v as f64).collect()),
         Vector::F64(x) => Vector::F64(x.clone()),
-        Vector::Mask(_) => panic!("cannot promote mask to f64"),
+        Vector::Mask(_) | Vector::Lazy { .. } => panic!("cannot promote to f64"),
     }
 }
 

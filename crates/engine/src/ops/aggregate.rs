@@ -68,7 +68,7 @@ fn value_f64(v: &Vector, row: usize) -> f64 {
         Vector::I64(x) => x[row] as f64,
         Vector::U32(x) => x[row] as f64,
         Vector::F64(x) => x[row],
-        Vector::Mask(_) => panic!("aggregate over mask"),
+        Vector::Mask(_) | Vector::Lazy { .. } => panic!("aggregate over non-value vector"),
     }
 }
 
@@ -116,7 +116,8 @@ impl HashAggregate {
         let mut accs: Vec<Vec<Acc>> = Vec::new();
         let mut key_types: Vec<ColType> = Vec::new();
         let mut key_buf: Vec<u64> = vec![0; self.keys.len()];
-        while let Some(batch) = self.input.try_next()? {
+        while let Some(mut batch) = self.input.try_next()? {
+            self.profile.values_decoded += batch.ensure_values()?;
             let key_vecs: Vec<Vector> = self.keys.iter().map(|k| k.eval(&batch)).collect();
             let agg_vecs: Vec<Vector> = self
                 .aggs

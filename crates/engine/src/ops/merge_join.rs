@@ -64,7 +64,10 @@ impl MergeJoin {
                 return Ok(false);
             }
             match self.left.try_next()? {
-                Some(b) if !b.is_empty() => self.left_buf = Some((b, 0)),
+                Some(mut b) if !b.is_empty() => {
+                    self.profile.values_decoded += b.ensure_values()?;
+                    self.left_buf = Some((b, 0));
+                }
                 Some(_) => continue,
                 None => {
                     self.left_done = true;
@@ -85,7 +88,10 @@ impl MergeJoin {
                 return Ok(false);
             }
             match self.right.try_next()? {
-                Some(b) if !b.is_empty() => self.right_buf = Some((b, 0)),
+                Some(mut b) if !b.is_empty() => {
+                    self.profile.values_decoded += b.ensure_values()?;
+                    self.right_buf = Some((b, 0));
+                }
                 Some(_) => continue,
                 None => {
                     self.right_done = true;

@@ -64,37 +64,11 @@ pub const RESP_HEALTH: u8 = 0x87;
 /// Response kind byte: typed error.
 pub const RESP_ERROR: u8 = 0xEE;
 
-/// Comparison operator of a scan predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PredOp {
-    /// `=`
-    Eq = 1,
-    /// `<>`
-    Ne = 2,
-    /// `<`
-    Lt = 3,
-    /// `<=`
-    Le = 4,
-    /// `>`
-    Gt = 5,
-    /// `>=`
-    Ge = 6,
-}
-
-impl PredOp {
-    /// Wire tag → operator.
-    pub fn from_tag(tag: u8) -> Option<PredOp> {
-        Some(match tag {
-            1 => PredOp::Eq,
-            2 => PredOp::Ne,
-            3 => PredOp::Lt,
-            4 => PredOp::Le,
-            5 => PredOp::Gt,
-            6 => PredOp::Ge,
-            _ => return None,
-        })
-    }
-}
+/// Comparison operator of a scan predicate. This is the engine-wide
+/// [`scc_core::PredOp`]; its `tag`/`from_tag` pair defines the wire
+/// encoding (1..=6), so server and core can never disagree on
+/// operator semantics.
+pub use scc_core::PredOp;
 
 /// A single-column comparison pushed into a scan. The literal is
 /// carried as `i64` and narrowed server-side to the column's value

@@ -40,7 +40,7 @@ use crate::protocol::{
 };
 use crate::Catalog;
 use scc_core::frame::{self, FrameError};
-use scc_core::Error;
+use scc_core::{type_literal, Error, TypedLit};
 use scc_engine::{ColType, Expr, Operator, Select, VECTOR_SIZE};
 use scc_obs::trace;
 use scc_storage::{stats_handle, Column, NumColumn, ParallelScan, Scan, ScanOptions, Table};
@@ -365,7 +365,13 @@ impl Shared {
                 return;
             }
             match op.try_next() {
-                Ok(Some(b)) => {
+                Ok(Some(mut b)) => {
+                    // Unfiltered code scans deliver lazy columns; the wire
+                    // format carries values, so decode before serializing.
+                    if let Err(e) = b.ensure_values() {
+                        self.send(stream, &error_response(&e));
+                        return;
+                    }
                     rows += b.len() as u64;
                     batches += 1;
                     if !self.send(stream, &Response::Batch(b)) {
@@ -465,8 +471,13 @@ fn raw_segments(t: &Table, ci: usize, start: usize, len: usize) -> Option<Respon
 }
 
 /// Builds the engine expression for a pushed-down predicate, typing
-/// the `i64` wire literal to the column's value type (the engine's
-/// comparison primitives are monomorphic and panic on mismatch).
+/// the `i64` wire literal to the column's value type via
+/// [`scc_core::type_literal`]. A literal outside the column's domain
+/// (e.g. `-1` against a `u32` column, or `5e9` against an `i32`)
+/// folds to a constant-true or constant-false predicate instead of
+/// being truncated with `as` — truncation silently matched the wrong
+/// rows whenever the literal's sign or width disagreed with the
+/// column's.
 fn build_predicate(t: &Table, columns: &[String], p: &Predicate) -> Result<Expr, Response> {
     let Some(batch_idx) = columns.iter().position(|c| *c == p.column) else {
         return Err(err(
@@ -476,9 +487,19 @@ fn build_predicate(t: &Table, columns: &[String], p: &Predicate) -> Result<Expr,
     };
     let ci = t.find_col(&p.column).expect("predicate column resolved above");
     let lit = match &t.columns()[ci].1 {
-        Column::Num(NumColumn::I32(_)) => Expr::lit_i32(p.literal as i32),
+        Column::Num(NumColumn::I32(_)) => match type_literal::<i32>(p.op, p.literal) {
+            TypedLit::Lit(v) => Expr::lit_i32(v),
+            TypedLit::AlwaysTrue => return Ok(Expr::lit_bool(true)),
+            TypedLit::AlwaysFalse => return Ok(Expr::lit_bool(false)),
+        },
         Column::Num(NumColumn::I64(_)) => Expr::lit_i64(p.literal),
-        Column::Num(NumColumn::U32(_)) | Column::Str(_) => Expr::lit_u32(p.literal as u32),
+        Column::Num(NumColumn::U32(_)) | Column::Str(_) => {
+            match type_literal::<u32>(p.op, p.literal) {
+                TypedLit::Lit(v) => Expr::lit_u32(v),
+                TypedLit::AlwaysTrue => return Ok(Expr::lit_bool(true)),
+                TypedLit::AlwaysFalse => return Ok(Expr::lit_bool(false)),
+            }
+        }
         Column::Blob(_) => unreachable!("blob columns rejected before predicates"),
     };
     let lhs = Expr::col(batch_idx);

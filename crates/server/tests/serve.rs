@@ -198,6 +198,57 @@ fn bad_requests_get_typed_errors_and_the_connection_survives() {
 }
 
 #[test]
+fn out_of_domain_literals_fold_instead_of_truncating() {
+    const ROWS: usize = 20_000;
+    let (server, addr) = start_demo_server(ROWS, ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // `val` is i32; 5e9 is above its domain. The old `as i32` cast
+    // truncated it to 705_032_704 and compared against *that*. Folding
+    // gives the mathematically correct answer: everything is < 5e9,
+    // nothing is > 5e9.
+    let wide: i64 = 5_000_000_000;
+    for (op, want) in [
+        (PredOp::Lt, ROWS as u64),
+        (PredOp::Le, ROWS as u64),
+        (PredOp::Ne, ROWS as u64),
+        (PredOp::Gt, 0),
+        (PredOp::Ge, 0),
+        (PredOp::Eq, 0),
+    ] {
+        // threads=1 exercises the compressed-domain pushdown path,
+        // threads=2 the worker-side decode-then-test path; both must
+        // agree with the folded semantics.
+        for threads in [1u8, 2] {
+            let pred = Predicate { column: "val".into(), op, literal: wide };
+            let (_, rows) =
+                client.scan("demo", &["key", "val"], Some(pred), threads).expect("scan");
+            assert_eq!(rows, want, "val {op:?} {wide} threads={threads}");
+        }
+    }
+
+    // `flag` compares against unsigned dictionary codes; -1 is below
+    // that domain. The old cast turned it into u32::MAX, so `< -1`
+    // matched every row. Folded: nothing is < -1, everything is >= -1.
+    for (op, want) in [
+        (PredOp::Lt, 0),
+        (PredOp::Le, 0),
+        (PredOp::Eq, 0),
+        (PredOp::Ge, ROWS as u64),
+        (PredOp::Gt, ROWS as u64),
+        (PredOp::Ne, ROWS as u64),
+    ] {
+        for threads in [1u8, 2] {
+            let pred = Predicate { column: "flag".into(), op, literal: -1 };
+            let (_, rows) =
+                client.scan("demo", &["key", "flag"], Some(pred), threads).expect("scan");
+            assert_eq!(rows, want, "flag {op:?} -1 threads={threads}");
+        }
+    }
+    drop(server);
+}
+
+#[test]
 fn raw_requests_fall_back_to_values_for_plain_storage() {
     // A deliberately uncompressed table: raw segment shipping has no
     // checksummed wire form to send, so the server serves values.

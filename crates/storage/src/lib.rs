@@ -31,6 +31,7 @@
 pub mod column;
 pub mod delta;
 pub mod disk;
+pub mod lazy;
 pub mod parallel;
 pub mod pool;
 pub mod scan;
@@ -42,6 +43,7 @@ pub use disk::{
     stats_handle, Disk, DiskHandle, DiskRead, FaultPlan, FaultyDisk, ReadOutcome, RetryPolicy,
     ScanStats, StatsHandle,
 };
+pub use lazy::SegmentHandle;
 pub use parallel::ParallelScan;
 pub use pool::{pool_handle, BufferPool, ChunkId, PoolHandle};
 pub use scan::{DecompressionGranularity, Scan, ScanMode, ScanOptions};

@@ -87,6 +87,11 @@ impl ParallelScan {
         threads: usize,
     ) -> Self {
         assert!(threads >= 1, "parallel scan needs at least one worker");
+        // Workers decode eagerly: their private stats merge into the
+        // shared handle when they exit, so decompression deferred past
+        // the exchange would go unaccounted — and decoding on the
+        // workers is the point of the parallel scan anyway.
+        let opts = ScanOptions { code_scan: false, ..opts };
         // Validate columns and options on the caller's thread — the
         // same panics Scan::new raises, instead of a worker dying later.
         drop(Scan::new(Arc::clone(&table), cols, opts, stats_handle(), None));

@@ -24,10 +24,11 @@
 
 use crate::column::{Column, NumColumn};
 use crate::disk::{Disk, DiskHandle, ReadOutcome, RetryPolicy, StatsHandle};
+use crate::lazy::SegmentHandle;
 use crate::pool::{ChunkId, PoolHandle};
 use crate::table::{Layout, Table};
 use scc_core::Error;
-use scc_engine::{Batch, ExplainNode, OpProfile, Operator, Vector};
+use scc_engine::{Batch, CodeCol, ExplainNode, LazyCol, OpProfile, Operator, Vector};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,6 +63,13 @@ pub struct ScanOptions {
     pub disk: Disk,
     /// DSM or PAX I/O accounting.
     pub layout: Layout,
+    /// Emit patched-compressed columns as *lazy* code handles instead of
+    /// decoding eagerly: `Select` can then evaluate pushed-down
+    /// predicates over the codes and decompression happens only for
+    /// surviving rows (vector-wise compressed scans only; other modes,
+    /// plain/LZRW1 segments, and vector sizes that are not a multiple of
+    /// the 128-value block fall back to eager decode).
+    pub code_scan: bool,
 }
 
 impl Default for ScanOptions {
@@ -72,6 +80,7 @@ impl Default for ScanOptions {
             vector_size: scc_engine::VECTOR_SIZE,
             disk: Disk::middle_end(),
             layout: Layout::Dsm,
+            code_scan: true,
         }
     }
 }
@@ -95,6 +104,9 @@ pub struct Scan {
     end: usize,
     cur_segment: Option<usize>,
     pages: Vec<Option<PageBuf>>,
+    /// Per-slot lazy handle for the current segment (code scans only);
+    /// rebuilt when the scan enters the next segment.
+    handles: Vec<Option<Arc<SegmentHandle>>>,
     /// Reused LZRW1 page-decompression buffer: vector-wise reads of
     /// `Lz` segments decompress the page per vector, and this keeps
     /// that from allocating per call (patched segments never touch it).
@@ -149,6 +161,7 @@ impl Scan {
             end,
             cur_segment: None,
             pages: (0..n_cols).map(|_| None).collect(),
+            handles: (0..n_cols).map(|_| None).collect(),
             lz_scratch: Vec::new(),
             faulty: None,
             profile: OpProfile::default(),
@@ -435,6 +448,9 @@ impl Scan {
             for p in &mut self.pages {
                 *p = None;
             }
+            for h in &mut self.handles {
+                *h = None;
+            }
             if scc_obs::trace::collecting() {
                 self.seg_trace = Some((seg, Instant::now(), 0));
             }
@@ -442,14 +458,48 @@ impl Scan {
         let offset = self.pos % seg_rows;
         let seg_end = ((seg + 1) * seg_rows).min(self.end);
         let take = self.opts.vector_size.min(seg_end - self.pos);
-        let columns: Vec<Vector> = (0..self.cols.len())
-            .map(|slot| self.read_column_vector(slot, seg, offset, take))
-            .collect();
+        // Whether this scan can emit codes: segment offsets stay
+        // 128-block aligned only when the vector size is a multiple of
+        // the block.
+        let code_scan = self.opts.code_scan
+            && self.opts.mode == ScanMode::Compressed
+            && self.opts.granularity == DecompressionGranularity::VectorWise
+            && self.opts.vector_size.is_multiple_of(scc_core::BLOCK);
+        let mut columns: Vec<Vector> = Vec::with_capacity(self.cols.len());
+        let mut lazy: Vec<Option<LazyCol>> = Vec::with_capacity(self.cols.len());
+        let mut eager_cols = 0u64;
+        for slot in 0..self.cols.len() {
+            let c = self.cols[slot];
+            if code_scan && crate::lazy::segment_is_compressed(&self.table.columns()[c].1, seg) {
+                if self.handles[slot].is_none() {
+                    self.handles[slot] = Some(Arc::new(SegmentHandle::new(
+                        Arc::clone(&self.table),
+                        c,
+                        seg,
+                        Arc::clone(&self.stats),
+                    )));
+                }
+                let handle = Arc::clone(self.handles[slot].as_ref().expect("just filled"));
+                let lz = LazyCol::new(handle as Arc<dyn CodeCol>, offset, take);
+                columns.push(lz.placeholder());
+                lazy.push(Some(lz));
+            } else {
+                columns.push(self.read_column_vector(slot, seg, offset, take));
+                lazy.push(None);
+                eager_cols += 1;
+            }
+        }
         self.pos += take;
         if let Some(t) = &mut self.seg_trace {
-            t.2 += (take * self.cols.len()) as u64;
+            // Lazy columns decode later (or never); the span counts only
+            // values this scan decoded itself.
+            t.2 += take as u64 * eager_cols;
         }
-        Ok(Some(Batch::new(columns)))
+        Ok(Some(if lazy.iter().any(Option::is_some) {
+            Batch::with_lazy(columns, lazy)
+        } else {
+            Batch::new(columns)
+        }))
     }
 
     /// Records the in-progress segment's trace span, if any: one
@@ -911,6 +961,46 @@ mod tests {
         }
         let s = stats.lock().unwrap();
         assert_eq!(s.pool_hits, s.pool_misses, "second scan served from pool");
+    }
+
+    #[test]
+    fn code_scan_matches_eager_scan_through_select() {
+        // Scrambled values so segments compress as PFOR (a sequential
+        // column would pick PFOR-DELTA and the pushdown would no-op).
+        let mix = |i: usize| i.wrapping_mul(2654435761) >> 7;
+        let t = TableBuilder::new("cs")
+            .seg_rows(2048)
+            .add_i32("a", (0..10_000).map(|i| (mix(i) % 1000) as i32).collect())
+            .add_i64("b", (0..10_000).map(|i| (mix(i + 77) % 500) as i64).collect())
+            .build();
+        let run = |code_scan: bool| {
+            let stats = stats_handle();
+            let scan = Scan::new(
+                Arc::clone(&t),
+                &["a", "b"],
+                ScanOptions { vector_size: 1024, code_scan, ..Default::default() },
+                Arc::clone(&stats),
+                None,
+            );
+            // ~0.1% selectivity: most 128-value blocks hold no survivor,
+            // so the block-granular gather skips them outright.
+            let mut sel = scc_engine::Select::new(
+                scan,
+                scc_engine::Expr::col(0).eq(scc_engine::Expr::lit_i32(7)),
+            );
+            let out = collect(&mut sel);
+            let s = *stats.lock().unwrap();
+            (out, s.output_bytes, sel.profile())
+        };
+        let (eager, eager_bytes, _) = run(false);
+        let (lazy, lazy_bytes, profile) = run(true);
+        assert_eq!(lazy, eager, "pushdown must not change results");
+        // ~10% selectivity: the code scan decodes far fewer values.
+        assert!(
+            lazy_bytes < eager_bytes / 2,
+            "code scan decoded {lazy_bytes} bytes vs eager {eager_bytes}"
+        );
+        assert!(profile.values_skipped > 0, "skipped counter records the win");
     }
 
     #[test]

@@ -19,7 +19,8 @@ fn build_table() -> Arc<Table> {
 
 fn drain_cols(scan: &mut dyn Operator) -> (Vec<i64>, Vec<i64>) {
     let (mut a, mut b) = (Vec::new(), Vec::new());
-    while let Some(batch) = scan.next() {
+    while let Some(mut batch) = scan.next() {
+        batch.ensure_values().unwrap();
         a.extend_from_slice(batch.col(0).as_i64());
         b.extend_from_slice(batch.col(1).as_i64());
     }

@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 fn collect_col0_i64(scan: &mut dyn Operator) -> Vec<i64> {
     let mut out = Vec::new();
-    while let Some(batch) = scan.next() {
+    while let Some(mut batch) = scan.next() {
+        batch.ensure_values().unwrap();
         out.extend_from_slice(batch.col(0).as_i64());
     }
     out
@@ -43,6 +44,7 @@ proptest! {
             vector_size,
             disk: Disk::low_end(),
             layout: Layout::Dsm,
+            code_scan: true,
         };
         let mut scan = Scan::new(table, &["x"], opts, stats_handle(), None);
         prop_assert_eq!(collect_col0_i64(&mut scan), values);
@@ -62,7 +64,11 @@ proptest! {
             Arc::clone(&stats),
             None,
         );
-        while scan.next().is_some() {}
+        while let Some(mut batch) = scan.next() {
+            // Consume the values: an undrained code scan decodes nothing
+            // and would charge no output bytes.
+            batch.ensure_values().unwrap();
+        }
         let s = *stats.lock().unwrap();
         // Exactly the column's compressed bytes are charged, once.
         prop_assert_eq!(s.io_bytes, table.col("x").compressed_bytes());
@@ -136,7 +142,8 @@ proptest! {
         );
         let dict = &table.str_col("s").dict;
         let mut row = 0usize;
-        while let Some(batch) = scan.next() {
+        while let Some(mut batch) = scan.next() {
+            batch.ensure_values().unwrap();
             for &code in batch.col(0).as_u32() {
                 prop_assert_eq!(&dict[code as usize], &values[row]);
                 row += 1;

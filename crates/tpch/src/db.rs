@@ -164,6 +164,11 @@ pub struct QueryConfig {
     /// run every table scan as a [`ParallelScan`] over that many
     /// workers (the rest of the pipeline stays on the calling thread).
     pub threads: usize,
+    /// Compressed-domain predicate pushdown: scans emit codes and
+    /// `Select` filters before decompression (see
+    /// [`ScanOptions::code_scan`]). Off reproduces the decode-then-test
+    /// baseline.
+    pub code_scan: bool,
 }
 
 impl Default for QueryConfig {
@@ -176,6 +181,7 @@ impl Default for QueryConfig {
             vector_size: scc_engine::VECTOR_SIZE,
             pool: None,
             threads: 1,
+            code_scan: true,
         }
     }
 }
@@ -195,6 +201,7 @@ impl QueryConfig {
             vector_size: self.vector_size,
             disk: self.disk,
             layout: self.layout,
+            code_scan: self.code_scan,
         };
         if self.threads > 1 {
             Box::new(ParallelScan::new(

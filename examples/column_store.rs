@@ -96,6 +96,9 @@ fn main() {
                 vector_size: 1024,
                 disk: Disk::middle_end(),
                 layout: Layout::Dsm,
+                // This loop measures decompression RAM traffic, so the
+                // scan itself must decode (nothing consumes the values).
+                code_scan: false,
             },
             Arc::clone(&stats),
             None,

@@ -6,7 +6,8 @@
 //! scc decompress <in.scc>  <out.bin>
 //! scc inspect    <in.scc>
 //! scc verify     <in.scc>
-//! scc explain    [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]
+//! scc explain    [--queries 1,6] [--sf 0.01] [--threads N] [--no-code-scan]
+//!                [--metrics-json <out.json>]
 //! scc serve      [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D]
 //!                [--drain-ms D] [--write-timeout-ms W]
 //!                [--trace-out <trace.json>] [--trace-sample R] [--trace-slow-ms M]
@@ -51,7 +52,7 @@ fn die(msg: &str) -> ExitCode {
         "usage:\n  scc analyze    <in.bin> [--type T]\n  scc compress   <in.bin> <out.scc> \
          [--type T] [--scheme auto|pfor|pfordelta|pdict] [--bits B]\n  scc decompress <in.scc> \
          <out.bin>\n  scc inspect    <in.scc>\n  scc verify     <in.scc>\n  scc explain    \
-         [--queries 1,6] [--sf 0.01] [--threads N] [--metrics-json <out.json>]\n  scc serve      \
+         [--queries 1,6] [--sf 0.01] [--threads N] [--no-code-scan] [--metrics-json <out.json>]\n  scc serve      \
          [--addr A] [--workers N] [--rows R] [--queue-depth Q] [--deadline-ms D] [--drain-ms D] \
          [--write-timeout-ms W] [--trace-out J] [--trace-sample R] [--trace-slow-ms M]\n  \
          scc loadgen    \
@@ -270,6 +271,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let mut queries: Vec<u32> = vec![1, 6];
     let mut metrics_path: Option<String> = None;
     let mut threads = 1usize;
+    let mut code_scan = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -305,6 +307,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
                 metrics_path = Some(args.get(i + 1).ok_or("--metrics-json needs a path")?.clone());
                 i += 2;
             }
+            "--no-code-scan" => {
+                code_scan = false;
+                i += 1;
+            }
             other => return Err(format!("unknown explain option {other}")),
         }
     }
@@ -323,7 +329,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         scc::bitpack::kernel::active()
     );
     let db = scc::tpch::TpchDb::generate(sf, 20_060_703);
-    let cfg = scc::tpch::QueryConfig { threads, ..Default::default() };
+    let cfg = scc::tpch::QueryConfig { threads, code_scan, ..Default::default() };
     for &q in &queries {
         let run = scc::tpch::queries::run_query(&db, &cfg, q);
         println!(
@@ -335,6 +341,14 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         );
         print!("{}", run.explain.render());
         println!("  [{}]", run.stats);
+        let (decoded, skipped) = run.explain.values_totals();
+        if decoded + skipped > 0 {
+            println!(
+                "  compressed-domain: {decoded} values decoded, {skipped} skipped ({:.1}% \
+                 answered in code space)",
+                100.0 * skipped as f64 / (decoded + skipped) as f64
+            );
+        }
         println!();
     }
     if let Some(path) = metrics_path {

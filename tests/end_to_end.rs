@@ -42,18 +42,21 @@ fn query_result_invariant_across_all_storage_configs() {
                 [DecompressionGranularity::VectorWise, DecompressionGranularity::PageWise]
             {
                 for vector_size in [128, 1024, 4096] {
-                    let opts = ScanOptions {
-                        mode,
-                        layout,
-                        granularity,
-                        vector_size,
-                        disk: Disk::low_end(),
-                    };
-                    assert_eq!(
-                        total_amount_of_kind(&table, "sell", opts),
-                        reference,
-                        "{mode:?}/{layout:?}/{granularity:?}/vs{vector_size}"
-                    );
+                    for code_scan in [false, true] {
+                        let opts = ScanOptions {
+                            mode,
+                            layout,
+                            granularity,
+                            vector_size,
+                            disk: Disk::low_end(),
+                            code_scan,
+                        };
+                        assert_eq!(
+                            total_amount_of_kind(&table, "sell", opts),
+                            reference,
+                            "{mode:?}/{layout:?}/{granularity:?}/vs{vector_size}/cs{code_scan}"
+                        );
+                    }
                 }
             }
         }
