@@ -1,0 +1,167 @@
+//! §6 outlook, machine-level: scatter-gather scan throughput across
+//! 1/2/4 scc-server shards.
+//!
+//! The paper parallelizes decompression across cores; `scc-cluster`
+//! extends the same independence argument across machines — partitions
+//! are segment-aligned, so each shard decodes its slice with the
+//! paper's kernels and the coordinator's merge is pure reordering.
+//!
+//! Two sweeps, both byte-verified against the unsharded oracle:
+//!
+//! 1. **Node sweep** — the same closed-loop request mix (full scans,
+//!    pushed-down predicate scans, routed point reads) against 1, 2 and
+//!    4 in-process shards.
+//! 2. **Chaos run** — the 4-node topology again, every coordinator
+//!    connection wrapped in the composite `ChaosPlan`, plus one primary
+//!    shard force-killed before the run: every partition it owned must
+//!    be served by its replica with zero wrong bytes.
+//!
+//! Args: `--smoke` (tiny sizes for CI), `--out <path>` (default
+//! `results/BENCH_cluster.json`).
+
+use scc_cluster::{
+    run_cluster_loadgen, ClusterConfig, ClusterLoadgenConfig, ClusterLoadgenReport, Coordinator,
+    Topology,
+};
+use scc_obs::json::Json;
+use scc_server::{demo_table, Catalog, ChaosPlan, RetryPolicy, Server, ServerConfig};
+use scc_storage::{partition_table, PartitionManifest, Table};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Cluster {
+    servers: Vec<Server>,
+    coord: Coordinator,
+    manifest: PartitionManifest,
+}
+
+fn start_cluster(table: &Arc<Table>, nodes: usize, chaos: Option<ChaosPlan>) -> Cluster {
+    let partitions = (2 * nodes).max(2);
+    let manifest =
+        PartitionManifest::range("demo", table.n_rows(), table.seg_rows(), partitions, nodes);
+    let parts = partition_table(table, &manifest);
+    let mut catalogs: Vec<Catalog> = (0..nodes).map(|_| Catalog::new()).collect();
+    for (p, part) in parts.iter().enumerate() {
+        for node in [manifest.primary[p], manifest.replica[p]] {
+            catalogs[node].add(Arc::clone(part));
+        }
+    }
+    let servers: Vec<Server> = catalogs
+        .into_iter()
+        .map(|c| Server::start(ServerConfig::default(), c).expect("bind ephemeral port"))
+        .collect();
+    let topology = Topology {
+        nodes: servers.iter().map(|s| s.local_addr().to_string()).collect(),
+        partitions,
+        replication: 1,
+    };
+    let retry = RetryPolicy { deadline: Duration::from_secs(20), ..RetryPolicy::default() };
+    let mut coord =
+        Coordinator::new(topology, ClusterConfig { retry, chaos, ..ClusterConfig::default() });
+    coord.register(manifest.clone());
+    Cluster { servers, coord, manifest }
+}
+
+fn report_json(r: &ClusterLoadgenReport) -> Json {
+    r.to_json()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_cluster.json".to_string());
+
+    let rows = if smoke { 20_000 } else { 100_000 };
+    let requests = if smoke { 32 } else { 160 };
+    let threads = 4;
+    let table = demo_table(rows);
+
+    println!("cluster scatter-gather sweep: demo x {rows} rows, {requests} requests, {threads} client threads");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "nodes", "req/s", "p50 ms", "p95 ms", "p99 ms", "rows/s"
+    );
+
+    let mut sweeps = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        let cluster = start_cluster(&table, nodes, None);
+        let cfg = ClusterLoadgenConfig { requests, threads, seed: 0xC1A5 + nodes as u64 };
+        let report = run_cluster_loadgen(&cluster.coord, &table, &cfg).expect("loadgen");
+        assert_eq!(report.verify_failures, 0, "{nodes}-node cluster returned wrong bytes");
+        assert_eq!(report.errors, 0, "{nodes}-node cluster errored");
+        println!(
+            "{:>6} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>12.0}",
+            nodes,
+            report.throughput_rps,
+            report.p50_us / 1_000.0,
+            report.p95_us / 1_000.0,
+            report.p99_us / 1_000.0,
+            report.rows_streamed as f64 / report.elapsed.as_secs_f64(),
+        );
+        sweeps.push(Json::Obj(vec![
+            ("nodes".into(), Json::U64(nodes as u64)),
+            ("partitions".into(), Json::U64(cluster.manifest.partitions() as u64)),
+            ("report".into(), report_json(&report)),
+        ]));
+        drop(cluster); // stops the shards
+    }
+
+    // Chaos configuration: composite transport faults on every
+    // coordinator connection, and the first primary shard killed
+    // outright — replicas must keep the answers byte-exact.
+    let chaos_seed = 0xDEAD_C1A5u64;
+    let mut cluster = start_cluster(&table, 4, Some(ChaosPlan::composite(chaos_seed)));
+    let killed = cluster.manifest.primary[0];
+    cluster.servers[killed].stop();
+    let cfg = ClusterLoadgenConfig { requests, threads, seed: 0xFA11 };
+    let report = run_cluster_loadgen(&cluster.coord, &table, &cfg).expect("chaos loadgen");
+    assert_eq!(report.verify_failures, 0, "chaos run returned wrong bytes");
+    assert_eq!(report.errors, 0, "chaos run errored despite replica coverage");
+    println!(
+        "chaos (4 nodes, node {killed} killed, composite faults): \
+         {:.0} req/s, p50 {:.1} ms, p99 {:.1} ms, 0 wrong results",
+        report.throughput_rps,
+        report.p50_us / 1_000.0,
+        report.p99_us / 1_000.0,
+    );
+    let chaos_json = Json::Obj(vec![
+        ("nodes".into(), Json::U64(4)),
+        ("killed_node".into(), Json::U64(killed as u64)),
+        ("chaos_plan".into(), Json::Str("composite".into())),
+        ("chaos_seed".into(), Json::U64(chaos_seed)),
+        ("report".into(), report_json(&report)),
+    ]);
+    drop(cluster);
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("scc-cluster scatter-gather node sweep".into())),
+        (
+            "command".into(),
+            Json::Str(format!(
+                "cargo run --release -p scc-bench --bin exp_cluster{}",
+                if smoke { " -- --smoke" } else { "" }
+            )),
+        ),
+        (
+            "workload".into(),
+            Json::Str(
+                "mixed per request (i%4): routed segment-range point reads (decoded/raw), \
+                 full 3-column scans, pushed-down predicate scans (val<500, flag==SHIP); \
+                 every response byte-verified against the unsharded local table"
+                    .into(),
+            ),
+        ),
+        ("rows".into(), Json::U64(rows as u64)),
+        ("requests".into(), Json::U64(requests as u64)),
+        ("client_threads".into(), Json::U64(threads as u64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("sweeps".into(), Json::Arr(sweeps)),
+        ("chaos".into(), chaos_json),
+    ]);
+    std::fs::write(&out_path, doc.pretty() + "\n").expect("write results json");
+    println!("results written to {out_path}");
+}

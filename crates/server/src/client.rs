@@ -426,6 +426,19 @@ impl Client {
         }
     }
 
+    /// Version/capability handshake: returns the server's protocol
+    /// version and capability bits. A pre-handshake server answers
+    /// `BadRequest` (unknown kind), which surfaces here as
+    /// [`ClientError::Server`] — callers treat both a version mismatch
+    /// and that refusal as "wrong generation" *before* starting any
+    /// scan stream.
+    pub fn hello(&mut self) -> Result<(u8, u32), ClientError> {
+        match self.call(&Request::Hello { version: protocol::PROTOCOL_VERSION })? {
+            Response::Hello { version, caps } => Ok((version, caps)),
+            _ => Err(ClientError::Unexpected("wanted Hello")),
+        }
+    }
+
     /// Asks the server to shut down: gracefully (drain in-flight work
     /// first) by default, or abruptly with `force`.
     pub fn shutdown_server(&mut self, force: bool) -> Result<(), ClientError> {
@@ -468,7 +481,11 @@ impl Client {
 /// independence bounded retry relies on (same shape as `FaultyDisk`'s
 /// per-attempt draws).
 pub struct RetryingClient {
-    addr: String,
+    /// Dial targets in preference order (a single address for classic
+    /// clients; `[primary, replica]` for cluster shard calls). Retries
+    /// rotate through them.
+    addrs: Vec<String>,
+    current: usize,
     policy: RetryPolicy,
     chaos: Option<ChaosPlan>,
     conn_salt: u64,
@@ -487,8 +504,27 @@ impl RetryingClient {
     /// the fault schedules (and jitter draws) of clients sharing one
     /// plan — e.g. loadgen threads.
     pub fn new(addr: &str, policy: RetryPolicy, chaos: Option<ChaosPlan>, salt: u64) -> Self {
+        Self::failover(vec![addr.to_string()], policy, chaos, salt)
+    }
+
+    /// A retrying client with replica failover: `addrs[0]` is the
+    /// preferred (primary) node, the rest are replicas. Every retryable
+    /// failure rotates to the next address, and a **connection refused
+    /// on dial rotates immediately, with no backoff sleep** — a dead
+    /// primary costs one failed `connect`, not a backoff period. The
+    /// free rotation is bounded to one sweep of the address list; once
+    /// every node has refused in a row, the normal monotone backoff
+    /// chain (which same-node retries always follow) resumes.
+    pub fn failover(
+        addrs: Vec<String>,
+        policy: RetryPolicy,
+        chaos: Option<ChaosPlan>,
+        salt: u64,
+    ) -> Self {
+        assert!(!addrs.is_empty(), "need at least one address");
         Self {
-            addr: addr.to_string(),
+            addrs,
+            current: 0,
             policy,
             chaos,
             conn_salt: salt,
@@ -511,13 +547,25 @@ impl RetryingClient {
         self.conn = None;
     }
 
+    /// The address the next attempt will dial.
+    pub fn current_addr(&self) -> &str {
+        &self.addrs[self.current]
+    }
+
+    /// Rotates to the next address in the failover list.
+    fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.addrs.len();
+        self.disconnect();
+    }
+
     fn connection(&mut self) -> Result<&mut Client, ClientError> {
         if self.conn.is_none() {
             self.conns += 1;
             let conn_id = self.conn_salt.wrapping_add(self.conns);
+            let addr = &self.addrs[self.current];
             let client = match &self.chaos {
-                None => Client::connect(&self.addr),
-                Some(plan) => Client::connect_chaos(&self.addr, *plan, conn_id),
+                None => Client::connect(addr),
+                Some(plan) => Client::connect_chaos(addr, *plan, conn_id),
             }
             .map_err(|e| ClientError::Frame(FrameError::Io(e.kind())))?;
             self.conn = Some(client);
@@ -539,13 +587,18 @@ impl RetryingClient {
         let troot = trace::start_root("client.request");
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut prev = Duration::ZERO;
+        // Consecutive dial-refusals answered with a free (no-sleep)
+        // rotation; bounded to one sweep of the address list so a fully
+        // dark cluster falls back to the backoff chain instead of
+        // hot-spinning connect().
+        let mut refused_streak = 0usize;
         loop {
             let attempt_no = attempts.len() as u32 + 1;
             let tattempt = trace::span("client.attempt");
             tattempt.add_attr("attempt", attempt_no as u64);
-            let outcome = match self.connection() {
-                Ok(client) => op(client),
-                Err(e) => Err(e),
+            let (outcome, dialing) = match self.connection() {
+                Ok(client) => (op(client), false),
+                Err(e) => (Err(e), true),
             };
             drop(tattempt);
             let e = match outcome {
@@ -564,6 +617,34 @@ impl RetryingClient {
                 Err(e) => e,
             };
             self.disconnect();
+            let refused = dialing
+                && matches!(&e, ClientError::Frame(FrameError::Io(k))
+                    if *k == std::io::ErrorKind::ConnectionRefused);
+            if refused
+                && self.addrs.len() > 1
+                && refused_streak + 1 < self.addrs.len()
+                && started.elapsed() < self.policy.deadline
+            {
+                // A refused dial proves the node is down *now*; waiting
+                // teaches us nothing. Flip to the replica immediately.
+                // `prev` is untouched, so the monotone backoff chain for
+                // slept retries continues where it left off.
+                refused_streak += 1;
+                self.rotate();
+                attempts.push(Attempt {
+                    attempt: attempt_no,
+                    error: e.to_string(),
+                    backed_off: Duration::ZERO,
+                });
+                m_counter("client.failover", 1);
+                continue;
+            }
+            refused_streak = 0;
+            if self.addrs.len() > 1 {
+                // Slept retries also move on: a stalled (not refusing)
+                // node shouldn't absorb the whole retry budget.
+                self.rotate();
+            }
             let hint = match &e {
                 ClientError::Server { retry_after_ms, .. } => {
                     Duration::from_millis(*retry_after_ms as u64)

@@ -61,6 +61,8 @@ pub use client::{
 };
 pub use protocol::{
     ErrorCode, HealthState, HealthWindow, PredOp, Predicate, RawSegment, Request, Response,
+    CAP_PARTITIONS, CAP_PREDICATE_PUSHDOWN, CAP_RAW_SEGMENTS, CAP_TRACE_CTX, PROTOCOL_VERSION,
+    SERVER_CAPS,
 };
 pub use server::{Server, ServerConfig};
 pub use top::{run_top, TopConfig, TopSample};
@@ -109,6 +111,23 @@ impl Catalog {
 /// byte-exactness checks to hold.
 pub fn demo_table(rows: usize) -> Arc<Table> {
     assert!(rows >= 1, "demo table needs at least one row");
+    let (keys, vals, flags) = demo_columns(rows);
+    TableBuilder::new("demo")
+        .seg_rows(DEMO_SEG_ROWS)
+        .add_i64("key", keys)
+        .add_i32("val", vals)
+        .add_str("flag", flags)
+        .build()
+}
+
+/// Rows per segment in the demo table.
+pub const DEMO_SEG_ROWS: usize = 8192;
+
+/// The raw column values of [`demo_table`], exposed so a cluster shard
+/// can build just the slice of rows it hosts (same values, partition
+/// bounds applied by the caller) and stay byte-comparable with the
+/// unsharded table.
+pub fn demo_columns(rows: usize) -> (Vec<i64>, Vec<i32>, Vec<String>) {
     let mix = |i: usize| {
         let mut x = (i as u64).wrapping_add(0x9E3779B97F4A7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -116,12 +135,11 @@ pub fn demo_table(rows: usize) -> Arc<Table> {
         x ^ (x >> 31)
     };
     const SHIP_MODES: [&str; 4] = ["AIR", "RAIL", "SHIP", "TRUCK"];
-    TableBuilder::new("demo")
-        .seg_rows(8192)
-        .add_i64("key", (0..rows as i64).collect())
-        .add_i32("val", (0..rows).map(|i| (mix(i) % 1000) as i32).collect())
-        .add_str("flag", (0..rows).map(|i| SHIP_MODES[i % 4].to_string()).collect())
-        .build()
+    (
+        (0..rows as i64).collect(),
+        (0..rows).map(|i| (mix(i) % 1000) as i32).collect(),
+        (0..rows).map(|i| SHIP_MODES[i % 4].to_string()).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -44,6 +44,15 @@ pub const REQ_SCAN: u8 = 0x02;
 pub const REQ_STATS: u8 = 0x03;
 /// Request kind byte: readiness/drain state probe.
 pub const REQ_HEALTH: u8 = 0x04;
+/// Request kind byte: protocol version/capability handshake. A
+/// coordinator sends this as the first frame on a fresh connection; the
+/// server answers with its own version byte and capability bits, and
+/// the *client* decides whether to proceed. A server that predates the
+/// handshake rejects the unknown kind with [`ErrorCode::BadRequest`],
+/// which the client maps to the same typed mismatch error — either way
+/// the refusal happens before any scan stream starts, never as a CRC
+/// failure mid-stream.
+pub const REQ_HELLO: u8 = 0x05;
 /// Request kind byte: graceful (drain) or forced server shutdown.
 pub const REQ_SHUTDOWN: u8 = 0x7F;
 
@@ -61,8 +70,30 @@ pub const RESP_STATS_JSON: u8 = 0x85;
 pub const RESP_SHUTDOWN_ACK: u8 = 0x86;
 /// Response kind byte: readiness/drain state report.
 pub const RESP_HEALTH: u8 = 0x87;
+/// Response kind byte: version/capability handshake answer.
+pub const RESP_HELLO: u8 = 0x88;
 /// Response kind byte: typed error.
 pub const RESP_ERROR: u8 = 0xEE;
+
+/// The protocol generation this build speaks. Bumped only on
+/// wire-incompatible changes (segment wire format, frame grammar);
+/// additive request kinds do not bump it.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Capability bit: serves raw compressed segments (`SegmentRange` with
+/// `raw`).
+pub const CAP_RAW_SEGMENTS: u32 = 1 << 0;
+/// Capability bit: accepts pushed-down scan predicates.
+pub const CAP_PREDICATE_PUSHDOWN: u32 = 1 << 1;
+/// Capability bit: accepts [`REQ_TRACED`] trace-context envelopes.
+pub const CAP_TRACE_CTX: u32 = 1 << 2;
+/// Capability bit: hosts partition tables (`table#pN`) for cluster
+/// serving.
+pub const CAP_PARTITIONS: u32 = 1 << 3;
+
+/// Everything this build's server implements.
+pub const SERVER_CAPS: u32 =
+    CAP_RAW_SEGMENTS | CAP_PREDICATE_PUSHDOWN | CAP_TRACE_CTX | CAP_PARTITIONS;
 
 /// Comparison operator of a scan predicate. This is the engine-wide
 /// [`scc_core::PredOp`]; its `tag`/`from_tag` pair defines the wire
@@ -122,6 +153,13 @@ pub enum Request {
     /// Readiness probe: is the server accepting work, or draining?
     /// Served in every state — a draining server still answers.
     Health,
+    /// Version/capability handshake: the client states the protocol
+    /// generation it speaks; the server answers [`Response::Hello`]
+    /// unconditionally (even while draining) and the client compares.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u8,
+    },
     /// Ask the server to stop. Without `force` the server *drains*:
     /// it stops accepting connections, finishes every in-flight
     /// request under its drain deadline, then exits. With `force` it
@@ -184,6 +222,13 @@ pub enum Response {
         active: u32,
         /// Sliding-window load/latency summary.
         window: HealthWindow,
+    },
+    /// Version/capability handshake answer.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u8,
+        /// Capability bitmask ([`CAP_RAW_SEGMENTS`] etc.).
+        caps: u32,
     },
     /// Typed failure.
     Error {
@@ -453,6 +498,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => out.push(REQ_STATS),
         Request::Health => out.push(REQ_HEALTH),
+        Request::Hello { version } => {
+            out.push(REQ_HELLO);
+            out.push(*version);
+        }
         Request::Shutdown { force } => {
             out.push(REQ_SHUTDOWN);
             out.push(u8::from(*force));
@@ -532,6 +581,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, Error> {
         }
         REQ_STATS => Request::Stats,
         REQ_HEALTH => Request::Health,
+        REQ_HELLO => Request::Hello { version: c.u8()? },
         REQ_SHUTDOWN => {
             let force = match c.u8()? {
                 0 => false,
@@ -601,6 +651,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u32(&mut out, window.queue_wait_p50_us);
             put_u32(&mut out, window.rps_x100);
             put_u32(&mut out, window.shed_per_s_x100);
+        }
+        Response::Hello { version, caps } => {
+            out.push(RESP_HELLO);
+            out.push(*version);
+            put_u32(&mut out, *caps);
         }
         Response::Error { code, message, retry_after_ms } => {
             out.push(RESP_ERROR);
@@ -678,6 +733,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, Error> {
             };
             Response::Health { state, workers, queue_depth, active, window }
         }
+        RESP_HELLO => Response::Hello { version: c.u8()?, caps: c.u32()? },
         RESP_ERROR => {
             let code = ErrorCode::from_tag(c.u8()?)
                 .ok_or(Error::Wire(WireError::Corrupt("unknown error code")))?;
@@ -723,6 +779,7 @@ mod tests {
         });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Health);
+        roundtrip_request(Request::Hello { version: PROTOCOL_VERSION });
         roundtrip_request(Request::Shutdown { force: false });
         roundtrip_request(Request::Shutdown { force: true });
     }
@@ -758,6 +815,7 @@ mod tests {
                     shed_per_s_x100: 50,
                 },
             },
+            Response::Hello { version: PROTOCOL_VERSION, caps: SERVER_CAPS },
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "queue full".into(),
@@ -852,6 +910,8 @@ mod tests {
                 window: HealthWindow::default(),
             }),
             encode_request(&Request::Shutdown { force: true }),
+            encode_request(&Request::Hello { version: PROTOCOL_VERSION }),
+            encode_response(&Response::Hello { version: PROTOCOL_VERSION, caps: SERVER_CAPS }),
         ];
         for msg in &messages {
             for cut in 0..msg.len() {

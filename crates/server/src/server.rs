@@ -637,6 +637,20 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream, queue_wait_ns: u64) {
                 let resp = shared.health();
                 shared.send(&mut stream, &resp);
             }
+            Request::Hello { version: _ } => {
+                // Answered in every lifecycle state: the handshake is how
+                // a coordinator decides whether to talk to this node at
+                // all, so even a draining server reports who it is. The
+                // server does not reject a mismatched client — it states
+                // its own generation and the client decides.
+                m_counter("server.requests.hello", 1);
+                troot.set_tag("kind", "hello");
+                let resp = Response::Hello {
+                    version: protocol::PROTOCOL_VERSION,
+                    caps: protocol::SERVER_CAPS,
+                };
+                shared.send(&mut stream, &resp);
+            }
             Request::Shutdown { force } => {
                 m_counter("server.requests.shutdown", 1);
                 troot.set_tag("kind", "shutdown");

@@ -325,3 +325,82 @@ fn protocol_shutdown_stops_the_server_cleanly() {
         "server still serving after shutdown"
     );
 }
+
+#[test]
+fn hello_handshake_reports_version_and_capabilities() {
+    let (server, addr) = start_demo_server(1024, ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let (version, caps) = client.hello().expect("hello");
+    assert_eq!(version, scc_server::PROTOCOL_VERSION);
+    assert_eq!(caps, scc_server::SERVER_CAPS);
+    assert_ne!(caps & scc_server::CAP_PARTITIONS, 0, "cluster partition capability advertised");
+    // The connection stays usable for data requests after the handshake.
+    let v = client.segment_range("demo", "key", 0, 4, false).expect("post-hello request");
+    assert_eq!(v, scc_engine::Vector::I64(vec![0, 1, 2, 3]));
+    drop(server);
+}
+
+#[test]
+fn failover_client_flips_to_replica_on_refused_dial_without_sleeping() {
+    use scc_server::{RetryPolicy, RetryingClient};
+    const ROWS: usize = 4096;
+    let (server, live) = start_demo_server(ROWS, ServerConfig::default());
+    // Nothing listens here: bind-then-drop reserves a dead port.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    // Backoffs long enough that an accidental sleep would blow the
+    // elapsed-time assertion.
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_secs(2),
+        max_backoff: Duration::from_secs(2),
+        jitter: 0.0,
+        deadline: Duration::from_secs(30),
+    };
+    let mut client = RetryingClient::failover(vec![dead, live], policy, None, 7);
+    let t0 = std::time::Instant::now();
+    let (batch, rows) = client.scan("demo", &["key", "val"], None, 1).expect("replica serves");
+    assert_eq!(rows as usize, ROWS);
+    assert_eq!(batch.columns[0].len(), ROWS);
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "refused dial must fail over without a backoff sleep, took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(client.retries, 0, "free rotation is not a slept retry");
+    drop(server);
+}
+
+#[test]
+fn failover_with_every_node_dark_still_terminates_typed() {
+    use scc_server::{RetryPolicy, RetryingClient};
+    let dead = || {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        jitter: 0.0,
+        deadline: Duration::from_secs(5),
+    };
+    let mut client = RetryingClient::failover(vec![dead(), dead()], policy, None, 3);
+    match client.stats_json() {
+        Err(ClientError::RetryExhausted { attempts }) => {
+            // One free rotation per address sweep, then the monotone
+            // backoff chain resumes — so some attempts slept and the
+            // slept waits never decrease.
+            assert!(attempts.iter().any(|a| a.backed_off == Duration::ZERO));
+            let slept: Vec<_> = attempts[..attempts.len() - 1]
+                .iter()
+                .filter(|a| a.backed_off > Duration::ZERO)
+                .collect();
+            assert!(!slept.is_empty(), "a dark cluster must fall back to backoff");
+            assert!(slept.windows(2).all(|w| w[0].backed_off <= w[1].backed_off));
+        }
+        other => panic!("expected retry exhaustion, got {other:?}"),
+    }
+}

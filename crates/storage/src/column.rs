@@ -427,6 +427,33 @@ impl StrColumn {
         Self { dict, codes: ColumnStore::build(codes, seg_rows, compression), raw_seg_bytes }
     }
 
+    /// Dictionary-encodes `values` against a *pinned* dictionary instead
+    /// of deriving one locally. Partitioned tables need this: a shard
+    /// that built its dictionary from only the rows it hosts would
+    /// assign different codes than the whole table, and cross-shard
+    /// results would no longer be byte-comparable. `dict` must be
+    /// sorted, deduplicated, and cover every value (the same invariants
+    /// [`StrColumn::build`] establishes for the full column).
+    pub fn build_with_dict(
+        values: &[String],
+        dict: Vec<String>,
+        seg_rows: usize,
+        compression: &Compression,
+    ) -> Self {
+        debug_assert!(dict.windows(2).all(|w| w[0] < w[1]), "dict must be sorted + deduped");
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|s| {
+                dict.binary_search_by(|d| d.as_str().cmp(s))
+                    .unwrap_or_else(|_| panic!("value {s:?} missing from pinned dictionary"))
+                    as u32
+            })
+            .collect();
+        let raw_seg_bytes =
+            values.chunks(seg_rows).map(|c| c.iter().map(|s| s.len() as u64 + 4).sum()).collect();
+        Self { dict, codes: ColumnStore::build(codes, seg_rows, compression), raw_seg_bytes }
+    }
+
     /// Raw (uncompressed) size of the whole column.
     pub fn raw_bytes(&self) -> u64 {
         self.raw_seg_bytes.iter().sum()

@@ -32,6 +32,7 @@ pub mod column;
 pub mod delta;
 pub mod disk;
 pub mod lazy;
+pub mod manifest;
 pub mod parallel;
 pub mod pool;
 pub mod scan;
@@ -44,6 +45,7 @@ pub use disk::{
     ScanStats, StatsHandle,
 };
 pub use lazy::SegmentHandle;
+pub use manifest::{hash_partition, partition_name, partition_table, PartitionManifest};
 pub use parallel::ParallelScan;
 pub use pool::{pool_handle, BufferPool, ChunkId, PoolHandle};
 pub use scan::{DecompressionGranularity, Scan, ScanMode, ScanOptions};

@@ -233,6 +233,17 @@ impl TableBuilder {
         self
     }
 
+    /// Adds a string column encoded against a pinned, table-global
+    /// dictionary (see [`StrColumn::build_with_dict`]). Partition tables
+    /// use this so every shard assigns the same codes as the unsharded
+    /// table would.
+    pub fn add_str_with_dict(mut self, name: &str, values: Vec<String>, dict: Vec<String>) -> Self {
+        self.check_rows(values.len(), name);
+        let col = StrColumn::build_with_dict(&values, dict, self.seg_rows, &self.compression);
+        self.columns.push((name.to_string(), Column::Str(col)));
+        self
+    }
+
     /// Adds an uncompressible blob column of the given total size (e.g. a
     /// comment field: it weights PAX chunks but is never scanned).
     pub fn add_blob(mut self, name: &str, total_bytes: u64) -> Self {

@@ -17,8 +17,10 @@
 pub mod dates;
 pub mod db;
 pub mod gen;
+pub mod partition;
 pub mod queries;
 
 pub use dates::{date, Date};
 pub use db::{QueryConfig, QueryRun, TpchDb};
 pub use gen::{generate, RawTables, SCALE_BASE_ORDERS};
+pub use partition::{PartitionedTable, PartitionedTpch};

@@ -1,0 +1,103 @@
+//! Partitioned TPC-H generation: every table of a [`TpchDb`], range-split
+//! into segment-aligned partitions and placed on cluster nodes.
+//!
+//! The partition tables carry the *same encoded segment bytes* as the
+//! unsharded tables (`scc_storage::partition_table` re-encodes each
+//! aligned slice with the table-global string dictionaries), so a
+//! scatter-gather scan that concatenates partitions in order is
+//! byte-identical to the single-node scan — the acceptance bar for the
+//! cluster coordinator.
+
+use crate::db::TpchDb;
+use scc_storage::{PartitionManifest, Table};
+use std::sync::Arc;
+
+/// All eight TPC-H table names, in the order [`TpchDb`] stores them.
+pub const TABLE_NAMES: [&str; 8] =
+    ["lineitem", "orders", "customer", "supplier", "part", "partsupp", "nation", "region"];
+
+/// One table's placement: its manifest plus the physical partition
+/// tables (index `p` ↔ `manifest.bounds[p]`).
+pub struct PartitionedTable {
+    /// Partition bounds and node assignment.
+    pub manifest: PartitionManifest,
+    /// The partition tables, named `"{table}#p{p}"`.
+    pub parts: Vec<Arc<Table>>,
+}
+
+/// A fully partitioned TPC-H database for an `nodes`-node cluster.
+pub struct PartitionedTpch {
+    /// Per-table placements, in [`TABLE_NAMES`] order.
+    pub tables: Vec<PartitionedTable>,
+}
+
+impl PartitionedTpch {
+    /// Partitions every table of `db` into `partitions` ranges assigned
+    /// across `nodes` nodes (primary `p % nodes`, replica next
+    /// round-robin — the same assignment the cluster topology derives).
+    pub fn build(db: &TpchDb, partitions: usize, nodes: usize) -> Self {
+        let tables = [
+            &db.lineitem,
+            &db.orders,
+            &db.customer,
+            &db.supplier,
+            &db.part,
+            &db.partsupp,
+            &db.nation,
+            &db.region,
+        ]
+        .into_iter()
+        .map(|t| {
+            let manifest =
+                PartitionManifest::range(&t.name, t.n_rows(), t.seg_rows(), partitions, nodes);
+            let parts = scc_storage::partition_table(t, &manifest);
+            PartitionedTable { manifest, parts }
+        })
+        .collect();
+        Self { tables }
+    }
+
+    /// The placement of one table, by logical name.
+    pub fn table(&self, name: &str) -> Option<&PartitionedTable> {
+        self.tables.iter().find(|t| t.manifest.table == name)
+    }
+
+    /// Every partition table a node hosts: its primaries plus the
+    /// replicas it carries for other nodes' partitions.
+    pub fn tables_for_node(&self, node: usize) -> Vec<Arc<Table>> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for p in 0..t.manifest.partitions() {
+                if t.manifest.primary[p] == node || t.manifest.replica[p] == node {
+                    out.push(Arc::clone(&t.parts[p]));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_partitions_and_every_node_covers_all_partitions_with_its_peer() {
+        let db = TpchDb::generate(0.002, 42);
+        let parted = PartitionedTpch::build(&db, 4, 2);
+        assert_eq!(parted.tables.len(), 8);
+        for t in &parted.tables {
+            let rows: usize = (0..t.manifest.partitions()).map(|p| t.manifest.rows_in(p)).sum();
+            assert_eq!(rows, t.manifest.n_rows);
+            // Each partition lives on exactly two distinct nodes.
+            for p in 0..t.manifest.partitions() {
+                assert_ne!(t.manifest.primary[p], t.manifest.replica[p]);
+            }
+        }
+        // A node's hosted set includes every partition where it is
+        // primary or replica — with 2 nodes, that is all of them.
+        let li = parted.table("lineitem").unwrap();
+        assert_eq!(parted.tables_for_node(0).len(), parted.tables.len() * 4);
+        assert_eq!(li.parts[0].name, "lineitem#p0");
+    }
+}

@@ -16,6 +16,8 @@
 //!                [--stats-json <out.json>] [--client-metrics-json <out.json>]
 //!                [--report-json <out.json>] [--shutdown] [--force]
 //!                [--trace-json <trace.json>] [--trace-sample R]
+//!                [--cluster --topology <file>]
+//! scc cluster-serve --topology <file> --node <index> [--rows R] [--workers N]
 //! scc top        [--addr A] [--interval-ms I] [--iterations N] [--no-clear]
 //! ```
 //!
@@ -59,7 +61,9 @@ fn die(msg: &str) -> ExitCode {
          [--addr A] [--requests N] [--threads T] [--rows R] [--corrupt] [--chaos] \
          [--chaos-seed S] [--retry-attempts N] [--retry-deadline-ms D] \
          [--stats-json J] [--client-metrics-json J] \
-         [--report-json J] [--shutdown] [--force] [--trace-json J] [--trace-sample R]\n  \
+         [--report-json J] [--shutdown] [--force] [--trace-json J] [--trace-sample R] \
+         [--cluster --topology F]\n  \
+         scc cluster-serve --topology F --node I [--rows R] [--workers N]\n  \
          scc top        [--addr A] [--interval-ms I] [--iterations N] [--no-clear]\n  \
          (T = u32|i32|u64|i64, default u32)"
     );
@@ -471,9 +475,67 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `scc cluster-serve`: serve one node's slice of the partitioned demo
+/// table (see `docs/CLUSTER.md`). The topology file decides which
+/// partitions this node hosts (as primary or replica) and which address
+/// it binds; every node derives the same placement from the same file.
+fn cmd_cluster_serve(args: &[String]) -> Result<(), String> {
+    let mut topology_path: Option<String> = None;
+    let mut node: Option<usize> = None;
+    let mut rows = 50_000usize;
+    let mut workers: Option<usize> = None;
+    let mut p = OptParser::new(args);
+    while let Some(flag) = p.next_flag() {
+        match flag {
+            "--topology" => topology_path = Some(p.value(flag)?.to_string()),
+            "--node" => node = Some(p.parse(flag)?),
+            "--rows" => rows = p.parse(flag)?,
+            "--workers" => workers = Some(p.parse(flag)?),
+            other => return Err(format!("unknown cluster-serve option {other}")),
+        }
+    }
+    let topology_path = topology_path.ok_or("cluster-serve needs --topology <file>")?;
+    let node = node.ok_or("cluster-serve needs --node <index>")?;
+    let topology = scc::cluster::Topology::load(&topology_path).map_err(|e| e.to_string())?;
+    if node >= topology.nodes.len() {
+        return Err(format!("--node {node} out of range ({} nodes)", topology.nodes.len()));
+    }
+    if rows == 0 {
+        return Err("--rows must be positive".into());
+    }
+    let table = scc::server::demo_table(rows);
+    let manifest = topology.manifest_for("demo", rows, table.seg_rows());
+    let parts = scc::storage::partition_table(&table, &manifest);
+    let mut catalog = scc::server::Catalog::new();
+    let mut hosted = Vec::new();
+    for (pi, part) in parts.iter().enumerate() {
+        if manifest.primary[pi] == node || manifest.replica[pi] == node {
+            catalog.add(std::sync::Arc::clone(part));
+            hosted.push(pi);
+        }
+    }
+    let mut config =
+        scc::server::ServerConfig { addr: topology.nodes[node].clone(), ..Default::default() };
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    let server = scc::server::Server::start(config, catalog)
+        .map_err(|e| format!("binding shard {node} ({}): {e}", topology.nodes[node]))?;
+    println!(
+        "scc-cluster shard {node} listening on {} hosting partition(s) {hosted:?} of demo x {rows} rows",
+        server.local_addr()
+    );
+    server.wait();
+    println!("scc-cluster shard {node}: shut down cleanly");
+    Ok(())
+}
+
 /// `scc loadgen`: closed-loop load against a running `scc serve`,
 /// verifying every response byte-exactly against a local replica of
-/// the demo table (`--rows` must match the server's).
+/// the demo table (`--rows` must match the server's). With `--cluster
+/// --topology <file>`, drives a whole shard cluster through the
+/// scatter-gather coordinator instead, byte-verifying merged results
+/// against the same local replica.
 fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let mut cfg = scc::server::LoadgenConfig::default();
     let mut rows = 50_000usize;
@@ -486,10 +548,14 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let mut chaos_seed: Option<u64> = None;
     let mut trace_json: Option<String> = None;
     let mut trace_sample: f64 = 1.0;
+    let mut cluster = false;
+    let mut topology_path: Option<String> = None;
     let mut p = OptParser::new(args);
     while let Some(flag) = p.next_flag() {
         match flag {
             "--addr" => cfg.addr = p.value(flag)?.to_string(),
+            "--cluster" => cluster = true,
+            "--topology" => topology_path = Some(p.value(flag)?.to_string()),
             "--requests" => cfg.requests = p.parse(flag)?,
             "--threads" => cfg.threads = p.parse(flag)?,
             "--scan-threads" => cfg.scan_threads = p.parse(flag)?,
@@ -536,6 +602,58 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     }
     if rows == 0 || cfg.threads == 0 {
         return Err("--rows and --threads must be positive".into());
+    }
+    if cluster {
+        let topology_path = topology_path.ok_or("--cluster needs --topology <file>")?;
+        if cfg.corrupt || stats_json.is_some() || trace_json.is_some() {
+            return Err("--corrupt/--stats-json/--trace-json are single-node options".into());
+        }
+        let topology = scc::cluster::Topology::load(&topology_path).map_err(|e| e.to_string())?;
+        let table = scc::server::demo_table(rows);
+        let manifest = topology.manifest_for("demo", rows, table.seg_rows());
+        let mut coord = scc::cluster::Coordinator::new(
+            topology,
+            scc::cluster::ClusterConfig {
+                retry: cfg.retry,
+                chaos: cfg.chaos,
+                shard_threads: cfg.scan_threads,
+                ..Default::default()
+            },
+        );
+        coord.register(manifest);
+        let lcfg = scc::cluster::ClusterLoadgenConfig {
+            requests: cfg.requests,
+            threads: cfg.threads,
+            seed: cfg.seed,
+        };
+        let report = scc::cluster::run_cluster_loadgen(&coord, &table, &lcfg)?;
+        println!("{}", report.summary());
+        if let Some(path) = report_json {
+            fs::write(&path, report.to_json().pretty() + "\n")
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("report written to {path}");
+        }
+        if let Some(path) = client_metrics_json {
+            let json = scc::obs::export::to_json(scc::obs::global()).pretty();
+            fs::write(&path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+            println!("client metrics written to {path}");
+        }
+        if shutdown {
+            let acked = coord.shutdown_nodes(force);
+            println!(
+                "{acked} node(s) acknowledged shutdown ({})",
+                if force { "forced" } else { "graceful drain" }
+            );
+        }
+        if report.errors > 0 || report.verify_failures > 0 {
+            return Err(format!(
+                "{} failed and {} unverified response(s)",
+                report.errors, report.verify_failures
+            ));
+        }
+        return Ok(());
+    } else if topology_path.is_some() {
+        return Err("--topology needs --cluster".into());
     }
     let replica = scc::server::demo_table(rows);
     let report = scc::server::run_loadgen(&cfg, &replica)?;
@@ -621,6 +739,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
     if cmd == "loadgen" {
         return cmd_loadgen(&args[1..]);
+    }
+    if cmd == "cluster-serve" {
+        return cmd_cluster_serve(&args[1..]);
     }
     if cmd == "top" {
         return cmd_top(&args[1..]);

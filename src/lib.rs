@@ -48,6 +48,9 @@ pub use scc_storage as storage;
 /// TCP segment/scan server, protocol client and load generator.
 pub use scc_server as server;
 
+/// Scatter-gather cluster coordinator over scc-server shards.
+pub use scc_cluster as cluster;
+
 /// TPC-H generator and the paper's eleven queries.
 pub use scc_tpch as tpch;
 
