@@ -92,11 +92,42 @@ impl std::fmt::Display for Unavailable {
 
 impl std::error::Error for Unavailable {}
 
+/// One tier's vertical-layout implementations (see [`crate::vert`]).
+/// Same validation contract as [`Driver`]; the delta/prefix kernels take
+/// four lane seeds instead of one because vertical DELTA uses
+/// lane-stride deltas.
+pub(crate) struct VertOps {
+    pub(crate) pack: fn(&[u32], u32, &mut [u32]),
+    pub(crate) unpack: fn(&[u32], u32, &mut [u32]),
+    pub(crate) for32: fn(&[u32], u32, u32, &mut [u32]),
+    pub(crate) for64: fn(&[u32], u32, u64, &mut [u64]),
+    pub(crate) delta32: fn(&[u32], u32, u32, &[u32; 4], &mut [u32]),
+    pub(crate) delta64: fn(&[u32], u32, u64, &[u64; 4], &mut [u64]),
+    pub(crate) prefix32: fn(&mut [u32], &[u32; 4]),
+    pub(crate) prefix64: fn(&mut [u64], &[u64; 4]),
+    pub(crate) cmp_range: fn(&[u32], u32, u32, u32, bool, &mut [bool]),
+    pub(crate) cmp_in_set: fn(&[u32], u32, &[u64], &mut [bool]),
+}
+
+pub(crate) static VERT_SCALAR: VertOps = VertOps {
+    pack: crate::vert::vpack_scalar,
+    unpack: crate::vert::vunpack_scalar,
+    for32: crate::vert::vfor32_scalar,
+    for64: crate::vert::vfor64_scalar,
+    delta32: crate::vert::vdelta32_scalar,
+    delta64: crate::vert::vdelta64_scalar,
+    prefix32: crate::vert::vprefix_sum32_scalar,
+    prefix64: crate::vert::vprefix_sum64_scalar,
+    cmp_range: crate::vert::vcmp_range_scalar,
+    cmp_in_set: crate::vert::vcmp_in_set_scalar,
+};
+
 /// One tier's implementations. All functions assume the caller validated
 /// `b <= 32` and `packed.len() >= packed_words(out.len(), b)`; the public
 /// wrappers in the crate root and [`Kernels`] enforce that.
 pub(crate) struct Driver {
     pub(crate) class: KernelClass,
+    pub(crate) pack: fn(&[u32], u32, &mut [u32]),
     pub(crate) unpack: fn(&[u32], u32, &mut [u32]),
     pub(crate) unpack_for32: fn(&[u32], u32, u32, &mut [u32]),
     pub(crate) unpack_for64: fn(&[u32], u32, u64, &mut [u64]),
@@ -106,10 +137,12 @@ pub(crate) struct Driver {
     pub(crate) prefix_sum64: fn(&mut [u64], u64),
     pub(crate) cmp_range: fn(&[u32], u32, u32, u32, bool, &mut [bool]),
     pub(crate) cmp_in_set: fn(&[u32], u32, &[u64], &mut [bool]),
+    pub(crate) vert: &'static VertOps,
 }
 
 static SCALAR: Driver = Driver {
     class: KernelClass::Scalar,
+    pack: crate::pack_scalar,
     unpack: crate::fused::unpack_scalar,
     unpack_for32: crate::fused::for32_scalar,
     unpack_for64: crate::fused::for64_scalar,
@@ -119,6 +152,7 @@ static SCALAR: Driver = Driver {
     prefix_sum64: crate::fused::prefix_sum64_scalar,
     cmp_range: crate::cmp::cmp_range_scalar,
     cmp_in_set: crate::cmp::cmp_in_set_scalar,
+    vert: &VERT_SCALAR,
 };
 
 /// `0` = not yet detected; otherwise `KernelClass::index() + 1`.
@@ -303,6 +337,94 @@ impl Kernels {
     pub fn cmp_in_set(self, packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
         crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
         (self.d.cmp_in_set)(packed, b, bits, out);
+    }
+
+    /// Per-tier [`crate::pack`]; same contract and panics.
+    pub fn pack(self, values: &[u32], b: u32, out: &mut [u32]) {
+        assert!(b <= 32, "bit width {b} out of range");
+        assert_eq!(out.len(), crate::packed_words(values.len(), b), "bad output length");
+        (self.d.pack)(values, b, out);
+    }
+
+    /// Per-tier [`crate::vert::pack`]; same contract and panics.
+    pub fn vpack(self, values: &[u32], b: u32, out: &mut [u32]) {
+        assert!(b <= 32, "bit width {b} out of range");
+        assert_eq!(out.len(), crate::packed_words(values.len(), b), "bad output length");
+        (self.d.vert.pack)(values, b, out);
+    }
+
+    /// Per-tier [`crate::vert::unpack`]; same contract and panics.
+    pub fn vunpack(self, packed: &[u32], b: u32, out: &mut [u32]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.unpack)(packed, b, out);
+    }
+
+    /// Per-tier [`crate::vert::unpack_for32`]; same contract and panics.
+    pub fn vunpack_for32(self, packed: &[u32], b: u32, base: u32, out: &mut [u32]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.for32)(packed, b, base, out);
+    }
+
+    /// Per-tier [`crate::vert::unpack_for64`]; same contract and panics.
+    pub fn vunpack_for64(self, packed: &[u32], b: u32, base: u64, out: &mut [u64]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.for64)(packed, b, base, out);
+    }
+
+    /// Per-tier [`crate::vert::unpack_delta32`]; same contract and panics.
+    pub fn vunpack_delta32(
+        self,
+        packed: &[u32],
+        b: u32,
+        delta_base: u32,
+        seeds: &[u32; 4],
+        out: &mut [u32],
+    ) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.delta32)(packed, b, delta_base, seeds, out);
+    }
+
+    /// Per-tier [`crate::vert::unpack_delta64`]; same contract and panics.
+    pub fn vunpack_delta64(
+        self,
+        packed: &[u32],
+        b: u32,
+        delta_base: u64,
+        seeds: &[u64; 4],
+        out: &mut [u64],
+    ) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.delta64)(packed, b, delta_base, seeds, out);
+    }
+
+    /// Per-tier [`crate::vert::prefix_sum32`] (lane-stride, 4 seeds).
+    pub fn vprefix_sum32(self, out: &mut [u32], seeds: &[u32; 4]) {
+        (self.d.vert.prefix32)(out, seeds);
+    }
+
+    /// Per-tier [`crate::vert::prefix_sum64`] (lane-stride, 4 seeds).
+    pub fn vprefix_sum64(self, out: &mut [u64], seeds: &[u64; 4]) {
+        (self.d.vert.prefix64)(out, seeds);
+    }
+
+    /// Per-tier [`crate::vert::cmp_range`]; same contract and panics.
+    pub fn vcmp_range(
+        self,
+        packed: &[u32],
+        b: u32,
+        lo: u32,
+        hi: u32,
+        negate: bool,
+        out: &mut [bool],
+    ) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.cmp_range)(packed, b, lo, hi, negate, out);
+    }
+
+    /// Per-tier [`crate::vert::cmp_in_set`]; same contract and panics.
+    pub fn vcmp_in_set(self, packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
+        crate::check_unpack(packed.len(), b, out.len()).unwrap_or_else(|e| panic!("{e}"));
+        (self.d.vert.cmp_in_set)(packed, b, bits, out);
     }
 }
 

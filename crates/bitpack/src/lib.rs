@@ -30,6 +30,9 @@ pub mod kernel;
 mod scalar;
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 mod simd;
+pub mod vert;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod vsimd;
 
 pub use bitio::{BitReader, BitWriter};
 pub use cmp::{cmp_in_set, cmp_range};
@@ -59,7 +62,9 @@ pub const fn packed_words(n: usize, b: u32) -> usize {
 
 /// Packs `values` (each must fit in `b` bits; upper bits are ignored) into
 /// `out`. `out` must have exactly [`packed_words`]`(values.len(), b)`
-/// elements.
+/// elements. Dispatches through the runtime kernel table; SIMD tiers
+/// vectorize the byte-aligned widths (8/16/32) and fall back to the
+/// scalar group kernels elsewhere.
 ///
 /// # Panics
 /// Panics if `b > 32` or `out` has the wrong length.
@@ -71,6 +76,11 @@ pub fn pack(values: &[u32], b: u32, out: &mut [u32]) {
         "output buffer has wrong length for n={} b={b}",
         values.len()
     );
+    (kernel::driver().pack)(values, b, out);
+}
+
+/// Scalar (reference) horizontal pack; the dispatch table's base tier.
+pub(crate) fn pack_scalar(values: &[u32], b: u32, out: &mut [u32]) {
     if b == 0 {
         return;
     }

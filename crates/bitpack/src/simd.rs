@@ -434,7 +434,7 @@ const CMP_CHUNK: usize = 1024;
 /// sign-bit bias trick (`c ^ 0x8000_0000` makes signed compares act
 /// unsigned).
 #[target_feature(enable = "sse4.1")]
-fn cmp_band_sse(codes: &[u32], lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+pub(crate) fn cmp_band_sse(codes: &[u32], lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
     let bias = _mm_set1_epi32(i32::MIN);
     let vlo = _mm_set1_epi32((lo ^ 0x8000_0000) as i32);
     let vhi = _mm_set1_epi32((hi ^ 0x8000_0000) as i32);
@@ -486,7 +486,7 @@ fn cmp_range_sse41(packed: &[u32], b: u32, lo: u32, hi: u32, negate: bool, out: 
 /// narrowed i32→i16→i8 with a `vpermd` to undo the 128-bit-lane
 /// interleave of the AVX2 pack instructions.
 #[target_feature(enable = "avx2")]
-fn cmp_band_avx2(codes: &[u32], lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
+pub(crate) fn cmp_band_avx2(codes: &[u32], lo: u32, hi: u32, negate: bool, out: &mut [bool]) {
     let bias = _mm256_set1_epi32(i32::MIN);
     let vlo = _mm256_set1_epi32((lo ^ 0x8000_0000) as i32);
     let vhi = _mm256_set1_epi32((hi ^ 0x8000_0000) as i32);
@@ -554,6 +554,7 @@ fn cmp_in_set_avx2(packed: &[u32], b: u32, bits: &[u64], out: &mut [bool]) {
 
 pub(crate) static AVX2: Driver = Driver {
     class: KernelClass::Avx2,
+    pack: crate::vsimd::pack_x86,
     unpack: unpack_avx2,
     unpack_for32: for32_avx2,
     unpack_for64: for64_avx2,
@@ -563,6 +564,7 @@ pub(crate) static AVX2: Driver = Driver {
     prefix_sum64: prefix_sum64_avx2,
     cmp_range: cmp_range_avx2,
     cmp_in_set: cmp_in_set_avx2,
+    vert: &crate::vsimd::VERT_AVX2,
 };
 
 // ---------------------------------------------------------------------
@@ -754,6 +756,7 @@ fn prefix_sum64_sse_impl(seed: u64, out: &mut [u64]) {
 
 pub(crate) static SSE41: Driver = Driver {
     class: KernelClass::Sse41,
+    pack: crate::vsimd::pack_x86,
     unpack: crate::fused::unpack_scalar,
     unpack_for32: for32_sse41,
     unpack_for64: for64_sse41,
@@ -765,6 +768,7 @@ pub(crate) static SSE41: Driver = Driver {
     // Scalar unpack + scalar membership: identical work to the scalar
     // tier (SSE4.1 has no gather to speed the lookup).
     cmp_in_set: crate::cmp::cmp_in_set_scalar,
+    vert: &crate::vsimd::VERT_SSE41,
 };
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 
 use crate::patch::BLOCK;
 use crate::pdict::Dictionary;
-use crate::segment::Segment;
+use crate::segment::{Layout, Segment};
 use crate::value::Value;
 use crate::{pdict, pfor, pfordelta};
 
@@ -302,21 +302,65 @@ pub fn analyze<V: Value>(sample: &[V], opts: &AnalyzeOpts) -> Analysis<V> {
     Analysis { candidates, plain_bits_per_value: w }
 }
 
-/// Executes a plan against a full column run.
-pub fn compress_with_plan<V: Value>(values: &[V], plan: &Plan<V>) -> Segment<V> {
+/// Picks the physical layout for newly compressed segments.
+///
+/// `SCC_LAYOUT=horizontal|vertical` forces a layout; `auto` (or unset)
+/// decides from the access-mix telemetry ([`telemetry::access_counts`]):
+/// columns with no recorded point lookups — including the common case of
+/// telemetry being disabled — and columns whose scans outnumber point
+/// lookups at least 4:1 go vertical (scans decode whole blocks, where the
+/// vertical SIMD kernels are fastest); point-access-heavy columns stay
+/// horizontal (a single vertical value costs the same bit gymnastics but
+/// with a colder access pattern).
+///
+/// [`telemetry::access_counts`]: crate::telemetry::access_counts
+pub fn choose_layout() -> Layout {
+    match std::env::var("SCC_LAYOUT").as_deref() {
+        Ok("horizontal") => return Layout::Horizontal,
+        Ok("vertical") => return Layout::Vertical,
+        _ => {} // "auto", unset, or unreadable: decide from telemetry
+    }
+    let (points, scans) = crate::telemetry::access_counts();
+    if points == 0 || scans >= 4 * points {
+        Layout::Vertical
+    } else {
+        Layout::Horizontal
+    }
+}
+
+/// Executes a plan against a full column run in an explicit [`Layout`].
+pub fn compress_with_plan_in<V: Value>(
+    values: &[V],
+    plan: &Plan<V>,
+    layout: Layout,
+) -> Segment<V> {
     match plan {
-        Plan::Pfor { base, b } => pfor::compress(values, *base, *b),
+        Plan::Pfor { base, b } => {
+            pfor::compress_in(values, *base, *b, Default::default(), layout)
+        }
         Plan::PforDelta { delta_base, b } => {
-            let seed = values.first().copied().unwrap_or_default();
             // Seed with the first value so delta[0] = 0 (always codable
             // when delta_base covers 0; otherwise one exception).
-            pfordelta::compress(values, seed, *delta_base, *b)
+            let seed = values.first().copied().unwrap_or_default();
+            match layout {
+                Layout::Horizontal => pfordelta::compress(values, seed, *delta_base, *b),
+                // The plan's (delta_base, b) describe stride-1 deltas;
+                // vertical DELTA codes stride-4 lane deltas, so the width
+                // is re-derived from that distribution.
+                Layout::Vertical => pfordelta::compress_vertical(values, seed),
+            }
         }
         Plan::Pdict { entries, b } => {
             let dict = Dictionary::new(entries.clone());
-            pdict::compress_with(values, &dict, *b, Default::default())
+            pdict::compress_in(values, &dict, *b, Default::default(), layout)
         }
     }
+}
+
+/// Executes a plan against a full column run, in the layout chosen by
+/// [`choose_layout`].
+pub fn compress_with_plan<V: Value>(values: &[V], plan: &Plan<V>) -> Segment<V> {
+    compress_with_plan_in(values, plan, choose_layout())
 }
 
 /// Wrinkle for PFOR-DELTA plans: the seed used by [`compress_with_plan`]

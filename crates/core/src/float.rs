@@ -15,7 +15,7 @@
 //!   reconstruction before choosing it.
 
 use crate::analyze::{analyze, AnalyzeOpts};
-use crate::segment::Segment;
+use crate::segment::{Layout, Segment};
 
 /// How a float column was compressed.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,7 +120,13 @@ pub fn compress_f64_auto(values: &[f64]) -> Option<(FloatSegment, FloatPlan)> {
             let analysis = analyze(&mantissas, &opts);
             if analysis.worthwhile() {
                 let plan = analysis.best().expect("worthwhile").plan.clone();
-                let seg = crate::compress_with_plan(&mantissas, &plan);
+                // Horizontal layout: candidate selection compares realized
+                // bytes, so both candidates must pay the same layout overhead
+                // (vertical PFOR-DELTA carries 4 seeds per block and re-derives
+                // its width from lane-stride deltas, which would skew the
+                // comparison). The vertical layout targets hot integer scan
+                // columns; float segments stay horizontal.
+                let seg = crate::compress_with_plan_in(&mantissas, &plan, Layout::Horizontal);
                 let bytes = seg.compressed_bytes();
                 if best.as_ref().is_none_or(|(_, _, b)| bytes < *b) {
                     best = Some((
@@ -139,7 +145,7 @@ pub fn compress_f64_auto(values: &[f64]) -> Option<(FloatSegment, FloatPlan)> {
     let analysis = analyze(&bits, &opts);
     if analysis.worthwhile() {
         let plan = analysis.best().expect("worthwhile").plan.clone();
-        let seg = crate::compress_with_plan(&bits, &plan);
+        let seg = crate::compress_with_plan_in(&bits, &plan, Layout::Horizontal);
         let bytes = seg.compressed_bytes();
         if best.as_ref().is_none_or(|(_, _, b)| bytes < *b) {
             best = Some((FloatSegment::Bits(seg), FloatPlan::Bits(plan), bytes));

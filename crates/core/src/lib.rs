@@ -69,7 +69,8 @@ pub mod value;
 pub mod wire;
 
 pub use analyze::{
-    analyze, compress_auto, compress_with_plan, Analysis, AnalyzeOpts, Candidate, Plan,
+    analyze, choose_layout, compress_auto, compress_with_plan, compress_with_plan_in, Analysis,
+    AnalyzeOpts, Candidate, Plan,
 };
 pub use crc::{crc32c, crc32c_append};
 pub use error::{ChunkRef, Error};
@@ -80,6 +81,6 @@ pub use patch::{EntryPoint, BLOCK, MAX_SEGMENT_VALUES};
 pub use pdict::Dictionary;
 pub use pfor::CompressKernel;
 pub use predicate::{const_outcome, type_literal, CodePredicate, PredOp, TypedLit, ValuePred};
-pub use segment::{Integrity, SchemeKind, Segment, SegmentStats};
+pub use segment::{Integrity, Layout, SchemeKind, Segment, SegmentStats};
 pub use value::Value;
 pub use wire::WireError;

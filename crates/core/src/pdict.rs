@@ -14,7 +14,7 @@
 
 use crate::error::Error;
 use crate::pfor::CompressKernel;
-use crate::segment::{SchemeKind, Segment, SegmentAssembly};
+use crate::segment::{Layout, SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
 
 /// An encode-side dictionary: the code array plus a value→code hash table.
@@ -132,14 +132,16 @@ impl<V: Value> Dictionary<V> {
     }
 }
 
-/// Compresses `values` with PDICT at width `b` using `dict`. Values not in
-/// the dictionary (or with codes `>= 2^b`, if the caller passes a width
-/// smaller than [`Dictionary::min_width`]) become exceptions.
-pub fn compress_with<V: Value>(
+/// Compresses `values` with PDICT at width `b` using `dict`, packing the
+/// codes in the requested [`Layout`]. Values not in the dictionary (or
+/// with codes `>= 2^b`, if the caller passes a width smaller than
+/// [`Dictionary::min_width`]) become exceptions.
+pub fn compress_in<V: Value>(
     values: &[V],
     dict: &Dictionary<V>,
     b: u32,
     kernel: CompressKernel,
+    layout: Layout,
 ) -> Segment<V> {
     assert!(b <= 32, "bit width {b} out of range");
     let lim = 1u64 << b;
@@ -182,8 +184,20 @@ pub fn compress_with<V: Value>(
         miss: &miss,
         delta_bases: Vec::new(),
         dict: dict_slice,
+        layout,
     }
     .finish(|pos| values[pos])
+}
+
+/// Compresses `values` with PDICT at width `b` using `dict`, in the
+/// byte-stable horizontal layout.
+pub fn compress_with<V: Value>(
+    values: &[V],
+    dict: &Dictionary<V>,
+    b: u32,
+    kernel: CompressKernel,
+) -> Segment<V> {
+    compress_in(values, dict, b, kernel, Layout::Horizontal)
 }
 
 /// Compresses with the default kernel at the dictionary's natural width.

@@ -18,7 +18,7 @@
 //!
 //! All three produce byte-identical segments.
 
-use crate::segment::{SchemeKind, Segment, SegmentAssembly};
+use crate::segment::{Layout, SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
 
 /// Compression inner-loop strategy (Figure 5).
@@ -137,15 +137,19 @@ pub(crate) fn find_exceptions<V: Value>(
 }
 
 /// Compresses `values` with PFOR at width `b` from `base`, using the given
-/// LOOP1 kernel.
+/// LOOP1 kernel, packing the codes in the requested [`Layout`].
+///
+/// The two layouts are logically identical (same codes, same exceptions,
+/// same sizes); only the bit order inside each 128-value block differs.
 ///
 /// # Panics
 /// Panics if `b > 32` or `values.len() > 2^25`.
-pub fn compress_with<V: Value>(
+pub fn compress_in<V: Value>(
     values: &[V],
     base: V,
     b: u32,
     kernel: CompressKernel,
+    layout: Layout,
 ) -> Segment<V> {
     assert!(b <= 32, "bit width {b} out of range");
     let mut codes = vec![0u32; values.len()];
@@ -159,8 +163,21 @@ pub fn compress_with<V: Value>(
         miss: &miss,
         delta_bases: Vec::new(),
         dict: Vec::new(),
+        layout,
     }
     .finish(|pos| values[pos])
+}
+
+/// Compresses `values` with PFOR at width `b` from `base`, using the given
+/// LOOP1 kernel. Horizontal layout (the paper's): this is the byte-stable
+/// entry point the format conformance and corruption corpora pin.
+pub fn compress_with<V: Value>(
+    values: &[V],
+    base: V,
+    b: u32,
+    kernel: CompressKernel,
+) -> Segment<V> {
+    compress_in(values, base, b, kernel, Layout::Horizontal)
 }
 
 /// Compresses with the default (double-cursor) kernel.

@@ -14,8 +14,11 @@
 
 use crate::patch::BLOCK;
 use crate::pfor::{find_exceptions, CompressKernel};
-use crate::segment::{SchemeKind, Segment, SegmentAssembly};
+use crate::segment::{Layout, SchemeKind, Segment, SegmentAssembly};
 use crate::value::Value;
+
+/// Vertical lanes per block — one independent running-sum chain each.
+const LANES: usize = 4;
 
 /// Compresses `values` with PFOR-DELTA: deltas are taken against `seed`
 /// (the value conceptually preceding the segment, usually 0 or the last
@@ -54,6 +57,7 @@ pub fn compress_with<V: Value>(
         miss: &miss,
         delta_bases,
         dict: Vec::new(),
+        layout: Layout::Horizontal,
     }
     // Exceptions store the raw delta so the running sum stays correct.
     .finish(|pos| deltas[pos])
@@ -62,6 +66,99 @@ pub fn compress_with<V: Value>(
 /// Compresses with the default (double-cursor) kernel.
 pub fn compress<V: Value>(values: &[V], seed: V, delta_base: V, b: u32) -> Segment<V> {
     compress_with(values, seed, delta_base, b, CompressKernel::default())
+}
+
+/// Compresses `values` with *vertical-layout* PFOR-DELTA.
+///
+/// The vertical decode kernel runs four running sums in four SIMD lanes,
+/// so the encoder stores **lane-stride** deltas — `d[i] = v[i] - v[i-4]`
+/// (all four chains seeded from `seed`) — and four restart values per
+/// block instead of one. For a sequence with near-constant gap `g` the
+/// lane deltas concentrate around `4g`, so the chosen width is typically
+/// two bits wider than the horizontal delta width; the decode-side win is
+/// that the prefix sum has no serial dependence between lanes.
+///
+/// `delta_base` and `b` describe the *lane-delta* domain, not the
+/// value-stride delta domain — use [`compress_vertical`] to derive them
+/// automatically.
+pub fn compress_vertical_with<V: Value>(
+    values: &[V],
+    seed: V,
+    delta_base: V,
+    b: u32,
+    kernel: CompressKernel,
+) -> Segment<V> {
+    assert!(b <= 32, "bit width {b} out of range");
+    let n = values.len();
+    let lane_prev = |i: usize| if i >= LANES { values[i - LANES] } else { seed };
+    let mut deltas = Vec::with_capacity(n);
+    for (i, &v) in values.iter().enumerate() {
+        deltas.push(v.wrapping_sub_v(lane_prev(i)));
+    }
+    // Four running-sum restarts per block: each lane's chain predecessor
+    // at the block boundary. `blk*BLOCK + lane - LANES` always lands
+    // inside the previous block (or before the segment), so it is a valid
+    // index even when the final block is shorter than a full lane round.
+    let n_blocks = n.div_ceil(BLOCK);
+    let mut delta_bases = Vec::with_capacity(n_blocks * LANES);
+    for blk in 0..n_blocks {
+        for lane in 0..LANES {
+            delta_bases.push(lane_prev(blk * BLOCK + lane));
+        }
+    }
+    let mut codes = vec![0u32; n];
+    let mut miss = Vec::new();
+    find_exceptions(kernel, &deltas, delta_base, b, &mut codes, &mut miss);
+    SegmentAssembly {
+        scheme: SchemeKind::PforDelta,
+        b,
+        base: delta_base,
+        codes: &mut codes,
+        miss: &miss,
+        delta_bases,
+        dict: Vec::new(),
+        layout: Layout::Vertical,
+    }
+    // Exceptions store the raw lane delta; patched in before the lane
+    // prefix sum, exactly as horizontally.
+    .finish(|pos| deltas[pos])
+}
+
+/// Vertical-layout PFOR-DELTA with `(delta_base, b)` chosen from the
+/// lane-delta distribution using the analyzer's cost model
+/// (`b + E'(b)·W` over a sorted sample of the stride-4 deltas).
+pub fn compress_vertical<V: Value>(values: &[V], seed: V) -> Segment<V> {
+    let sample = values.len().min(64 * 1024);
+    let mut sorted: Vec<V> = (0..sample)
+        .map(|i| values[i].wrapping_sub_v(if i >= LANES { values[i - LANES] } else { seed }))
+        .collect();
+    sorted.sort_unstable();
+    let (delta_base, b) = choose_lane_delta_width(&sorted);
+    compress_vertical_with(values, seed, delta_base, b, CompressKernel::default())
+}
+
+/// Minimizes `b + E'(b)·W` over a sorted lane-delta sample; returns the
+/// `(delta_base, b)` of the cheapest width.
+fn choose_lane_delta_width<V: Value>(sorted: &[V]) -> (V, u32) {
+    if sorted.is_empty() {
+        return (V::default(), 0);
+    }
+    let w = V::BITS as f64;
+    let s = sorted.len() as f64;
+    let mut best = (V::default(), 32u32.min(V::BITS), f64::INFINITY);
+    for b in 0..=32u32.min(V::BITS) {
+        let (lo, len) = crate::analyze::pfor_analyze_bits(sorted, b);
+        let e = (sorted.len() - len) as f64 / s;
+        let e_eff = crate::analyze::effective_exception_rate(e, b);
+        let bits = b as f64 + e_eff * w;
+        if bits < best.2 {
+            best = (sorted[lo], b, bits);
+        }
+        if len == sorted.len() {
+            break;
+        }
+    }
+    (best.0, best.1)
 }
 
 #[cfg(test)]
@@ -154,5 +251,49 @@ mod tests {
         let seg = compress::<u32>(&[], 0, 0, 4);
         assert!(seg.is_empty());
         assert!(seg.decompress().is_empty());
+    }
+
+    #[test]
+    fn vertical_roundtrips_and_matches_horizontal_values() {
+        // Monotone with jitter and rare jumps: exercises exceptions, the
+        // lane prefix sum and a non-multiple-of-128 tail.
+        let mut pos = 0u32;
+        let values: Vec<u32> = (0..2000u32)
+            .map(|i| {
+                pos += if i % 100 == 0 { 100_000 } else { 1 + i % 7 };
+                pos
+            })
+            .collect();
+        let seg = compress_vertical(&values, 0);
+        assert_eq!(seg.layout(), Layout::Vertical);
+        assert_eq!(seg.decompress(), values);
+        // Four restarts per block.
+        assert_eq!(seg.delta_bases.len(), values.len().div_ceil(BLOCK) * 4);
+        // Fine-grained access and range decode agree.
+        for i in [0usize, 1, 3, 4, 127, 128, 131, 1999] {
+            assert_eq!(seg.get(i), values[i], "index {i}");
+        }
+        let mut out = vec![0u32; 512];
+        seg.decode_range(1024, &mut out);
+        assert_eq!(out, &values[1024..1536]);
+    }
+
+    #[test]
+    fn vertical_signed_and_64bit() {
+        let values: Vec<i64> = (0..777i64).map(|i| -1_000_000 + i * 333 + (i % 11)).collect();
+        let seg = compress_vertical(&values, 0);
+        assert_eq!(seg.decompress(), values);
+        for (i, &v) in values.iter().enumerate().step_by(97) {
+            assert_eq!(seg.get(i), v);
+        }
+    }
+
+    #[test]
+    fn vertical_tiny_inputs() {
+        for n in [0usize, 1, 2, 3, 4, 5, 127, 128, 129] {
+            let values: Vec<u32> = (0..n as u32).map(|i| 7 + i * 3).collect();
+            let seg = compress_vertical(&values, 0);
+            assert_eq!(seg.decompress(), values, "n={n}");
+        }
     }
 }

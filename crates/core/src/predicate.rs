@@ -359,30 +359,61 @@ impl<V: Value> Segment<V> {
             self.scheme != SchemeKind::PforDelta,
             "compile_predicate never compiles PFOR-DELTA"
         );
+        crate::telemetry::record_access_scan();
+        let vertical = self.layout() == crate::segment::Layout::Vertical;
         let mut written = 0usize;
         let mut blk = start / BLOCK;
         while written < out.len() {
             let len = self.block_len(blk);
             let take = len.min(out.len() - written);
-            let sel = &mut out[written..written + take];
-            // Validates code availability for every position < take,
-            // which also covers the gap-code reads of the patch walk.
-            let codes = self.block_codes(blk, take)?;
-            match &cp.coded {
-                CodedTest::Const(v) => sel.fill(*v),
-                CodedTest::Range { lo, hi, negate } => {
-                    scc_bitpack::cmp_range(codes, self.b, *lo, *hi, *negate, sel);
+            if vertical {
+                // A vertical block's codes interleave across the whole
+                // 128-value block, so the compare kernel always runs over
+                // the full block into a stack buffer; a partial `take`
+                // copies the prefix. (The kernels handle a horizontal
+                // tail block themselves, driven by the buffer length.)
+                let codes = self.block_codes(blk, len)?;
+                let mut buf = [false; BLOCK];
+                let flags = &mut buf[..len];
+                match &cp.coded {
+                    CodedTest::Const(v) => flags.fill(*v),
+                    CodedTest::Range { lo, hi, negate } => {
+                        scc_bitpack::vert::cmp_range(codes, self.b, *lo, *hi, *negate, flags);
+                    }
+                    CodedTest::Set(bits) => {
+                        scc_bitpack::vert::cmp_in_set(codes, self.b, bits, flags)
+                    }
                 }
-                CodedTest::Set(bits) => scc_bitpack::cmp_in_set(codes, self.b, bits, sel),
+                let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
+                walk_patch_list(
+                    patch_start,
+                    exc_count,
+                    len,
+                    |p| scc_bitpack::vert::get_one(codes, self.b, len, p),
+                    |pos, k| flags[pos] = cp.pred.test(self.exceptions[exc_start + k]),
+                );
+                out[written..written + take].copy_from_slice(&buf[..take]);
+            } else {
+                let sel = &mut out[written..written + take];
+                // Validates code availability for every position < take,
+                // which also covers the gap-code reads of the patch walk.
+                let codes = self.block_codes(blk, take)?;
+                match &cp.coded {
+                    CodedTest::Const(v) => sel.fill(*v),
+                    CodedTest::Range { lo, hi, negate } => {
+                        scc_bitpack::cmp_range(codes, self.b, *lo, *hi, *negate, sel);
+                    }
+                    CodedTest::Set(bits) => scc_bitpack::cmp_in_set(codes, self.b, bits, sel),
+                }
+                let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
+                walk_patch_list(
+                    patch_start,
+                    exc_count,
+                    take,
+                    |p| get_one(codes, self.b, p),
+                    |pos, k| sel[pos] = cp.pred.test(self.exceptions[exc_start + k]),
+                );
             }
-            let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
-            walk_patch_list(
-                patch_start,
-                exc_count,
-                take,
-                |p| get_one(codes, self.b, p),
-                |pos, k| sel[pos] = cp.pred.test(self.exceptions[exc_start + k]),
-            );
             written += take;
             blk += 1;
         }

@@ -38,6 +38,36 @@ pub enum Integrity {
     Unverified,
 }
 
+/// Physical layout of the bit-packed code section.
+///
+/// Both layouts pack the same `b`-bit codes into the same number of
+/// words at the same block offsets (`blk * 4 * b`); they differ only in
+/// the order bits land inside a 128-value block. Horizontal is the
+/// paper's layout (logical order, groups of 32); vertical interleaves
+/// four lanes word-wise so SIMD decoders need no cross-lane shuffles
+/// (see [`scc_bitpack::vert`]). A trailing partial block is stored
+/// horizontally in either layout. The wire format records the layout in
+/// the version/scheme bytes (v3 = vertical; v1/v2 are always
+/// horizontal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Paper layout: codes packed in logical value order.
+    #[default]
+    Horizontal,
+    /// SIMD-BP128-style 4-lane layout; DELTA uses lane-stride deltas.
+    Vertical,
+}
+
+impl Layout {
+    /// Lower-case name used in reports and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Horizontal => "horizontal",
+            Layout::Vertical => "vertical",
+        }
+    }
+}
+
 /// Which of the three patched schemes a segment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -89,6 +119,8 @@ pub struct Segment<V: Value> {
     pub(crate) exceptions: Vec<V>,
     /// PDICT only: the dictionary (codes index into it).
     pub(crate) dict: Vec<V>,
+    /// Physical order of the packed codes: see [`Layout`].
+    pub(crate) layout: Layout,
     /// Provenance of the bytes: see [`Integrity`].
     pub(crate) integrity: Integrity,
 }
@@ -114,6 +146,7 @@ const _: () = {
 impl<V: Value> PartialEq for Segment<V> {
     fn eq(&self, other: &Self) -> bool {
         self.scheme == other.scheme
+            && self.layout == other.layout
             && self.n == other.n
             && self.b == other.b
             && self.base == other.base
@@ -169,6 +202,12 @@ impl<V: Value> Segment<V> {
     #[inline]
     pub fn bit_width(&self) -> u32 {
         self.b
+    }
+
+    /// Physical layout of the code section.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
     }
 
     /// Total number of exception values (data-driven plus compulsory).
@@ -256,13 +295,23 @@ impl<V: Value> Segment<V> {
         let out = &mut out[..len];
         let codes = self.block_codes(blk, len)?;
         let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
+        let vertical = self.layout == Layout::Vertical;
         match self.scheme {
             SchemeKind::Pfor => {
-                // LOOP1: fused unpack + FOR add, no intermediate code buffer.
-                V::fused_unpack_for(codes, self.b, self.base, out);
+                // LOOP1: fused unpack + FOR add, no intermediate code
+                // buffer. The vertical kernels handle a trailing partial
+                // block themselves (it is stored horizontally), so the
+                // dispatch is uniform per block.
+                if vertical {
+                    V::vert_unpack_for(codes, self.b, self.base, out);
+                } else {
+                    V::fused_unpack_for(codes, self.b, self.base, out);
+                }
                 // LOOP2: patch it up. A pre-patch exception slot holds
                 // `base + gap_code`, so the gap is recovered exactly by
-                // the wrapping inverse (gap codes are < 2^32).
+                // the wrapping inverse (gap codes are < 2^32). The gap
+                // arithmetic is layout-independent — it reads the decoded
+                // output, never the packed words.
                 walk_patch_list_fused(patch_start, exc_count, len, |pos, k| {
                     let gap = out[pos].wrapping_offset(self.base) as u32;
                     out[pos] = self.exceptions[exc_start + k];
@@ -279,7 +328,11 @@ impl<V: Value> Segment<V> {
                 let mut code = [0u32; BLOCK];
                 let code = &mut code[..len];
                 // Validated above; dispatches the same kernel tier.
-                unpack(codes, self.b, code);
+                if vertical {
+                    scc_bitpack::vert::unpack(codes, self.b, code);
+                } else {
+                    unpack(codes, self.b, code);
+                }
                 let last = self.dict.len() - 1;
                 for (o, &c) in out.iter_mut().zip(code.iter()) {
                     *o = self.dict[(c as usize).min(last)];
@@ -291,6 +344,27 @@ impl<V: Value> Segment<V> {
                     |p| code[p],
                     |pos, k| out[pos] = self.exceptions[exc_start + k],
                 );
+            }
+            SchemeKind::PforDelta if vertical => {
+                // Vertical DELTA stores lane-stride deltas
+                // (`d[i] = v[i] - v[i-4]`) and four running-sum seeds per
+                // block, so the prefix sum is four independent chains —
+                // exactly the shape the 4-lane SIMD prefix-sum kernel
+                // wants. Patch before the running sum, as horizontally.
+                let seeds: [V; 4] = self.delta_bases[blk * 4..blk * 4 + 4]
+                    .try_into()
+                    .expect("vertical PFOR-DELTA carries 4 seeds per block");
+                if exc_count == 0 {
+                    V::vert_unpack_delta(codes, self.b, self.base, &seeds, out);
+                } else {
+                    V::vert_unpack_for(codes, self.b, self.base, out);
+                    walk_patch_list_fused(patch_start, exc_count, len, |pos, k| {
+                        let gap = out[pos].wrapping_offset(self.base) as u32;
+                        out[pos] = self.exceptions[exc_start + k];
+                        gap
+                    });
+                    V::vert_prefix_sum(out, &seeds);
+                }
             }
             SchemeKind::PforDelta => {
                 // Patch before the running sum (footnote 3 of the paper).
@@ -371,6 +445,7 @@ impl<V: Value> Segment<V> {
         if start + out.len() > self.n {
             return Err(Error::RangeOutOfBounds { start, len: out.len(), n: self.n });
         }
+        crate::telemetry::record_access_scan();
         let t0 = scc_obs::clock();
         let mut buf = [V::default(); BLOCK];
         let mut written = 0;
@@ -409,6 +484,7 @@ impl<V: Value> Segment<V> {
     /// [`Error::CorruptDictCode`] when a PDICT code exceeds the
     /// dictionary at a position the patch walk ruled out as an exception.
     pub fn try_get(&self, x: usize) -> Result<V, Error> {
+        crate::telemetry::record_access_point();
         if x < self.n {
             self.get_checked_pos(x)
         } else {
@@ -437,7 +513,15 @@ impl<V: Value> Segment<V> {
         let local = (x % BLOCK) as u32;
         let (patch_start, exc_start, exc_count) = self.block_exceptions(blk);
         let word_base = self.block_word_offset(blk);
-        let code_at = |p: u32| get_one(&self.codes[word_base..], self.b, p as usize);
+        let blk_len = self.block_len(blk);
+        let code_at = |p: u32| match self.layout {
+            Layout::Horizontal => get_one(&self.codes[word_base..], self.b, p as usize),
+            // The vertical accessor needs the block length to tell a full
+            // (vertical) block from a horizontal tail block.
+            Layout::Vertical => {
+                scc_bitpack::vert::get_one(&self.codes[word_base..], self.b, blk_len, p as usize)
+            }
+        };
         // Walk the linked list until we reach or pass x.
         let mut i = patch_start;
         let mut k = 0usize;
@@ -576,10 +660,13 @@ pub(crate) struct SegmentAssembly<'a, V: Value> {
     pub codes: &'a mut [u32],
     /// Sorted global positions of data-driven exceptions.
     pub miss: &'a [u32],
-    /// PFOR-DELTA running-sum restarts (empty otherwise).
+    /// PFOR-DELTA running-sum restarts (empty otherwise): one per block
+    /// horizontally, four per block vertically.
     pub delta_bases: Vec<V>,
     /// PDICT dictionary (empty otherwise).
     pub dict: Vec<V>,
+    /// Physical order to pack the codes in.
+    pub layout: Layout,
 }
 
 impl<'a, V: Value> SegmentAssembly<'a, V> {
@@ -612,8 +699,17 @@ impl<'a, V: Value> SegmentAssembly<'a, V> {
             crate::patch::write_gap_codes(&mut self.codes[lo..hi], &planned);
         }
         debug_assert_eq!(mi, self.miss.len());
-        crate::telemetry::record_encode(self.scheme, n as u64, exceptions.len() as u64, self.b);
-        let codes = scc_bitpack::pack_vec(self.codes, self.b);
+        crate::telemetry::record_encode(
+            self.scheme,
+            self.layout,
+            n as u64,
+            exceptions.len() as u64,
+            self.b,
+        );
+        let codes = match self.layout {
+            Layout::Horizontal => scc_bitpack::pack_vec(self.codes, self.b),
+            Layout::Vertical => scc_bitpack::vert::pack_vec(self.codes, self.b),
+        };
         Segment {
             scheme: self.scheme,
             n,
@@ -624,6 +720,7 @@ impl<'a, V: Value> SegmentAssembly<'a, V> {
             codes,
             exceptions,
             dict: self.dict,
+            layout: self.layout,
             integrity: Integrity::Verified,
         }
     }

@@ -82,6 +82,27 @@ pub trait Value: Copy + Eq + Ord + Hash + Debug + Default + Send + Sync + 'stati
     /// In-place inclusive wrapping prefix sum seeded with `seed`:
     /// `out[i] = seed + Σ_{j<=i} out[j]`.
     fn prefix_sum(out: &mut [Self], seed: Self);
+
+    /// Vertical-layout twin of [`fused_unpack_for`](Self::fused_unpack_for):
+    /// same contract, but `packed` is in the [`scc_bitpack::vert`] 4-lane
+    /// layout (full 128-value blocks vertical, trailing partial block
+    /// horizontal).
+    fn vert_unpack_for(packed: &[u32], b: u32, base: Self, out: &mut [Self]);
+
+    /// Vertical-layout fused unpack + lane-stride delta decode:
+    /// `out[i] = seeds[i % 4] + Σ_{j <= i, j ≡ i (mod 4)} (delta_base +
+    /// code_j)` (wrapping) — four independent running sums, one per lane.
+    fn vert_unpack_delta(
+        packed: &[u32],
+        b: u32,
+        delta_base: Self,
+        seeds: &[Self; 4],
+        out: &mut [Self],
+    );
+
+    /// In-place lane-stride wrapping prefix sum: lane `i % 4` accumulates
+    /// independently from `seeds[i % 4]`.
+    fn vert_prefix_sum(out: &mut [Self], seeds: &[Self; 4]);
 }
 
 /// Reinterprets a value slice as its unsigned-of-equal-width twin so the
@@ -183,6 +204,35 @@ macro_rules! impl_value {
             #[inline]
             fn prefix_sum(out: &mut [Self], seed: Self) {
                 scc_bitpack::fused::$prefix_fn(as_unsigned_mut!(out, $ty, $uns), seed as $uns);
+            }
+
+            #[inline]
+            fn vert_unpack_for(packed: &[u32], b: u32, base: Self, out: &mut [Self]) {
+                scc_bitpack::vert::$for_fn(packed, b, base as $uns, as_unsigned_mut!(out, $ty, $uns));
+            }
+
+            #[inline]
+            fn vert_unpack_delta(
+                packed: &[u32],
+                b: u32,
+                delta_base: Self,
+                seeds: &[Self; 4],
+                out: &mut [Self],
+            ) {
+                let seeds = seeds.map(|s| s as $uns);
+                scc_bitpack::vert::$delta_fn(
+                    packed,
+                    b,
+                    delta_base as $uns,
+                    &seeds,
+                    as_unsigned_mut!(out, $ty, $uns),
+                );
+            }
+
+            #[inline]
+            fn vert_prefix_sum(out: &mut [Self], seeds: &[Self; 4]) {
+                let seeds = seeds.map(|s| s as $uns);
+                scc_bitpack::vert::$prefix_fn(as_unsigned_mut!(out, $ty, $uns), &seeds);
             }
         }
     };

@@ -33,10 +33,24 @@
 //! Version 1 is the same without the checksum block (sections start at
 //! byte 32). Readers accept both; v1 segments load flagged
 //! [`Integrity::Unverified`] since nothing vouches for their payload.
-//! Writers emit v2. A serialized segment must be *exactly* its computed
-//! size — trailing bytes are rejected — which makes the version byte
-//! itself tamper-evident: rewriting `2` as `1` shifts every section by the
-//! checksum block's 24 bytes and fails the length check.
+//!
+//! Version 3 marks a **vertical-layout** segment (see
+//! [`crate::segment::Layout`]): identical to v2 byte-for-byte in
+//! structure, except that bit 7 of the scheme byte is set (the low bits
+//! keep the scheme tag), the code section is bit-packed in the
+//! [`scc_bitpack::vert`] 4-lane order, and a PFOR-DELTA segment carries
+//! *four* delta bases per block (one per lane) instead of one. Horizontal
+//! segments continue to serialize as v2 byte-identically, so v2 readers
+//! only ever reject data they could not decode correctly anyway — they
+//! report v3 as [`WireError::BadVersion`] rather than mis-decoding a
+//! vertical code section.
+//!
+//! Writers emit v2 (horizontal) or v3 (vertical). A serialized segment
+//! must be *exactly* its computed size — trailing bytes are rejected —
+//! which makes the version byte itself tamper-evident: rewriting `2` as
+//! `1` shifts every section by the checksum block's 24 bytes and fails
+//! the length check, while any flip among {2, 3} or of the layout bit is
+//! caught by the header CRC.
 //!
 //! Every CRC is [`crate::crc::crc32c`]. CRC32C detects all single-bit and
 //! single-byte errors, so any one-byte corruption anywhere in a v2 segment
@@ -48,7 +62,7 @@
 
 use crate::crc::crc32c;
 use crate::patch::EntryPoint;
-use crate::segment::{Integrity, SchemeKind, Segment};
+use crate::segment::{Integrity, Layout as SegLayout, SchemeKind, Segment};
 use crate::value::Value;
 use std::fmt;
 
@@ -63,9 +77,17 @@ pub const HEADER_BYTES_V2: usize = HEADER_BYTES + CHECKSUM_BYTES;
 
 const MAGIC: [u8; 4] = *b"SCCS";
 
-/// The version written by [`Segment::to_bytes`].
+/// The version written by [`Segment::to_bytes`] for horizontal segments.
 pub const VERSION: u8 = 2;
+/// The version written by [`Segment::to_bytes`] for vertical segments.
+pub const VERSION_V3: u8 = 3;
 const VERSION_V1: u8 = 1;
+
+/// v3 scheme-byte bit marking a vertical code section.
+const LAYOUT_FLAG: u8 = 0x80;
+
+/// Vertical PFOR-DELTA lanes: delta bases per block.
+const VERT_DELTA_LANES: usize = 4;
 
 /// Deserialization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +175,7 @@ fn tag_width(tag: u8) -> Option<usize> {
 struct Layout {
     version: u8,
     scheme: SchemeKind,
+    layout: SegLayout,
     vtype: u8,
     width: usize,
     b: u32,
@@ -188,13 +211,15 @@ impl std::error::Error for VerifyFailure {}
 /// Summary returned by [`verify`] for an intact segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VerifyReport {
-    /// Wire format version (1 or 2).
+    /// Wire format version (1, 2 or 3).
     pub version: u8,
-    /// [`Integrity::Verified`] for v2 (checksums checked),
+    /// [`Integrity::Verified`] for v2/v3 (checksums checked),
     /// [`Integrity::Unverified`] for v1 (nothing to check against).
     pub integrity: Integrity,
     /// Compression scheme of the segment.
     pub scheme: SchemeKind,
+    /// Code-section layout (vertical for v3, horizontal otherwise).
+    pub layout: SegLayout,
     /// Values in the segment.
     pub n: usize,
     /// Serialized size in bytes.
@@ -209,12 +234,13 @@ pub fn verify(bytes: &[u8]) -> Result<VerifyReport, VerifyFailure> {
     let layout = parse_layout(bytes)?;
     Ok(VerifyReport {
         version: layout.version,
-        integrity: if layout.version == VERSION {
-            Integrity::Verified
-        } else {
+        integrity: if layout.version == VERSION_V1 {
             Integrity::Unverified
+        } else {
+            Integrity::Verified
         },
         scheme: layout.scheme,
+        layout: layout.layout,
         n: layout.n,
         bytes: bytes.len(),
     })
@@ -238,26 +264,38 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, VerifyFailure> {
         return Err(fail(0, WireError::BadMagic));
     }
     let version = bytes[4];
-    if version != VERSION_V1 && version != VERSION {
+    if version != VERSION_V1 && version != VERSION && version != VERSION_V3 {
         return Err(fail(4, WireError::BadVersion(version)));
     }
-    let body = if version == VERSION { HEADER_BYTES_V2 } else { HEADER_BYTES };
+    let body = if version == VERSION_V1 { HEADER_BYTES } else { HEADER_BYTES_V2 };
     if bytes.len() < body {
         return Err(fail(bytes.len(), WireError::Truncated { need: body, have: bytes.len() }));
     }
     let rd32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-    // For v2, the header checksum is verified before any header field is
-    // *trusted* (scheme and type tags, counts), so a corrupted header is
-    // reported as such instead of as whatever nonsense it decodes to.
-    if version == VERSION {
+    // For v2/v3, the header checksum is verified before any header field
+    // is *trusted* (scheme and type tags, counts, the layout bit), so a
+    // corrupted header is reported as such instead of as whatever
+    // nonsense it decodes to.
+    if version != VERSION_V1 {
         let stored = rd32(HEADER_BYTES);
         let computed = crc32c(&bytes[..HEADER_BYTES]);
         if stored != computed {
             return Err(fail(0, WireError::Checksum { section: "header", stored, computed }));
         }
     }
+    // v3 carries the layout in bit 7 of the scheme byte; earlier versions
+    // are horizontal by definition (and reject a set bit as a bad tag).
+    let (scheme_tag, layout) = if version == VERSION_V3 {
+        let vertical = bytes[5] & LAYOUT_FLAG != 0;
+        (
+            bytes[5] & !LAYOUT_FLAG,
+            if vertical { SegLayout::Vertical } else { SegLayout::Horizontal },
+        )
+    } else {
+        (bytes[5], SegLayout::Horizontal)
+    };
     let scheme =
-        SchemeKind::from_tag(bytes[5]).ok_or_else(|| fail(5, WireError::BadScheme(bytes[5])))?;
+        SchemeKind::from_tag(scheme_tag).ok_or_else(|| fail(5, WireError::BadScheme(bytes[5])))?;
     let vtype = bytes[6];
     let width =
         tag_width(vtype).ok_or_else(|| fail(6, WireError::Corrupt("unknown value type tag")))?;
@@ -282,7 +320,8 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, VerifyFailure> {
         return Err(fail(20, WireError::Corrupt("code section size does not match n and b")));
     }
     let n_blocks = n.div_ceil(crate::patch::BLOCK);
-    let n_delta = if scheme == SchemeKind::PforDelta { n_blocks } else { 0 };
+    let delta_lanes = if layout == SegLayout::Vertical { VERT_DELTA_LANES } else { 1 };
+    let n_delta = if scheme == SchemeKind::PforDelta { n_blocks * delta_lanes } else { 0 };
     let entries_off = body;
     let deltas_off = entries_off + n_blocks * 4;
     let dict_off = deltas_off + n_delta * width;
@@ -298,7 +337,7 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, VerifyFailure> {
         // detectable (the 24 checksum bytes become trailing garbage).
         return Err(fail(need, WireError::Corrupt("trailing bytes after segment")));
     }
-    if version == VERSION {
+    if version != VERSION_V1 {
         let sections: [(&'static str, usize, usize); 5] = [
             ("entry points", entries_off, deltas_off),
             ("delta bases", deltas_off, dict_off),
@@ -348,6 +387,7 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, VerifyFailure> {
     Ok(Layout {
         version,
         scheme,
+        layout,
         vtype,
         width,
         b,
@@ -361,24 +401,40 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, VerifyFailure> {
 }
 
 impl<V: Value> Segment<V> {
-    /// Serializes the segment in wire format v2 (checksummed).
+    /// Serializes the segment: wire format v2 for horizontal segments,
+    /// v3 for vertical ones (both checksummed; the byte layout is
+    /// otherwise identical).
     pub fn to_bytes(&self) -> Vec<u8> {
-        self.to_bytes_versioned(VERSION)
+        let version =
+            if self.layout() == SegLayout::Vertical { VERSION_V3 } else { VERSION };
+        self.to_bytes_versioned(version)
     }
 
     /// Serializes the segment in legacy wire format v1 (no checksums).
     /// Kept for compatibility tests and for producing inputs to the v1
     /// read path; new data should use [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Panics
+    /// Panics for vertical segments: v1 readers would silently decode the
+    /// vertical code section with horizontal bit order.
     pub fn to_bytes_v1(&self) -> Vec<u8> {
         self.to_bytes_versioned(VERSION_V1)
     }
 
     fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
+        // A vertical code section is only decodable by a layout-aware
+        // reader, and only v3 records the layout.
+        assert!(
+            self.layout() == SegLayout::Horizontal || version == VERSION_V3,
+            "vertical segments require wire format v3"
+        );
+        let scheme_byte = self.scheme.tag()
+            | if self.layout() == SegLayout::Vertical { LAYOUT_FLAG } else { 0 };
         let w = V::byte_width();
         let mut out = Vec::with_capacity(self.compressed_bytes());
         out.extend_from_slice(&MAGIC);
         out.push(version);
-        out.push(self.scheme.tag());
+        out.push(scheme_byte);
         out.push(vtype_tag::<V>());
         out.push(self.b as u8);
         out.extend_from_slice(&(self.n as u32).to_le_bytes());
@@ -391,7 +447,7 @@ impl<V: Value> Segment<V> {
         base8[..w].copy_from_slice(&tmp);
         out.extend_from_slice(&base8);
         debug_assert_eq!(out.len(), HEADER_BYTES);
-        if version == VERSION {
+        if version != VERSION_V1 {
             // Checksum block placeholder, patched below once the section
             // bytes exist.
             out.extend_from_slice(&[0u8; CHECKSUM_BYTES]);
@@ -417,7 +473,7 @@ impl<V: Value> Segment<V> {
         for &v in self.exceptions.iter().rev() {
             v.write_le(&mut out);
         }
-        if version == VERSION {
+        if version != VERSION_V1 {
             let crcs = [
                 crc32c(&out[..HEADER_BYTES]),
                 crc32c(&out[entries_off..deltas_off]),
@@ -484,7 +540,7 @@ impl<V: Value> Segment<V> {
             off += w;
         }
         let integrity =
-            if layout.version == VERSION { Integrity::Verified } else { Integrity::Unverified };
+            if layout.version == VERSION_V1 { Integrity::Unverified } else { Integrity::Verified };
         Ok(Segment {
             scheme: layout.scheme,
             n: layout.n,
@@ -495,6 +551,7 @@ impl<V: Value> Segment<V> {
             codes,
             exceptions,
             dict,
+            layout: layout.layout,
             integrity,
         })
     }
@@ -751,6 +808,97 @@ mod tests {
             Segment::<u32>::from_bytes(&bytes).unwrap_err(),
             WireError::Corrupt("PDICT segment without a dictionary")
         );
+    }
+
+    #[test]
+    fn v3_vertical_roundtrip_all_schemes() {
+        let values: Vec<u32> =
+            (0..2000).map(|i| if i % 40 == 0 { i * 12345 } else { i % 50 }).collect();
+        let pfor = crate::pfor::compress_in(
+            &values,
+            0,
+            6,
+            Default::default(),
+            SegLayout::Vertical,
+        );
+        let monotone: Vec<u32> = (0..2000u32).map(|i| i * 3 + i % 5).collect();
+        let pfd = crate::pfordelta::compress_vertical(&monotone, 0);
+        let trio: Vec<u32> = (0..600).map(|i| [3u32, 8, 40][i % 3]).collect();
+        let dict = Dictionary::new(vec![3u32, 8, 40]);
+        let pd = crate::pdict::compress_in(&trio, &dict, 2, Default::default(), SegLayout::Vertical);
+        for (seg, original) in [(&pfor, &values), (&pfd, &monotone), (&pd, &trio)] {
+            let bytes = seg.to_bytes();
+            assert_eq!(bytes[4], VERSION_V3);
+            assert_eq!(bytes[5] & LAYOUT_FLAG, LAYOUT_FLAG);
+            assert_eq!(bytes[5] & !LAYOUT_FLAG, seg.scheme().tag());
+            let report = verify(&bytes).unwrap();
+            assert_eq!(report.version, VERSION_V3);
+            assert_eq!(report.layout, SegLayout::Vertical);
+            assert_eq!(report.integrity, Integrity::Verified);
+            let back = Segment::<u32>::from_bytes(&bytes).unwrap();
+            assert_eq!(&back, seg);
+            assert_eq!(back.layout(), SegLayout::Vertical);
+            assert_eq!(back.decompress(), *original);
+        }
+        // Vertical PFOR-DELTA serializes four delta bases per block.
+        assert_eq!(pfd.section_bytes().4, pfd.n_blocks() * 4 * 4);
+    }
+
+    #[test]
+    fn v3_header_corruption_detected() {
+        let values: Vec<u32> = (0..1000u32).map(|i| i % 60).collect();
+        let seg =
+            crate::pfor::compress_in(&values, 0, 6, Default::default(), SegLayout::Vertical);
+        let bytes = seg.to_bytes();
+        // Flipping v3 -> v2, or clearing the layout bit, fails the header
+        // CRC before any field is trusted. Flipping v3 -> v1 downgrades to
+        // the checksum-less format, where the set layout bit itself is the
+        // tripwire: v1 readers reject it as an unknown scheme tag.
+        for (off, val, expect_crc) in
+            [(4usize, VERSION, true), (4, VERSION_V1, false), (5, seg.scheme().tag(), true)]
+        {
+            let mut bad = bytes.clone();
+            bad[off] = val;
+            let err = Segment::<u32>::from_bytes(&bad).unwrap_err();
+            if expect_crc {
+                assert!(
+                    matches!(err, WireError::Checksum { section: "header", .. }),
+                    "off {off}: got {err:?}"
+                );
+            } else {
+                assert!(matches!(err, WireError::BadScheme(0x81)), "off {off}: got {err:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_segments_still_serialize_as_v2() {
+        let seg = crate::pfor::compress(&(0..300u32).collect::<Vec<_>>(), 0, 9);
+        let bytes = seg.to_bytes();
+        assert_eq!(bytes[4], VERSION);
+        assert_eq!(bytes[5], seg.scheme().tag());
+        assert_eq!(verify(&bytes).unwrap().layout, SegLayout::Horizontal);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertical segments require wire format v3")]
+    fn vertical_to_v1_is_refused() {
+        let seg = crate::pfor::compress_in(
+            &[1u32, 2, 3],
+            0,
+            2,
+            Default::default(),
+            SegLayout::Vertical,
+        );
+        let _ = seg.to_bytes_v1();
+    }
+
+    #[test]
+    fn future_version_rejected_with_typed_error() {
+        let seg = crate::pfor::compress(&[1u32, 2, 3], 0, 2);
+        let mut bytes = seg.to_bytes_v1(); // no header CRC in the way
+        bytes[4] = 4;
+        assert_eq!(Segment::<u32>::from_bytes(&bytes).unwrap_err(), WireError::BadVersion(4));
     }
 
     #[test]

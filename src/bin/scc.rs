@@ -226,8 +226,12 @@ fn cmd_verify(bytes: &[u8]) -> Result<(), String> {
                     }
                 };
                 println!(
-                    "  seg {i}: v{} {:?} n={} {} bytes - {tag}",
-                    r.version, r.scheme, r.n, r.bytes
+                    "  seg {i}: v{} {:?} {} n={} {} bytes - {tag}",
+                    r.version,
+                    r.scheme,
+                    r.layout.name(),
+                    r.n,
+                    r.bytes
                 );
             }
             Err(f) => {
@@ -252,8 +256,9 @@ fn cmd_inspect<V: Value>(bytes: &[u8]) -> Result<(), String> {
     for (i, seg) in segs.iter().enumerate() {
         let s = seg.stats();
         println!(
-            "  seg {i}: {:?} b={} n={} exceptions={} ({:.2}%) {} bytes ({:.2}x)",
+            "  seg {i}: {:?} {} b={} n={} exceptions={} ({:.2}%) {} bytes ({:.2}x)",
             seg.scheme(),
+            seg.layout().name(),
             s.b,
             s.n,
             s.exceptions,
@@ -332,6 +337,11 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         "decode kernel: {} (override with SCC_KERNEL=scalar|sse41|avx2)",
         scc::bitpack::kernel::active()
     );
+    println!(
+        "encode layout: {} (auto from access telemetry; override with \
+         SCC_LAYOUT=horizontal|vertical)",
+        scc::core::choose_layout().name()
+    );
     let db = scc::tpch::TpchDb::generate(sf, 20_060_703);
     let cfg = scc::tpch::QueryConfig { threads, code_scan, ..Default::default() };
     for &q in &queries {
@@ -354,6 +364,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             );
         }
         println!();
+    }
+    let (h, v) = scc::core::telemetry::layout_counts();
+    if h + v > 0 {
+        println!("segments encoded: {h} horizontal, {v} vertical");
     }
     if let Some(path) = metrics_path {
         scc::core::telemetry::publish_derived();

@@ -109,6 +109,52 @@ fn make_compressed(name: &str) -> std::path::PathBuf {
 }
 
 #[test]
+fn vertical_layout_roundtrips_through_the_cli() {
+    // Format v3 end-to-end: compress writes vertical segments under
+    // SCC_LAYOUT=vertical; inspect/verify report the layout; decompress
+    // restores the exact bytes. Horizontal stays on wire format v2.
+    let input = tmp("vl_in.bin");
+    let output = tmp("vl_out.bin");
+    let values: Vec<u32> =
+        (0..50_000u32).map(|i| if i % 91 == 0 { i * 500 } else { i % 128 }).collect();
+    write_u32s(&input, &values);
+    for (layout, version) in [("vertical", 3u8), ("horizontal", 2u8)] {
+        let compressed = tmp(&format!("vl_{layout}.scc"));
+        let st = scc()
+            .env("SCC_LAYOUT", layout)
+            .args(["compress", input.to_str().unwrap(), compressed.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+
+        // The first segment's wire version sits right after the 9-byte
+        // container preamble and 4-byte length prefix.
+        let bytes = std::fs::read(&compressed).unwrap();
+        assert_eq!(bytes[9 + 4 + 4], version, "{layout} wire version");
+
+        let st = scc().args(["inspect", compressed.to_str().unwrap()]).output().unwrap();
+        assert!(st.status.success());
+        assert!(String::from_utf8_lossy(&st.stdout).contains(layout));
+
+        let st = scc().args(["verify", compressed.to_str().unwrap()]).output().unwrap();
+        assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+        let stdout = String::from_utf8_lossy(&st.stdout);
+        assert!(stdout.contains(layout) && stdout.contains("0 corrupt"), "{stdout}");
+
+        let st = scc()
+            .args(["decompress", compressed.to_str().unwrap(), output.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+        assert_eq!(std::fs::read(&output).unwrap(), std::fs::read(&input).unwrap(), "{layout}");
+        let _ = std::fs::remove_file(compressed);
+    }
+    for p in [input, output] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn verify_reports_clean_and_corrupt_segments() {
     let compressed = make_compressed("vf");
 

@@ -14,7 +14,7 @@ use scc::baselines::{
     varint::VarInt,
     IntCodec,
 };
-use scc::core::{analyze, compress_with_plan, pfor, AnalyzeOpts};
+use scc::core::{analyze, compress_with_plan, compress_with_plan_in, pfor, AnalyzeOpts, Layout};
 
 fn shapes() -> Vec<(&'static str, Vec<u32>)> {
     let mut x = 0x9E3779B9u64;
@@ -82,6 +82,33 @@ fn every_codec_roundtrips_every_shape() {
         for cand in analysis.candidates.iter().take(3) {
             let seg = compress_with_plan(&values, &cand.plan);
             assert_eq!(seg.decompress(), values, "{} on {shape}", cand.plan.name());
+        }
+    }
+}
+
+#[test]
+fn every_plan_roundtrips_in_both_layouts() {
+    // The layout axis (format v3): the same plan must decode to the same
+    // values whether the codes are horizontal or vertical, through bulk
+    // decode, wire round-trip, random access and range decode alike.
+    for (shape, values) in shapes() {
+        let analysis = analyze(&values, &AnalyzeOpts::default());
+        for cand in analysis.candidates.iter().take(3) {
+            for layout in [Layout::Horizontal, Layout::Vertical] {
+                let seg = compress_with_plan_in(&values, &cand.plan, layout);
+                assert_eq!(seg.layout(), layout, "{} on {shape}", cand.plan.name());
+                assert_eq!(seg.decompress(), values, "{} on {shape} {layout:?}", cand.plan.name());
+                let reloaded =
+                    scc::core::Segment::<u32>::from_bytes(&seg.to_bytes()).expect("wire");
+                assert_eq!(reloaded.layout(), layout);
+                for i in (0..values.len()).step_by(997) {
+                    assert_eq!(reloaded.get(i), values[i], "{shape} {layout:?} get({i})");
+                }
+                let start = values.len() / 3 / 128 * 128;
+                let mut mid = vec![0u32; 1000.min(values.len() - start)];
+                reloaded.try_decode_range(start, &mut mid).expect("range");
+                assert_eq!(&mid[..], &values[start..start + mid.len()]);
+            }
         }
     }
 }

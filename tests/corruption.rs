@@ -7,7 +7,7 @@
 //! For legacy v1 segments a flip may go undetected — that is the
 //! documented gap v2 closes — but it must still never panic.
 
-use scc::core::{pdict, pfor, pfordelta, wire, Dictionary, Segment, Value};
+use scc::core::{pdict, pfor, pfordelta, wire, Dictionary, Layout, Segment, Value};
 use scc::storage::{FaultPlan, FaultyDisk, ReadOutcome};
 
 /// One segment per (scheme, exception-rate) cell of the sweep matrix.
@@ -18,11 +18,20 @@ fn corpus_u32() -> Vec<(&'static str, Vec<u8>)> {
     let dict = Dictionary::new((0..10u32).map(|i| i * 1000).collect());
     let coded: Vec<u32> =
         (0..640).map(|i| if i % 13 == 0 { 777_777 } else { (i % 10) * 1000 }).collect();
+    let k = scc::core::CompressKernel::default();
     vec![
         ("pfor/u32/no-exceptions", pfor::compress(&clean, 0, 5).to_bytes()),
         ("pfor/u32/11%-exceptions", pfor::compress(&exc, 0, 5).to_bytes()),
         ("pfordelta/u32", pfordelta::compress(&rising, 0, 3, 3).to_bytes()),
         ("pdict/u32/exceptions", pdict::compress(&coded, &dict).to_bytes()),
+        // Format v3: same data in the vertical layout. Every byte is still
+        // under a section checksum, so the sweep guarantee carries over.
+        ("pfor/u32/v3-vertical", pfor::compress_in(&exc, 0, 5, k, Layout::Vertical).to_bytes()),
+        ("pfordelta/u32/v3-vertical", pfordelta::compress_vertical(&rising, 0).to_bytes()),
+        (
+            "pdict/u32/v3-vertical",
+            pdict::compress_in(&coded, &dict, dict.min_width(), k, Layout::Vertical).to_bytes(),
+        ),
     ]
 }
 
@@ -33,6 +42,12 @@ fn corpus_i64() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         ("pfor/i64/exceptions", pfor::compress(&wide, -1_000_000, 12).to_bytes()),
         ("pfordelta/i64", pfordelta::compress(&rising, 0, 64, 1).to_bytes()),
+        (
+            "pfor/i64/v3-vertical",
+            pfor::compress_in(&wide, -1_000_000, 12, Default::default(), Layout::Vertical)
+                .to_bytes(),
+        ),
+        ("pfordelta/i64/v3-vertical", pfordelta::compress_vertical(&rising, 0).to_bytes()),
     ]
 }
 
